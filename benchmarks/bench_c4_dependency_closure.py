@@ -1,0 +1,150 @@
+"""C4 — The sensor/context dependency closure (Section 5.1).
+
+Claim: "if the smoking context is not shared, respiration sensor data
+will not be shared even though stress and conversation are shared in raw
+data form.  This is because once respiration data are provided ... smoking
+can be also inferred from the data."
+
+Adversarial evaluation: Alice denies the Smoking context but shares
+everything else raw.  A curious consumer runs a smoking detector over
+whatever raw respiration he receives.  With the closure DISABLED (the
+ablation), he re-infers Alice's smoking episodes with high accuracy; with
+the closure ENABLED he receives no respiration at all, so his inference
+can do no better than guessing the majority class.
+"""
+
+import numpy as np
+
+from repro.collection.phone import PhoneConfig
+from repro.context.classifiers import SmokingClassifier
+from repro.context.features import window_features
+from repro.datastore.query import DataQuery
+from repro.rules.model import ALLOW, Rule, abstraction
+
+from conftest import report_table
+from helpers import alice_day
+
+
+def build(enforce_closure):
+    from repro.core import SensorSafeSystem
+
+    system = SensorSafeSystem(seed=17)
+    # The ablation knob lives on the store service.
+    store = system.create_store("alice-data", enforce_closure=enforce_closure)
+    persona, trace = alice_day(rate_scale=0.1, seed=17, smoker=True)
+    alice = system.add_contributor("alice", store=store)
+    alice.set_places(persona.places.values())
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    alice.add_rule(Rule(consumers=("bob",), action=abstraction(Smoking="NotShare")))
+    phone = alice.phone(PhoneConfig(rule_aware=False))
+    phone.collect(trace.all_packets_sorted())
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    return system, bob, trace
+
+
+def attack(bob, trace):
+    """Bob's re-inference attack: run a smoking detector over received
+    raw respiration and score it against Alice's ground truth."""
+    received = bob.fetch("alice", DataQuery(channels=("Respiration",)))
+    detector = SmokingClassifier()
+    correct = total = 0
+    windows = 0
+    truth_positives = 0
+    for item in received:
+        if item.segment is None or "Respiration" not in item.segment.channels:
+            continue
+        values = np.asarray(item.segment.channel_values("Respiration"))
+        if len(values) < 4:
+            continue
+        windows += 1
+        features = {"Respiration": window_features(values, 4.0)}
+        guess = detector.classify(features)
+        state = trace.state_at(item.interval.start)
+        if state is None:
+            continue
+        truth = "Smoking" if state.smoking else "NotSmoking"
+        truth_positives += truth == "Smoking"
+        total += 1
+        correct += guess == truth
+    accuracy = correct / total if total else None
+    return accuracy, windows, truth_positives
+
+
+def majority_baseline(trace):
+    """Accuracy of always guessing NotSmoking, on the same day."""
+    states = trace.states
+    smoking = sum(1 for s in states if s.smoking)
+    return 1.0 - smoking / len(states)
+
+
+def test_c4_reinference_attack(benchmark):
+    system_off, bob_off, trace = build(enforce_closure=False)
+    acc_off, windows_off, positives = attack(bob_off, trace)
+
+    system_on, bob_on, _ = build(enforce_closure=True)
+    acc_on, windows_on, _ = attack(bob_on, trace)
+
+    prior = majority_baseline(trace)
+    report_table(
+        "C4 — Re-inference of the denied Smoking context from leaked raw respiration",
+        ["Configuration", "Raw respiration windows received", "Attack accuracy"],
+        [
+            ["closure DISABLED (ablation)", windows_off, f"{acc_off:.3f}"],
+            ["closure ENABLED (SensorSafe)", windows_on, "n/a — no raw respiration received"],
+            ["majority-class prior", "-", f"{prior:.3f}"],
+        ],
+        notes="with the closure the attacker can do no better than the prior; "
+        f"the day contains real smoking episodes (ground-truth positives: {positives})",
+    )
+
+    assert positives > 0, "the smoker persona must actually smoke"
+    assert windows_off > 0 and acc_off > 0.95  # the leak is real and damaging
+    assert windows_on == 0 and acc_on is None  # the closure removes the channel
+
+    # Timed: a closure decision over the full channel set.
+    from repro.rules.dependency import DEFAULT_DEPENDENCIES
+
+    channels = ("ECG", "Respiration", "MicAmplitude", "AccelX", "GpsLat")
+    benchmark(
+        lambda: DEFAULT_DEPENDENCIES.raw_permitted_channels(
+            channels, {"Activity", "Stress", "Conversation"}
+        )
+    )
+
+
+def test_c4_label_ladder_still_blocks_raw(benchmark):
+    """Sharing smoking at *label* level must equally block raw respiration:
+    the finest rung is the only one that permits raw sources."""
+    from repro.core import SensorSafeSystem
+
+    system = SensorSafeSystem(seed=18)
+    persona, trace = alice_day(rate_scale=0.05, seed=18, smoker=True)
+    alice = system.add_contributor("alice")
+    alice.set_places(persona.places.values())
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    alice.add_rule(
+        Rule(consumers=("bob",), action=abstraction(Smoking="SmokingNotSmoking"))
+    )
+    phone = alice.phone(PhoneConfig(rule_aware=False))
+    phone.collect(trace.all_packets_sorted())
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+
+    received = benchmark.pedantic(
+        lambda: bob.fetch("alice", DataQuery()), rounds=1, iterations=1
+    )
+    raw_channels = {c for r in received for c in r.channels()}
+    labels = {k for r in received for k in r.context_labels}
+    report_table(
+        "C4 — Label-level smoking sharing",
+        ["Observation", "Value"],
+        [
+            ["raw channels received", ", ".join(sorted(raw_channels))],
+            ["label categories received", ", ".join(sorted(labels))],
+        ],
+        notes="Smoking labels flow; raw respiration does not (it would let the "
+        "consumer upgrade the label to the full signal)",
+    )
+    assert "Respiration" not in raw_channels
+    assert "Smoking" in labels

@@ -1,0 +1,110 @@
+"""F4 — Regenerate Fig. 4: the paper's example JSON privacy rule.
+
+Parses the exact rule set from the figure ("Share all data collected at
+UCLA with Bob but do not share stress information while I am in
+conversation at UCLA on Weekdays from 9am to 6pm") and evaluates it
+against segments covering the four interesting cases, reporting the
+release decision for each.  Timed sections: parse, and parse+evaluate.
+"""
+
+import numpy as np
+
+from repro.datastore.wavesegment import WaveSegment
+from repro.rules.engine import RuleEngine
+from repro.rules.parser import rules_from_json
+from repro.util.geo import BoundingBox, LabeledPlace, LatLon
+from repro.util.timeutil import timestamp_ms
+
+from conftest import report_table
+
+FIG4 = [
+    {"Consumer": ["Bob"], "LocationLabel": ["UCLA"], "Action": "Allow"},
+    {
+        "Consumer": ["Bob"],
+        "LocationLabel": ["UCLA"],
+        "RepeatTime": {
+            "Day": ["Mon", "Tue", "Wed", "Thu", "Fri"],
+            "HourMin": ["9:00am", "6:00pm"],
+        },
+        "Context": ["Conversation"],
+        "Action": {"Abstraction": {"Stress": "NotShared"}},
+    },
+]
+
+UCLA_PLACE = LabeledPlace("UCLA", BoundingBox(34.06, -118.45, 34.08, -118.43))
+UCLA_POINT = LatLon(34.0689, -118.4452)
+ELSEWHERE = LatLon(34.03, -118.47)
+
+MON_10AM = timestamp_ms(2011, 2, 7, 10)
+MON_8PM = timestamp_ms(2011, 2, 7, 20)
+SAT_10AM = timestamp_ms(2011, 2, 12, 10)
+
+
+def segment(start, location, conversation):
+    return WaveSegment(
+        contributor="alice",
+        channels=("ECG", "Respiration"),
+        start_ms=start,
+        interval_ms=1000,
+        values=np.ones((60, 2)),
+        location=location,
+        context={
+            "Activity": "Still",
+            "Stress": "Stressed",
+            "Conversation": "Conversation" if conversation else "NotConversation",
+            "Smoking": "NotSmoking",
+        },
+    )
+
+
+def test_fig4_parse(benchmark):
+    rules = benchmark(rules_from_json, FIG4)
+    assert rules[1].action.abstraction == {"Stress": "NotShare"}
+
+
+def test_fig4_evaluation_semantics(benchmark):
+    rules = rules_from_json(FIG4)
+    engine = RuleEngine(rules, {"UCLA": UCLA_PLACE})
+
+    cases = [
+        ("Mon 10am, UCLA, in conversation", segment(MON_10AM, UCLA_POINT, True)),
+        ("Mon 10am, UCLA, no conversation", segment(MON_10AM, UCLA_POINT, False)),
+        ("Mon 8pm, UCLA, in conversation", segment(MON_8PM, UCLA_POINT, True)),
+        ("Sat 10am, UCLA, in conversation", segment(SAT_10AM, UCLA_POINT, True)),
+        ("Mon 10am, elsewhere", segment(MON_10AM, ELSEWHERE, True)),
+    ]
+
+    rows = []
+    for name, seg in cases:
+        released = engine.evaluate("Bob", [seg])
+        channels = sorted({c for r in released for c in r.channels()})
+        stress = sorted({r.context_labels.get("Stress") for r in released} - {None})
+        rows.append(
+            [
+                name,
+                "yes" if released else "no",
+                ", ".join(channels) or "-",
+                ", ".join(stress) or "withheld",
+            ]
+        )
+    report_table(
+        "Fig. 4 — Release decisions under the paper's example rule",
+        ["Scenario", "Released?", "Raw channels", "Stress info"],
+        rows,
+        notes="stress (and its raw ECG/respiration sources, via the closure) is "
+        "withheld only during weekday-9-6 conversations at UCLA",
+    )
+
+    # The paper's sentence, as assertions:
+    in_scope = engine.evaluate("Bob", [cases[0][1]])
+    assert all("Stress" not in r.context_labels for r in in_scope)
+    assert all("ECG" not in r.channels() for r in in_scope)
+    off_hours = engine.evaluate("Bob", [cases[2][1]])
+    assert any("Stress" in r.context_labels for r in off_hours)
+    assert engine.evaluate("Bob", [cases[4][1]]) == []  # not at UCLA -> deny
+
+    def parse_and_eval():
+        eng = RuleEngine(rules_from_json(FIG4), {"UCLA": UCLA_PLACE})
+        return eng.evaluate("Bob", [cases[0][1]])
+
+    benchmark(parse_and_eval)

@@ -1,0 +1,137 @@
+"""S1 — The Section 6 application walkthrough, executed end to end.
+
+Runs the full Alice/Bob narrative — behavioral study plus health-care
+coach — asserting each checkpoint of the paper's text, and reports a
+pass/fail checklist.  The timed section measures the complete scenario.
+"""
+
+from repro.broker.search import SearchCriteria
+from repro.collection.phone import PhoneConfig
+from repro.core import SensorSafeSystem
+from repro.datastore.query import DataQuery
+from repro.rules.model import ALLOW, DENY, Rule, abstraction
+from repro.sensors.personas import make_persona
+from repro.sensors.simulator import SimulatorConfig, TraceSimulator
+from repro.util.timeutil import Interval, timestamp_ms
+
+from conftest import report_table
+
+MONDAY = timestamp_ms(2011, 2, 7)
+DAY_MS = 86_400_000
+
+
+def run_scenario():
+    checkpoints = []
+
+    def check(name, ok):
+        checkpoints.append((name, bool(ok)))
+
+    system = SensorSafeSystem(seed=42)
+    persona = make_persona("alice", commute_mode="Drive", stress_prob=0.35)
+    alice = system.add_contributor("alice")
+    alice.set_places(persona.places.values())
+    check(
+        "registration at the store auto-registers on the broker",
+        "alice" in system.broker.registry,
+    )
+
+    alice.add_rule(Rule(consumers=("stress-study",), action=ALLOW))
+    alice.add_rule(Rule(consumers=("coach",), sensors=("Accelerometer",), action=ALLOW))
+
+    trace = TraceSimulator(persona, SimulatorConfig(rate_scale=0.05), seed=3).run(
+        MONDAY, days=1
+    )
+    phone = alice.phone(PhoneConfig(rule_aware=False))
+    phone.collect(trace.all_packets_sorted())
+    check("phone uploaded a day of annotated data", phone.stats.samples_uploaded > 0)
+
+    # Alice reviews her own data (raw).
+    own = alice.view_data(DataQuery(channels=("ECG",)))
+    stressed_drives = sum(
+        1
+        for s in own
+        if s.context.get("Activity") == "Drive" and s.context.get("Stress") == "Stressed"
+    )
+    check("alice can review her own data and see stress while driving", stressed_drives > 0)
+
+    alice.add_rule(
+        Rule(
+            consumers=("stress-study",),
+            contexts=("Drive",),
+            action=abstraction(Stress="NotShare"),
+        )
+    )
+    alice.add_rule(Rule(sensors=("Accelerometer",), location_labels=("home",), action=DENY))
+
+    bob = system.add_consumer("bob")
+    bob.create_study("stress-study")
+    bob.add_contributors(["alice"])
+    check("broker escrowed bob's store key", "alice-store" in bob.refresh_keys())
+
+    coach = system.add_consumer("coach")
+    coach.add_contributors(["alice"])
+
+    day = DataQuery(time_range=Interval(MONDAY, MONDAY + DAY_MS))
+    released = bob.fetch("alice", day)
+    activity = {}
+    for item in released:
+        label = item.context_labels.get("Activity")
+        if label is not None:
+            activity[item.interval.start // 60_000] = label
+    driving_ok = all(
+        "Stress" not in item.context_labels
+        and "ECG" not in item.channels()
+        and "Respiration" not in item.channels()
+        for item in released
+        if activity.get(item.interval.start // 60_000) == "Drive"
+    )
+    check("no stress info reaches the study while alice drives", driving_ok)
+    calm_stress = any(
+        "Stress" in item.context_labels
+        for item in released
+        if activity.get(item.interval.start // 60_000) == "Still"
+    )
+    check("stress still shared while not driving", calm_stress)
+
+    coach_channels = {c for r in coach.fetch("alice", day) for c in r.channels()}
+    check(
+        "coach receives accelerometer data only",
+        bool(coach_channels) and coach_channels <= {"AccelX", "AccelY", "AccelZ"},
+    )
+
+    matches = bob.search(
+        SearchCriteria(
+            consumer="bob", channels=("ECG", "Respiration"), contexts={"Activity": "Drive"}
+        )
+    )
+    check("bob's driving-stress search excludes alice", "alice" not in matches)
+
+    aware = alice.phone(PhoneConfig(rule_aware=True))
+    kept = aware.collect(trace.all_packets_sorted(), upload=False)
+    ecg_while_driving = any(
+        p.channel_name == "ECG" and p.context.get("Activity") == "Drive" for p in kept
+    )
+    check("rule-aware phone stops ECG while driving", not ecg_while_driving)
+    home = persona.places["home"]
+    accel_at_home = any(
+        p.channel_name.startswith("Accel")
+        and p.location is not None
+        and home.contains(p.location)
+        for p in kept
+    )
+    check("rule-aware phone stops accelerometer at home", not accel_at_home)
+    check(
+        "rule-aware collection senses strictly less",
+        aware.stats.samples_sensed < phone.stats.samples_sensed,
+    )
+    return checkpoints
+
+
+def test_s1_scenario_checklist(benchmark):
+    checkpoints = benchmark.pedantic(run_scenario, rounds=1, iterations=1)
+    report_table(
+        "S1 — Section 6 walkthrough checklist",
+        ["Checkpoint (paper sentence)", "Result"],
+        [[name, "PASS" if ok else "FAIL"] for name, ok in checkpoints],
+    )
+    assert all(ok for _, ok in checkpoints)

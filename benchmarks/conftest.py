@@ -1,0 +1,46 @@
+"""Benchmark harness plumbing: result tables printed in the summary.
+
+Each bench module regenerates one table/figure of the paper (or one
+claim-benchmark from DESIGN.md).  Because pytest captures stdout, benches
+register their tables through :func:`report_table`; a terminal-summary
+hook prints everything at the end of the run, so the tee'd output of
+
+    pytest benchmarks/ --benchmark-only
+
+contains every regenerated table alongside pytest-benchmark's timings.
+"""
+
+from __future__ import annotations
+
+_TABLES: list = []
+
+
+def report_table(title: str, headers, rows, notes: str = "") -> None:
+    """Register one result table for the end-of-run report."""
+    _TABLES.append((title, [str(h) for h in headers], [[str(c) for c in r] for r in rows], notes))
+
+
+def format_table(headers, rows) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*["-" * w for w in widths])]
+    lines += [fmt.format(*row) for row in rows]
+    return "\n".join(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.section("SensorSafe reproduction results")
+    for title, headers, rows, notes in _TABLES:
+        tr.write_line("")
+        tr.write_line(f"## {title}")
+        for line in format_table(headers, rows).splitlines():
+            tr.write_line(line)
+        if notes:
+            tr.write_line(f"   note: {notes}")
+    _TABLES.clear()

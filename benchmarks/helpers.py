@@ -1,0 +1,58 @@
+"""Shared workload builders for the benchmark suite."""
+
+from __future__ import annotations
+
+from repro.core import SensorSafeSystem
+from repro.collection.phone import PhoneConfig
+from repro.rules.model import ALLOW, Rule, abstraction
+from repro.sensors.packets import packetize
+from repro.sensors.personas import make_persona
+from repro.sensors.simulator import SimulatorConfig, TraceSimulator
+from repro.util.geo import LatLon
+from repro.util.timeutil import timestamp_ms
+
+MONDAY = timestamp_ms(2011, 2, 7)
+HOUR_MS = 3_600_000
+DAY_MS = 24 * HOUR_MS
+UCLA = LatLon(34.0689, -118.4452)
+
+
+def ecg_packets(hours: float, rate_hz: float = 8.0, packet_samples: int = 64):
+    """A seamless ECG run packetized the way the Zephyr firmware ships it."""
+    n = int(hours * 3600 * rate_hz)
+    interval_ms = int(round(1000 / rate_hz))
+    return packetize(
+        "ECG",
+        MONDAY,
+        interval_ms,
+        [60.0 + (i % 7) * 0.5 for i in range(n)],
+        packet_samples=packet_samples,
+        location=UCLA,
+    )
+
+
+def alice_day(rate_scale: float = 0.1, seed: int = 3, smoker: bool = False):
+    """One simulated day for the stock Alice persona."""
+    persona = make_persona("alice", commute_mode="Drive", stress_prob=0.35, smoker=smoker)
+    trace = TraceSimulator(persona, SimulatorConfig(rate_scale=rate_scale), seed=seed).run(
+        MONDAY, days=1
+    )
+    return persona, trace
+
+
+def populated_system(seed: int = 7, *, upload: bool = True, rate_scale: float = 0.05):
+    """A system with Alice (full rules), Bob (consumer), and data uploaded."""
+    system = SensorSafeSystem(seed=seed)
+    persona, trace = alice_day(rate_scale=rate_scale, seed=seed)
+    alice = system.add_contributor("alice")
+    alice.set_places(persona.places.values())
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    alice.add_rule(
+        Rule(consumers=("bob",), contexts=("Drive",), action=abstraction(Stress="NotShare"))
+    )
+    if upload:
+        phone = alice.phone(PhoneConfig(rule_aware=False))
+        phone.collect(trace.all_packets_sorted())
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    return system, alice, bob, persona, trace

@@ -1,0 +1,86 @@
+"""Audit trails and rule recommendations: closing the privacy loop.
+
+The paper's Section 6 has Alice *manually* reviewing her data and
+noticing she is "frequently stressed while driving".  This example runs
+the automated version the Personal Data Vault lineage proposed: the
+recommender mines her stored data for concerning patterns and proposes
+ready-to-add rules; the audit trail then shows her exactly what each
+consumer has been taking.
+
+Run:  python examples/audit_and_recommendations.py
+"""
+
+from repro import (
+    ALLOW,
+    DataQuery,
+    Interval,
+    PhoneConfig,
+    Rule,
+    SensorSafeSystem,
+    SimulatorConfig,
+    TraceSimulator,
+    make_persona,
+    timestamp_ms,
+)
+
+MONDAY = timestamp_ms(2011, 2, 7)
+DAY_MS = 86_400_000
+
+
+def main() -> None:
+    system = SensorSafeSystem(seed=33)
+    alice = system.add_contributor("alice")
+    persona = make_persona("alice", commute_mode="Drive", stress_prob=0.4, smoker=True)
+    alice.set_places(persona.places.values())
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+
+    trace = TraceSimulator(persona, SimulatorConfig(rate_scale=0.05), seed=2).run(
+        MONDAY, days=1
+    )
+    alice.phone(PhoneConfig(rule_aware=False)).collect(trace.all_packets_sorted())
+
+    # Bob helps himself to a few windows of data.
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    for hour in (8, 12, 18):
+        bob.fetch(
+            "alice",
+            DataQuery(time_range=Interval(MONDAY + hour * 3_600_000,
+                                          MONDAY + (hour + 1) * 3_600_000)),
+        )
+
+    # -- The audit trail: who took what.
+    print("== audit trail ==")
+    for record in alice.audit_trail():
+        labels = ", ".join(record.labels_released) or "-"
+        print(
+            f"  #{record.seq} {record.principal:<6} released "
+            f"{record.samples_released:>6,} samples "
+            f"({record.pieces_released} pieces; labels: {labels})"
+        )
+    print("summary:", alice.audit_summary())
+
+    # -- The recommender: what should worry Alice.
+    print("\n== rule recommendations ==")
+    suggestions = alice.suggest_rules(min_support=4)
+    for suggestion in suggestions:
+        print(f"  [{suggestion.confidence:.0%}] {suggestion.rationale}")
+        print(f"        proposed rule: {suggestion.rule.describe()}")
+
+    # Alice accepts the strongest suggestion.
+    if suggestions:
+        chosen = suggestions[0]
+        alice.add_rule(chosen.rule)
+        print(f"\nalice accepted: {chosen.rule.describe()}")
+        after = bob.fetch(
+            "alice",
+            DataQuery(time_range=Interval(MONDAY + 8 * 3_600_000,
+                                          MONDAY + 9 * 3_600_000)),
+        )
+        print(f"bob's next commute-window fetch: {len(after)} pieces, "
+              f"{sum(r.n_samples for r in after):,} raw samples "
+              "(tightened by the accepted rule)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""The paper's Section 6 scenario: a medical behavioral study.
+
+Alice wears a chest band (ECG + respiration) and carries a smartphone
+(accelerometer, GPS, microphone).  She shares everything with the stress
+study, then — after reviewing her data — denies stress information while
+driving and accelerometer data at home, and turns on privacy rule-aware
+collection.  Bob, the study coordinator, searches the broker for
+contributors who *do* share stress while driving, and finds that Alice is
+correctly excluded.
+
+Run:  python examples/behavioral_study.py
+"""
+
+from repro import (
+    ALLOW,
+    DataQuery,
+    Interval,
+    PhoneConfig,
+    Rule,
+    SearchCriteria,
+    SensorSafeSystem,
+    SimulatorConfig,
+    TraceSimulator,
+    abstraction,
+    make_persona,
+    timestamp_ms,
+)
+from repro.rules.model import DENY
+
+MONDAY = timestamp_ms(2011, 2, 7)
+DAY_MS = 86_400_000
+
+
+def main() -> None:
+    system = SensorSafeSystem(seed=42)
+
+    # Twenty study participants; alice is one of them.  The others use
+    # varying personas and simply share everything with the study.
+    print("== recruiting 20 data contributors ==")
+    alice = system.add_contributor("alice")
+    alice_persona = make_persona("alice", commute_mode="Drive", stress_prob=0.35)
+    alice.set_places(alice_persona.places.values())
+    others = []
+    for i in range(19):
+        name = f"participant-{i:02d}"
+        contributor = system.add_contributor(name)
+        persona = make_persona(name, seed_offset=0.001 * (i + 1))
+        contributor.set_places(persona.places.values())
+        contributor.add_rule(Rule(consumers=("stress-study",), action=ALLOW))
+        others.append(contributor)
+
+    # "Alice first decides to share all data with the researchers."
+    alice.add_rule(Rule(consumers=("stress-study",), action=ALLOW))
+
+    # One day of data collection.
+    trace = TraceSimulator(alice_persona, SimulatorConfig(rate_scale=0.1), seed=3).run(
+        MONDAY, days=1
+    )
+    phone = alice.phone(PhoneConfig(rule_aware=False))
+    phone.collect(trace.all_packets_sorted())
+    print(f"alice uploaded {phone.stats.samples_uploaded:,} samples")
+
+    # "Alice reviews her data ... she is frequently stressed while driving."
+    segments = alice.view_data(DataQuery(channels=("ECG",)))
+    stressed_driving = sum(
+        1
+        for s in segments
+        if s.context.get("Activity") == "Drive" and s.context.get("Stress") == "Stressed"
+    )
+    print(f"alice reviews her data: {stressed_driving} stressed-while-driving segments")
+
+    # "She adds a privacy rule that denies access to stress data while
+    # driving", and one denying accelerometer data at home.
+    alice.add_rule(
+        Rule(
+            consumers=("stress-study",),
+            contexts=("Drive",),
+            action=abstraction(Stress="NotShare"),
+            note="uncomfortable sharing stress while driving",
+        )
+    )
+    alice.add_rule(
+        Rule(sensors=("Accelerometer",), location_labels=("home",), action=DENY)
+    )
+    print("alice adds two restrictive privacy rules")
+
+    # "She turns on privacy rule-aware data collection on her smartphone."
+    aware = alice.phone(PhoneConfig(rule_aware=True))
+    kept = aware.collect(trace.all_packets_sorted(), upload=False)
+    saved = aware.stats.samples_available - aware.stats.samples_sensed
+    print(
+        f"rule-aware collection: {aware.stats.samples_sensed:,} of "
+        f"{aware.stats.samples_available:,} samples sensed "
+        f"({saved:,} never collected)"
+    )
+
+    # -- Bob the study coordinator.
+    print("\n== bob, the study coordinator ==")
+    bob = system.add_consumer("bob")
+    bob.create_study("stress-study")
+    everyone = [c["Contributor"] for c in bob.list_contributors()]
+    bob.add_contributors(everyone)
+    print(f"bob added {len(everyone)} contributors; "
+          f"broker escrowed {len(bob.refresh_keys())} store keys")
+
+    # "Bob is especially interested in people's stress behavior while they
+    # are driving ... he obtains a list of data contributors without Alice."
+    matches = bob.search(
+        SearchCriteria(
+            consumer="bob",
+            channels=("ECG", "Respiration"),
+            contexts={"Activity": "Drive"},
+        )
+    )
+    print(f"search 'shares stress signals while driving': {len(matches)} matches")
+    print(f"  alice excluded: {'alice' not in matches}")
+    bob.save_list("driving-stress", matches)
+
+    # Bob's analysis software downloads data directly from each store.
+    window = DataQuery(
+        channels=("ECG", "Respiration"),
+        time_range=Interval(MONDAY + 8 * 3_600_000, MONDAY + 9 * 3_600_000),
+    )
+    released = bob.fetch("alice", window)
+    drive_pieces = [r for r in released if "ECG" in r.channels()]
+    print(f"from alice's 8-9am commute window, bob gets {len(released)} pieces, "
+          f"{len(drive_pieces)} with raw ECG (stress rule withholds the rest)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` on this offline box lacks
+`bdist_wheel`; the legacy path (`pip install -e . --no-use-pep517`) works
+through this file. Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

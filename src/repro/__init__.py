@@ -1,0 +1,85 @@
+"""SensorSafe: privacy-preserving management of personal sensory information.
+
+A full reproduction of Choi, Chakraborty, Charbiwala & Srivastava,
+"SensorSafe: a Framework for Privacy-Preserving Management of Personal
+Sensory Information" (Secure Data Management workshop @ VLDB 2011).
+
+Quick start::
+
+    from repro import SensorSafeSystem, Rule, ALLOW, abstraction, DataQuery
+
+    system = SensorSafeSystem()
+    alice = system.add_contributor("alice")
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    released = bob.fetch("alice", DataQuery())
+
+See DESIGN.md for the architecture inventory and EXPERIMENTS.md for the
+reproduced tables/figures and claim benchmarks.
+"""
+
+from repro.core import Consumer, Contributor, SensorSafeSystem
+from repro.datastore import DataQuery, MergePolicy, SegmentStore, WaveSegment
+from repro.rules import (
+    ALLOW,
+    DENY,
+    Action,
+    ReleasedSegment,
+    Rule,
+    RuleEngine,
+    abstraction,
+    rule_from_json,
+    rule_to_json,
+)
+from repro.broker import SearchCriteria
+from repro.datastore.aggregate import AggregateRow, AggregateSpec
+from repro.rules.recommend import RuleSuggestion, suggest_rules
+from repro.collection import PhoneConfig, SmartphoneAgent
+from repro.sensors import (
+    Persona,
+    SensorPacket,
+    SimulatorConfig,
+    TraceSimulator,
+    make_persona,
+)
+from repro.util import Interval, RepeatedTime, TimeCondition
+from repro.util.timeutil import timestamp_ms
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Consumer",
+    "Contributor",
+    "SensorSafeSystem",
+    "DataQuery",
+    "MergePolicy",
+    "SegmentStore",
+    "WaveSegment",
+    "ALLOW",
+    "DENY",
+    "Action",
+    "ReleasedSegment",
+    "Rule",
+    "RuleEngine",
+    "abstraction",
+    "rule_from_json",
+    "rule_to_json",
+    "SearchCriteria",
+    "AggregateRow",
+    "AggregateSpec",
+    "RuleSuggestion",
+    "suggest_rules",
+    "PhoneConfig",
+    "SmartphoneAgent",
+    "Persona",
+    "SensorPacket",
+    "SimulatorConfig",
+    "TraceSimulator",
+    "make_persona",
+    "Interval",
+    "RepeatedTime",
+    "TimeCondition",
+    "timestamp_ms",
+    "__version__",
+]

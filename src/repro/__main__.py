@@ -1,0 +1,83 @@
+"""Self-check demo: ``python -m repro``.
+
+Builds a miniature deployment, runs the paper's headline flow, and prints
+a short report.  Exits non-zero if any invariant fails, so this doubles as
+a post-install smoke test.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    ALLOW,
+    DataQuery,
+    Interval,
+    PhoneConfig,
+    Rule,
+    SensorSafeSystem,
+    SimulatorConfig,
+    TraceSimulator,
+    abstraction,
+    make_persona,
+    timestamp_ms,
+)
+
+MONDAY = timestamp_ms(2011, 2, 7)
+
+
+def main() -> int:
+    print("SensorSafe self-check")
+    print("=====================")
+    system = SensorSafeSystem(seed=1)
+    alice = system.add_contributor("alice")
+    persona = make_persona("alice", commute_mode="Drive", stress_prob=0.4)
+    alice.set_places(persona.places.values())
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    alice.add_rule(
+        Rule(consumers=("bob",), contexts=("Drive",), action=abstraction(Stress="NotShare"))
+    )
+    trace = TraceSimulator(persona, SimulatorConfig(rate_scale=0.05), seed=1).run(
+        MONDAY, days=1
+    )
+    phone = alice.phone(PhoneConfig(rule_aware=True))
+    phone.collect(trace.all_packets_sorted())
+    print(f"  uploaded {phone.stats.samples_uploaded:,} samples "
+          f"(gate skipped {phone.stats.samples_skipped_gate:,})")
+
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    released = bob.fetch(
+        "alice", DataQuery(time_range=Interval(MONDAY, MONDAY + 86_400_000))
+    )
+    print(f"  bob received {len(released)} released pieces")
+
+    failures = []
+    drive_windows = {
+        item.interval.start // 60_000
+        for item in released
+        if item.context_labels.get("Activity") == "Drive"
+    }
+    for item in released:
+        if item.interval.start // 60_000 in drive_windows:
+            if "Stress" in item.context_labels or "ECG" in item.channels():
+                failures.append("stress leaked while driving")
+                break
+    if not drive_windows:
+        failures.append("no driving windows released (simulation problem)")
+    broker_bytes = system.traffic()["broker"].total_bytes()
+    store_bytes = system.traffic()["alice-store"].total_bytes()
+    print(f"  traffic: broker {broker_bytes:,} B, store {store_bytes:,} B")
+    if broker_bytes >= store_bytes:
+        failures.append("broker carried more traffic than the data store")
+
+    if failures:
+        for failure in failures:
+            print(f"  FAIL: {failure}")
+        return 1
+    print("  all invariants held — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

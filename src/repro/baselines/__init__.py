@@ -1,0 +1,20 @@
+"""Baselines the paper compares its design against (in prose).
+
+* :mod:`repro.baselines.centralized` — the traditional single-server
+  collection system (SensorBase/PEIR/CenceMe style) the paper's Section
+  5.1 contrasts with remote data stores: one host stores everyone's data
+  and every byte transits it (benchmark C2).
+* :mod:`repro.baselines.tuple_store` — storing "the time series of sensor
+  data as individual tuples", which Section 5.1 calls "inefficient both in
+  terms of storage size and querying time" (benchmark C1).
+* :mod:`repro.baselines.pdv` — a Personal Data Vault-style deployment:
+  per-user stores with fine-grained rules but *no broker*, so consumers
+  must discover suitable contributors by querying every store directly
+  (benchmark C5).
+"""
+
+from repro.baselines.centralized import CentralizedService
+from repro.baselines.tuple_store import TupleStore
+from repro.baselines.pdv import NoBrokerDiscovery
+
+__all__ = ["CentralizedService", "TupleStore", "NoBrokerDiscovery"]

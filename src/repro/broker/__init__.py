@@ -1,0 +1,24 @@
+"""The broker: contributor management and searching (paper Section 5.2).
+
+The broker is the dedicated server that makes a *distributed* fleet of
+remote data stores manageable: it maps every contributor to their store,
+escrows the per-store API keys it obtains when auto-registering consumers,
+keeps a synchronized copy of every contributor's privacy rules, and
+answers contributor-search queries ("who shares ECG and respiration at
+'work', 9am-6pm weekdays?") by evaluating the *actual rule engine* against
+synthetic probes — so search results agree exactly with what the stores
+will later enforce.
+"""
+
+from repro.broker.registry import ContributorRecord, ContributorRegistry, StudyRegistry
+from repro.broker.search import ContributorSearch, SearchCriteria
+from repro.broker.sync import SyncManager
+
+__all__ = [
+    "ContributorRecord",
+    "ContributorRegistry",
+    "StudyRegistry",
+    "ContributorSearch",
+    "SearchCriteria",
+    "SyncManager",
+]

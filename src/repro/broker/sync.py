@@ -1,0 +1,97 @@
+"""Rule synchronization between remote data stores and the broker.
+
+Section 5.2: "The broker locally stores all privacy rules of every user on
+remote data stores to search through them.  Whenever data contributors
+change their privacy rules, remote data stores automatically communicate
+with the broker to synchronize the privacy rules."
+
+Two composable modes:
+
+* **eager push** — the store's :class:`~repro.rules.rulestore.RuleStore`
+  fires on every mutation and posts the contributor's profile to the
+  broker immediately (low staleness, one message per edit);
+* **periodic pull** — the broker polls each store's profile endpoint
+  (bounded staleness, constant message rate regardless of edit rate).
+
+The C5 ablation compares the two on staleness vs. sync traffic.  Profile
+versions make the modes idempotent and safely concurrent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broker.registry import ContributorRegistry
+from repro.exceptions import SchemaError
+from repro.net.client import HttpClient
+from repro.rules.parser import rules_from_json
+from repro.util.geo import LabeledPlace
+
+
+@dataclass
+class SyncStats:
+    """Instrumentation for the C5 sync-mode ablation."""
+
+    pushes_received: int = 0
+    pulls_performed: int = 0
+    applied: int = 0
+    stale_dropped: int = 0
+
+
+class SyncManager:
+    """Applies contributor profiles to the broker's registry."""
+
+    def __init__(self, registry: ContributorRegistry):
+        self.registry = registry
+        self.stats = SyncStats()
+
+    def apply_profile(self, profile: dict, *, via_pull: bool = False) -> bool:
+        """Apply one profile JSON (from a push or a pull); False if stale."""
+        try:
+            name = str(profile["Contributor"])
+            version = int(profile["Version"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"malformed sync profile: {profile!r}") from exc
+        rules = rules_from_json(profile.get("Rules", []))
+        places = [LabeledPlace.from_json(p) for p in profile.get("Places", [])]
+        if via_pull:
+            self.stats.pulls_performed += 1
+        else:
+            self.stats.pushes_received += 1
+        applied = self.registry.update_profile(
+            name,
+            version=version,
+            rules=rules,
+            places=places,
+            host=profile.get("Host"),
+            institution=profile.get("Institution"),
+        )
+        if applied:
+            self.stats.applied += 1
+        else:
+            self.stats.stale_dropped += 1
+        return applied
+
+    def pull(self, client: HttpClient, contributor: str, store_key: str) -> bool:
+        """Pull one contributor's profile from their store and apply it.
+
+        ``client`` must be bound to the broker's network identity;
+        ``store_key`` is the broker's API key at that store.
+        """
+        record = self.registry.get(contributor)
+        body = client.with_key(store_key).post(
+            f"https://{record.host}/api/profile", {"Contributor": contributor}
+        )
+        return self.apply_profile(body, via_pull=True)
+
+    def pull_all(self, client: HttpClient, store_keys: dict) -> int:
+        """Pull every registered contributor; returns profiles applied."""
+        applied = 0
+        for name in self.registry.names():
+            record = self.registry.get(name)
+            key = store_keys.get(record.host)
+            if key is None:
+                continue
+            if self.pull(client, name, key):
+                applied += 1
+        return applied

@@ -1,0 +1,18 @@
+"""Privacy rule-aware data collection (paper Section 5.3).
+
+The contributor's smartphone downloads its owner's privacy rules and
+decides, window by window, whether to collect at all: "When there are no
+data to be shared at the current location and time, sensors will be
+disabled.  In case of a context condition, sensor data are first
+temporarily collected on a smartphone to infer current context.  If there
+are no data to be shared in the current context, the data will be
+discarded."
+
+The feature is optional (:attr:`PhoneConfig.rule_aware`) because data not
+collected is unrecoverable if the owner later relaxes their rules — the
+paper's stated caveat, which benchmark C3 quantifies.
+"""
+
+from repro.collection.phone import CollectionStats, PhoneConfig, SmartphoneAgent
+
+__all__ = ["CollectionStats", "PhoneConfig", "SmartphoneAgent"]

@@ -1,0 +1,293 @@
+"""The smartphone agent: sensing gate, context annotation, batched upload.
+
+The agent processes a contributor's sensor stream in fixed windows:
+
+1. **Sensing gate** (location+time, context-agnostic): a sensor is left
+   off for a window when *no* rule could release its data at the current
+   location and time under *any* context — evaluated by stripping context
+   conditions from the downloaded rules (optimistic), so a channel that is
+   shareable only in some context is still temporarily collected.
+2. **Context inference** on the temporarily collected window.
+3. **Upload gate** (exact): each packet, now annotated with inferred
+   context, is evaluated against the owner's real rules for every consumer
+   named in them; packets nobody could ever receive are discarded.
+4. **Batched upload** of the survivors to the remote data store.
+
+Per-sample energy costs are charged for every *sensed* sample, so the C3
+benchmark can report the energy the gate saves alongside the privacy it
+buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.context.annotate import ContextAnnotator
+from repro.datastore.wavesegment import segment_from_packet
+from repro.net.client import HttpClient
+from repro.rules.engine import RuleEngine
+from repro.rules.model import Rule
+from repro.rules.parser import rules_from_json
+from repro.sensors.packets import SensorPacket
+from repro.util.geo import LabeledPlace
+
+#: Sentinel for "a consumer matched only by wildcard (no-Consumer) rules".
+ANYONE = "__anyone__"
+
+#: Relative per-sample sensing energy cost (dimensionless units), loosely
+#: ordered by real duty-cycle cost: GPS is expensive, accelerometer cheap.
+ENERGY_COST = {
+    "GpsLat": 8.0,
+    "GpsLon": 8.0,
+    "MicAmplitude": 4.0,
+    "ECG": 2.0,
+    "Respiration": 2.0,
+    "AccelX": 1.0,
+    "AccelY": 1.0,
+    "AccelZ": 1.0,
+    "SkinTemp": 0.5,
+}
+
+
+@dataclass
+class CollectionStats:
+    """Counters for one collection run."""
+
+    samples_available: int = 0
+    samples_sensed: int = 0
+    samples_skipped_gate: int = 0
+    samples_discarded_context: int = 0
+    samples_uploaded: int = 0
+    energy_units: float = 0.0
+    upload_requests: int = 0
+
+
+@dataclass(frozen=True)
+class PhoneConfig:
+    """Agent knobs."""
+
+    rule_aware: bool = False
+    window_ms: int = 60_000
+    upload_batch_packets: int = 200
+
+
+class SmartphoneAgent:
+    """One contributor's phone."""
+
+    def __init__(
+        self,
+        contributor: str,
+        store_host: str,
+        client: HttpClient,
+        config: Optional[PhoneConfig] = None,
+    ):
+        self.contributor = contributor
+        self.store_host = store_host
+        self.client = client
+        self.config = config or PhoneConfig()
+        self.annotator = ContextAnnotator(window_ms=self.config.window_ms)
+        self.rules: tuple = ()
+        self.places: dict = {}
+        self.stats = CollectionStats()
+        self._exact_engine: Optional[RuleEngine] = None
+        self._optimistic_engine: Optional[RuleEngine] = None
+        self._consumers: tuple = ()
+
+    # ------------------------------------------------------------------
+    # Rule download and local engines
+    # ------------------------------------------------------------------
+
+    def download_rules(self) -> int:
+        """Fetch the owner's rules and places from their data store."""
+        body = self.client.post(
+            f"https://{self.store_host}/api/rules/download",
+            {"Contributor": self.contributor},
+        )
+        rules = tuple(rules_from_json(body.get("Rules", [])))
+        places = {
+            place.label: place
+            for place in (LabeledPlace.from_json(p) for p in body.get("Places", []))
+        }
+        self.set_rules(rules, places)
+        return int(body.get("Version", 0))
+
+    def set_rules(self, rules: Iterable[Rule], places: dict) -> None:
+        """Install rules directly (offline path used by tests/benchmarks)."""
+        self.rules = tuple(rules)
+        self.places = dict(places)
+        self._exact_engine = RuleEngine(self.rules, self.places)
+        # Optimistic view: assume whatever context is most favorable to
+        # sharing.  Context conditions on Allow rules are treated as
+        # satisfied (strip them); context-conditioned Deny/Abstraction
+        # rules might not fire, so they are dropped entirely.
+        stripped = []
+        for rule in self.rules:
+            if not rule.contexts:
+                stripped.append(rule)
+            elif rule.action.is_allow:
+                stripped.append(replace_contexts(rule))
+        self._optimistic_engine = RuleEngine(stripped, self.places)
+        names: set = set()
+        wildcard = False
+        for rule in self.rules:
+            if rule.consumers:
+                names.update(rule.consumers)
+            else:
+                wildcard = True
+        if wildcard:
+            names.add(ANYONE)
+        self._consumers = tuple(sorted(names))
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+
+    #: Neutral context values used for optimistic sensing probes, so that
+    #: label-level releases (e.g. "share Stress as a label") are visible
+    #: to the gate even before any context has been inferred.
+    _NEUTRAL_CONTEXT = {
+        "Activity": "Still",
+        "Stress": "NotStressed",
+        "Conversation": "NotConversation",
+        "Smoking": "NotSmoking",
+    }
+
+    def sensing_allowed(self, packet: SensorPacket) -> bool:
+        """Could this packet's channel ever be shared at this place/time?
+
+        Context-optimistic: context conditions on Allow rules are assumed
+        satisfied and context-conditioned restrictions assumed inactive,
+        so "share only while driving" keeps the sensor on (the phone must
+        collect to find out whether the owner is driving).
+        """
+        if not self.config.rule_aware:
+            return True
+        probe = segment_from_packet(self.contributor, packet)
+        probe = probe.with_context(dict(self._NEUTRAL_CONTEXT))
+        engine = self._optimistic_engine
+        assert engine is not None, "rules not downloaded"
+        return any(
+            self._channel_released(packet.channel_name, engine.evaluate_segment(c, probe))
+            for c in self._consumers
+        )
+
+    def should_upload(self, packet: SensorPacket) -> bool:
+        """Exact gate: would any consumer receive this packet's data —
+        raw, or as a context label inferable from this channel?"""
+        if not self.config.rule_aware:
+            return True
+        segment = segment_from_packet(self.contributor, packet)
+        engine = self._exact_engine
+        assert engine is not None, "rules not downloaded"
+        return any(
+            self._channel_released(packet.channel_name, engine.evaluate_segment(c, segment))
+            for c in self._consumers
+        )
+
+    @staticmethod
+    def _channel_released(channel_name: str, released) -> bool:
+        """Did anything derived from this channel leave the rule engine?
+
+        A release is attributable to the channel when it carries the raw
+        channel itself, or a context label of a category inferable from
+        the channel.  Location metadata alone is not a reason to keep a
+        motion or physiological sensor running.
+        """
+        from repro.sensors.contexts import categories_for_channel
+
+        relevant = set(categories_for_channel(channel_name))
+        for item in released:
+            if item.segment is not None:
+                return True
+            if relevant & set(item.context_labels):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # The collection loop
+    # ------------------------------------------------------------------
+
+    def collect(self, packets: Iterable[SensorPacket], *, upload: bool = True) -> list:
+        """Run the full pipeline over a packet stream.
+
+        Returns the packets that passed both gates (annotated with
+        *inferred* context); uploads them in batches unless
+        ``upload=False`` (used by benchmarks that only measure the gate).
+        """
+        windows: dict[int, list] = {}
+        for packet in packets:
+            self.stats.samples_available += len(packet.values)
+            windows.setdefault(packet.start_ms // self.config.window_ms, []).append(packet)
+
+        kept: list[SensorPacket] = []
+        for key in sorted(windows):
+            group = windows[key]
+            sensed = []
+            for packet in group:
+                if self.sensing_allowed(packet):
+                    sensed.append(packet)
+                    self.stats.samples_sensed += len(packet.values)
+                    self.stats.energy_units += ENERGY_COST.get(
+                        packet.channel_name, 1.0
+                    ) * len(packet.values)
+                else:
+                    self.stats.samples_skipped_gate += len(packet.values)
+            if not sensed:
+                continue
+            labels = self.annotator.infer_window(sensed)
+            for packet in sensed:
+                annotated = SensorPacket(
+                    channel_name=packet.channel_name,
+                    start_ms=packet.start_ms,
+                    interval_ms=packet.interval_ms,
+                    values=packet.values,
+                    location=packet.location,
+                    context=dict(labels),
+                )
+                if self.should_upload(annotated):
+                    kept.append(annotated)
+                    self.stats.samples_uploaded += len(annotated.values)
+                else:
+                    self.stats.samples_discarded_context += len(annotated.values)
+
+        if upload:
+            self.upload(kept)
+        return kept
+
+    def upload(self, packets: list) -> None:
+        """Ship packets to the remote data store in batches."""
+        batch = self.config.upload_batch_packets
+        for offset in range(0, len(packets), batch):
+            chunk = packets[offset : offset + batch]
+            self.client.post(
+                f"https://{self.store_host}/api/upload_packets",
+                {
+                    "Contributor": self.contributor,
+                    "Packets": [p.to_json() for p in chunk],
+                },
+            )
+            self.stats.upload_requests += 1
+        if packets:
+            self.client.post(
+                f"https://{self.store_host}/api/flush", {"Contributor": self.contributor}
+            )
+
+
+def replace_contexts(rule: Rule) -> Rule:
+    """A copy of ``rule`` with its context condition removed.
+
+    Used to build the optimistic sensing-gate engine: whether the context
+    condition would hold is unknowable before collecting, so the gate
+    assumes it might.
+    """
+    return Rule(
+        consumers=rule.consumers,
+        location_labels=rule.location_labels,
+        location_regions=rule.location_regions,
+        time=rule.time,
+        sensors=rule.sensors,
+        contexts=(),
+        action=rule.action,
+        note=rule.note,
+    )

@@ -1,0 +1,35 @@
+"""Context inference: turning raw signals into behavioral labels.
+
+The paper's smartphones infer "stress, smoking, conversation, and
+transportation modes ... using the sensors on the phone and the chest
+band" (Section 6), citing Plarre et al. for stress/smoking and Reddy et
+al. for transportation mode.  Those models need real physiological data;
+here windowed-feature classifiers recover the labels from the synthetic
+signals of :mod:`repro.sensors.simulator`, whose statistics they mirror
+(see DESIGN.md, Substitutions).  The rule engine consumes only the labels,
+so classifier internals are swappable.
+"""
+
+from repro.context.features import FeatureVector, window_features
+from repro.context.classifiers import (
+    ActivityClassifier,
+    ContextClassifier,
+    ConversationClassifier,
+    InferencePipeline,
+    SmokingClassifier,
+    StressClassifier,
+)
+from repro.context.annotate import ContextAnnotator, annotate_packets
+
+__all__ = [
+    "FeatureVector",
+    "window_features",
+    "ActivityClassifier",
+    "ContextClassifier",
+    "ConversationClassifier",
+    "InferencePipeline",
+    "SmokingClassifier",
+    "StressClassifier",
+    "ContextAnnotator",
+    "annotate_packets",
+]

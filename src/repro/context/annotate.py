@@ -1,0 +1,113 @@
+"""Annotating sensor data with inferred context labels.
+
+Section 6: "the sensor data are annotated with the context information and
+uploaded to remote data stores."  The annotator buffers packets into
+aligned time windows, extracts features across channels, runs the
+inference pipeline, and emits the same packets with their ``context``
+field replaced by the *inferred* labels.
+
+The annotator is the phone-side component; the smartphone agent
+(:mod:`repro.collection.phone`) wires it between sensing and upload, and
+also consults it for rule-aware collection decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.context.classifiers import InferencePipeline
+from repro.context.features import window_features
+from repro.sensors.packets import SensorPacket
+
+
+class ContextAnnotator:
+    """Sliding-window context inference over interleaved packets.
+
+    Packets are grouped into fixed windows of ``window_ms``; each window's
+    labels are inferred from every channel present in it, then stamped on
+    the window's packets.  Windows are keyed by
+    ``floor(start / window_ms)``, so the grouping is deterministic and
+    stateless across calls.
+    """
+
+    def __init__(self, window_ms: int = 60_000, pipeline: Optional[InferencePipeline] = None):
+        self.window_ms = window_ms
+        self.pipeline = pipeline or InferencePipeline()
+
+    def _window_key(self, packet: SensorPacket) -> int:
+        return packet.start_ms // self.window_ms
+
+    def annotate(self, packets: Iterable[SensorPacket]) -> list:
+        """Return the packets re-stamped with inferred context labels."""
+        windows: dict[int, list] = {}
+        for packet in packets:
+            windows.setdefault(self._window_key(packet), []).append(packet)
+        out: list[SensorPacket] = []
+        for key in sorted(windows):
+            group = windows[key]
+            labels = self.infer_window(group)
+            for packet in group:
+                out.append(
+                    SensorPacket(
+                        channel_name=packet.channel_name,
+                        start_ms=packet.start_ms,
+                        interval_ms=packet.interval_ms,
+                        values=packet.values,
+                        location=packet.location,
+                        context=dict(labels),
+                    )
+                )
+        out.sort(key=lambda p: (p.start_ms, p.channel_name))
+        return out
+
+    def infer_window(self, packets: Iterable[SensorPacket]) -> dict:
+        """Infer labels for one window's worth of packets."""
+        by_channel: dict[str, list] = {}
+        rates: dict[str, float] = {}
+        for packet in packets:
+            by_channel.setdefault(packet.channel_name, []).extend(packet.values)
+            rates[packet.channel_name] = 1000.0 / packet.interval_ms
+        features = {
+            name: window_features(np.asarray(values), rates[name])
+            for name, values in by_channel.items()
+            if values
+        }
+        return self.pipeline.infer(features)
+
+
+def annotate_packets(
+    packets: Iterable[SensorPacket], window_ms: int = 60_000
+) -> list:
+    """One-shot convenience wrapper around :class:`ContextAnnotator`."""
+    return ContextAnnotator(window_ms=window_ms).annotate(packets)
+
+
+def label_accuracy(packets: Iterable[SensorPacket], truth_lookup) -> dict:
+    """Score inferred packet labels against ground truth.
+
+    ``truth_lookup(ts_ms)`` must return the ground-truth
+    :class:`~repro.sensors.personas.ActivityState` (or None).  Returns per-
+    category accuracy over packets that carry both an inferred label and a
+    ground-truth state — the metric used by benchmark C4 and the context
+    tests.
+    """
+    correct: dict[str, int] = {}
+    total: dict[str, int] = {}
+    for packet in packets:
+        state = truth_lookup(packet.start_ms)
+        if state is None:
+            continue
+        truth = state.context_labels()
+        for category, label in packet.context.items():
+            if category not in truth:
+                continue
+            total[category] = total.get(category, 0) + 1
+            if truth[category] == label:
+                correct[category] = correct.get(category, 0) + 1
+    return {
+        category: correct.get(category, 0) / count
+        for category, count in total.items()
+        if count
+    }

@@ -1,0 +1,16 @@
+"""Public high-level API: wire a whole SensorSafe deployment in-process.
+
+:class:`~repro.core.system.SensorSafeSystem` builds the Fig. 1 topology —
+a broker plus any number of remote data stores on a simulated network —
+and hands out :class:`~repro.core.contributor.Contributor` and
+:class:`~repro.core.consumer.Consumer` handles whose methods mirror what
+the paper's users do: define privacy rules, upload sensor data (optionally
+through the rule-aware phone agent), search for contributors, and fetch
+rule-filtered data directly from the stores.
+"""
+
+from repro.core.system import SensorSafeSystem
+from repro.core.contributor import Contributor
+from repro.core.consumer import Consumer
+
+__all__ = ["SensorSafeSystem", "Contributor", "Consumer"]

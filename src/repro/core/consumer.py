@@ -1,0 +1,160 @@
+"""The data consumer's handle: discovery via the broker, data via stores.
+
+Mirrors the Bob walkthrough of Section 6: list contributors, add them to
+the account (the broker auto-registers the consumer at each store and
+escrows the API keys), search for contributors with suitable privacy
+rules, save the resulting list, and download data *directly from each
+remote data store* with the escrowed keys — the broker stays out of the
+data path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.broker.search import SearchCriteria
+from repro.datastore.query import DataQuery
+from repro.net.client import HttpClient
+from repro.rules.engine import ReleasedSegment
+
+
+class Consumer:
+    """Client-side API for one data consumer."""
+
+    def __init__(self, name: str, broker_host: str, client: HttpClient):
+        self.name = name
+        self.broker_host = broker_host
+        self.client = client
+        self._key_ring: dict = {}
+        self._hosts: dict = {}  # contributor -> store host
+
+    def _broker(self, path: str) -> str:
+        return f"https://{self.broker_host}{path}"
+
+    # ------------------------------------------------------------------
+    # Discovery and account management (broker)
+    # ------------------------------------------------------------------
+
+    def list_contributors(self) -> list:
+        body = self.client.post(self._broker("/api/contributors/list"))
+        for entry in body.get("Contributors", []):
+            self._hosts[entry["Contributor"]] = entry["Host"]
+        return body.get("Contributors", [])
+
+    def add_contributors(self, names: Iterable[str]) -> dict:
+        """Add contributors to this account (auto-registration + escrow)."""
+        body = self.client.post(
+            self._broker("/api/contributors/add"), {"Contributors": list(names)}
+        )
+        added = body.get("Added", {})
+        self._hosts.update(added)
+        self.refresh_keys()
+        return added
+
+    def refresh_keys(self) -> dict:
+        body = self.client.post(self._broker("/api/keys"))
+        self._key_ring = dict(body.get("Keys", {}))
+        return dict(self._key_ring)
+
+    def search(self, criteria: Union[SearchCriteria, dict]) -> list:
+        """Contributor names whose rules satisfy the criteria."""
+        if isinstance(criteria, SearchCriteria):
+            criteria = criteria.to_json()
+        body = self.client.post(self._broker("/api/search"), {"Criteria": dict(criteria)})
+        matches = body.get("Matches", [])
+        for entry in matches:
+            self._hosts[entry["Contributor"]] = entry["Host"]
+        return [entry["Contributor"] for entry in matches]
+
+    def save_list(self, name: str, contributors: Iterable[str]) -> None:
+        self.client.post(
+            self._broker("/api/lists/save"),
+            {"Name": name, "Contributors": list(contributors)},
+        )
+
+    def get_list(self, name: str) -> list:
+        body = self.client.post(self._broker("/api/lists/get"), {"Name": name})
+        return list(body.get("Contributors", []))
+
+    def create_study(self, study: str) -> None:
+        self.client.post(self._broker("/api/studies/create"), {"Study": study})
+
+    def join_study(self, study: str) -> None:
+        self.client.post(self._broker("/api/studies/join"), {"Study": study})
+
+    # ------------------------------------------------------------------
+    # Data access (direct to stores)
+    # ------------------------------------------------------------------
+
+    def _store_client(self, contributor: str) -> tuple:
+        host = self._hosts.get(contributor)
+        if host is None:
+            self.list_contributors()
+            host = self._hosts.get(contributor)
+        key = self._key_ring.get(host) if host else None
+        if key is None:
+            self.refresh_keys()
+            key = self._key_ring.get(host) if host else None
+        return host, key
+
+    def fetch(
+        self, contributor: str, query: Optional[DataQuery] = None
+    ) -> list:
+        """Download a contributor's data directly from their store.
+
+        Returns :class:`ReleasedSegment` items — whatever the owner's
+        privacy rules let through for this consumer.
+        """
+        host, key = self._store_client(contributor)
+        if host is None or key is None:
+            from repro.exceptions import AuthorizationError
+
+            raise AuthorizationError(
+                f"{self.name!r} has no access to {contributor!r}; "
+                "call add_contributors first"
+            )
+        body = self.client.with_key(key).post(
+            f"https://{host}/api/query",
+            {"Contributor": contributor, "Query": (query or DataQuery()).to_json()},
+        )
+        return [ReleasedSegment.from_json(r) for r in body.get("Released", [])]
+
+    def fetch_aggregate(
+        self,
+        contributor: str,
+        spec,
+        query: Optional[DataQuery] = None,
+    ) -> list:
+        """Windowed aggregates over whatever the rules release.
+
+        ``spec`` is an :class:`~repro.datastore.aggregate.AggregateSpec`;
+        returns :class:`~repro.datastore.aggregate.AggregateRow` items.
+        """
+        from repro.datastore.aggregate import AggregateRow
+        from repro.exceptions import AuthorizationError
+
+        host, key = self._store_client(contributor)
+        if host is None or key is None:
+            raise AuthorizationError(
+                f"{self.name!r} has no access to {contributor!r}; "
+                "call add_contributors first"
+            )
+        body = self.client.with_key(key).post(
+            f"https://{host}/api/aggregate",
+            {
+                "Contributor": contributor,
+                "Query": (query or DataQuery()).to_json(),
+                "Aggregate": spec.to_json(),
+            },
+        )
+        return [AggregateRow.from_json(r) for r in body.get("Rows", [])]
+
+    def fetch_via_broker(
+        self, contributor: str, query: Optional[DataQuery] = None
+    ) -> list:
+        """The web-UI path: data proxied through the broker (C2 contrast)."""
+        body = self.client.post(
+            self._broker("/api/data"),
+            {"Contributor": contributor, "Query": (query or DataQuery()).to_json()},
+        )
+        return [ReleasedSegment.from_json(r) for r in body.get("Released", [])]

@@ -1,0 +1,154 @@
+"""The data contributor's handle: rules, places, uploads, own-data view."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.collection.phone import PhoneConfig, SmartphoneAgent
+from repro.datastore.query import DataQuery
+from repro.datastore.wavesegment import WaveSegment
+from repro.net.client import HttpClient
+from repro.rules.model import Rule
+from repro.rules.parser import rule_from_json, rule_to_json, rules_from_json, rules_to_json
+from repro.util.geo import LabeledPlace
+
+
+class Contributor:
+    """Client-side API for one data contributor.
+
+    Every method is a real round trip to the contributor's remote data
+    store over the simulated network — nothing here touches server state
+    directly, so examples and benchmarks exercise the same path a
+    deployment would.
+    """
+
+    def __init__(self, name: str, store_host: str, client: HttpClient):
+        self.name = name
+        self.store_host = store_host
+        self.client = client
+
+    def _url(self, path: str) -> str:
+        return f"https://{self.store_host}{path}"
+
+    # ------------------------------------------------------------------
+    # Places
+    # ------------------------------------------------------------------
+
+    def set_places(self, places: Iterable[LabeledPlace]) -> int:
+        body = self.client.post(
+            self._url("/api/places/set"),
+            {"Contributor": self.name, "Places": [p.to_json() for p in places]},
+        )
+        return int(body["Count"])
+
+    def places(self) -> dict:
+        body = self.client.post(self._url("/api/places/list"), {"Contributor": self.name})
+        out = {}
+        for obj in body.get("Places", []):
+            place = LabeledPlace.from_json(obj)
+            out[place.label] = place
+        return out
+
+    # ------------------------------------------------------------------
+    # Privacy rules
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: Union[Rule, dict]) -> str:
+        """Add one rule (a :class:`Rule` or its Fig. 4 JSON form)."""
+        if isinstance(rule, dict):
+            rule = rule_from_json(rule)
+        body = self.client.post(
+            self._url("/api/rules/add"),
+            {"Contributor": self.name, "Rule": rule_to_json(rule)},
+        )
+        return str(body["RuleId"])
+
+    def remove_rule(self, rule_id: str) -> None:
+        self.client.post(
+            self._url("/api/rules/remove"), {"Contributor": self.name, "RuleId": rule_id}
+        )
+
+    def replace_rules(self, rules: Iterable[Rule]) -> int:
+        body = self.client.post(
+            self._url("/api/rules/replace"),
+            {"Contributor": self.name, "Rules": rules_to_json(list(rules))},
+        )
+        return int(body["Version"])
+
+    def rules(self) -> list:
+        body = self.client.post(self._url("/api/rules/list"), {"Contributor": self.name})
+        return rules_from_json(body.get("Rules", []))
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+
+    def phone(self, config: Optional[PhoneConfig] = None) -> SmartphoneAgent:
+        """A smartphone agent bound to this contributor's store."""
+        agent = SmartphoneAgent(self.name, self.store_host, self.client, config)
+        agent.download_rules()
+        return agent
+
+    def upload_segments(self, segments: Iterable[WaveSegment]) -> int:
+        body = self.client.post(
+            self._url("/api/upload"),
+            {"Contributor": self.name, "Segments": [s.to_json() for s in segments]},
+        )
+        return int(body["Finalized"])
+
+    def flush(self) -> int:
+        body = self.client.post(self._url("/api/flush"), {"Contributor": self.name})
+        return int(body["Finalized"])
+
+    def view_data(self, query: Optional[DataQuery] = None) -> list:
+        """The owner's unfiltered view of their own data (web-UI path)."""
+        body = self.client.post(
+            self._url("/api/query"),
+            {"Contributor": self.name, "Query": (query or DataQuery()).to_json()},
+        )
+        return [WaveSegment.from_json(s) for s in body.get("Segments", [])]
+
+    def delete_data(self, query: Optional[DataQuery] = None) -> int:
+        """Permanently delete stored data matching the query (owner only)."""
+        body = self.client.post(
+            self._url("/api/delete"),
+            {"Contributor": self.name, "Query": (query or DataQuery()).to_json()},
+        )
+        return int(body["Deleted"])
+
+    def stats(self) -> dict:
+        return self.client.post(self._url("/api/stats"), {"Contributor": self.name})
+
+    # ------------------------------------------------------------------
+    # Audit trail
+    # ------------------------------------------------------------------
+
+    def audit_trail(self, limit: Optional[int] = None) -> list:
+        """Who accessed this contributor's data, and what they received."""
+        from repro.server.audit import AuditRecord
+
+        body: dict = {"Contributor": self.name}
+        if limit is not None:
+            body["Limit"] = limit
+        response = self.client.post(self._url("/api/audit/list"), body)
+        return [AuditRecord.from_json(r) for r in response.get("Records", [])]
+
+    def audit_summary(self) -> dict:
+        """Per-consumer aggregate: accesses, samples taken, raw reads."""
+        body = self.client.post(
+            self._url("/api/audit/summary"), {"Contributor": self.name}
+        )
+        return dict(body.get("Summary", {}))
+
+    def suggest_rules(self, **kwargs) -> list:
+        """Run the privacy-rule recommender over this contributor's data.
+
+        Fetches the owner's raw data and current rules and returns
+        :class:`~repro.rules.recommend.RuleSuggestion` items — the "Alice
+        reviews her data and tightens her rules" loop of Section 6,
+        automated.
+        """
+        from repro.rules.recommend import suggest_rules
+
+        segments = self.view_data()
+        return suggest_rules(segments, self.rules(), self.places(), **kwargs)

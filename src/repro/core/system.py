@@ -1,0 +1,115 @@
+"""System assembly: broker + remote data stores on one simulated network."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.consumer import Consumer
+from repro.core.contributor import Contributor
+from repro.datastore.optimizer import MergePolicy
+from repro.exceptions import ConflictError
+from repro.net.client import HttpClient
+from repro.net.transport import Network
+from repro.server.broker_service import BrokerService
+from repro.server.datastore_service import DataStoreService
+
+
+class SensorSafeSystem:
+    """A complete in-process SensorSafe deployment (paper Fig. 1).
+
+    Typical use::
+
+        system = SensorSafeSystem()
+        alice = system.add_contributor("alice")          # personal store
+        lab = system.create_store("lab-store", institution="UCLA")
+        bob_subj = system.add_contributor("subject-1", store=lab)
+        bob = system.add_consumer("bob")
+    """
+
+    def __init__(self, seed: int = 0, *, eager_sync: bool = True):
+        self.seed = seed
+        self.eager_sync = eager_sync
+        self.network = Network()
+        self.broker = BrokerService(self.network, "broker", seed=seed)
+        self.stores: dict[str, DataStoreService] = {}
+        self.contributors: dict[str, Contributor] = {}
+        self.consumers: dict[str, Consumer] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def create_store(
+        self,
+        host: str,
+        *,
+        institution: str = "self-hosted",
+        merge_policy: Optional[MergePolicy] = None,
+        directory: Optional[str] = None,
+        enforce_closure: bool = True,
+    ) -> DataStoreService:
+        """Create a remote data store and pair it with the broker.
+
+        A store can be a contributor's personal machine or an
+        institutional server hosting many study participants (the IRB
+        topology of Section 1).
+        """
+        if host in self.stores:
+            raise ConflictError(f"store host already exists: {host!r}")
+        store = DataStoreService(
+            host,
+            self.network,
+            institution=institution,
+            merge_policy=merge_policy,
+            directory=directory,
+            seed=self.seed,
+            enforce_closure=enforce_closure,
+        )
+        self.stores[host] = store
+        self.broker.attach_store(store, eager_sync=self.eager_sync)
+        return store
+
+    def add_contributor(
+        self,
+        name: str,
+        *,
+        store: Optional[DataStoreService] = None,
+        password: str = "pw",
+    ) -> Contributor:
+        """Register a data contributor; creates a personal store if needed.
+
+        Registration at the store automatically registers the contributor
+        on the broker too, as the paper prescribes.
+        """
+        if name in self.contributors:
+            raise ConflictError(f"contributor already exists: {name!r}")
+        if store is None:
+            store = self.create_store(f"{name}-store")
+        api_key = store.register_contributor(name, password)
+        self.broker.register_contributor(name, store.host, store.institution)
+        client = HttpClient(self.network, name=f"{name}-phone", api_key=api_key)
+        contributor = Contributor(name, store.host, client)
+        self.contributors[name] = contributor
+        return contributor
+
+    def add_consumer(self, name: str, password: str = "pw") -> Consumer:
+        """Register a data consumer at the broker."""
+        if name in self.consumers:
+            raise ConflictError(f"consumer already exists: {name!r}")
+        api_key = self.broker.register_consumer(name, password)
+        client = HttpClient(self.network, name=f"{name}-app", api_key=api_key)
+        consumer = Consumer(name, self.broker.host, client)
+        self.consumers[name] = consumer
+        return consumer
+
+    # ------------------------------------------------------------------
+    # Introspection used by benchmarks
+    # ------------------------------------------------------------------
+
+    def traffic(self) -> dict:
+        """Per-host traffic snapshot: {host: HostMetrics}."""
+        return dict(self.network.metrics)
+
+    def pull_sync(self) -> int:
+        """Trigger one broker pull-sync round (lazy mode)."""
+        return self.broker.pull_profiles()

@@ -1,0 +1,42 @@
+"""Remote data store substrate.
+
+A SensorSafe *remote data store* keeps a contributor's sensor streams as
+**wave segments** (Fig. 5 of the paper): compact records holding a start
+time, a sampling interval, a location, a tuple format, and a binary blob of
+sample tuples.  This package provides:
+
+* :mod:`repro.datastore.wavesegment` — the wave-segment ADT;
+* :mod:`repro.datastore.codec` — blob encoding for sample arrays;
+* :mod:`repro.datastore.database` — an embedded record store with sorted
+  secondary indexes and optional JSON-lines persistence (the "underlying
+  database" of Fig. 2);
+* :mod:`repro.datastore.optimizer` — the wave-segment merge optimizer
+  (Section 5.1, "Wave Segment Optimization");
+* :mod:`repro.datastore.query` — the data query language;
+* :mod:`repro.datastore.segment_store` — the storage engine tying the
+  above together.
+"""
+
+from repro.datastore.wavesegment import WaveSegment, segment_from_packet
+from repro.datastore.codec import decode_values, encode_values
+from repro.datastore.database import Database, Table
+from repro.datastore.index import GridIndex, IntervalIndex
+from repro.datastore.optimizer import MergePolicy, SegmentOptimizer
+from repro.datastore.query import DataQuery, QueryResult
+from repro.datastore.segment_store import SegmentStore
+
+__all__ = [
+    "WaveSegment",
+    "segment_from_packet",
+    "decode_values",
+    "encode_values",
+    "Database",
+    "Table",
+    "GridIndex",
+    "IntervalIndex",
+    "MergePolicy",
+    "SegmentOptimizer",
+    "DataQuery",
+    "QueryResult",
+    "SegmentStore",
+]

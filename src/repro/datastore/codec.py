@@ -1,0 +1,78 @@
+"""Value-blob codec for wave segments.
+
+The paper stores "sequences of data samples from multiple sensor channels
+... as Binary Large Objects (blob)" — an array of tuples, one tuple per
+sample instant, one element per channel.  We encode the (n_samples,
+n_channels) float64 array as little-endian IEEE-754 bytes wrapped in
+base64, so a wave segment remains a pure-JSON document (Fig. 5) while
+keeping the storage density of a binary blob.
+
+A "plain" encoding (nested JSON lists) is also supported for debuggability
+and for the storage-size comparison in benchmark C1.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+ENCODING_B64 = "b64le-f64"
+ENCODING_PLAIN = "plain"
+
+
+def encode_values(values: np.ndarray, encoding: str = ENCODING_B64) -> dict:
+    """Encode a (n_samples, n_channels) array into a blob JSON object."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise SchemaError(f"value array must be 2-D (samples x channels), got shape {arr.shape}")
+    n_samples, n_channels = arr.shape
+    if encoding == ENCODING_B64:
+        blob = base64.b64encode(np.ascontiguousarray(arr, dtype="<f8").tobytes()).decode("ascii")
+        return {
+            "Encoding": ENCODING_B64,
+            "Samples": n_samples,
+            "Channels": n_channels,
+            "Blob": blob,
+        }
+    if encoding == ENCODING_PLAIN:
+        return {
+            "Encoding": ENCODING_PLAIN,
+            "Samples": n_samples,
+            "Channels": n_channels,
+            "Blob": arr.tolist(),
+        }
+    raise SchemaError(f"unknown blob encoding: {encoding!r}")
+
+
+def decode_values(obj: dict) -> np.ndarray:
+    """Decode a blob JSON object back into a (n_samples, n_channels) array."""
+    try:
+        encoding = obj["Encoding"]
+        n_samples = int(obj["Samples"])
+        n_channels = int(obj["Channels"])
+        blob = obj["Blob"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed value blob: {obj!r}") from exc
+    if n_samples < 0 or n_channels <= 0:
+        raise SchemaError(f"bad blob dimensions: {n_samples}x{n_channels}")
+    if encoding == ENCODING_B64:
+        try:
+            raw = base64.b64decode(blob, validate=True)
+        except Exception as exc:  # binascii.Error subclasses vary
+            raise SchemaError(f"undecodable base64 blob: {exc}") from exc
+        expected = n_samples * n_channels * 8
+        if len(raw) != expected:
+            raise SchemaError(f"blob length {len(raw)} != expected {expected} bytes")
+        arr = np.frombuffer(raw, dtype="<f8").reshape(n_samples, n_channels)
+        return arr.astype(np.float64)
+    if encoding == ENCODING_PLAIN:
+        arr = np.asarray(blob, dtype=np.float64)
+        if arr.ndim == 1 and n_channels == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.shape != (n_samples, n_channels):
+            raise SchemaError(f"plain blob shape {arr.shape} != ({n_samples}, {n_channels})")
+        return arr
+    raise SchemaError(f"unknown blob encoding: {encoding!r}")

@@ -1,0 +1,241 @@
+"""Embedded record database with sorted secondary indexes.
+
+The paper's Fig. 2 shows each remote data store and the broker sitting on
+an unnamed "database".  This module is that substrate: an embedded,
+in-process record store with
+
+* tables keyed by a primary key,
+* any number of sorted secondary indexes (maintained with ``bisect``, so
+  range scans are O(log n + k)),
+* optional JSON-lines persistence for durability across process runs.
+
+Records are arbitrary Python objects; each table is configured with a
+``key`` extractor and, when persistence is wanted, ``serialize`` /
+``deserialize`` hooks mapping records to JSON objects.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.exceptions import DuplicateKeyError, MissingRecordError, StorageError
+from repro.util import jsonutil
+
+
+class _SortedIndex:
+    """A sorted (key, primary_key) list supporting range queries.
+
+    Keys must be mutually comparable; heterogeneous keys raise at insert
+    time rather than corrupting the order.
+    """
+
+    def __init__(self, name: str, key_func: Callable[[Any], Any]):
+        self.name = name
+        self.key_func = key_func
+        self._entries: list[tuple[Any, Any]] = []  # (index key, pk), sorted
+
+    def insert(self, pk: Any, record: Any) -> None:
+        entry = (self.key_func(record), pk)
+        pos = bisect.bisect_left(self._entries, entry)
+        self._entries.insert(pos, entry)
+
+    def remove(self, pk: Any, record: Any) -> None:
+        entry = (self.key_func(record), pk)
+        pos = bisect.bisect_left(self._entries, entry)
+        if pos < len(self._entries) and self._entries[pos] == entry:
+            del self._entries[pos]
+        else:  # pragma: no cover - defensive; indicates index corruption
+            raise StorageError(f"index {self.name}: entry for pk {pk!r} not found")
+
+    def range(self, lo: Any = None, hi: Any = None) -> Iterator[Any]:
+        """Primary keys whose index key is in [lo, hi); None means open."""
+        start = 0 if lo is None else bisect.bisect_left(self._entries, (lo,))
+        for key, pk in self._entries[start:]:
+            if hi is not None and key >= hi:
+                break
+            yield pk
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class TableSchema:
+    """Configuration for one table."""
+
+    name: str
+    key: Callable[[Any], Any]
+    serialize: Optional[Callable[[Any], dict]] = None
+    deserialize: Optional[Callable[[dict], Any]] = None
+    indexes: dict = field(default_factory=dict)  # name -> key func
+
+
+class Table:
+    """One table: primary-key dict plus sorted secondary indexes."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._records: dict[Any, Any] = {}
+        self._indexes: dict[str, _SortedIndex] = {
+            name: _SortedIndex(name, fn) for name, fn in schema.indexes.items()
+        }
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, pk: Any) -> bool:
+        return pk in self._records
+
+    def insert(self, record: Any) -> Any:
+        """Insert a new record; returns its primary key."""
+        pk = self.schema.key(record)
+        if pk in self._records:
+            raise DuplicateKeyError(f"{self.name}: duplicate primary key {pk!r}")
+        self._records[pk] = record
+        for index in self._indexes.values():
+            index.insert(pk, record)
+        return pk
+
+    def upsert(self, record: Any) -> Any:
+        """Insert, or replace the record with the same primary key."""
+        pk = self.schema.key(record)
+        if pk in self._records:
+            self.delete(pk)
+        return self.insert(record)
+
+    def get(self, pk: Any) -> Any:
+        try:
+            return self._records[pk]
+        except KeyError:
+            raise MissingRecordError(f"{self.name}: no record with key {pk!r}") from None
+
+    def find(self, pk: Any) -> Optional[Any]:
+        """Like :meth:`get` but returns None instead of raising."""
+        return self._records.get(pk)
+
+    def delete(self, pk: Any) -> Any:
+        record = self.get(pk)
+        del self._records[pk]
+        for index in self._indexes.values():
+            index.remove(pk, record)
+        return record
+
+    def scan(self) -> Iterator[Any]:
+        """All records, in primary-key insertion order."""
+        return iter(list(self._records.values()))
+
+    def keys(self) -> list:
+        return list(self._records.keys())
+
+    def range(self, index_name: str, lo: Any = None, hi: Any = None) -> Iterator[Any]:
+        """Records whose ``index_name`` key lies in ``[lo, hi)``."""
+        try:
+            index = self._indexes[index_name]
+        except KeyError:
+            raise StorageError(f"{self.name}: no index named {index_name!r}") from None
+        for pk in index.range(lo, hi):
+            yield self._records[pk]
+
+    def select(self, predicate: Callable[[Any], bool]) -> list:
+        """Full-scan filter; use :meth:`range` when an index applies."""
+        return [r for r in self._records.values() if predicate(r)]
+
+    def clear(self) -> None:
+        self._records.clear()
+        for name, fn in self.schema.indexes.items():
+            self._indexes[name] = _SortedIndex(name, fn)
+
+
+class Database:
+    """A named collection of tables with optional JSON-lines persistence."""
+
+    def __init__(self, name: str = "db", directory: Optional[str] = None):
+        self.name = name
+        self.directory = directory
+        self._tables: dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        key: Callable[[Any], Any],
+        *,
+        indexes: Optional[dict] = None,
+        serialize: Optional[Callable[[Any], dict]] = None,
+        deserialize: Optional[Callable[[dict], Any]] = None,
+    ) -> Table:
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists in {self.name!r}")
+        schema = TableSchema(
+            name=name,
+            key=key,
+            serialize=serialize,
+            deserialize=deserialize,
+            indexes=dict(indexes or {}),
+        )
+        table = Table(schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"no table named {name!r} in {self.name!r}") from None
+
+    def tables(self) -> list:
+        return list(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _table_path(self, table: Table) -> str:
+        if self.directory is None:
+            raise StorageError(f"database {self.name!r} has no persistence directory")
+        return os.path.join(self.directory, f"{self.name}.{table.name}.jsonl")
+
+    def save(self) -> list:
+        """Write every serializable table to JSON lines; returns paths."""
+        if self.directory is None:
+            raise StorageError(f"database {self.name!r} has no persistence directory")
+        os.makedirs(self.directory, exist_ok=True)
+        paths = []
+        for table in self._tables.values():
+            if table.schema.serialize is None:
+                continue
+            path = self._table_path(table)
+            with open(path, "w", encoding="utf-8") as fh:
+                for record in table.scan():
+                    fh.write(jsonutil.canonical_dumps(table.schema.serialize(record)))
+                    fh.write("\n")
+            paths.append(path)
+        return paths
+
+    def load(self) -> int:
+        """Reload every serializable table from disk; returns record count.
+
+        Tables with no file on disk are left empty (fresh database).
+        """
+        loaded = 0
+        for table in self._tables.values():
+            if table.schema.deserialize is None:
+                continue
+            path = self._table_path(table)
+            if not os.path.exists(path):
+                continue
+            table.clear()
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    table.insert(table.schema.deserialize(jsonutil.loads(line)))
+                    loaded += 1
+        return loaded

@@ -1,0 +1,141 @@
+"""Spatio-temporal indexes for wave segments.
+
+Two access paths dominate the query API of a remote data store:
+
+* *time-range queries* — "ECG between 9am and 6pm on these days" — served
+  by :class:`IntervalIndex`, a sorted-by-start interval list with a
+  running-maximum-end augmentation (a flattened interval tree; overlap
+  lookups are O(log n + k) because segment lengths are bounded);
+* *location queries* — "data inside this map region" — served by
+  :class:`GridIndex`, a uniform lat/lon grid of buckets.
+
+Both indexes store opaque item ids; the segment store owns the id → segment
+mapping.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Iterator, Optional
+
+from repro.exceptions import StorageError
+from repro.util.geo import BoundingBox, LatLon, Region
+from repro.util.timeutil import Interval
+
+
+class IntervalIndex:
+    """Index of half-open intervals supporting overlap queries.
+
+    Entries are kept sorted by ``(start, end, item_id)``.  A parallel
+    prefix-maximum of ends lets :meth:`overlapping` stop scanning early:
+    once every remaining candidate starts at/after the query end, and no
+    earlier entry can reach into the query (prefix max end <= query start),
+    the scan is done.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[int, int, Any]] = []  # (start, end, item_id)
+        self._prefix_max_end: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, interval: Interval, item_id: Any) -> None:
+        entry = (interval.start, interval.end, item_id)
+        pos = bisect.bisect_left(self._entries, entry)
+        self._entries.insert(pos, entry)
+        self._rebuild_prefix(from_pos=pos)
+
+    def remove(self, interval: Interval, item_id: Any) -> None:
+        entry = (interval.start, interval.end, item_id)
+        pos = bisect.bisect_left(self._entries, entry)
+        if pos >= len(self._entries) or self._entries[pos] != entry:
+            raise StorageError(f"interval index: entry {entry!r} not found")
+        del self._entries[pos]
+        self._rebuild_prefix(from_pos=pos)
+
+    def _rebuild_prefix(self, from_pos: int = 0) -> None:
+        # Rebuild the running max of `end` from from_pos onward.
+        del self._prefix_max_end[from_pos:]
+        running = self._prefix_max_end[-1] if self._prefix_max_end else -(2**62)
+        for start, end, _ in self._entries[from_pos:]:
+            running = max(running, end)
+            self._prefix_max_end.append(running)
+
+    def overlapping(self, window: Interval) -> Iterator[Any]:
+        """Item ids of intervals overlapping ``window``, start order."""
+        # Find the first position whose prefix-max end exceeds window.start:
+        # everything before it ends at or before the window opens.
+        lo = bisect.bisect_right(self._prefix_max_end, window.start)
+        for start, end, item_id in self._entries[lo:]:
+            if start >= window.end:
+                break
+            if end > window.start:
+                yield item_id
+
+    def stabbing(self, ts_ms: int) -> Iterator[Any]:
+        """Item ids of intervals containing the instant ``ts_ms``."""
+        return self.overlapping(Interval(ts_ms, ts_ms + 1))
+
+    def span(self) -> Optional[Interval]:
+        """The overall [min start, max end) covered, or None when empty."""
+        if not self._entries:
+            return None
+        return Interval(self._entries[0][0], self._prefix_max_end[-1])
+
+
+class GridIndex:
+    """Uniform lat/lon grid mapping cells to item-id buckets."""
+
+    def __init__(self, cell_degrees: float = 0.01):
+        if cell_degrees <= 0:
+            raise StorageError(f"grid cell size must be positive: {cell_degrees}")
+        self.cell_degrees = cell_degrees
+        self._cells: dict[tuple[int, int], set] = {}
+        self._locations: dict[Any, LatLon] = {}
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def _cell_of(self, point: LatLon) -> tuple[int, int]:
+        return (
+            math.floor((point.lat + 90.0) / self.cell_degrees),
+            math.floor((point.lon + 180.0) / self.cell_degrees),
+        )
+
+    def add(self, point: LatLon, item_id: Any) -> None:
+        if item_id in self._locations:
+            raise StorageError(f"grid index: duplicate item id {item_id!r}")
+        self._cells.setdefault(self._cell_of(point), set()).add(item_id)
+        self._locations[item_id] = point
+
+    def remove(self, item_id: Any) -> None:
+        point = self._locations.pop(item_id, None)
+        if point is None:
+            raise StorageError(f"grid index: item id {item_id!r} not found")
+        cell = self._cell_of(point)
+        bucket = self._cells.get(cell, set())
+        bucket.discard(item_id)
+        if not bucket:
+            self._cells.pop(cell, None)
+
+    def _cells_for_box(self, box: BoundingBox) -> Iterator[tuple[int, int]]:
+        lo_r = math.floor((box.south + 90.0) / self.cell_degrees)
+        hi_r = math.floor((box.north + 90.0) / self.cell_degrees)
+        lo_c = math.floor((box.west + 180.0) / self.cell_degrees)
+        hi_c = math.floor((box.east + 180.0) / self.cell_degrees)
+        for r in range(lo_r, hi_r + 1):
+            for c in range(lo_c, hi_c + 1):
+                yield (r, c)
+
+    def within(self, region: Region) -> Iterator[Any]:
+        """Item ids whose location lies inside ``region`` (exact test)."""
+        box = region.bounding_box()
+        for cell in self._cells_for_box(box):
+            for item_id in self._cells.get(cell, ()):
+                if region.contains(self._locations[item_id]):
+                    yield item_id
+
+    def location_of(self, item_id: Any) -> Optional[LatLon]:
+        return self._locations.get(item_id)

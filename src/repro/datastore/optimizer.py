@@ -1,0 +1,140 @@
+"""Wave-segment optimization: merging small segments into large ones.
+
+Section 5.1: "The number of wave segments directly affects query
+performance because it is the number of records stored in a database. ...
+remote data stores perform a wave segment optimization by merging them as
+much as possible.  If timestamps of two wave segments are consecutive, they
+can be merged as long as they have the same location coordinates and data
+channels."
+
+Two modes are provided:
+
+* **ingest-time merging** — :meth:`SegmentOptimizer.add` buffers the tail
+  segment per (channels, location, interval) stream and extends it while
+  packets keep arriving seamlessly, flushing when a gap appears or the
+  segment reaches ``MergePolicy.max_samples``;
+* **compaction** — :meth:`SegmentOptimizer.compact` merges an existing
+  segment list in one pass, used when policy changes after data is stored.
+
+``MergePolicy.max_samples`` bounds segment size so time-sliced reads do not
+have to decode unboundedly large blobs; the C1 benchmark sweeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.datastore.wavesegment import WaveSegment
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class MergePolicy:
+    """Controls how aggressively segments are merged.
+
+    Attributes:
+        max_samples: flush a buffered segment once it holds this many
+            samples.  The paper wants segments of "hundreds or thousands"
+            of samples; 4096 is the default ceiling.
+        enabled: when False, every incoming segment is passed through
+            unmerged (the per-packet baseline of benchmark C1).
+    """
+
+    max_samples: int = 4096
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_samples <= 0:
+            raise ValidationError(f"max_samples must be positive: {self.max_samples}")
+
+
+class SegmentOptimizer:
+    """Stateful ingest-time merger.
+
+    ``add`` returns the segments that became *final* as a result of this
+    addition (possibly none); ``flush`` drains whatever is still buffered.
+    Callers persist only final segments, so a crash can lose at most one
+    buffered segment per stream — matching the durability of the paper's
+    packet-batching upload path.
+    """
+
+    def __init__(self, policy: Optional[MergePolicy] = None):
+        self.policy = policy or MergePolicy()
+        # stream key -> buffered (growing) segment
+        self._buffers: dict[tuple, WaveSegment] = {}
+        self.merged_count = 0  # merges performed, for instrumentation
+
+    @staticmethod
+    def _stream_key(segment: WaveSegment) -> tuple:
+        return (
+            segment.contributor,
+            segment.channels,
+            segment.interval_ms,
+            segment.location,
+            tuple(sorted(segment.context.items())),
+        )
+
+    def add(self, segment: WaveSegment) -> list:
+        """Offer one segment; returns segments finalized by this call."""
+        if not self.policy.enabled:
+            return [segment]
+        if not segment.is_uniform:
+            # Non-uniform segments are never merged; pass through.
+            return [segment]
+        key = self._stream_key(segment)
+        buffered = self._buffers.get(key)
+        finalized: list[WaveSegment] = []
+        if buffered is not None:
+            if buffered.can_merge(segment):
+                merged = buffered.merge(segment)
+                self.merged_count += 1
+                if merged.n_samples >= self.policy.max_samples:
+                    finalized.append(merged)
+                    del self._buffers[key]
+                else:
+                    self._buffers[key] = merged
+                return finalized
+            # Gap or changed stream: the old buffer is final.
+            finalized.append(buffered)
+        if segment.n_samples >= self.policy.max_samples:
+            finalized.append(segment)
+            self._buffers.pop(key, None)
+        else:
+            self._buffers[key] = segment
+        return finalized
+
+    def flush(self) -> list:
+        """Finalize and return all buffered segments."""
+        out = list(self._buffers.values())
+        self._buffers.clear()
+        return out
+
+    def compact(self, segments: Iterable[WaveSegment]) -> list:
+        """Merge an already-materialized segment list in one pass.
+
+        Segments are grouped per stream and sorted by start time; adjacent
+        mergeable segments coalesce up to ``max_samples``.
+        """
+        groups: dict[tuple, list] = {}
+        passthrough: list[WaveSegment] = []
+        for segment in segments:
+            if not self.policy.enabled or not segment.is_uniform:
+                passthrough.append(segment)
+            else:
+                groups.setdefault(self._stream_key(segment), []).append(segment)
+        out = passthrough
+        for group in groups.values():
+            group.sort(key=lambda s: s.start_ms)
+            current = group[0]
+            for nxt in group[1:]:
+                can_grow = current.n_samples + nxt.n_samples <= self.policy.max_samples
+                if can_grow and current.can_merge(nxt):
+                    current = current.merge(nxt)
+                    self.merged_count += 1
+                else:
+                    out.append(current)
+                    current = nxt
+            out.append(current)
+        out.sort(key=lambda s: (s.start_ms, s.channels))
+        return out

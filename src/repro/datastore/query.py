@@ -1,0 +1,121 @@
+"""The data query language of the remote data store.
+
+The design considerations (Section 3, "Data-store functionality") require a
+retrieval mechanism that "should not limit kinds of queries that
+applications can issue".  A :class:`DataQuery` composes the orthogonal
+filters the paper's web UI and query API expose — time range, map region,
+channel selection — plus a result limit, and serializes to/from JSON so it
+can travel through the HTTP API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import QueryError
+from repro.sensors.channels import expand_channel_group
+from repro.util.geo import Region, region_from_json
+from repro.util.timeutil import Interval
+
+
+@dataclass(frozen=True)
+class DataQuery:
+    """A declarative data request against one contributor's store.
+
+    Attributes:
+        channels: channel or group names to return; empty means all.
+        time_range: restrict to samples in this interval; None means all.
+        region: restrict to segments captured inside this map region.
+        limit_segments: cap on returned segments (post-filter); None = no cap.
+    """
+
+    channels: tuple[str, ...] = ()
+    time_range: Optional[Interval] = None
+    region: Optional[Region] = None
+    limit_segments: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.limit_segments is not None and self.limit_segments <= 0:
+            raise QueryError(f"limit_segments must be positive: {self.limit_segments}")
+
+    def expanded_channels(self) -> tuple[str, ...]:
+        """Channel names with groups ("Accelerometer") expanded.
+
+        Raises :class:`~repro.exceptions.UnknownChannelError` for unknown
+        names, so malformed queries fail loudly at the API boundary.
+        """
+        out: list[str] = []
+        for name in self.channels:
+            for ch in expand_channel_group(name):
+                if ch not in out:
+                    out.append(ch)
+        return tuple(out)
+
+    def to_json(self) -> dict:
+        obj: dict = {}
+        if self.channels:
+            obj["Channels"] = list(self.channels)
+        if self.time_range is not None:
+            obj["TimeRange"] = self.time_range.to_json()
+        if self.region is not None:
+            obj["Region"] = self.region.to_json()
+        if self.limit_segments is not None:
+            obj["Limit"] = self.limit_segments
+        return obj
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "DataQuery":
+        if not isinstance(obj, dict):
+            raise QueryError(f"query must be a JSON object, got {type(obj).__name__}")
+        time_range = obj.get("TimeRange")
+        region = obj.get("Region")
+        limit = obj.get("Limit")
+        return cls(
+            channels=tuple(obj.get("Channels", ())),
+            time_range=Interval.from_json(time_range) if time_range else None,
+            region=region_from_json(region) if region else None,
+            limit_segments=int(limit) if limit is not None else None,
+        )
+
+
+@dataclass
+class QueryResult:
+    """Segments returned by a query, with execution statistics."""
+
+    segments: list = field(default_factory=list)
+    scanned_segments: int = 0
+    truncated: bool = False
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def n_samples(self) -> int:
+        return sum(s.n_samples for s in self.segments)
+
+    def channels(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for segment in self.segments:
+            for ch in segment.channels:
+                if ch not in seen:
+                    seen.append(ch)
+        return tuple(seen)
+
+    def to_json(self) -> dict:
+        return {
+            "Segments": [s.to_json() for s in self.segments],
+            "ScannedSegments": self.scanned_segments,
+            "Truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "QueryResult":
+        from repro.datastore.wavesegment import WaveSegment
+
+        return cls(
+            segments=[WaveSegment.from_json(s) for s in obj.get("Segments", [])],
+            scanned_segments=int(obj.get("ScannedSegments", 0)),
+            truncated=bool(obj.get("Truncated", False)),
+        )

@@ -1,0 +1,257 @@
+"""The segment storage engine behind a remote data store.
+
+Ties together the embedded database (record persistence), the interval and
+grid indexes (query acceleration), and the wave-segment optimizer
+(ingest-time merging).  One :class:`SegmentStore` can hold data for several
+contributors — the paper's institutional servers host every participant of
+a study — and every query is scoped to a single contributor, because
+privacy rules are per-owner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datastore.database import Database
+from repro.datastore.index import GridIndex, IntervalIndex
+from repro.datastore.optimizer import MergePolicy, SegmentOptimizer
+from repro.datastore.query import DataQuery, QueryResult
+from repro.datastore.wavesegment import WaveSegment, segment_from_packet
+from repro.sensors.packets import SensorPacket
+from repro.util.timeutil import Interval
+
+
+@dataclass
+class StoreStats:
+    """Aggregate statistics used by benchmarks and the web UI."""
+
+    n_segments: int = 0
+    n_samples: int = 0
+    storage_bytes: int = 0
+    queries_served: int = 0
+    segments_scanned: int = 0
+
+
+class SegmentStore:
+    """Wave-segment storage with time/location indexes and merging."""
+
+    def __init__(
+        self,
+        name: str = "store",
+        *,
+        merge_policy: Optional[MergePolicy] = None,
+        directory: Optional[str] = None,
+        grid_cell_degrees: float = 0.01,
+    ):
+        self.name = name
+        self.db = Database(name, directory=directory)
+        self._segments = self.db.create_table(
+            "segments",
+            key=lambda s: s.segment_id,
+            serialize=lambda s: s.to_json(),
+            deserialize=WaveSegment.from_json,
+        )
+        self.optimizer = SegmentOptimizer(merge_policy)
+        # contributor -> channel -> IntervalIndex of segment ids
+        self._time_index: dict[str, dict[str, IntervalIndex]] = {}
+        # contributor -> GridIndex of segment ids
+        self._grid_index: dict[str, GridIndex] = {}
+        self._grid_cell_degrees = grid_cell_degrees
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def add_packet(self, contributor: str, packet: SensorPacket) -> list:
+        """Ingest one firmware packet; returns segments persisted now."""
+        return self.add_segment(segment_from_packet(contributor, packet))
+
+    def add_segment(self, segment: WaveSegment) -> list:
+        """Offer a segment to the optimizer and persist what finalizes."""
+        finalized = self.optimizer.add(segment)
+        for final in finalized:
+            self._persist(final)
+        return finalized
+
+    def flush(self) -> list:
+        """Persist all segments still buffered in the optimizer."""
+        finalized = self.optimizer.flush()
+        for final in finalized:
+            self._persist(final)
+        return finalized
+
+    def _persist(self, segment: WaveSegment) -> None:
+        self._segments.insert(segment)
+        per_contrib = self._time_index.setdefault(segment.contributor, {})
+        for channel_name in segment.channels:
+            per_contrib.setdefault(channel_name, IntervalIndex()).add(
+                segment.interval, segment.segment_id
+            )
+        if segment.location is not None:
+            grid = self._grid_index.setdefault(
+                segment.contributor, GridIndex(self._grid_cell_degrees)
+            )
+            grid.add(segment.location, segment.segment_id)
+        self.stats.n_segments += 1
+        self.stats.n_samples += segment.n_samples
+        self.stats.storage_bytes += segment.storage_bytes()
+
+    def _unpersist(self, segment: WaveSegment) -> None:
+        self._segments.delete(segment.segment_id)
+        per_contrib = self._time_index.get(segment.contributor, {})
+        for channel_name in segment.channels:
+            per_contrib[channel_name].remove(segment.interval, segment.segment_id)
+        if segment.location is not None:
+            self._grid_index[segment.contributor].remove(segment.segment_id)
+        self.stats.n_segments -= 1
+        self.stats.n_samples -= segment.n_samples
+        self.stats.storage_bytes -= segment.storage_bytes()
+
+    def compact(self, contributor: str) -> int:
+        """Re-run merge optimization over stored segments; returns delta.
+
+        Useful after ingesting with merging disabled, or after lowering
+        ``max_samples``.  Returns the reduction in segment count.
+        """
+        before = self.segments_of(contributor)
+        merged = self.optimizer.compact(before)
+        if len(merged) == len(before):
+            return 0
+        for segment in before:
+            self._unpersist(segment)
+        for segment in merged:
+            self._persist(segment)
+        return len(before) - len(merged)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    def contributors(self) -> list:
+        return sorted(self._time_index)
+
+    def segments_of(self, contributor: str) -> list:
+        """All stored segments for one contributor, start-time order."""
+        out = [s for s in self._segments.scan() if s.contributor == contributor]
+        out.sort(key=lambda s: (s.start_ms, s.channels))
+        return out
+
+    def query(self, contributor: str, query: DataQuery) -> QueryResult:
+        """Execute a query against one contributor's data.
+
+        Resolution order: interval index narrows by time, grid index (or a
+        per-segment test) narrows by region, then segments are projected to
+        the requested channels and sliced to the time range.
+        """
+        wanted_channels = query.expanded_channels()  # validates names
+        candidate_ids = self._candidates(contributor, query, wanted_channels)
+        result = QueryResult()
+        result.scanned_segments = len(candidate_ids)
+        self.stats.queries_served += 1
+        self.stats.segments_scanned += len(candidate_ids)
+        segments = sorted(
+            (self._segments.get(sid) for sid in candidate_ids),
+            key=lambda s: (s.start_ms, s.channels),
+        )
+        for segment in segments:
+            clipped = self._clip(segment, query, wanted_channels)
+            if clipped is None:
+                continue
+            if query.limit_segments is not None and len(result.segments) >= query.limit_segments:
+                result.truncated = True
+                break
+            result.segments.append(clipped)
+        return result
+
+    def _candidates(
+        self, contributor: str, query: DataQuery, wanted_channels: tuple
+    ) -> list:
+        per_contrib = self._time_index.get(contributor, {})
+        channels = wanted_channels or tuple(per_contrib)
+        ids: set = set()
+        if query.time_range is not None:
+            for channel_name in channels:
+                index = per_contrib.get(channel_name)
+                if index is not None:
+                    ids.update(index.overlapping(query.time_range))
+        else:
+            for channel_name in channels:
+                index = per_contrib.get(channel_name)
+                if index is not None:
+                    span = index.span()
+                    if span is not None:
+                        ids.update(index.overlapping(span))
+        if query.region is not None:
+            grid = self._grid_index.get(contributor)
+            in_region = set(grid.within(query.region)) if grid is not None else set()
+            ids &= in_region
+        return sorted(ids)
+
+    @staticmethod
+    def _clip(
+        segment: WaveSegment, query: DataQuery, wanted_channels: tuple
+    ) -> Optional[WaveSegment]:
+        clipped: Optional[WaveSegment] = segment
+        if wanted_channels:
+            clipped = clipped.select_channels(wanted_channels)
+            if clipped is None:
+                return None
+        if query.time_range is not None:
+            clipped = clipped.slice_time(query.time_range)
+        return clipped
+
+    def delete(self, contributor: str, query: DataQuery) -> int:
+        """Delete a contributor's segments matching a query; returns count.
+
+        Deletion is whole-segment: a segment is removed when it matches the
+        query's channel/region filters and *overlaps* the time range (the
+        owner deleting "that afternoon" expects the whole overlapping
+        segment gone, not a sliver kept).  Buffered segments are flushed
+        first so they cannot resurrect deleted data.
+        """
+        self.flush()
+        wanted_channels = query.expanded_channels()
+        candidate_ids = self._candidates(contributor, query, wanted_channels)
+        removed = 0
+        for segment_id in candidate_ids:
+            segment = self._segments.get(segment_id)
+            if wanted_channels and not set(wanted_channels) & set(segment.channels):
+                continue
+            self._unpersist(segment)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Persistence passthrough
+    # ------------------------------------------------------------------
+
+    def save(self) -> list:
+        """Flush buffered segments and write the database to disk."""
+        self.flush()
+        return self.db.save()
+
+    def load(self) -> int:
+        """Load segments from disk, rebuilding all indexes."""
+        count = self.db.load()
+        self._time_index.clear()
+        self._grid_index.clear()
+        self.stats = StoreStats()
+        # Re-persist indexes/stats without reinserting into the table.
+        for segment in self._segments.scan():
+            per_contrib = self._time_index.setdefault(segment.contributor, {})
+            for channel_name in segment.channels:
+                per_contrib.setdefault(channel_name, IntervalIndex()).add(
+                    segment.interval, segment.segment_id
+                )
+            if segment.location is not None:
+                grid = self._grid_index.setdefault(
+                    segment.contributor, GridIndex(self._grid_cell_degrees)
+                )
+                grid.add(segment.location, segment.segment_id)
+            self.stats.n_segments += 1
+            self.stats.n_samples += segment.n_samples
+            self.stats.storage_bytes += segment.storage_bytes()
+        return count

@@ -1,0 +1,304 @@
+"""The wave-segment abstract data type (paper Fig. 5).
+
+A wave segment is "the smallest unit of data representation": a value blob
+(array of per-instant tuples across one or more channels) plus metadata —
+start time, sampling interval, location, and the tuple format.  Segments
+with uniform sampling store only ``start + interval``; segments with
+per-sample timestamps (adaptive/compressive/episodic sampling) carry a
+``Time`` pseudo-channel inside the blob instead, exactly as the paper
+describes ("time and location stamps are stored in the value blob as
+additional sensor channels").
+
+Segments are immutable; merge/slice/abstraction operations return new
+segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datastore.codec import ENCODING_B64, decode_values, encode_values
+from repro.exceptions import ValidationError
+from repro.sensors.packets import SensorPacket
+from repro.util.geo import LatLon
+from repro.util.idgen import stable_id
+from repro.util.timeutil import Interval
+
+#: Name of the per-sample timestamp pseudo-channel for non-uniform segments.
+TIME_CHANNEL = "Time"
+
+
+@dataclass(frozen=True)
+class WaveSegment:
+    """An immutable run of samples over one or more channels.
+
+    Attributes:
+        contributor: owner of the data (rule enforcement is per-owner).
+        channels: tuple format — the channel name for each blob column.
+        start_ms: timestamp of the first sample.
+        interval_ms: uniform sampling interval, or None when the blob
+            carries a ``Time`` column with per-sample stamps.
+        values: float64 array of shape (n_samples, len(channels)).
+        location: capture location, or None for fixed/unknown sensors.
+        context: inferred or ground-truth context labels valid for the
+            whole segment, keyed by category name.
+        segment_id: stable identifier derived from content coordinates.
+    """
+
+    contributor: str
+    channels: tuple[str, ...]
+    start_ms: int
+    interval_ms: Optional[int]
+    values: np.ndarray
+    location: Optional[LatLon] = None
+    context: dict = field(default_factory=dict)
+    segment_id: str = ""
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.values, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValidationError(f"segment values must be 2-D, got shape {arr.shape}")
+        if arr.shape[1] != len(self.channels):
+            raise ValidationError(
+                f"segment has {arr.shape[1]} value columns but {len(self.channels)} channels"
+            )
+        if arr.shape[0] == 0:
+            raise ValidationError("segment must contain at least one sample")
+        if not self.channels:
+            raise ValidationError("segment must declare at least one channel")
+        if len(set(self.channels)) != len(self.channels):
+            raise ValidationError(f"duplicate channels in segment format: {self.channels}")
+        if self.interval_ms is not None and self.interval_ms <= 0:
+            raise ValidationError(f"non-positive sampling interval: {self.interval_ms}")
+        if self.interval_ms is None and TIME_CHANNEL not in self.channels:
+            raise ValidationError(
+                "non-uniform segment must carry a Time column in its blob"
+            )
+        arr.setflags(write=False)
+        object.__setattr__(self, "values", arr)
+        if not self.segment_id:
+            object.__setattr__(
+                self,
+                "segment_id",
+                stable_id(self.contributor, self.channels, self.start_ms, arr.shape[0]),
+            )
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def end_ms(self) -> int:
+        """Timestamp just past the last sample (half-open)."""
+        if self.interval_ms is not None:
+            return self.start_ms + self.n_samples * self.interval_ms
+        times = self.sample_times()
+        # Non-uniform: extend by the trailing gap (or 1ms for singletons).
+        tail = int(times[-1] - times[-2]) if len(times) > 1 else 1
+        return int(times[-1]) + max(1, tail)
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start_ms, self.end_ms)
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.interval_ms is not None
+
+    def sample_times(self) -> np.ndarray:
+        """Per-sample timestamps (epoch ms) as an int64 array."""
+        if self.interval_ms is not None:
+            return self.start_ms + np.arange(self.n_samples, dtype=np.int64) * self.interval_ms
+        col = self.channels.index(TIME_CHANNEL)
+        return self.values[:, col].astype(np.int64)
+
+    def channel_values(self, channel_name: str) -> np.ndarray:
+        """The blob column for one channel."""
+        try:
+            col = self.channels.index(channel_name)
+        except ValueError:
+            raise ValidationError(
+                f"segment {self.segment_id} has no channel {channel_name!r}"
+            ) from None
+        return self.values[:, col]
+
+    def storage_bytes(self) -> int:
+        """Approximate on-disk size: blob bytes plus fixed metadata."""
+        return self.values.nbytes + 96
+
+    # ------------------------------------------------------------------
+    # Merge (the wave-segment optimization primitive)
+    # ------------------------------------------------------------------
+
+    def can_merge(self, other: "WaveSegment") -> bool:
+        """Can ``other`` be appended to this segment?
+
+        The paper's rule: timestamps consecutive, same location
+        coordinates, same data channels.  We additionally require equal
+        sampling interval (otherwise the merged segment would not be
+        uniform) and equal context annotation (a segment carries one label
+        set).
+        """
+        return (
+            self.contributor == other.contributor
+            and self.channels == other.channels
+            and self.is_uniform
+            and other.is_uniform
+            and self.interval_ms == other.interval_ms
+            and self.end_ms == other.start_ms
+            and self.location == other.location
+            and self.context == other.context
+        )
+
+    def merge(self, other: "WaveSegment") -> "WaveSegment":
+        """Append ``other`` (must satisfy :meth:`can_merge`)."""
+        if not self.can_merge(other):
+            raise ValidationError(
+                f"segments {self.segment_id} and {other.segment_id} are not mergeable"
+            )
+        return replace(
+            self,
+            values=np.vstack([self.values, other.values]),
+            segment_id="",
+        )
+
+    # ------------------------------------------------------------------
+    # Slicing and projection (used by the rule engine)
+    # ------------------------------------------------------------------
+
+    def slice_time(self, window: Interval) -> Optional["WaveSegment"]:
+        """Samples falling inside ``window``, or None when empty."""
+        times = self.sample_times()
+        mask = (times >= window.start) & (times < window.end)
+        if not mask.any():
+            return None
+        if mask.all():
+            return self
+        if self.is_uniform:
+            idx = np.flatnonzero(mask)
+            first, last = int(idx[0]), int(idx[-1])
+            if last - first + 1 == len(idx):  # contiguous run stays uniform
+                return replace(
+                    self,
+                    start_ms=int(times[first]),
+                    values=self.values[first : last + 1],
+                    segment_id="",
+                )
+            # Non-contiguous selection: fall back to explicit timestamps.
+            return self._with_time_column(mask)
+        return replace(
+            self,
+            start_ms=int(times[mask][0]),
+            values=self.values[mask],
+            segment_id="",
+        )
+
+    def _with_time_column(self, mask: np.ndarray) -> "WaveSegment":
+        times = self.sample_times()[mask].astype(np.float64).reshape(-1, 1)
+        return WaveSegment(
+            contributor=self.contributor,
+            channels=(TIME_CHANNEL,) + tuple(self.channels),
+            start_ms=int(times[0, 0]),
+            interval_ms=None,
+            values=np.hstack([times, self.values[mask]]),
+            location=self.location,
+            context=dict(self.context),
+        )
+
+    def select_channels(self, names: Sequence[str]) -> Optional["WaveSegment"]:
+        """Project onto a subset of channels; None when none remain.
+
+        The ``Time`` pseudo-channel of a non-uniform segment is always
+        retained.
+        """
+        keep = [c for c in self.channels if c in set(names) or c == TIME_CHANNEL]
+        if not self.is_uniform and keep == [TIME_CHANNEL]:
+            return None
+        if not keep:
+            return None
+        if tuple(keep) == self.channels:
+            return self
+        cols = [self.channels.index(c) for c in keep]
+        return replace(
+            self,
+            channels=tuple(keep),
+            values=self.values[:, cols],
+            segment_id="",
+        )
+
+    def with_context(self, context: dict) -> "WaveSegment":
+        """Return a copy annotated with context labels."""
+        return replace(self, context=dict(context), segment_id="")
+
+    def with_values(self, values: np.ndarray, channels: Optional[tuple] = None) -> "WaveSegment":
+        """Return a copy with substituted values (used by abstraction)."""
+        return replace(
+            self,
+            values=values,
+            channels=channels if channels is not None else self.channels,
+            segment_id="",
+        )
+
+    def drop_location(self) -> "WaveSegment":
+        return replace(self, location=None, segment_id="")
+
+    # ------------------------------------------------------------------
+    # JSON (Fig. 5 round trip)
+    # ------------------------------------------------------------------
+
+    def to_json(self, encoding: str = ENCODING_B64) -> dict:
+        obj = {
+            "SegmentId": self.segment_id,
+            "Contributor": self.contributor,
+            "StartTime": self.start_ms,
+            "SamplingInterval": self.interval_ms,
+            "Location": self.location.to_json() if self.location else None,
+            "Format": list(self.channels),
+            "Values": encode_values(self.values, encoding),
+        }
+        if self.context:
+            obj["Context"] = dict(self.context)
+        return obj
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "WaveSegment":
+        from repro.util.jsonutil import require_keys
+
+        require_keys(
+            obj,
+            ("Contributor", "StartTime", "Format", "Values"),
+            where="wave segment",
+        )
+        location = obj.get("Location")
+        interval = obj.get("SamplingInterval")
+        return cls(
+            contributor=str(obj["Contributor"]),
+            channels=tuple(obj["Format"]),
+            start_ms=int(obj["StartTime"]),
+            interval_ms=None if interval is None else int(interval),
+            values=decode_values(obj["Values"]),
+            location=LatLon.from_json(location) if location else None,
+            context=dict(obj.get("Context", {})),
+            segment_id=str(obj.get("SegmentId", "")),
+        )
+
+
+def segment_from_packet(contributor: str, packet: SensorPacket) -> WaveSegment:
+    """Convert a firmware packet into a single-channel wave segment."""
+    values = np.asarray(packet.values, dtype=np.float64).reshape(-1, 1)
+    return WaveSegment(
+        contributor=contributor,
+        channels=(packet.channel_name,),
+        start_ms=packet.start_ms,
+        interval_ms=packet.interval_ms,
+        values=values,
+        location=packet.location,
+        context=dict(packet.context),
+    )

@@ -1,0 +1,115 @@
+"""Exception hierarchy for the SensorSafe reproduction.
+
+Every error raised by this package derives from :class:`SensorSafeError`, so
+callers can catch one base class at API boundaries.  Service-layer errors
+carry an HTTP-like status code so the in-process transport
+(:mod:`repro.net`) can map them onto responses without string matching.
+"""
+
+from __future__ import annotations
+
+
+class SensorSafeError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ValidationError(SensorSafeError):
+    """Malformed input: bad rule JSON, inconsistent wave segment, etc."""
+
+
+class SchemaError(ValidationError):
+    """A JSON document does not match the expected schema."""
+
+
+class TimeRangeError(ValidationError):
+    """An interval has end < start, or a repeated-time spec is malformed."""
+
+
+class GeoError(ValidationError):
+    """A geographic region or coordinate is malformed."""
+
+
+class StorageError(SensorSafeError):
+    """The embedded database failed (duplicate key, missing table, I/O)."""
+
+
+class DuplicateKeyError(StorageError):
+    """Insert attempted with a primary key that already exists."""
+
+
+class MissingRecordError(StorageError):
+    """A lookup by primary key found nothing."""
+
+
+class QueryError(SensorSafeError):
+    """A data query is malformed or references unknown channels."""
+
+
+class RuleError(SensorSafeError):
+    """A privacy rule is malformed or references unknown options."""
+
+
+class UnknownContextError(RuleError):
+    """A rule references a context label missing from the registry."""
+
+
+class UnknownChannelError(RuleError):
+    """A rule or query references a sensor channel missing from the registry."""
+
+
+class ServiceError(SensorSafeError):
+    """Base for errors surfaced through the service/API layer."""
+
+    #: HTTP-like status code attached to the response.
+    status = 500
+
+    def __init__(self, message: str = "", *, status: int | None = None):
+        super().__init__(message or self.__class__.__doc__)
+        if status is not None:
+            self.status = status
+
+
+class AuthenticationError(ServiceError):
+    """Missing or invalid API key / login credentials."""
+
+    status = 401
+
+
+class AuthorizationError(ServiceError):
+    """Authenticated principal lacks permission for the operation."""
+
+    status = 403
+
+
+class NotFoundError(ServiceError):
+    """The requested resource does not exist."""
+
+    status = 404
+
+
+class ConflictError(ServiceError):
+    """The request conflicts with existing state (duplicate registration)."""
+
+    status = 409
+
+
+class BadRequestError(ServiceError):
+    """The request body or parameters are malformed."""
+
+    status = 400
+
+
+class TransportError(SensorSafeError):
+    """The simulated network failed to deliver a request."""
+
+
+class InsecureTransportError(TransportError):
+    """An API key was sent over a channel without TLS enabled.
+
+    The paper mandates that API keys travel only in HTTPS POST bodies
+    (Section 5.4); the simulated transport enforces the same invariant.
+    """
+
+
+class CollectionError(SensorSafeError):
+    """The smartphone collection agent hit an unrecoverable condition."""

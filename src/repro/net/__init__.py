@@ -1,0 +1,24 @@
+"""In-process HTTP-like transport.
+
+The paper's components speak HTTPS REST ("the API key ... is included in
+the body of a HTTPS POST request and the communication is secured with
+HTTPS").  This package simulates that: named hosts mount routers on a
+shared :class:`Network`; clients issue requests to ``https://host/path``
+URLs; the network counts requests and payload bytes per host (benchmark C2
+uses these to show the broker never becomes a bottleneck) and refuses to
+carry API keys over plain ``http://`` (the paper's transport invariant).
+"""
+
+from repro.net.http import Request, Response, Router, json_response
+from repro.net.transport import HostMetrics, Network
+from repro.net.client import HttpClient
+
+__all__ = [
+    "Request",
+    "Response",
+    "Router",
+    "json_response",
+    "HostMetrics",
+    "Network",
+    "HttpClient",
+]

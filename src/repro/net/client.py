@@ -1,0 +1,71 @@
+"""HTTP client bound to the simulated network.
+
+Injects the caller's API key into every POST body (the paper's transport
+convention) and raises :class:`~repro.exceptions.ServiceError` subclasses
+for error statuses so application code can use ordinary exception flow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import (
+    AuthenticationError,
+    AuthorizationError,
+    BadRequestError,
+    ConflictError,
+    NotFoundError,
+    ServiceError,
+)
+from repro.net.http import Response
+from repro.net.transport import Network
+
+_STATUS_ERRORS = {
+    400: BadRequestError,
+    401: AuthenticationError,
+    403: AuthorizationError,
+    404: NotFoundError,
+    409: ConflictError,
+}
+
+
+class HttpClient:
+    """A principal's view of the network."""
+
+    def __init__(self, network: Network, name: str = "client", api_key: Optional[str] = None):
+        self.network = network
+        self.name = name
+        self.api_key = api_key
+
+    def with_key(self, api_key: str) -> "HttpClient":
+        """A copy of this client authenticating with a different key."""
+        return HttpClient(self.network, self.name, api_key)
+
+    def post(self, url: str, body: Optional[dict] = None, *, raw: bool = False) -> dict:
+        """POST with the API key injected; returns the response body.
+
+        With ``raw=True`` the full :class:`Response` is returned and error
+        statuses are not raised — used by tests asserting on status codes.
+        """
+        body = dict(body or {})
+        if self.api_key is not None and "ApiKey" not in body:
+            body["ApiKey"] = self.api_key
+        response = self.network.request("POST", url, body, client=self.name)
+        if raw:
+            return response
+        return self._unwrap(response)
+
+    def get(self, url: str, *, raw: bool = False):
+        """GET (no API key; used for public web pages)."""
+        response = self.network.request("GET", url, client=self.name)
+        if raw:
+            return response
+        return self._unwrap(response)
+
+    @staticmethod
+    def _unwrap(response: Response) -> dict:
+        if response.ok:
+            return response.body
+        error = response.body.get("Error", f"status {response.status}")
+        exc_type = _STATUS_ERRORS.get(response.status, ServiceError)
+        raise exc_type(error, status=response.status)

@@ -1,0 +1,121 @@
+"""HTTP-like request/response model and a path router.
+
+Routes are registered as ``"POST /api/query"`` or with path parameters,
+``"GET /web/rules/{contributor}"``; handlers receive the request plus the
+extracted parameters as keyword arguments.  Service-layer exceptions
+(:class:`~repro.exceptions.ServiceError`) are mapped to their status codes
+by :meth:`Router.dispatch`, so handlers raise instead of hand-building
+error responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import SensorSafeError, ServiceError
+
+_METHODS = ("GET", "POST", "PUT", "DELETE")
+
+
+@dataclass
+class Request:
+    """One request as delivered to a handler."""
+
+    method: str
+    host: str
+    path: str
+    body: dict = field(default_factory=dict)
+    secure: bool = True  # https vs http
+    client: str = "anonymous"  # network name of the caller, for metrics
+
+    @property
+    def api_key(self) -> Optional[str]:
+        """The API key carried in the body (paper Section 5.4), if any."""
+        key = self.body.get("ApiKey")
+        return str(key) if key is not None else None
+
+
+@dataclass
+class Response:
+    """One response; ``body`` must be JSON-serializable."""
+
+    status: int = 200
+    body: dict = field(default_factory=dict)
+    content_type: str = "application/json"
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def json_response(body: dict, status: int = 200) -> Response:
+    return Response(status=status, body=body)
+
+
+def html_response(html: str, status: int = 200) -> Response:
+    return Response(status=status, body={"Html": html}, content_type="text/html")
+
+
+class Router:
+    """Maps ``METHOD /path/{param}`` patterns to handler callables."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, list, Callable]] = []
+
+    def route(self, method: str, pattern: str) -> Callable:
+        """Decorator: ``@router.route("POST", "/api/query")``."""
+        if method not in _METHODS:
+            raise ValueError(f"unsupported HTTP method: {method!r}")
+        segments = self._split(pattern)
+
+        def decorator(handler: Callable) -> Callable:
+            self._routes.append((method, segments, handler))
+            return handler
+
+        return decorator
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        """Imperative registration (used by service classes)."""
+        self.route(method, pattern)(handler)
+
+    @staticmethod
+    def _split(path: str) -> list:
+        return [seg for seg in path.split("/") if seg]
+
+    def _match(self, method: str, path: str):
+        segments = self._split(path)
+        for route_method, pattern, handler in self._routes:
+            if route_method != method or len(pattern) != len(segments):
+                continue
+            params = {}
+            matched = True
+            for pat, seg in zip(pattern, segments):
+                if pat.startswith("{") and pat.endswith("}"):
+                    params[pat[1:-1]] = seg
+                elif pat != seg:
+                    matched = False
+                    break
+            if matched:
+                return handler, params
+        return None, {}
+
+    def dispatch(self, request: Request) -> Response:
+        """Route and invoke; translate errors into status codes."""
+        handler, params = self._match(request.method, request.path)
+        if handler is None:
+            return json_response(
+                {"Error": f"no route for {request.method} {request.path}"}, status=404
+            )
+        try:
+            result = handler(request, **params)
+        except ServiceError as exc:
+            return json_response({"Error": str(exc)}, status=exc.status)
+        except SensorSafeError as exc:
+            # Domain errors raised below the service layer are bad requests.
+            return json_response({"Error": str(exc)}, status=400)
+        if isinstance(result, Response):
+            return result
+        if isinstance(result, dict):
+            return json_response(result)
+        raise TypeError(f"handler returned {type(result).__name__}, expected Response or dict")

@@ -1,0 +1,114 @@
+"""The simulated network: named hosts, metrics, and the TLS invariant.
+
+Hosts mount a :class:`~repro.net.http.Router` under a name ("broker",
+"alice-store").  :meth:`Network.request` parses a URL, serializes the body
+to measure payload bytes, enforces that API keys only travel over HTTPS
+POST bodies, dispatches to the target router, and records per-host traffic
+metrics.
+
+The byte accounting is the instrument for benchmark C2: the paper claims
+"the broker is not a performance bottleneck because sensor data are
+directly transferred from each remote data store to data consumers" — with
+these counters we can show broker traffic stays flat while store traffic
+scales with data volume.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import InsecureTransportError, TransportError
+from repro.net.http import Request, Response, Router
+from repro.util import jsonutil
+
+_URL_RE = re.compile(r"^(https?)://([A-Za-z0-9._-]+)(/.*)?$")
+
+
+@dataclass
+class HostMetrics:
+    """Traffic counters for one host."""
+
+    requests_in: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def total_bytes(self) -> int:
+        return self.bytes_in + self.bytes_out
+
+
+class Network:
+    """An in-process network of named hosts."""
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, Router] = {}
+        self.metrics: dict[str, HostMetrics] = {}
+
+    def register_host(self, name: str, router: Router) -> None:
+        if name in self._hosts:
+            raise TransportError(f"host name already registered: {name!r}")
+        self._hosts[name] = router
+        self.metrics[name] = HostMetrics()
+
+    def hosts(self) -> list:
+        return sorted(self._hosts)
+
+    def metrics_of(self, name: str) -> HostMetrics:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise TransportError(f"unknown host: {name!r}") from None
+
+    def reset_metrics(self) -> None:
+        for name in self.metrics:
+            self.metrics[name] = HostMetrics()
+
+    @staticmethod
+    def parse_url(url: str) -> tuple:
+        """Split a URL into (secure, host, path)."""
+        match = _URL_RE.match(url)
+        if not match:
+            raise TransportError(f"malformed URL: {url!r}")
+        scheme, host, path = match.groups()
+        return scheme == "https", host, path or "/"
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        body: Optional[dict] = None,
+        *,
+        client: str = "anonymous",
+    ) -> Response:
+        """Deliver one request and return the response.
+
+        Raises :class:`InsecureTransportError` when an ``ApiKey`` field
+        would travel over plain http or outside a request body that HTTPS
+        protects (the paper's Section 5.4 invariant).
+        """
+        secure, host, path = self.parse_url(url)
+        body = dict(body or {})
+        if "ApiKey" in body:
+            if not secure:
+                raise InsecureTransportError(
+                    f"refusing to send an API key over insecure http to {host!r}"
+                )
+            if method != "POST":
+                raise InsecureTransportError(
+                    "API keys must be carried in HTTPS POST bodies, "
+                    f"not {method} requests"
+                )
+        router = self._hosts.get(host)
+        if router is None:
+            raise TransportError(f"no such host: {host!r}")
+        payload = jsonutil.canonical_dumps(body)
+        request = Request(
+            method=method, host=host, path=path, body=body, secure=secure, client=client
+        )
+        response = router.dispatch(request)
+        metrics = self.metrics[host]
+        metrics.requests_in += 1
+        metrics.bytes_in += len(payload)
+        metrics.bytes_out += len(jsonutil.canonical_dumps(response.body))
+        return response

@@ -1,0 +1,51 @@
+"""Context-aware fine-grained access control — the paper's core mechanism.
+
+A data contributor expresses privacy preferences as a list of
+:class:`~repro.rules.model.Rule` objects (Table 1): each rule has
+conditions (data consumer, location, time, sensor, context) and an action
+(allow, deny, or abstraction).  The :class:`~repro.rules.engine.RuleEngine`
+evaluates every outgoing wave segment against the owner's rules, splitting
+segments where time conditions flip, resolving conflicts (deny overrides,
+coarsest abstraction wins), and enforcing the sensor/context *dependency
+closure*: a raw channel is withheld whenever any context inferable from it
+is not shared at raw level — the paper's respiration/smoking example.
+"""
+
+from repro.rules.abstraction import (
+    EffectiveSharing,
+    coarsen_context_label,
+)
+
+# NOTE: imported after repro.rules.abstraction so that the *function*
+# ``abstraction`` (the Action constructor) wins over the same-named
+# submodule on the package namespace.
+from repro.rules.model import (
+    Action,
+    ALLOW,
+    DENY,
+    Rule,
+    abstraction,
+)
+from repro.rules.dependency import DependencyGraph, DEFAULT_DEPENDENCIES
+from repro.rules.engine import ReleasedSegment, RuleEngine
+from repro.rules.parser import rule_from_json, rule_to_json, rules_from_json, rules_to_json
+from repro.rules.rulestore import RuleStore
+
+__all__ = [
+    "Action",
+    "ALLOW",
+    "DENY",
+    "Rule",
+    "abstraction",
+    "EffectiveSharing",
+    "coarsen_context_label",
+    "DependencyGraph",
+    "DEFAULT_DEPENDENCIES",
+    "ReleasedSegment",
+    "RuleEngine",
+    "rule_from_json",
+    "rule_to_json",
+    "rules_from_json",
+    "rules_to_json",
+    "RuleStore",
+]

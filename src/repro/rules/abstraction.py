@@ -1,0 +1,112 @@
+"""Abstraction-level algebra (Table 1b).
+
+When several abstraction rules match the same data, the *coarsest* level
+per aspect wins — sharing at a finer level than any matching rule allows
+would violate that rule.  :class:`EffectiveSharing` accumulates levels
+aspect-by-aspect, starting from the finest (raw) levels that a plain Allow
+action implies, and answers the questions the engine asks:
+
+* which context categories are still shared raw (drives the dependency
+  closure);
+* what label, if any, to emit for a category ("Bike" → "Moving" at the
+  Move/NotMove level);
+* what to do to location and timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import RuleError
+from repro.rules.model import LOCATION_ASPECT, LOCATION_LEVELS, TIME_ASPECT, TIME_LEVELS
+from repro.sensors.contexts import CONTEXTS
+
+_MOVING_MODES = frozenset(("Walk", "Run", "Bike", "Drive"))
+
+
+def coarsen_context_label(category: str, fine_label: str, level: str) -> Optional[str]:
+    """Render a category's ground/inferred label at an abstraction level.
+
+    Returns None when the level is ``NotShare`` (the category is omitted
+    from the release).  Raw levels and the fine-label level both emit the
+    fine label: raw sharing reveals at least as much as the label does.
+    """
+    spec = CONTEXTS.get(category)
+    if spec is None:
+        raise RuleError(f"unknown context category: {category!r}")
+    idx = spec.level_index(level)  # validates the level
+    if level == "NotShare":
+        return None
+    if category == "Activity" and level == "MoveNotMove":
+        return "Moving" if fine_label in _MOVING_MODES else "NotMoving"
+    del idx
+    return fine_label
+
+
+@dataclass
+class EffectiveSharing:
+    """Accumulated per-aspect sharing levels for one (consumer, data) pair.
+
+    Starts at the finest level of every ladder — the paper's plain Allow
+    semantics ("when allowed, raw sensor data are shared") — and only moves
+    coarser as abstraction rules are folded in.
+    """
+
+    location_level: str = LOCATION_LEVELS[0]  # "coordinates"
+    time_level: str = TIME_LEVELS[0]  # "milliseconds"
+    context_levels: dict = field(
+        default_factory=lambda: {
+            name: spec.abstraction_levels[0] for name, spec in CONTEXTS.items()
+        }
+    )
+
+    def apply(self, abstraction: dict) -> None:
+        """Fold one abstraction action in, keeping the coarsest levels."""
+        for aspect, level in abstraction.items():
+            if aspect == LOCATION_ASPECT:
+                self.location_level = _coarsest(LOCATION_LEVELS, self.location_level, level)
+            elif aspect == TIME_ASPECT:
+                self.time_level = _coarsest(TIME_LEVELS, self.time_level, level)
+            else:
+                spec = CONTEXTS.get(aspect)
+                if spec is None:
+                    raise RuleError(f"unknown abstraction aspect: {aspect!r}")
+                self.context_levels[aspect] = spec.coarsest(
+                    self.context_levels[aspect], level
+                )
+
+    def raw_contexts(self) -> frozenset:
+        """Categories still shared at their raw (finest) ladder level."""
+        return frozenset(
+            name
+            for name, level in self.context_levels.items()
+            if level == CONTEXTS[name].abstraction_levels[0]
+        )
+
+    def restricted_contexts(self) -> frozenset:
+        """Categories *not* shared raw (feeds the dependency closure)."""
+        return frozenset(self.context_levels) - self.raw_contexts()
+
+    def location_is_raw(self) -> bool:
+        return self.location_level == LOCATION_LEVELS[0]
+
+    def shares_nothing(self) -> bool:
+        """True when every aspect is at NotShare — equivalent to deny."""
+        return (
+            self.location_level == "NotShare"
+            and self.time_level == "NotShare"
+            and all(level == "NotShare" for level in self.context_levels.values())
+        )
+
+    def context_label(self, category: str, fine_label: str) -> Optional[str]:
+        """The label to release for a category, or None if withheld."""
+        return coarsen_context_label(category, fine_label, self.context_levels[category])
+
+
+def _coarsest(ladder: tuple, a: str, b: str) -> str:
+    try:
+        ia, ib = ladder.index(a), ladder.index(b)
+    except ValueError as exc:
+        raise RuleError(f"level not on ladder {ladder}: {a!r} / {b!r}") from exc
+    return ladder[max(ia, ib)]

@@ -1,0 +1,93 @@
+"""Per-rule condition matching against a wave segment.
+
+Time conditions are deliberately absent here: the engine splits a segment
+into pieces at the instants where time conditions flip and then asks this
+module about the remaining (piece-invariant) conditions — consumer,
+location, sensor scope, and context.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping, Optional
+
+from repro.datastore.wavesegment import WaveSegment
+from repro.rules.model import Rule
+from repro.sensors.contexts import label_matches
+from repro.util.geo import LabeledPlace, LatLon
+
+
+def consumer_matches(rule: Rule, principals: FrozenSet[str]) -> bool:
+    """Does the rule's consumer condition cover any of these principals?
+
+    ``principals`` is the consumer's own name plus every group and study
+    they belong to.  An empty consumer condition applies to everyone.
+    """
+    if not rule.consumers:
+        return True
+    return bool(set(rule.consumers) & principals)
+
+
+def location_matches(
+    rule: Rule,
+    location: Optional[LatLon],
+    places: Mapping[str, LabeledPlace],
+) -> bool:
+    """Does the segment's capture location satisfy the rule's condition?
+
+    Label conditions are resolved through the contributor's named places;
+    a label with no defined place never matches (the web UI prevents
+    creating such rules, but synced rules may race a place rename).  A
+    segment with *unknown* location does not match a location-conditioned
+    rule — the rule's author scoped it to somewhere specific.
+    """
+    if not rule.location_labels and not rule.location_regions:
+        return True
+    if location is None:
+        return False
+    for label in rule.location_labels:
+        place = places.get(label)
+        if place is not None and place.contains(location):
+            return True
+    for region in rule.location_regions:
+        if region.contains(location):
+            return True
+    return False
+
+
+def context_matches(rule: Rule, segment_context: Mapping[str, str]) -> bool:
+    """Does the segment's context annotation satisfy the rule's condition?
+
+    Labels are grouped by category: categories AND together, labels within
+    one category OR together.  A category whose value is not annotated on
+    the segment cannot satisfy its requirement (unknown ≠ match).
+    """
+    for category, labels in rule.context_requirements().items():
+        value = segment_context.get(category)
+        if value is None:
+            return False
+        if not any(label_matches(label, value) for label in labels):
+            return False
+    return True
+
+
+def sensor_overlaps(rule: Rule, segment: WaveSegment) -> bool:
+    """Does the rule's sensor scope touch any channel of the segment?"""
+    scope = rule.sensor_channels()
+    if scope is None:
+        return True
+    return bool(scope & set(segment.channels))
+
+
+def rule_applies(
+    rule: Rule,
+    principals: FrozenSet[str],
+    segment: WaveSegment,
+    places: Mapping[str, LabeledPlace],
+) -> bool:
+    """All piece-invariant conditions (everything except time)."""
+    return (
+        consumer_matches(rule, principals)
+        and location_matches(rule, segment.location, places)
+        and context_matches(rule, segment.context)
+        and sensor_overlaps(rule, segment)
+    )

@@ -1,0 +1,373 @@
+"""The privacy-rule evaluation engine.
+
+For every (consumer, wave segment) pair the engine decides what — if
+anything — leaves the remote data store:
+
+1. **Bucketing** — rules are pre-indexed by consumer name so evaluation
+   cost scales with the rules that *could* apply, not the total rule count
+   (benchmark C6 measures this).
+2. **Matching** — piece-invariant conditions (consumer, location, context,
+   sensor overlap) are checked once per segment; time conditions then
+   split the segment into pieces with a constant matching-rule set.
+3. **Conflict resolution** — default deny (no matching Allow ⇒ nothing
+   flows); Deny overrides Allow within its sensor scope; abstraction
+   levels combine coarsest-wins.
+4. **Dependency closure** — raw channels that could re-reveal any context
+   not shared at raw level are withheld (Section 5.1's respiration/smoking
+   example); GPS channels are additionally withheld whenever location is
+   abstracted below raw coordinates.
+5. **Release shaping** — surviving channels are sliced to the piece,
+   timestamps truncated to the effective time level, location abstracted
+   via the gazetteer, and context labels coarsened per ladder.
+
+The result is a list of :class:`ReleasedSegment` — the exact payload the
+query API returns to the data consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, FrozenSet, Iterable, Mapping, Optional
+
+from repro.datastore.wavesegment import WaveSegment
+from repro.rules.abstraction import EffectiveSharing
+from repro.rules.conditions import rule_applies
+from repro.rules.dependency import DEFAULT_DEPENDENCIES, DependencyGraph
+from repro.rules.model import Rule
+from repro.sensors.channels import GPS_LAT, GPS_LON
+from repro.util.geo import LabeledPlace, abstract_location
+from repro.util.timeutil import Interval, truncate_timestamp
+
+_GPS_CHANNELS = frozenset((GPS_LAT.name, GPS_LON.name))
+
+
+def _self_membership(consumer: str) -> FrozenSet[str]:
+    """Default membership resolver: a consumer is only itself."""
+    return frozenset((consumer,))
+
+
+@dataclass
+class ReleasedSegment:
+    """What a data consumer actually receives for one segment piece.
+
+    Attributes:
+        contributor: data owner.
+        interval: the span of the underlying piece (engine bookkeeping;
+            not revealed beyond ``timestamp``'s precision).
+        segment: surviving raw channels, time-sliced and timestamp-shaped,
+            or None when only labels are released.
+        timestamp: the released (possibly truncated) start time, or None
+            when the Time aspect is NotShare.
+        time_level: the effective time abstraction level.
+        location: raw ``[lat, lon]``, an abstract place label string, or
+            None when location is NotShare/unknown.
+        location_level: the effective location abstraction level.
+        context_labels: released context labels, post-coarsening.
+        withheld: channel -> human-readable reason, for UI display.
+    """
+
+    contributor: str
+    interval: Interval
+    segment: Optional[WaveSegment] = None
+    timestamp: Optional[int] = None
+    time_level: str = "milliseconds"
+    location: object = None
+    location_level: str = "coordinates"
+    context_labels: dict = field(default_factory=dict)
+    withheld: dict = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        return self.segment.n_samples if self.segment is not None else 0
+
+    def channels(self) -> tuple:
+        return self.segment.channels if self.segment is not None else ()
+
+    def is_empty(self) -> bool:
+        return self.segment is None and not self.context_labels and self.location is None
+
+    def to_json(self) -> dict:
+        return {
+            "Contributor": self.contributor,
+            "Timestamp": self.timestamp,
+            "TimeLevel": self.time_level,
+            "Location": self.location,
+            "LocationLevel": self.location_level,
+            "ContextLabels": dict(self.context_labels),
+            "Segment": self.segment.to_json() if self.segment is not None else None,
+            "Withheld": dict(self.withheld),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ReleasedSegment":
+        seg = obj.get("Segment")
+        segment = WaveSegment.from_json(seg) if seg else None
+        if segment is not None:
+            interval = segment.interval
+        else:
+            ts = obj.get("Timestamp") or 0
+            interval = Interval(ts, ts + 1)
+        return cls(
+            contributor=str(obj.get("Contributor", "")),
+            interval=interval,
+            segment=segment,
+            timestamp=obj.get("Timestamp"),
+            time_level=str(obj.get("TimeLevel", "milliseconds")),
+            location=obj.get("Location"),
+            location_level=str(obj.get("LocationLevel", "coordinates")),
+            context_labels=dict(obj.get("ContextLabels", {})),
+            withheld=dict(obj.get("Withheld", {})),
+        )
+
+
+class RuleEngine:
+    """Evaluates one contributor's rules against outgoing segments."""
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        places: Optional[Mapping[str, LabeledPlace]] = None,
+        *,
+        membership: Optional[Callable[[str], FrozenSet[str]]] = None,
+        dependencies: Optional[DependencyGraph] = None,
+        enforce_closure: bool = True,
+    ):
+        self.places = dict(places or {})
+        self.membership = membership or _self_membership
+        self.dependencies = dependencies or DEFAULT_DEPENDENCIES
+        self.enforce_closure = enforce_closure
+        self._all_rules: list[Rule] = []
+        # consumer name -> rules naming it; None key holds wildcard rules.
+        self._buckets: dict = {None: []}
+        self.set_rules(rules)
+
+    # ------------------------------------------------------------------
+    # Rule management
+    # ------------------------------------------------------------------
+
+    @property
+    def rules(self) -> tuple:
+        return tuple(self._all_rules)
+
+    def set_rules(self, rules: Iterable[Rule]) -> None:
+        self._all_rules = []
+        self._buckets = {None: []}
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: Rule) -> None:
+        self._all_rules.append(rule)
+        if not rule.consumers:
+            self._buckets[None].append(rule)
+        else:
+            for consumer in rule.consumers:
+                self._buckets.setdefault(consumer, []).append(rule)
+
+    def candidate_rules(self, principals: FrozenSet[str]) -> list:
+        """Rules whose consumer condition could cover these principals."""
+        seen: set = set()
+        out: list[Rule] = []
+        for key in [None, *sorted(principals)]:
+            for rule in self._buckets.get(key, ()):
+                if rule.rule_id not in seen:
+                    seen.add(rule.rule_id)
+                    out.append(rule)
+        return out
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, consumer: str, segments: Iterable[WaveSegment]) -> list:
+        """Evaluate many segments; returns the released pieces in order."""
+        out: list[ReleasedSegment] = []
+        for segment in segments:
+            out.extend(self.evaluate_segment(consumer, segment))
+        return out
+
+    def evaluate_segment(self, consumer: str, segment: WaveSegment) -> list:
+        principals = self.membership(consumer)
+        applicable = [
+            rule
+            for rule in self.candidate_rules(principals)
+            if rule_applies(rule, principals, segment, self.places)
+        ]
+        if not any(rule.action.is_allow for rule in applicable):
+            return []  # default deny: nothing grants access
+        pieces = self._time_pieces(segment, applicable)
+        released = []
+        for piece, piece_rules in pieces:
+            item = self._release_piece(segment, piece, piece_rules)
+            if item is not None and not item.is_empty():
+                released.append(item)
+        return released
+
+    def _time_pieces(self, segment: WaveSegment, rules: list) -> list:
+        """Split the segment span where time-condition matching flips.
+
+        Returns ``[(piece_interval, rules_matching_that_piece), ...]``.
+        """
+        span = segment.interval
+        timed = [r for r in rules if not r.time.is_unconstrained()]
+        if not timed:
+            return [(span, rules)]
+        boundaries = {span.start, span.end}
+        matches: dict = {}
+        for rule in timed:
+            ivs = rule.time.matching_intervals(span)
+            matches[rule.rule_id] = ivs
+            for iv in ivs:
+                boundaries.add(iv.start)
+                boundaries.add(iv.end)
+        points = sorted(boundaries)
+        pieces = []
+        for lo, hi in zip(points, points[1:]):
+            piece = Interval(lo, hi)
+            if piece.is_empty():
+                continue
+            piece_rules = []
+            for rule in rules:
+                if rule.time.is_unconstrained():
+                    piece_rules.append(rule)
+                elif any(iv.contains_interval(piece) for iv in matches[rule.rule_id]):
+                    piece_rules.append(rule)
+            pieces.append((piece, piece_rules))
+        return pieces
+
+    def _release_piece(
+        self, segment: WaveSegment, piece: Interval, rules: list
+    ) -> Optional[ReleasedSegment]:
+        allow_rules = [r for r in rules if r.action.is_allow]
+        if not allow_rules:
+            return None  # this window grants nothing
+
+        # Channel grant set: union of the allow rules' sensor scopes.
+        granted: set = set()
+        for rule in allow_rules:
+            scope = rule.sensor_channels()
+            granted.update(segment.channels if scope is None else scope & set(segment.channels))
+
+        withheld: dict = {}
+
+        # Deny overrides, within each deny rule's sensor scope.
+        for rule in rules:
+            if not rule.action.is_deny:
+                continue
+            scope = rule.sensor_channels()
+            blocked = set(segment.channels) if scope is None else scope & set(segment.channels)
+            for channel_name in blocked & granted:
+                withheld[channel_name] = f"denied by rule {rule.rule_id}"
+            granted -= blocked
+            if scope is None:
+                # A full deny also suppresses labels and location.
+                return None
+
+        # Context labels are only releasable for categories the granted
+        # channels could reveal: an allow scoped to the accelerometer
+        # shares Activity labels, never Stress labels.  Eligibility is
+        # judged before the closure — abstraction converts a granted raw
+        # channel into its label rather than into silence.
+        label_eligible = frozenset(
+            category
+            for category in self.dependencies.contexts
+            if self.dependencies.channels_revealing(category) & granted
+        )
+
+        # Coarsest-wins abstraction folding.
+        sharing = EffectiveSharing()
+        for rule in rules:
+            if rule.action.is_abstraction:
+                sharing.apply(rule.action.abstraction)
+        if sharing.shares_nothing():
+            return None
+
+        # Dependency closure: a raw channel flows only if every context it
+        # could reveal is itself shared raw.
+        if self.enforce_closure:
+            permitted = self.dependencies.raw_permitted_channels(
+                granted, sharing.raw_contexts()
+            )
+            for channel_name in granted - permitted:
+                revealed = sorted(
+                    self.dependencies.contexts_revealed_by(channel_name)
+                    & sharing.restricted_contexts()
+                )
+                withheld[channel_name] = (
+                    f"withheld: could reveal restricted context(s) {', '.join(revealed)}"
+                )
+            granted = set(permitted)
+
+        # Location coarser than raw coordinates forbids raw GPS channels.
+        if not sharing.location_is_raw():
+            for channel_name in granted & _GPS_CHANNELS:
+                withheld[channel_name] = (
+                    f"withheld: location abstracted to {sharing.location_level}"
+                )
+            granted -= _GPS_CHANNELS
+
+        # Shape the surviving data.
+        sliced = segment.slice_time(piece)
+        out_segment: Optional[WaveSegment] = None
+        if sliced is not None and granted:
+            out_segment = sliced.select_channels(sorted(granted))
+
+        timestamp: Optional[int] = None
+        if sharing.time_level != "NotShare":
+            timestamp = truncate_timestamp(piece.start, sharing.time_level)
+        if out_segment is not None:
+            out_segment = self._shape_timestamps(out_segment, sharing.time_level, timestamp)
+            out_segment = out_segment.drop_location()  # location released separately
+
+        location = None
+        if segment.location is not None and sharing.location_level != "NotShare":
+            location = abstract_location(segment.location, sharing.location_level)
+
+        labels: dict = {}
+        for category, fine_label in segment.context.items():
+            if category not in sharing.context_levels or category not in label_eligible:
+                continue
+            label = sharing.context_label(category, fine_label)
+            if label is not None:
+                labels[category] = label
+
+        if out_segment is None and not labels:
+            # Nothing attributable to the data remains; releasing bare
+            # location/timestamp metadata would leak without utility.
+            return None
+
+        released = ReleasedSegment(
+            contributor=segment.contributor,
+            interval=piece,
+            segment=out_segment,
+            timestamp=timestamp,
+            time_level=sharing.time_level,
+            location=location,
+            location_level=sharing.location_level,
+            context_labels=labels,
+            withheld=withheld,
+        )
+        return released
+
+    @staticmethod
+    def _shape_timestamps(
+        segment: WaveSegment, time_level: str, timestamp: Optional[int]
+    ) -> WaveSegment:
+        """Re-anchor the released segment's clock to the granted precision.
+
+        At the ``milliseconds`` level the true start is kept.  At coarser
+        levels the segment is re-anchored to the truncated timestamp, so
+        relative sample spacing survives but the absolute clock does not.
+        At ``NotShare`` the segment is anchored at epoch zero.
+        """
+        if time_level == "milliseconds":
+            return segment
+        anchor = 0 if timestamp is None else timestamp
+        if not segment.is_uniform:
+            # Shift the embedded Time column so raw stamps cannot leak.
+            from repro.datastore.wavesegment import TIME_CHANNEL
+
+            values = segment.values.copy()
+            col = segment.channels.index(TIME_CHANNEL)
+            values[:, col] += anchor - segment.start_ms
+            return replace(segment, start_ms=anchor, values=values, segment_id="")
+        return replace(segment, start_ms=anchor, segment_id="")

@@ -1,0 +1,214 @@
+"""Privacy-rule data model (paper Table 1 and Fig. 4).
+
+A rule is a conjunction of optional *conditions* plus one *action*:
+
+========= =====================================================
+Condition Attributes (Table 1a)
+========= =====================================================
+Consumer  user names, group names, study names (OR within list)
+Location  pre-defined labels and/or map regions (OR)
+Time      continuous ranges and/or weekly repeated windows (OR)
+Sensor    channel or channel-group names (OR); scopes the action
+Context   context labels; AND across categories, OR within one
+========= =====================================================
+
+Actions: ``Allow`` (raw data flows), ``Deny`` (nothing flows for the scoped
+sensors), or ``Abstraction`` (a map from aspect — Location, Time, Activity,
+Stress, Smoking, Conversation — to a ladder level, Table 1b).
+
+Conflict-resolution and dependency-closure semantics live in
+:mod:`repro.rules.engine`; this module is pure data with validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import RuleError
+from repro.sensors.channels import expand_channel_group
+from repro.sensors.contexts import CONTEXTS, label_category
+from repro.util.geo import LOCATION_GRANULARITIES, Region
+from repro.util.idgen import stable_id
+from repro.util.timeutil import TIME_GRANULARITIES, TimeCondition
+
+#: Abstraction aspects that are not context categories.
+LOCATION_ASPECT = "Location"
+TIME_ASPECT = "Time"
+
+#: Ladder levels for the Location aspect (Table 1b, Location row).
+LOCATION_LEVELS = tuple(list(LOCATION_GRANULARITIES) + ["NotShare"])
+#: Ladder levels for the Time aspect (Table 1b, Time row).
+TIME_LEVELS = tuple(list(TIME_GRANULARITIES) + ["NotShare"])
+
+ACTION_ALLOW = "allow"
+ACTION_DENY = "deny"
+ACTION_ABSTRACTION = "abstraction"
+
+
+def _aspect_levels(aspect: str) -> tuple:
+    if aspect == LOCATION_ASPECT:
+        return LOCATION_LEVELS
+    if aspect == TIME_ASPECT:
+        return TIME_LEVELS
+    spec = CONTEXTS.get(aspect)
+    if spec is None:
+        raise RuleError(
+            f"unknown abstraction aspect {aspect!r}; valid aspects: "
+            f"{[LOCATION_ASPECT, TIME_ASPECT] + list(CONTEXTS)}"
+        )
+    return spec.abstraction_levels
+
+
+@dataclass(frozen=True)
+class Action:
+    """The effect of a matching rule.
+
+    ``abstraction`` is only meaningful when ``kind == "abstraction"``; it
+    maps aspects to ladder levels and is validated against each aspect's
+    ladder.  ``"NotShared"`` (the spelling in the paper's Fig. 4) is
+    accepted as an alias of ``"NotShare"``.
+    """
+
+    kind: str
+    abstraction: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ACTION_ALLOW, ACTION_DENY, ACTION_ABSTRACTION):
+            raise RuleError(f"unknown action kind: {self.kind!r}")
+        if self.kind != ACTION_ABSTRACTION and self.abstraction:
+            raise RuleError(f"{self.kind} action must not carry abstraction levels")
+        if self.kind == ACTION_ABSTRACTION and not self.abstraction:
+            raise RuleError("abstraction action needs at least one aspect level")
+        normalized = {}
+        for aspect, level in self.abstraction.items():
+            if level == "NotShared":
+                level = "NotShare"
+            levels = _aspect_levels(aspect)
+            if level not in levels:
+                raise RuleError(
+                    f"aspect {aspect!r} has no level {level!r}; valid levels: {levels}"
+                )
+            normalized[aspect] = level
+        object.__setattr__(self, "abstraction", normalized)
+
+    @property
+    def is_allow(self) -> bool:
+        return self.kind == ACTION_ALLOW
+
+    @property
+    def is_deny(self) -> bool:
+        return self.kind == ACTION_DENY
+
+    @property
+    def is_abstraction(self) -> bool:
+        return self.kind == ACTION_ABSTRACTION
+
+
+ALLOW = Action(ACTION_ALLOW)
+DENY = Action(ACTION_DENY)
+
+
+def abstraction(**levels: str) -> Action:
+    """Convenience constructor: ``abstraction(Stress="NotShare")``."""
+    return Action(ACTION_ABSTRACTION, dict(levels))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One privacy rule.  Empty condition tuples mean "unconstrained".
+
+    Attributes:
+        consumers: consumer user/group/study names this rule applies to.
+        location_labels: contributor-defined place labels ("home", "UCLA").
+        location_regions: explicit map regions.
+        time: time condition (ranges and/or repeated windows).
+        sensors: channel or group names the action is scoped to.
+        contexts: context condition labels ("Drive", "Conversation", ...).
+        action: allow / deny / abstraction.
+        rule_id: stable id; derived from content when omitted.
+        note: free-form human description (shown in the web UI).
+    """
+
+    consumers: tuple[str, ...] = ()
+    location_labels: tuple[str, ...] = ()
+    location_regions: tuple[Region, ...] = ()
+    time: TimeCondition = field(default_factory=TimeCondition)
+    sensors: tuple[str, ...] = ()
+    contexts: tuple[str, ...] = ()
+    action: Action = ALLOW
+    rule_id: str = ""
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        for label in self.contexts:
+            label_category(label)  # raises on unknown labels
+        for name in self.sensors:
+            expand_channel_group(name)  # raises on unknown channels/groups
+        if not self.rule_id:
+            object.__setattr__(
+                self,
+                "rule_id",
+                stable_id(
+                    self.consumers,
+                    self.location_labels,
+                    tuple(r.to_json() for r in self.location_regions),
+                    self.time.to_json(),
+                    self.sensors,
+                    self.contexts,
+                    self.action.kind,
+                    tuple(sorted(self.action.abstraction.items())),
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection used by the engine and the broker's search
+    # ------------------------------------------------------------------
+
+    def sensor_channels(self) -> Optional[frozenset]:
+        """Channels the action is scoped to, or None for "all channels"."""
+        if not self.sensors:
+            return None
+        out: set = set()
+        for name in self.sensors:
+            out.update(expand_channel_group(name))
+        return frozenset(out)
+
+    def context_requirements(self) -> dict:
+        """Condition labels grouped by category (AND across categories)."""
+        grouped: dict[str, list] = {}
+        for label in self.contexts:
+            grouped.setdefault(label_category(label), []).append(label)
+        return grouped
+
+    def is_unconditional(self) -> bool:
+        """True when only the consumer condition (if any) constrains it."""
+        return (
+            not self.location_labels
+            and not self.location_regions
+            and self.time.is_unconstrained()
+            and not self.sensors
+            and not self.contexts
+        )
+
+    def describe(self) -> str:
+        """One-line English summary, used by the web UI rule list."""
+        parts = []
+        who = ", ".join(self.consumers) if self.consumers else "everyone"
+        if self.action.is_allow:
+            parts.append(f"Allow {who}")
+        elif self.action.is_deny:
+            parts.append(f"Deny {who}")
+        else:
+            levels = ", ".join(f"{k}={v}" for k, v in sorted(self.action.abstraction.items()))
+            parts.append(f"For {who}, abstract [{levels}]")
+        if self.sensors:
+            parts.append(f"sensors {', '.join(self.sensors)}")
+        if self.location_labels or self.location_regions:
+            locs = list(self.location_labels) + [r.kind for r in self.location_regions]
+            parts.append(f"at {', '.join(locs)}")
+        if not self.time.is_unconstrained():
+            parts.append("during specified times")
+        if self.contexts:
+            parts.append(f"while {', '.join(self.contexts)}")
+        return "; ".join(parts)

@@ -1,0 +1,136 @@
+"""JSON serialization of privacy rules — the paper's Fig. 4 format.
+
+The web UI stores rules "as JSON objects on the remote data stores"; the
+example in Fig. 4 is::
+
+    [{ 'Consumer': ['Bob'],
+       'LocationLabel': ['UCLA'],
+       'Action': 'Allow' },
+     { 'Consumer': ['Bob'],
+       'LocationLabel': ['UCLA'],
+       'RepeatTime': {'Day': ['Mon','Tue','Wed','Thu','Fri'],
+                      'HourMin': ['9:00am', '6:00pm']},
+       'Context': ['Conversation'],
+       'Action': {'Abstraction': {'Stress': 'NotShared'}} }]
+
+This module parses exactly that shape (plus the attributes of Table 1 the
+example does not exercise: ``LocationRegion``, ``TimeRange``, ``Sensor``)
+and serializes back to it.  Unknown keys are rejected so that typos in
+hand-written rules fail loudly instead of silently granting access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.exceptions import GeoError, RuleError, SchemaError
+from repro.rules.model import ALLOW, DENY, Action, Rule
+from repro.util.geo import region_from_json
+from repro.util.timeutil import TimeCondition
+
+_KNOWN_KEYS = frozenset(
+    (
+        "Consumer",
+        "LocationLabel",
+        "LocationRegion",
+        "TimeRange",
+        "RepeatTime",
+        "Sensor",
+        "Context",
+        "Action",
+        "RuleId",
+        "Note",
+    )
+)
+
+
+def _string_list(obj: Any, key: str) -> tuple:
+    value = obj.get(key, [])
+    if isinstance(value, str):
+        value = [value]
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise RuleError(f"rule attribute {key!r} must be a string or list of strings")
+    return tuple(value)
+
+
+def _parse_action(value: Any) -> Action:
+    if isinstance(value, str):
+        if value == "Allow":
+            return ALLOW
+        if value == "Deny":
+            return DENY
+        raise RuleError(f"unknown action string: {value!r}")
+    if isinstance(value, dict):
+        if set(value) != {"Abstraction"}:
+            raise RuleError(f"action object must have exactly the key 'Abstraction': {value!r}")
+        levels = value["Abstraction"]
+        if not isinstance(levels, dict):
+            raise RuleError(f"'Abstraction' must map aspects to levels: {levels!r}")
+        return Action("abstraction", dict(levels))
+    raise RuleError(f"unparseable action: {value!r}")
+
+
+def rule_from_json(obj: dict) -> Rule:
+    """Parse one privacy rule from its Fig. 4 JSON form."""
+    if not isinstance(obj, dict):
+        raise RuleError(f"rule must be a JSON object, got {type(obj).__name__}")
+    unknown = set(obj) - _KNOWN_KEYS
+    if unknown:
+        raise RuleError(f"unknown rule attributes: {sorted(unknown)}")
+    if "Action" not in obj:
+        raise RuleError("rule is missing the required 'Action' attribute")
+    regions = obj.get("LocationRegion", [])
+    if isinstance(regions, dict):
+        regions = [regions]
+    try:
+        parsed_regions = tuple(region_from_json(r) for r in regions)
+    except (SchemaError, GeoError) as exc:
+        raise RuleError(str(exc)) from exc
+    return Rule(
+        consumers=_string_list(obj, "Consumer"),
+        location_labels=_string_list(obj, "LocationLabel"),
+        location_regions=parsed_regions,
+        time=TimeCondition.from_json(obj),
+        sensors=_string_list(obj, "Sensor"),
+        contexts=_string_list(obj, "Context"),
+        action=_parse_action(obj["Action"]),
+        rule_id=str(obj.get("RuleId", "")),
+        note=str(obj.get("Note", "")),
+    )
+
+
+def rule_to_json(rule: Rule) -> dict:
+    """Serialize one rule back to the Fig. 4 JSON form."""
+    obj: dict = {}
+    if rule.consumers:
+        obj["Consumer"] = list(rule.consumers)
+    if rule.location_labels:
+        obj["LocationLabel"] = list(rule.location_labels)
+    if rule.location_regions:
+        obj["LocationRegion"] = [r.to_json() for r in rule.location_regions]
+    obj.update(rule.time.to_json())
+    if rule.sensors:
+        obj["Sensor"] = list(rule.sensors)
+    if rule.contexts:
+        obj["Context"] = list(rule.contexts)
+    if rule.action.is_allow:
+        obj["Action"] = "Allow"
+    elif rule.action.is_deny:
+        obj["Action"] = "Deny"
+    else:
+        obj["Action"] = {"Abstraction": dict(rule.action.abstraction)}
+    obj["RuleId"] = rule.rule_id
+    if rule.note:
+        obj["Note"] = rule.note
+    return obj
+
+
+def rules_from_json(objs: Iterable[dict]) -> list:
+    """Parse a rule list (the unit the broker syncs)."""
+    if not isinstance(objs, list):
+        raise RuleError(f"rule set must be a JSON array, got {type(objs).__name__}")
+    return [rule_from_json(o) for o in objs]
+
+
+def rules_to_json(rules: Iterable[Rule]) -> list:
+    return [rule_to_json(r) for r in rules]

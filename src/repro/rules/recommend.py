@@ -1,0 +1,294 @@
+"""Privacy-rule recommendation from a contributor's own data.
+
+The paper's Section 6 shows the loop this module automates: Alice reviews
+her collected data, notices she is "frequently stressed while driving",
+feels uncomfortable, and adds a rule.  The Personal Data Vault lineage the
+paper extends shipped a *privacy rule recommender* for exactly this
+purpose.
+
+The recommender scans the owner's stored segments (with their context
+annotations) against the owner's current rules and produces
+:class:`RuleSuggestion` items for patterns known — from the user study the
+paper cites (Raij et al., CHI 2011) — to raise privacy concern:
+
+* sensitive context co-occurrence: stress/conversation/smoking episodes
+  concentrated in a specific activity (e.g. stressed while driving);
+* sensitive behaviour at a named place (e.g. smoking at work);
+* presence of high-leakage raw channels shared without any abstraction
+  (microphone, GPS);
+* night-time data at home covered by broad allow rules.
+
+Suggestions are *proposals*: each carries the ready-to-add Rule, a
+human-readable rationale, and the evidence count, and nothing is applied
+automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.rules.abstraction import EffectiveSharing
+from repro.rules.model import Rule, abstraction
+from repro.util.timeutil import RepeatedTime, TimeCondition, WEEKDAY_NAMES
+
+#: (category, sensitive value) pairs worth flagging, with the condition
+#: label to use when the co-occurring activity is the trigger.
+_SENSITIVE = (
+    ("Stress", "Stressed"),
+    ("Conversation", "Conversation"),
+    ("Smoking", "Smoking"),
+)
+
+_ACTIVITY_CONDITION_LABEL = {
+    "Still": "Still",
+    "Walk": "Walk",
+    "Run": "Run",
+    "Bike": "Bike",
+    "Drive": "Drive",
+}
+
+
+@dataclass(frozen=True)
+class RuleSuggestion:
+    """One proposed privacy rule with its justification."""
+
+    rule: Rule
+    rationale: str
+    evidence_segments: int
+    confidence: float  # fraction of relevant segments matching the pattern
+
+    def to_json(self) -> dict:
+        from repro.rules.parser import rule_to_json
+
+        return {
+            "Rule": rule_to_json(self.rule),
+            "Rationale": self.rationale,
+            "Evidence": self.evidence_segments,
+            "Confidence": round(self.confidence, 3),
+        }
+
+
+def _already_restricted(rules: Iterable[Rule], category: str, context_label: Optional[str]) -> bool:
+    """Is there a rule restricting ``category`` (optionally scoped to a
+    context label)?  Used to avoid re-suggesting what the owner did."""
+    for rule in rules:
+        restricts = (
+            rule.action.is_deny
+            or (
+                rule.action.is_abstraction
+                and rule.action.abstraction.get(category) is not None
+            )
+        )
+        if not restricts:
+            continue
+        if context_label is None or context_label in rule.contexts or not rule.contexts:
+            return True
+    return False
+
+
+def _co_occurrence_suggestions(segments, rules, min_support, min_confidence):
+    # (category, activity) -> [co-occur count, activity count]
+    counts: dict = {}
+    activity_totals: dict = {}
+    for segment in segments:
+        activity = segment.context.get("Activity")
+        if activity is None:
+            continue
+        activity_totals[activity] = activity_totals.get(activity, 0) + 1
+        for category, sensitive_value in _SENSITIVE:
+            if segment.context.get(category) == sensitive_value:
+                key = (category, activity)
+                counts[key] = counts.get(key, 0) + 1
+    suggestions = []
+    for (category, activity), count in sorted(counts.items()):
+        total = activity_totals.get(activity, 0)
+        if count < min_support or total == 0:
+            continue
+        confidence = count / total
+        if confidence < min_confidence:
+            continue
+        label = _ACTIVITY_CONDITION_LABEL.get(activity)
+        if label is None:
+            continue
+        if _already_restricted(rules, category, label):
+            continue
+        rule = Rule(
+            contexts=(label,),
+            action=abstraction(**{category: "NotShare"}),
+            note=f"recommended: frequent {category.lower()} while {activity.lower()}",
+        )
+        suggestions.append(
+            RuleSuggestion(
+                rule=rule,
+                rationale=(
+                    f"{category} was '{_dict(_SENSITIVE)[category]}' in {count} of "
+                    f"{total} segments while {activity.lower()} "
+                    f"({confidence:.0%}); consider not sharing {category} "
+                    f"while {activity.lower()}."
+                ),
+                evidence_segments=count,
+                confidence=confidence,
+            )
+        )
+    return suggestions
+
+
+def _dict(pairs):
+    return {k: v for k, v in pairs}
+
+
+def _place_suggestions(segments, rules, places, min_support, min_confidence):
+    # (category, place label) -> count; totals per place.
+    counts: dict = {}
+    place_totals: dict = {}
+    for segment in segments:
+        if segment.location is None:
+            continue
+        for label, place in places.items():
+            if not place.contains(segment.location):
+                continue
+            place_totals[label] = place_totals.get(label, 0) + 1
+            for category, sensitive_value in _SENSITIVE:
+                if segment.context.get(category) == sensitive_value:
+                    key = (category, label)
+                    counts[key] = counts.get(key, 0) + 1
+    suggestions = []
+    for (category, label), count in sorted(counts.items()):
+        total = place_totals.get(label, 0)
+        if count < min_support or total == 0:
+            continue
+        confidence = count / total
+        if confidence < min_confidence:
+            continue
+        if _already_restricted(rules, category, None):
+            continue
+        rule = Rule(
+            location_labels=(label,),
+            action=abstraction(**{category: "NotShare"}),
+            note=f"recommended: {category.lower()} episodes at {label}",
+        )
+        suggestions.append(
+            RuleSuggestion(
+                rule=rule,
+                rationale=(
+                    f"{count} of {total} segments at '{label}' show "
+                    f"{category.lower()} ({confidence:.0%}); consider not "
+                    f"sharing {category} there."
+                ),
+                evidence_segments=count,
+                confidence=confidence,
+            )
+        )
+    return suggestions
+
+
+def _broad_allow_suggestions(segments, rules):
+    """Flag unconditional allows when high-leakage channels are stored."""
+    broad_allows = [
+        r for r in rules if r.action.is_allow and r.is_unconditional()
+    ]
+    if not broad_allows:
+        return []
+    stored_channels: set = set()
+    for segment in segments:
+        stored_channels.update(segment.channels)
+    suggestions = []
+    if {"GpsLat", "GpsLon"} & stored_channels and not _has_location_abstraction(rules):
+        consumers = broad_allows[0].consumers
+        suggestions.append(
+            RuleSuggestion(
+                rule=Rule(
+                    consumers=consumers,
+                    action=abstraction(Location="zipcode"),
+                    note="recommended: coarsen shared location",
+                ),
+                rationale=(
+                    "raw GPS coordinates are shared under an unconditional "
+                    "allow; zipcode-level location usually preserves study "
+                    "utility (exposure, mobility) at lower risk."
+                ),
+                evidence_segments=sum(
+                    1 for s in segments if {"GpsLat", "GpsLon"} & set(s.channels)
+                ),
+                confidence=1.0,
+            )
+        )
+    night = _night_home_fraction(segments)
+    if night and night[1] >= 0.05:
+        count, _fraction = night
+        suggestions.append(
+            RuleSuggestion(
+                rule=Rule(
+                    time=TimeCondition(
+                        repeated=(
+                            RepeatedTime.weekly(list(WEEKDAY_NAMES), "11:00pm", "6:00am"),
+                        )
+                    ),
+                    action=abstraction(Time="day"),
+                    note="recommended: coarsen night-time timestamps",
+                ),
+                rationale=(
+                    f"{count} night-time segments are shared with full "
+                    "millisecond timestamps; day-level timestamps hide sleep "
+                    "patterns."
+                ),
+                evidence_segments=count,
+                confidence=1.0,
+            )
+        )
+    return suggestions
+
+
+def _has_location_abstraction(rules) -> bool:
+    sharing = EffectiveSharing()
+    for rule in rules:
+        if rule.action.is_abstraction:
+            sharing.apply(rule.action.abstraction)
+    return not sharing.location_is_raw()
+
+
+def _night_home_fraction(segments):
+    from repro.util.timeutil import minutes_since_midnight
+
+    night = total = 0
+    for segment in segments:
+        total += 1
+        minute = minutes_since_midnight(segment.start_ms)
+        if minute >= 23 * 60 or minute < 6 * 60:
+            night += 1
+    if total == 0:
+        return None
+    return night, night / total
+
+
+def suggest_rules(
+    segments,
+    rules,
+    places: Mapping,
+    *,
+    min_support: int = 5,
+    min_confidence: float = 0.25,
+) -> list:
+    """Analyze stored data against current rules; return suggestions.
+
+    Args:
+        segments: the owner's raw wave segments (with context annotations).
+        rules: the owner's current privacy rules.
+        places: the owner's labeled places.
+        min_support: minimum matching segments before a pattern is flagged.
+        min_confidence: minimum fraction of the relevant segment population.
+
+    Returns a list of :class:`RuleSuggestion`, strongest confidence first.
+    """
+    suggestions: list = []
+    suggestions += _co_occurrence_suggestions(segments, rules, min_support, min_confidence)
+    suggestions += _place_suggestions(segments, rules, dict(places), min_support, min_confidence)
+    suggestions += _broad_allow_suggestions(segments, rules)
+    # Deduplicate by rule id, keep the strongest.
+    by_id: dict = {}
+    for suggestion in suggestions:
+        existing = by_id.get(suggestion.rule.rule_id)
+        if existing is None or suggestion.confidence > existing.confidence:
+            by_id[suggestion.rule.rule_id] = suggestion
+    return sorted(by_id.values(), key=lambda s: -s.confidence)

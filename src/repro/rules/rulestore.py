@@ -1,0 +1,134 @@
+"""Per-contributor rule storage with versioning.
+
+Each remote data store keeps its contributors' privacy rules; "whenever
+data contributors change their privacy rules, remote data stores
+automatically communicate with the broker to synchronize" (Section 5.2).
+The :class:`RuleStore` assigns a monotonically increasing version to every
+mutation, and the sync protocol (:mod:`repro.broker.sync`) ships rule sets
+whose version is newer than the broker's copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.exceptions import MissingRecordError, RuleError
+from repro.rules.model import Rule
+from repro.rules.parser import rules_from_json, rules_to_json
+
+
+@dataclass
+class RuleSetSnapshot:
+    """A versioned copy of one contributor's rules (the sync unit)."""
+
+    contributor: str
+    version: int
+    rules: tuple
+
+    def to_json(self) -> dict:
+        return {
+            "Contributor": self.contributor,
+            "Version": self.version,
+            "Rules": rules_to_json(self.rules),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "RuleSetSnapshot":
+        return cls(
+            contributor=str(obj["Contributor"]),
+            version=int(obj["Version"]),
+            rules=tuple(rules_from_json(obj.get("Rules", []))),
+        )
+
+
+class RuleStore:
+    """Rules for many contributors, with change notification hooks."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, list] = {}
+        self._versions: dict[str, int] = {}
+        self._listeners: list[Callable[[RuleSetSnapshot], None]] = []
+
+    def on_change(self, listener: Callable[[RuleSetSnapshot], None]) -> None:
+        """Register a callback fired after every rule mutation.
+
+        The data-store service uses this to push rule changes to the
+        broker (eager sync) and to the contributor's phone (rule-aware
+        collection).
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, contributor: str) -> None:
+        snapshot = self.snapshot(contributor)
+        for listener in self._listeners:
+            listener(snapshot)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def register(self, contributor: str) -> None:
+        """Create an empty, version-0 rule set for a new contributor."""
+        self._rules.setdefault(contributor, [])
+        self._versions.setdefault(contributor, 0)
+
+    def add(self, contributor: str, rule: Rule) -> Rule:
+        rules = self._rules.setdefault(contributor, [])
+        if any(r.rule_id == rule.rule_id for r in rules):
+            raise RuleError(f"duplicate rule id {rule.rule_id!r} for {contributor!r}")
+        rules.append(rule)
+        self._bump(contributor)
+        return rule
+
+    def remove(self, contributor: str, rule_id: str) -> Rule:
+        rules = self._rules.get(contributor, [])
+        for i, rule in enumerate(rules):
+            if rule.rule_id == rule_id:
+                removed = rules.pop(i)
+                self._bump(contributor)
+                return removed
+        raise MissingRecordError(f"no rule {rule_id!r} for contributor {contributor!r}")
+
+    def replace_all(self, contributor: str, rules: Iterable[Rule]) -> None:
+        self._rules[contributor] = list(rules)
+        self._bump(contributor)
+
+    def restore(self, contributor: str, rules: Iterable[Rule], version: int) -> None:
+        """Install persisted state without bumping or notifying.
+
+        Used when reloading a store from disk: the broker already has this
+        state, so firing sync listeners would be redundant traffic.
+        """
+        self._rules[contributor] = list(rules)
+        self._versions[contributor] = version
+
+    def _bump(self, contributor: str) -> None:
+        self._versions[contributor] = self._versions.get(contributor, 0) + 1
+        self._notify(contributor)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def contributors(self) -> list:
+        return sorted(self._rules)
+
+    def rules_of(self, contributor: str) -> tuple:
+        return tuple(self._rules.get(contributor, ()))
+
+    def version_of(self, contributor: str) -> int:
+        return self._versions.get(contributor, 0)
+
+    def snapshot(self, contributor: str) -> RuleSetSnapshot:
+        return RuleSetSnapshot(
+            contributor=contributor,
+            version=self.version_of(contributor),
+            rules=self.rules_of(contributor),
+        )
+
+    def get(self, contributor: str, rule_id: str) -> Rule:
+        for rule in self._rules.get(contributor, ()):
+            if rule.rule_id == rule_id:
+                return rule
+        raise MissingRecordError(f"no rule {rule_id!r} for contributor {contributor!r}")

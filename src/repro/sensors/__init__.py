@@ -1,0 +1,75 @@
+"""Synthetic sensor substrate.
+
+The paper's data contributors carry a smartphone (GPS, WiFi, accelerometer,
+microphone) and a Zephyr BioHarness BT chest band (ECG, respiration, skin
+temperature).  We have no such hardware, so this package simulates it: a
+persona-driven daily-life generator produces per-channel sample streams,
+packetized the way real devices ship them (e.g. 64 ECG samples per packet),
+together with ground-truth context labels used to score inference and to
+verify rule enforcement end to end.
+"""
+
+from repro.sensors.channels import (
+    ACCEL_X,
+    ACCEL_Y,
+    ACCEL_Z,
+    CHANNELS,
+    ECG,
+    GPS_LAT,
+    GPS_LON,
+    MIC,
+    RESPIRATION,
+    SKIN_TEMP,
+    ChannelSpec,
+    channel,
+    channel_names,
+)
+from repro.sensors.contexts import (
+    ACTIVITY_LEVELS,
+    CONTEXT_NAMES,
+    CONTEXTS,
+    ContextSpec,
+    TRANSPORT_MODES,
+    context,
+)
+from repro.sensors.packets import SensorPacket
+from repro.sensors.personas import (
+    ActivityState,
+    DaySchedule,
+    Persona,
+    ScheduleEntry,
+    default_places,
+    make_persona,
+)
+from repro.sensors.simulator import SimulatorConfig, TraceSimulator
+
+__all__ = [
+    "ACCEL_X",
+    "ACCEL_Y",
+    "ACCEL_Z",
+    "CHANNELS",
+    "ECG",
+    "GPS_LAT",
+    "GPS_LON",
+    "MIC",
+    "RESPIRATION",
+    "SKIN_TEMP",
+    "ChannelSpec",
+    "channel",
+    "channel_names",
+    "ACTIVITY_LEVELS",
+    "CONTEXT_NAMES",
+    "CONTEXTS",
+    "ContextSpec",
+    "TRANSPORT_MODES",
+    "context",
+    "SensorPacket",
+    "ActivityState",
+    "DaySchedule",
+    "Persona",
+    "ScheduleEntry",
+    "default_places",
+    "make_persona",
+    "SimulatorConfig",
+    "TraceSimulator",
+]

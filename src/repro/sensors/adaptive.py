@@ -1,0 +1,140 @@
+"""Adaptive (change-driven) sampling: non-uniform wave segments.
+
+The paper's wave-segment format supports "sampling schemes such as
+adaptive [Jain & Chang], compressive [Candes et al.], and episodic" by
+carrying per-sample timestamps inside the value blob.  This module
+implements the adaptive case: a zero-order-hold downsampler that keeps a
+sample only when the signal moved more than ``epsilon`` since the last
+kept sample (with a heartbeat bound on silence), producing exactly the
+non-uniform segments the format exists for.
+
+The dual guarantee: reconstruction by zero-order hold is within
+``epsilon`` of the original at every original sample instant, while slow
+channels (skin temperature, resting heart rate) compress by an order of
+magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datastore.wavesegment import TIME_CHANNEL, WaveSegment
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Downsampling knobs.
+
+    Attributes:
+        epsilon: keep a sample when it differs from the last kept one by
+            more than this (absolute units of the channel).
+        max_gap_ms: always keep a sample once this much time passed since
+            the last kept one, so a flat signal still proves liveness.
+    """
+
+    epsilon: float
+    max_gap_ms: int = 60_000
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative: {self.epsilon}")
+        if self.max_gap_ms <= 0:
+            raise ValidationError(f"max_gap_ms must be positive: {self.max_gap_ms}")
+
+
+def adaptive_downsample(
+    times: np.ndarray, values: np.ndarray, policy: AdaptivePolicy
+) -> tuple:
+    """Select the kept (times, values) from one uniform channel run.
+
+    The first and last samples are always kept, so the span is preserved.
+    """
+    times = np.asarray(times, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if times.shape != values.shape:
+        raise ValidationError(
+            f"times and values must align: {times.shape} vs {values.shape}"
+        )
+    if len(times) == 0:
+        return times, values
+    keep = [0]
+    last_value = values[0]
+    last_time = times[0]
+    for i in range(1, len(times)):
+        if (
+            abs(values[i] - last_value) > policy.epsilon
+            or times[i] - last_time >= policy.max_gap_ms
+        ):
+            keep.append(i)
+            last_value = values[i]
+            last_time = times[i]
+    if keep[-1] != len(times) - 1:
+        keep.append(len(times) - 1)
+    idx = np.asarray(keep)
+    return times[idx], values[idx]
+
+
+def compress_segment(segment: WaveSegment, policy: AdaptivePolicy) -> WaveSegment:
+    """Adaptive-compress a uniform single-channel segment.
+
+    Returns a non-uniform segment whose blob carries a ``Time`` column.
+    Multi-channel segments must be compressed per channel (each channel
+    keeps different instants), so they are rejected here.
+    """
+    if not segment.is_uniform:
+        raise ValidationError("segment is already non-uniform")
+    if len(segment.channels) != 1:
+        raise ValidationError(
+            "adaptive compression operates on single-channel segments; "
+            "select_channels() first"
+        )
+    channel = segment.channels[0]
+    times, values = adaptive_downsample(
+        segment.sample_times(), segment.channel_values(channel), policy
+    )
+    blob = np.column_stack([times.astype(np.float64), values])
+    return WaveSegment(
+        contributor=segment.contributor,
+        channels=(TIME_CHANNEL, channel),
+        start_ms=int(times[0]),
+        interval_ms=None,
+        values=blob,
+        location=segment.location,
+        context=dict(segment.context),
+    )
+
+
+def reconstruct(segment: WaveSegment, at_times: np.ndarray) -> np.ndarray:
+    """Zero-order-hold reconstruction of a compressed channel.
+
+    ``at_times`` before the first kept sample get the first kept value.
+    """
+    if segment.is_uniform:
+        raise ValidationError("reconstruct() expects a non-uniform segment")
+    data_channels = [c for c in segment.channels if c != TIME_CHANNEL]
+    if len(data_channels) != 1:
+        raise ValidationError("reconstruct() expects exactly one data channel")
+    times = segment.sample_times()
+    values = segment.channel_values(data_channels[0])
+    at_times = np.asarray(at_times, dtype=np.int64)
+    idx = np.searchsorted(times, at_times, side="right") - 1
+    idx = np.clip(idx, 0, len(values) - 1)
+    return values[idx]
+
+
+def compression_report(original: WaveSegment, compressed: WaveSegment) -> dict:
+    """Size and fidelity metrics for one compression."""
+    channel = [c for c in compressed.channels if c != TIME_CHANNEL][0]
+    recon = reconstruct(compressed, original.sample_times())
+    err = np.abs(recon - original.channel_values(channel))
+    return {
+        "original_samples": original.n_samples,
+        "kept_samples": compressed.n_samples,
+        "ratio": original.n_samples / max(1, compressed.n_samples),
+        "max_abs_error": float(err.max()) if len(err) else 0.0,
+        "original_bytes": original.storage_bytes(),
+        "compressed_bytes": compressed.storage_bytes(),
+    }

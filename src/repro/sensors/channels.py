@@ -1,0 +1,111 @@
+"""Sensor channel registry.
+
+A *channel* is a single named stream of scalar samples (Table 1(a)'s
+"Sensor Channel Name", e.g. Accelerometer, ECG).  Multi-axis sensors are
+modeled as one channel per axis, matching how wave segments store an array
+of per-channel tuples (Fig. 5 shows a segment whose tuple format lists the
+channels it carries).
+
+Sample rates default to laptop-friendly values; the real hardware rates
+(Zephyr BioHarness: 250 Hz ECG, 18 Hz respiration) are recorded on each
+spec for reference and can be requested explicitly by simulations that
+want hardware-faithful volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import UnknownChannelError
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Static description of one sensor channel.
+
+    Attributes:
+        name: unique channel name used in wave segments, queries, and rules.
+        device: which device produces it ("phone" or "chestband").
+        unit: engineering unit of the samples.
+        default_rate_hz: sampling rate used by the simulator by default.
+        hardware_rate_hz: rate of the real sensor, for reference.
+        packet_samples: samples per transmission packet, as shipped by the
+            device firmware (the paper cites 64 ECG samples per Zephyr
+            packet; this drives the wave-segment optimization experiment).
+    """
+
+    name: str
+    device: str
+    unit: str
+    default_rate_hz: float
+    hardware_rate_hz: float
+    packet_samples: int
+
+    @property
+    def default_interval_ms(self) -> int:
+        return int(round(1000.0 / self.default_rate_hz))
+
+
+ACCEL_X = ChannelSpec("AccelX", "phone", "m/s^2", 4.0, 30.0, 32)
+ACCEL_Y = ChannelSpec("AccelY", "phone", "m/s^2", 4.0, 30.0, 32)
+ACCEL_Z = ChannelSpec("AccelZ", "phone", "m/s^2", 4.0, 30.0, 32)
+GPS_LAT = ChannelSpec("GpsLat", "phone", "deg", 1.0 / 15.0, 1.0, 4)
+GPS_LON = ChannelSpec("GpsLon", "phone", "deg", 1.0 / 15.0, 1.0, 4)
+MIC = ChannelSpec("MicAmplitude", "phone", "dBFS", 1.0, 16000.0, 16)
+ECG = ChannelSpec("ECG", "chestband", "mV", 8.0, 250.0, 64)
+RESPIRATION = ChannelSpec("Respiration", "chestband", "breaths-signal", 4.0, 18.0, 18)
+SKIN_TEMP = ChannelSpec("SkinTemp", "chestband", "degC", 1.0 / 30.0, 1.0, 8)
+
+#: All channels keyed by name.
+CHANNELS: dict[str, ChannelSpec] = {
+    spec.name: spec
+    for spec in (
+        ACCEL_X,
+        ACCEL_Y,
+        ACCEL_Z,
+        GPS_LAT,
+        GPS_LON,
+        MIC,
+        ECG,
+        RESPIRATION,
+        SKIN_TEMP,
+    )
+}
+
+#: Channel groups usable as a shorthand in rules and queries ("Accelerometer"
+#: expands to the three axes, "GPS" to lat/lon), mirroring how the paper's
+#: Table 1 lists whole sensors rather than axes.
+CHANNEL_GROUPS: dict[str, tuple[str, ...]] = {
+    "Accelerometer": (ACCEL_X.name, ACCEL_Y.name, ACCEL_Z.name),
+    "GPS": (GPS_LAT.name, GPS_LON.name),
+    "Microphone": (MIC.name,),
+    "ECG": (ECG.name,),
+    "Respiration": (RESPIRATION.name,),
+    "SkinTemp": (SKIN_TEMP.name,),
+}
+
+
+def channel(name: str) -> ChannelSpec:
+    """Look up a channel spec by exact name."""
+    try:
+        return CHANNELS[name]
+    except KeyError:
+        raise UnknownChannelError(f"unknown sensor channel: {name!r}") from None
+
+
+def channel_names() -> tuple[str, ...]:
+    """All registered channel names, in registry order."""
+    return tuple(CHANNELS)
+
+
+def expand_channel_group(name: str) -> tuple[str, ...]:
+    """Expand a group name ("Accelerometer") or single channel to channels.
+
+    Accepts either a group name from :data:`CHANNEL_GROUPS` or an exact
+    channel name; anything else raises :class:`UnknownChannelError`.
+    """
+    if name in CHANNEL_GROUPS:
+        return CHANNEL_GROUPS[name]
+    if name in CHANNELS:
+        return (name,)
+    raise UnknownChannelError(f"unknown sensor channel or group: {name!r}")

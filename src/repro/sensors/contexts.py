@@ -1,0 +1,184 @@
+"""Context registry: inferable behavioral states and their abstractions.
+
+Table 1 of the paper names the contexts available from sensors — Moving,
+Not Moving, Still, Walk, Run, Bike, Drive, Stress, Conversation, Smoke —
+and, in part (b), an *abstraction ladder* per context category: a data
+consumer can receive the raw source sensor data, a fine-grained label, a
+coarse binary label, or nothing.
+
+We model four context **categories** (Activity, Stress, Smoking,
+Conversation).  Each category declares:
+
+* which sensor channels it is inferable from (the edges of the
+  sensor/context dependency graph in :mod:`repro.rules.dependency`);
+* its label vocabulary;
+* its abstraction ladder, finest first.
+
+Rule *conditions* reference individual labels ("don't share while I am
+Driving"); rule *abstraction actions* reference a category and a ladder
+level ("share Activity at the Move/NotMove level").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import UnknownContextError
+from repro.sensors.channels import (
+    ACCEL_X,
+    ACCEL_Y,
+    ACCEL_Z,
+    ECG,
+    GPS_LAT,
+    GPS_LON,
+    MIC,
+    RESPIRATION,
+)
+
+#: Fine-grained activity labels (transportation modes), Table 1(b).
+TRANSPORT_MODES = ("Still", "Walk", "Run", "Bike", "Drive")
+
+#: Coarse activity labels.
+ACTIVITY_LEVELS = ("NotMoving", "Moving")
+
+
+@dataclass(frozen=True)
+class ContextSpec:
+    """One inferable context category.
+
+    Attributes:
+        name: category name ("Activity", "Stress", ...).
+        source_channels: channels from which the category can be inferred;
+            sharing any of them in raw form leaks this context (the
+            dependency rule of Section 5.1).
+        labels: the fine-grained label vocabulary.
+        abstraction_levels: ladder of abstraction level names, finest
+            (raw sensor data) first, ending with ``"NotShare"``.
+    """
+
+    name: str
+    source_channels: tuple[str, ...]
+    labels: tuple[str, ...]
+    abstraction_levels: tuple[str, ...]
+
+    def level_index(self, level: str) -> int:
+        """Position of a level on the ladder; larger is coarser/safer."""
+        try:
+            return self.abstraction_levels.index(level)
+        except ValueError:
+            raise UnknownContextError(
+                f"context {self.name!r} has no abstraction level {level!r}; "
+                f"valid levels: {self.abstraction_levels}"
+            ) from None
+
+    def coarsest(self, a: str, b: str) -> str:
+        """Of two ladder levels, the coarser (more private) one."""
+        return a if self.level_index(a) >= self.level_index(b) else b
+
+
+ACTIVITY = ContextSpec(
+    name="Activity",
+    source_channels=(
+        ACCEL_X.name,
+        ACCEL_Y.name,
+        ACCEL_Z.name,
+        GPS_LAT.name,
+        GPS_LON.name,
+    ),
+    labels=TRANSPORT_MODES,
+    abstraction_levels=("AccelerometerData", "TransportMode", "MoveNotMove", "NotShare"),
+)
+
+STRESS = ContextSpec(
+    name="Stress",
+    source_channels=(ECG.name, RESPIRATION.name),
+    labels=("Stressed", "NotStressed"),
+    abstraction_levels=("EcgRespirationData", "StressedNotStressed", "NotShare"),
+)
+
+SMOKING = ContextSpec(
+    name="Smoking",
+    source_channels=(RESPIRATION.name,),
+    labels=("Smoking", "NotSmoking"),
+    abstraction_levels=("RespirationData", "SmokingNotSmoking", "NotShare"),
+)
+
+CONVERSATION = ContextSpec(
+    name="Conversation",
+    source_channels=(MIC.name, RESPIRATION.name),
+    labels=("Conversation", "NotConversation"),
+    abstraction_levels=("MicRespirationData", "ConversationNotConversation", "NotShare"),
+)
+
+#: Context categories keyed by name.
+CONTEXTS: dict[str, ContextSpec] = {
+    spec.name: spec for spec in (ACTIVITY, STRESS, SMOKING, CONVERSATION)
+}
+
+#: Every context label a rule condition may name (Table 1(a), Context row),
+#: mapped to ``(category, predicate)``.  The predicate receives the
+#: category's current label and decides whether the condition holds.
+_LABEL_PREDICATES: dict[str, tuple[str, tuple[str, ...]]] = {
+    # Activity labels.
+    "Still": ("Activity", ("Still",)),
+    "Walk": ("Activity", ("Walk",)),
+    "Run": ("Activity", ("Run",)),
+    "Bike": ("Activity", ("Bike",)),
+    "Drive": ("Activity", ("Drive",)),
+    "Moving": ("Activity", ("Walk", "Run", "Bike", "Drive")),
+    "NotMoving": ("Activity", ("Still",)),
+    # Stress labels ("Stress" is the paper's Table 1 spelling).
+    "Stress": ("Stress", ("Stressed",)),
+    "Stressed": ("Stress", ("Stressed",)),
+    "NotStressed": ("Stress", ("NotStressed",)),
+    # Conversation.
+    "Conversation": ("Conversation", ("Conversation",)),
+    "NotConversation": ("Conversation", ("NotConversation",)),
+    # Smoking ("Smoke" is the paper's Table 1 spelling).
+    "Smoke": ("Smoking", ("Smoking",)),
+    "Smoking": ("Smoking", ("Smoking",)),
+    "NotSmoking": ("Smoking", ("NotSmoking",)),
+}
+
+#: Public list of condition labels, for Table 1 regeneration.
+CONTEXT_NAMES = tuple(_LABEL_PREDICATES)
+
+
+def context(name: str) -> ContextSpec:
+    """Look up a context category by name."""
+    try:
+        return CONTEXTS[name]
+    except KeyError:
+        raise UnknownContextError(f"unknown context category: {name!r}") from None
+
+
+def label_category(label: str) -> str:
+    """Category a condition label belongs to ("Drive" -> "Activity")."""
+    try:
+        return _LABEL_PREDICATES[label][0]
+    except KeyError:
+        raise UnknownContextError(f"unknown context label: {label!r}") from None
+
+
+def label_matches(label: str, category_value: str) -> bool:
+    """Does a category's current value satisfy a condition label?
+
+    ``label_matches("Moving", "Bike")`` is True; the condition label
+    "Moving" holds whenever the Activity category's value is any moving
+    transport mode.
+    """
+    category, accepted = _LABEL_PREDICATES.get(label, (None, ()))
+    if category is None:
+        raise UnknownContextError(f"unknown context label: {label!r}")
+    return category_value in accepted
+
+
+def categories_for_channel(channel_name: str) -> tuple[str, ...]:
+    """Context categories inferable from a given raw channel.
+
+    This is the reverse edge set of the dependency graph: raw respiration
+    data leaks Stress, Smoking, and Conversation.
+    """
+    return tuple(
+        spec.name for spec in CONTEXTS.values() if channel_name in spec.source_channels
+    )

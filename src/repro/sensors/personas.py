@@ -1,0 +1,255 @@
+"""Personas: ground-truth daily-life timelines for the trace simulator.
+
+A persona is a synthetic data contributor with named places (home, work,
+...), a weekday/weekend schedule, and behavioral propensities (how often
+they are stressed, whether they smoke, how much of the work day is spent in
+conversation).  The persona compiles to a timeline of
+:class:`ActivityState` spans — the *ground truth* against which context
+inference accuracy and privacy-rule enforcement are scored.
+
+This replaces the paper's human study participants (see DESIGN.md,
+Substitutions): the rule engine and collection gate consume only the
+sensor streams and inferred labels, so any generator that produces
+plausibly correlated streams with known truth exercises the same paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ValidationError
+from repro.util.geo import BoundingBox, LabeledPlace, LatLon
+from repro.util.idgen import DeterministicRng
+from repro.util.timeutil import Interval, WEEKDAY_NAMES
+
+_MS_PER_MIN = 60_000
+_MS_PER_DAY = 86_400_000
+
+
+@dataclass(frozen=True)
+class ActivityState:
+    """Ground truth over one span of time.
+
+    Attributes:
+        interval: the span this state covers (epoch ms, half-open).
+        place: label of the persona's current place, or None in transit.
+        location: representative coordinate during the span.
+        activity: transport mode label ("Still", "Walk", ..., "Drive").
+        stressed / in_conversation / smoking: behavioral booleans.
+    """
+
+    interval: Interval
+    place: Optional[str]
+    location: LatLon
+    activity: str
+    stressed: bool = False
+    in_conversation: bool = False
+    smoking: bool = False
+
+    def context_labels(self) -> dict:
+        """Ground-truth labels keyed by context category name."""
+        return {
+            "Activity": self.activity,
+            "Stress": "Stressed" if self.stressed else "NotStressed",
+            "Conversation": "Conversation" if self.in_conversation else "NotConversation",
+            "Smoking": "Smoking" if self.smoking else "NotSmoking",
+        }
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One block of a daily schedule, in minutes since midnight."""
+
+    start_minute: int
+    end_minute: int
+    place: Optional[str]  # None means in transit
+    activity: str
+    conversation_prob: float = 0.0
+    stress_prob: float = 0.0
+    smoking_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_minute < self.end_minute <= 1440:
+            raise ValidationError(
+                f"schedule entry minutes out of order: {self.start_minute}..{self.end_minute}"
+            )
+
+
+@dataclass(frozen=True)
+class DaySchedule:
+    """A full day of schedule entries covering [0, 1440) minutes."""
+
+    entries: tuple[ScheduleEntry, ...]
+
+    def __post_init__(self) -> None:
+        cursor = 0
+        for entry in self.entries:
+            if entry.start_minute != cursor:
+                raise ValidationError(
+                    f"schedule gap or overlap at minute {entry.start_minute} (expected {cursor})"
+                )
+            cursor = entry.end_minute
+        if cursor != 1440:
+            raise ValidationError(f"schedule ends at minute {cursor}, expected 1440")
+
+
+@dataclass
+class Persona:
+    """A synthetic contributor: places, schedules, and behaviour knobs."""
+
+    name: str
+    places: dict  # label -> LabeledPlace
+    weekday: DaySchedule
+    weekend: DaySchedule
+    smoker: bool = False
+    #: Granularity of ground-truth state spans, minutes.  Behaviour booleans
+    #: are re-drawn each span, so shorter spans mean choppier behaviour.
+    state_minutes: int = 15
+
+    def place(self, label: str) -> LabeledPlace:
+        try:
+            return self.places[label]
+        except KeyError:
+            raise ValidationError(f"persona {self.name!r} has no place {label!r}") from None
+
+    def schedule_for(self, weekday_name: str) -> DaySchedule:
+        return self.weekday if weekday_name in WEEKDAY_NAMES[:5] else self.weekend
+
+    def timeline(self, start_ms: int, days: int, rng: DeterministicRng) -> list[ActivityState]:
+        """Compile the persona into ground-truth states over ``days`` days.
+
+        ``start_ms`` should be midnight UTC of the first day; states are
+        emitted in ``state_minutes`` slices so behavioral booleans vary
+        within a schedule block.
+        """
+        from repro.util.timeutil import day_of_week  # local to avoid cycle at import
+
+        if days <= 0:
+            raise ValidationError(f"days must be positive: {days}")
+        states: list[ActivityState] = []
+        slice_ms = self.state_minutes * _MS_PER_MIN
+        for day in range(days):
+            day_start = start_ms + day * _MS_PER_DAY
+            schedule = self.schedule_for(day_of_week(day_start))
+            for entry in schedule.entries:
+                entry_start = day_start + entry.start_minute * _MS_PER_MIN
+                entry_end = day_start + entry.end_minute * _MS_PER_MIN
+                location = self._entry_location(entry, rng)
+                ts = entry_start
+                while ts < entry_end:
+                    span_end = min(ts + slice_ms, entry_end)
+                    smoking = (
+                        self.smoker
+                        and entry.smoking_prob > 0
+                        and rng.random() < entry.smoking_prob
+                    )
+                    states.append(
+                        ActivityState(
+                            interval=Interval(ts, span_end),
+                            place=entry.place,
+                            location=location,
+                            activity=entry.activity,
+                            stressed=rng.random() < entry.stress_prob,
+                            in_conversation=rng.random() < entry.conversation_prob,
+                            smoking=smoking,
+                        )
+                    )
+                    ts = span_end
+        return states
+
+    def _entry_location(self, entry: ScheduleEntry, rng: DeterministicRng) -> LatLon:
+        if entry.place is not None:
+            box = self.place(entry.place).region.bounding_box()
+            lat = float(rng.uniform(box.south, box.north))
+            lon = float(rng.uniform(box.west, box.east))
+            return LatLon(lat, lon)
+        # In transit: a point between home and work if both exist, else a
+        # jittered city-center point.
+        anchors = [p.region.bounding_box().center() for p in self.places.values()]
+        if len(anchors) >= 2:
+            t = rng.random()
+            a, b = anchors[0], anchors[1]
+            return LatLon(a.lat + t * (b.lat - a.lat), a.lon + t * (b.lon - a.lon))
+        base = anchors[0] if anchors else LatLon(34.07, -118.44)
+        return LatLon(base.lat + float(rng.normal(0, 0.01)), base.lon + float(rng.normal(0, 0.01)))
+
+
+def default_places(seed_offset: float = 0.0) -> dict:
+    """Places around Los Angeles (the authors' campus) for stock personas.
+
+    ``seed_offset`` shifts the whole map slightly so distinct contributors
+    have distinct home coordinates.
+    """
+
+    def box(lat: float, lon: float, half: float = 0.004) -> BoundingBox:
+        return BoundingBox(lat - half, lon - half, lat + half, lon + half)
+
+    d = seed_offset
+    return {
+        "home": LabeledPlace("home", box(34.030 + d, -118.470 + d)),
+        "work": LabeledPlace("work", box(34.052 + d, -118.243 + d)),
+        "UCLA": LabeledPlace("UCLA", box(34.0689 + d, -118.4452 + d)),
+        "gym": LabeledPlace("gym", box(34.041 + d, -118.400 + d)),
+    }
+
+
+def _standard_weekday(
+    commute_mode: str,
+    stress_prob: float,
+    conversation_prob: float,
+    smoking_prob: float,
+) -> DaySchedule:
+    return DaySchedule(
+        entries=(
+            ScheduleEntry(0, 420, "home", "Still", 0.02, 0.02, 0.0),  # sleep
+            ScheduleEntry(420, 480, "home", "Still", 0.30, 0.05, smoking_prob),  # morning
+            ScheduleEntry(480, 540, None, commute_mode, 0.05, stress_prob + 0.2, 0.0),
+            ScheduleEntry(540, 720, "work", "Still", conversation_prob, stress_prob, 0.0),
+            ScheduleEntry(720, 780, "work", "Walk", 0.60, 0.05, smoking_prob),  # lunch
+            ScheduleEntry(780, 1020, "work", "Still", conversation_prob, stress_prob, 0.0),
+            ScheduleEntry(1020, 1080, None, commute_mode, 0.05, stress_prob + 0.2, 0.0),
+            ScheduleEntry(1080, 1140, "gym", "Run", 0.05, 0.02, 0.0),
+            ScheduleEntry(1140, 1440, "home", "Still", 0.25, 0.05, smoking_prob),
+        )
+    )
+
+
+def _standard_weekend(smoking_prob: float) -> DaySchedule:
+    return DaySchedule(
+        entries=(
+            ScheduleEntry(0, 540, "home", "Still", 0.02, 0.01, 0.0),
+            ScheduleEntry(540, 660, "home", "Still", 0.40, 0.03, smoking_prob),
+            ScheduleEntry(660, 780, None, "Bike", 0.05, 0.02, 0.0),
+            ScheduleEntry(780, 960, "UCLA", "Walk", 0.50, 0.05, smoking_prob),
+            ScheduleEntry(960, 1020, None, "Bike", 0.05, 0.02, 0.0),
+            ScheduleEntry(1020, 1440, "home", "Still", 0.30, 0.03, smoking_prob),
+        )
+    )
+
+
+def make_persona(
+    name: str,
+    *,
+    commute_mode: str = "Drive",
+    stress_prob: float = 0.25,
+    conversation_prob: float = 0.35,
+    smoker: bool = False,
+    seed_offset: float = 0.0,
+    state_minutes: int = 15,
+) -> Persona:
+    """Build a stock persona with the standard office-worker shape.
+
+    The defaults mirror the paper's Section 6 narrative: drive commutes
+    (with elevated stress while driving), conversations at work, optional
+    smoking breaks.
+    """
+    smoking_prob = 0.3 if smoker else 0.0
+    return Persona(
+        name=name,
+        places=default_places(seed_offset),
+        weekday=_standard_weekday(commute_mode, stress_prob, conversation_prob, smoking_prob),
+        weekend=_standard_weekend(smoking_prob),
+        smoker=smoker,
+        state_minutes=state_minutes,
+    )

@@ -1,0 +1,21 @@
+"""The SensorSafe services: remote data stores and the broker.
+
+Both services follow the layered design of the paper's Fig. 2: every
+request passes the *user authentication* layer (API key for APIs, session
+token for web pages) before reaching the *query/privacy processing* layer,
+which consults the rule engine and the underlying database.
+"""
+
+from repro.server.datastore_service import DataStoreService
+from repro.server.broker_service import BrokerService
+from repro.server.audit import AuditLog, AuditRecord
+from repro.server.persistence import load_service_state, save_service_state
+
+__all__ = [
+    "DataStoreService",
+    "BrokerService",
+    "AuditLog",
+    "AuditRecord",
+    "load_service_state",
+    "save_service_state",
+]

@@ -1,0 +1,143 @@
+"""Access audit trail for remote data stores.
+
+The Personal Data Vault work the paper builds on pairs fine-grained access
+control with a *trace audit* so owners can see who accessed what; the
+paper's future-work section promises security mechanisms in the same
+spirit.  This module gives every remote data store an append-only audit
+log: one record per query-API access, capturing who asked, what they asked
+for, and what the rule engine actually let out (including what was
+withheld and why).  Owners read their own trail through the audit API.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One access to one contributor's data."""
+
+    seq: int
+    at_ms: int  # logical time: the store's access counter is monotonic
+    principal: str
+    contributor: str
+    query: dict
+    raw_access: bool  # owner reading their own data
+    segments_scanned: int
+    pieces_released: int
+    samples_released: int
+    labels_released: tuple  # sorted category names that flowed
+    withheld: dict  # channel -> reason (aggregated across pieces)
+
+    def to_json(self) -> dict:
+        return {
+            "Seq": self.seq,
+            "At": self.at_ms,
+            "Principal": self.principal,
+            "Contributor": self.contributor,
+            "Query": dict(self.query),
+            "RawAccess": self.raw_access,
+            "SegmentsScanned": self.segments_scanned,
+            "PiecesReleased": self.pieces_released,
+            "SamplesReleased": self.samples_released,
+            "LabelsReleased": list(self.labels_released),
+            "Withheld": dict(self.withheld),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "AuditRecord":
+        return cls(
+            seq=int(obj["Seq"]),
+            at_ms=int(obj["At"]),
+            principal=str(obj["Principal"]),
+            contributor=str(obj["Contributor"]),
+            query=dict(obj.get("Query", {})),
+            raw_access=bool(obj.get("RawAccess", False)),
+            segments_scanned=int(obj.get("SegmentsScanned", 0)),
+            pieces_released=int(obj.get("PiecesReleased", 0)),
+            samples_released=int(obj.get("SamplesReleased", 0)),
+            labels_released=tuple(obj.get("LabelsReleased", ())),
+            withheld=dict(obj.get("Withheld", {})),
+        )
+
+
+class AuditLog:
+    """Per-contributor append-only access trail."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, list] = {}
+        self._seq = itertools.count(1)
+
+    def record_access(
+        self,
+        *,
+        principal: str,
+        contributor: str,
+        query: dict,
+        raw_access: bool,
+        segments_scanned: int,
+        released: Iterable = (),
+    ) -> AuditRecord:
+        """Log one query-API access; ``released`` are ReleasedSegments."""
+        pieces = 0
+        samples = 0
+        labels: set = set()
+        withheld: dict = {}
+        for item in released:
+            pieces += 1
+            samples += item.n_samples
+            labels.update(item.context_labels)
+            withheld.update(item.withheld)
+        seq = next(self._seq)
+        record = AuditRecord(
+            seq=seq,
+            at_ms=seq,  # logical clock; wall time is not simulated
+            principal=principal,
+            contributor=contributor,
+            query=dict(query),
+            raw_access=raw_access,
+            segments_scanned=segments_scanned,
+            pieces_released=pieces,
+            samples_released=samples,
+            labels_released=tuple(sorted(labels)),
+            withheld=withheld,
+        )
+        self._records.setdefault(contributor, []).append(record)
+        return record
+
+    def restore(self, records: Iterable[AuditRecord]) -> int:
+        """Re-install persisted records, advancing the sequence counter."""
+        count = 0
+        max_seq = 0
+        for record in records:
+            self._records.setdefault(record.contributor, []).append(record)
+            max_seq = max(max_seq, record.seq)
+            count += 1
+        if max_seq:
+            self._seq = itertools.count(max_seq + 1)
+        return count
+
+    def trail_of(self, contributor: str, *, limit: Optional[int] = None) -> list:
+        """The contributor's records, oldest first."""
+        records = self._records.get(contributor, [])
+        if limit is not None:
+            return records[-limit:]
+        return list(records)
+
+    def accesses_by(self, contributor: str, principal: str) -> list:
+        return [r for r in self._records.get(contributor, []) if r.principal == principal]
+
+    def summary(self, contributor: str) -> dict:
+        """Per-consumer aggregate: accesses and samples taken."""
+        out: dict = {}
+        for record in self._records.get(contributor, []):
+            entry = out.setdefault(
+                record.principal, {"accesses": 0, "samples": 0, "raw": 0}
+            )
+            entry["accesses"] += 1
+            entry["samples"] += record.samples_released
+            entry["raw"] += record.raw_access
+        return out

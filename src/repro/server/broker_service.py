@@ -1,0 +1,281 @@
+"""The broker service (paper Fig. 2, right box).
+
+Exposes the broker's HTTP API:
+
+* consumer account registration and login;
+* contributor listing and *adding contributors to a consumer's account*,
+  which auto-registers the consumer at each contributor's remote data
+  store, obtains an API key there, and escrows it (Section 5.4);
+* contributor search over synced privacy rules;
+* the rule-sync endpoint remote data stores push profiles to;
+* study management (group/study names usable in Consumer conditions);
+* a convenience data proxy for the broker's web UI ("they can also access
+  a contributor's data through the web user interface") — note that
+  programmatic consumers bypass this proxy and talk to stores directly,
+  which is why the broker never becomes a data-path bottleneck.
+"""
+
+from __future__ import annotations
+
+
+from repro.auth.accounts import AccountRegistry, ROLE_CONSUMER
+from repro.auth.apikeys import ApiKeyRegistry, KeyEscrow
+from repro.broker.registry import ContributorRegistry, StudyRegistry
+from repro.broker.search import ContributorSearch, SearchCriteria
+from repro.broker.sync import SyncManager
+from repro.exceptions import (
+    AuthorizationError,
+    BadRequestError,
+    NotFoundError,
+)
+from repro.net.client import HttpClient
+from repro.net.http import Request, Router
+from repro.net.transport import Network
+from repro.util.idgen import DeterministicRng
+
+STORE_PRINCIPAL_PREFIX = "store:"
+
+
+class BrokerService:
+    """The broker mounted on the simulated network."""
+
+    def __init__(self, network: Network, host: str = "broker", *, seed: int = 0):
+        self.host = host
+        self.network = network
+        rng = DeterministicRng(seed).fork(f"broker:{host}")
+        self.registry = ContributorRegistry()
+        self.studies = StudyRegistry()
+        self.sync = SyncManager(self.registry)
+        self.search = ContributorSearch(self.registry, membership=self._membership)
+        self.keys = ApiKeyRegistry(f"secret:{host}", rng.fork("keys"))
+        self.accounts = AccountRegistry(rng.fork("accounts"))
+        self.escrow = KeyEscrow()
+        self.client = HttpClient(network, name=host)
+        #: broker's own API keys at each store host (for profile pulls).
+        self.store_keys: dict[str, str] = {}
+        #: per-consumer saved contributor lists, keyed by list name.
+        self.saved_lists: dict[str, dict] = {}
+        self.router = Router()
+        self._mount_routes()
+        network.register_host(host, self.router)
+
+    # ------------------------------------------------------------------
+    # Pairing with data stores (in-process setup path)
+    # ------------------------------------------------------------------
+
+    def attach_store(self, store_service, *, eager_sync: bool = True) -> None:
+        """Pair with a :class:`DataStoreService`: exchange keys, wire sync.
+
+        The exchange is mutual: the broker obtains a key at the store (for
+        profile pulls and membership pushes) and the store obtains a key
+        at the broker (for eager rule-sync pushes over the network).  With
+        ``eager_sync=False`` the store never pushes and the broker relies
+        on :meth:`pull_profiles` — the lazy mode of the C5 ablation.
+        """
+        store_key = self.keys.issue(f"{STORE_PRINCIPAL_PREFIX}{store_service.host}")
+        store_client = HttpClient(
+            self.network, name=store_service.host, api_key=store_key
+        )
+        broker_host = self.host
+
+        def push_over_network(profile: dict) -> None:
+            store_client.post(f"https://{broker_host}/api/sync", {"Profile": profile})
+
+        broker_key = store_service.pair_broker(
+            push=push_over_network if eager_sync else None
+        )
+        self.store_keys[store_service.host] = broker_key
+
+    def register_contributor(self, name: str, host: str, institution: str = "self-hosted"):
+        """Record a contributor and their store (called at store signup).
+
+        The paper: "When the data contributors are first registered on
+        their data store, they are automatically registered on the broker,
+        too."
+        """
+        return self.registry.register(name, host, institution)
+
+    def pull_profiles(self) -> int:
+        """Periodic-pull sync across every known store."""
+        return self.sync.pull_all(self.client, self.store_keys)
+
+    # ------------------------------------------------------------------
+    # Consumer-side helpers
+    # ------------------------------------------------------------------
+
+    def register_consumer(self, name: str, password: str = "pw") -> str:
+        self.accounts.register(name, password, ROLE_CONSUMER)
+        return self.keys.issue(name)
+
+    def _membership(self, consumer: str) -> frozenset:
+        return frozenset({consumer}) | self.studies.studies_of_consumer(consumer)
+
+    def add_contributors_to_account(self, consumer: str, contributors) -> dict:
+        """Auto-register ``consumer`` at each contributor's store.
+
+        Returns ``{contributor: store host}``.  Keys obtained from the
+        stores go into escrow; membership (study names) is propagated so
+        the stores resolve group-based Consumer conditions identically.
+        """
+        out = {}
+        groups = sorted(self._membership(consumer) - {consumer})
+        for name in contributors:
+            record = self.registry.get(name)
+            if self.escrow.key_for(consumer, record.host) is None:
+                body = self.client.post(
+                    f"https://{record.host}/api/register",
+                    {"Username": consumer, "Role": ROLE_CONSUMER},
+                )
+                self.escrow.store_key(consumer, record.host, str(body["ApiKey"]))
+                broker_key = self.store_keys.get(record.host)
+                if broker_key is not None:
+                    self.client.with_key(broker_key).post(
+                        f"https://{record.host}/api/membership/set",
+                        {"Consumer": consumer, "Groups": groups},
+                    )
+            out[name] = record.host
+        return out
+
+    # ------------------------------------------------------------------
+    # Auth plumbing
+    # ------------------------------------------------------------------
+
+    def _authenticate(self, request: Request) -> str:
+        return self.keys.authenticate(request.api_key)
+
+    def _require_consumer(self, request: Request) -> str:
+        principal = self._authenticate(request)
+        account = self.accounts.get(principal)
+        if account is None or account.role != ROLE_CONSUMER:
+            raise AuthorizationError(f"{principal!r} is not a registered data consumer")
+        return principal
+
+    def _require_store(self, request: Request) -> str:
+        principal = self._authenticate(request)
+        if not principal.startswith(STORE_PRINCIPAL_PREFIX):
+            raise AuthorizationError("endpoint restricted to paired data stores")
+        return principal[len(STORE_PRINCIPAL_PREFIX) :]
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def _mount_routes(self) -> None:
+        add = self.router.add
+        add("POST", "/api/register_consumer", self._h_register_consumer)
+        add("POST", "/api/contributors/list", self._h_contributors_list)
+        add("POST", "/api/contributors/add", self._h_contributors_add)
+        add("POST", "/api/keys", self._h_keys)
+        add("POST", "/api/search", self._h_search)
+        add("POST", "/api/lists/save", self._h_lists_save)
+        add("POST", "/api/lists/get", self._h_lists_get)
+        add("POST", "/api/studies/create", self._h_studies_create)
+        add("POST", "/api/studies/join", self._h_studies_join)
+        add("POST", "/api/sync", self._h_sync)
+        add("POST", "/api/data", self._h_data_proxy)
+
+    def _h_register_consumer(self, request: Request) -> dict:
+        name = str(request.body.get("Username", ""))
+        if not name:
+            raise BadRequestError("registration needs a Username")
+        key = self.register_consumer(name, str(request.body.get("Password", "pw")))
+        return {"ApiKey": key}
+
+    def _h_contributors_list(self, request: Request) -> dict:
+        self._authenticate(request)
+        return {
+            "Contributors": [
+                {
+                    "Contributor": r.name,
+                    "Host": r.host,
+                    "Institution": r.institution,
+                    "RulesVersion": r.rules_version,
+                }
+                for r in self.registry.all()
+            ]
+        }
+
+    def _h_contributors_add(self, request: Request) -> dict:
+        consumer = self._require_consumer(request)
+        contributors = [str(c) for c in request.body.get("Contributors", [])]
+        added = self.add_contributors_to_account(consumer, contributors)
+        return {"Added": added}
+
+    def _h_keys(self, request: Request) -> dict:
+        """The consumer's escrowed key ring: {store host: API key}."""
+        consumer = self._require_consumer(request)
+        return {"Keys": self.escrow.ring_of(consumer)}
+
+    def _h_search(self, request: Request) -> dict:
+        consumer = self._require_consumer(request)
+        criteria_json = dict(request.body.get("Criteria", {}))
+        criteria_json.setdefault("Consumer", consumer)
+        if criteria_json["Consumer"] != consumer:
+            raise AuthorizationError("cannot search on behalf of another consumer")
+        criteria = SearchCriteria.from_json(criteria_json)
+        matches = self.search.search(criteria)
+        return {"Matches": [{"Contributor": r.name, "Host": r.host} for r in matches]}
+
+    def _h_lists_save(self, request: Request) -> dict:
+        consumer = self._require_consumer(request)
+        list_name = str(request.body.get("Name", "default"))
+        members = [str(c) for c in request.body.get("Contributors", [])]
+        for name in members:
+            self.registry.get(name)  # 404 on unknown contributors
+        self.saved_lists.setdefault(consumer, {})[list_name] = members
+        return {"Name": list_name, "Count": len(members)}
+
+    def _h_lists_get(self, request: Request) -> dict:
+        consumer = self._require_consumer(request)
+        list_name = str(request.body.get("Name", "default"))
+        lists = self.saved_lists.get(consumer, {})
+        if list_name not in lists:
+            raise NotFoundError(f"no saved list {list_name!r}")
+        return {"Name": list_name, "Contributors": lists[list_name]}
+
+    def _h_studies_create(self, request: Request) -> dict:
+        consumer = self._require_consumer(request)
+        study = str(request.body.get("Study", ""))
+        if not study:
+            raise BadRequestError("study creation needs a Study name")
+        self.studies.create(study, coordinators=[consumer])
+        return {"Study": study, "Coordinators": [consumer]}
+
+    def _h_studies_join(self, request: Request) -> dict:
+        consumer = self._require_consumer(request)
+        study = str(request.body.get("Study", ""))
+        self.studies.add_coordinator(study, consumer)
+        return {"Study": study, "Joined": consumer}
+
+    def _h_sync(self, request: Request) -> dict:
+        """Rule-sync push endpoint for remote data stores."""
+        store_host = self._require_store(request)
+        profile = dict(request.body.get("Profile", {}))
+        if profile.get("Host") != store_host:
+            raise AuthorizationError("stores may only sync their own contributors")
+        name = str(profile.get("Contributor", ""))
+        if name and name not in self.registry:
+            self.registry.register(name, store_host, str(profile.get("Institution", "")))
+        applied = self.sync.apply_profile(profile)
+        return {"Applied": applied}
+
+    def _h_data_proxy(self, request: Request) -> dict:
+        """Web-UI convenience: fetch a contributor's data via the broker.
+
+        The broker forwards the query to the store using the consumer's
+        escrowed key.  Payload transits the broker — which is exactly why
+        programmatic consumers use the direct path instead (benchmark C2
+        contrasts the two).
+        """
+        consumer = self._require_consumer(request)
+        contributor = str(request.body.get("Contributor", ""))
+        record = self.registry.get(contributor)
+        key = self.escrow.key_for(consumer, record.host)
+        if key is None:
+            raise AuthorizationError(
+                f"{consumer!r} has not added {contributor!r} to their account"
+            )
+        return self.client.with_key(key).post(
+            f"https://{record.host}/api/query",
+            {"Contributor": contributor, "Query": dict(request.body.get("Query", {}))},
+        )

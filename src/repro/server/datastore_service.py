@@ -1,0 +1,438 @@
+"""The remote data store service (paper Fig. 2, left box).
+
+One service instance is one "remote data store": it can live on a
+contributor's personal machine (one owner) or an institutional server
+(every participant of that institution, per the IRB requirement of
+Section 1).  It exposes:
+
+* **upload API** — contributors (their phones) push packets or segments;
+* **query API** — consumers pull data, with *every* access regulated by
+  the owner's privacy rules;
+* **rules API** — owners create/manage privacy rules; each mutation bumps
+  a version and is pushed to the broker (rule sync);
+* **profile API** — the broker pulls rules + places for contributor search;
+* **web UI** — mounted by :mod:`repro.server.webui`.
+
+Authentication: API keys in HTTPS POST bodies (Section 5.4).  The broker
+itself authenticates with a dedicated key issued at pairing time; only the
+broker may read rule snapshots or set consumer group memberships.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.auth.accounts import AccountRegistry, ROLE_CONSUMER, ROLE_CONTRIBUTOR
+from repro.auth.apikeys import ApiKeyRegistry
+from repro.datastore.optimizer import MergePolicy
+from repro.datastore.query import DataQuery
+from repro.datastore.segment_store import SegmentStore
+from repro.datastore.wavesegment import WaveSegment
+from repro.exceptions import (
+    AuthorizationError,
+    BadRequestError,
+    NotFoundError,
+)
+from repro.net.http import Request, Router
+from repro.net.transport import Network
+from repro.rules.engine import RuleEngine
+from repro.rules.model import Rule
+from repro.rules.parser import rule_from_json, rules_from_json, rules_to_json
+from repro.rules.rulestore import RuleStore
+from repro.sensors.packets import SensorPacket
+from repro.server.audit import AuditLog
+from repro.util.geo import LabeledPlace
+from repro.util.idgen import DeterministicRng
+
+BROKER_PRINCIPAL = "__broker__"
+
+
+class DataStoreService:
+    """One remote data store mounted on the simulated network."""
+
+    def __init__(
+        self,
+        host: str,
+        network: Network,
+        *,
+        institution: str = "self-hosted",
+        merge_policy: Optional[MergePolicy] = None,
+        directory: Optional[str] = None,
+        seed: int = 0,
+        enforce_closure: bool = True,
+    ):
+        self.host = host
+        self.network = network
+        self.institution = institution
+        rng = DeterministicRng(seed).fork(f"store:{host}")
+        self.store = SegmentStore(host, merge_policy=merge_policy, directory=directory)
+        self.rules = RuleStore()
+        self.keys = ApiKeyRegistry(f"secret:{host}", rng.fork("keys"))
+        self.accounts = AccountRegistry(rng.fork("accounts"))
+        self.audit = AuditLog()
+        self.enforce_closure = enforce_closure
+        self.roles: dict[str, str] = {}
+        self.places: dict[str, dict] = {}  # contributor -> {label: LabeledPlace}
+        self.memberships: dict[str, frozenset] = {}  # consumer -> groups/studies
+        self._broker_push: Optional[Callable[[dict], None]] = None
+        self.router = Router()
+        self._mount_routes()
+        network.register_host(host, self.router)
+        self.rules.on_change(self._on_rules_changed)
+
+    # ------------------------------------------------------------------
+    # Broker pairing
+    # ------------------------------------------------------------------
+
+    def pair_broker(self, push: Optional[Callable[[dict], None]] = None) -> str:
+        """Issue the broker's API key; optionally register an eager-sync push.
+
+        ``push`` receives the profile JSON of a contributor whose rules
+        changed; the broker wires this to its sync endpoint.
+        """
+        self.roles[BROKER_PRINCIPAL] = "broker"
+        self._broker_push = push
+        return self.keys.issue(BROKER_PRINCIPAL)
+
+    def _on_rules_changed(self, snapshot) -> None:
+        if self._broker_push is not None:
+            self._broker_push(self._profile_json(snapshot.contributor))
+
+    def _profile_json(self, contributor: str) -> dict:
+        snapshot = self.rules.snapshot(contributor)
+        return {
+            "Contributor": contributor,
+            "Host": self.host,
+            "Institution": self.institution,
+            "Version": snapshot.version,
+            "Rules": rules_to_json(snapshot.rules),
+            "Places": [p.to_json() for p in self.places.get(contributor, {}).values()],
+        }
+
+    # ------------------------------------------------------------------
+    # Registration helpers (used directly by the system facade too)
+    # ------------------------------------------------------------------
+
+    def register_contributor(self, name: str, password: str = "pw") -> str:
+        """Register a data owner; returns their API key."""
+        self.accounts.register(name, password, ROLE_CONTRIBUTOR)
+        self.roles[name] = ROLE_CONTRIBUTOR
+        self.rules.register(name)
+        self.places.setdefault(name, {})
+        return self.keys.issue(name)
+
+    def register_consumer(self, name: str, password: str = "pw") -> str:
+        """Register a data consumer; returns their API key."""
+        self.accounts.register(name, password, ROLE_CONSUMER)
+        self.roles[name] = ROLE_CONSUMER
+        return self.keys.issue(name)
+
+    def set_places(self, contributor: str, places: dict) -> None:
+        self.places[contributor] = dict(places)
+        # Places affect rule semantics; nudge a sync so the broker's
+        # search sees the same geography the engine enforces.
+        if self.rules.version_of(contributor) or self._broker_push is not None:
+            if self._broker_push is not None:
+                self._broker_push(self._profile_json(contributor))
+
+    # ------------------------------------------------------------------
+    # Auth plumbing
+    # ------------------------------------------------------------------
+
+    def _authenticate(self, request: Request) -> str:
+        return self.keys.authenticate(request.api_key)
+
+    def _require_contributor(self, request: Request, contributor: str) -> str:
+        principal = self._authenticate(request)
+        if principal != contributor:
+            raise AuthorizationError(
+                f"principal {principal!r} may not act for contributor {contributor!r}"
+            )
+        if self.roles.get(principal) != ROLE_CONTRIBUTOR:
+            raise AuthorizationError(f"{principal!r} is not a data contributor")
+        return principal
+
+    def _require_broker(self, request: Request) -> None:
+        principal = self._authenticate(request)
+        if self.roles.get(principal) != "broker":
+            raise AuthorizationError("endpoint restricted to the paired broker")
+
+    def _membership(self, consumer: str) -> frozenset:
+        return frozenset({consumer}) | self.memberships.get(consumer, frozenset())
+
+    def _engine_for(self, contributor: str) -> RuleEngine:
+        return RuleEngine(
+            self.rules.rules_of(contributor),
+            self.places.get(contributor, {}),
+            membership=self._membership,
+            enforce_closure=self.enforce_closure,
+        )
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def _mount_routes(self) -> None:
+        add = self.router.add
+        add("POST", "/api/register", self._h_register)
+        add("POST", "/api/upload", self._h_upload)
+        add("POST", "/api/upload_packets", self._h_upload_packets)
+        add("POST", "/api/flush", self._h_flush)
+        add("POST", "/api/query", self._h_query)
+        add("POST", "/api/rules/list", self._h_rules_list)
+        add("POST", "/api/rules/add", self._h_rules_add)
+        add("POST", "/api/rules/remove", self._h_rules_remove)
+        add("POST", "/api/rules/replace", self._h_rules_replace)
+        add("POST", "/api/rules/download", self._h_rules_download)
+        add("POST", "/api/places/set", self._h_places_set)
+        add("POST", "/api/places/list", self._h_places_list)
+        add("POST", "/api/profile", self._h_profile)
+        add("POST", "/api/membership/set", self._h_membership_set)
+        add("POST", "/api/stats", self._h_stats)
+        add("POST", "/api/audit/list", self._h_audit_list)
+        add("POST", "/api/audit/summary", self._h_audit_summary)
+        add("POST", "/api/aggregate", self._h_aggregate)
+        add("POST", "/api/delete", self._h_delete)
+
+    def _h_register(self, request: Request) -> dict:
+        """Open registration endpoint.
+
+        Consumers are registered here by the broker on their behalf (the
+        paper: "the registration process is automatically handled by the
+        broker"); contributors register once at store setup.
+        """
+        body = request.body
+        name = body.get("Username")
+        role = body.get("Role")
+        if not name or role not in (ROLE_CONTRIBUTOR, ROLE_CONSUMER):
+            raise BadRequestError("registration needs Username and Role")
+        password = str(body.get("Password", "pw"))
+        if role == ROLE_CONTRIBUTOR:
+            key = self.register_contributor(str(name), password)
+        else:
+            key = self.register_consumer(str(name), password)
+        return {"ApiKey": key, "Host": self.host}
+
+    def _h_upload(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        segments = request.body.get("Segments", [])
+        stored = 0
+        for obj in segments:
+            segment = WaveSegment.from_json(obj)
+            if segment.contributor != contributor:
+                raise AuthorizationError("cannot upload segments owned by someone else")
+            stored += len(self.store.add_segment(segment))
+        return {"Accepted": len(segments), "Finalized": stored}
+
+    def _h_upload_packets(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        packets = request.body.get("Packets", [])
+        stored = 0
+        for obj in packets:
+            packet = SensorPacket.from_json(obj)
+            stored += len(self.store.add_packet(contributor, packet))
+        return {"Accepted": len(packets), "Finalized": stored}
+
+    def _h_flush(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        return {"Finalized": len(self.store.flush())}
+
+    def _h_query(self, request: Request) -> dict:
+        """The query API: every access regulated by the owner's rules.
+
+        The owner reading their own data bypasses the engine — the paper's
+        web UI lets contributors "view their own data" unfiltered.
+        """
+        principal = self._authenticate(request)
+        contributor = str(request.body.get("Contributor", ""))
+        if not contributor:
+            raise BadRequestError("query needs a Contributor")
+        if contributor not in self.rules.contributors():
+            raise NotFoundError(f"no such contributor here: {contributor!r}")
+        query = DataQuery.from_json(request.body.get("Query", {}))
+        result = self.store.query(contributor, query)
+        if principal == contributor:
+            self.audit.record_access(
+                principal=principal,
+                contributor=contributor,
+                query=query.to_json(),
+                raw_access=True,
+                segments_scanned=result.scanned_segments,
+            )
+            return {
+                "Raw": True,
+                "Segments": [s.to_json() for s in result.segments],
+                "Scanned": result.scanned_segments,
+            }
+        engine = self._engine_for(contributor)
+        released = engine.evaluate(principal, result.segments)
+        self.audit.record_access(
+            principal=principal,
+            contributor=contributor,
+            query=query.to_json(),
+            raw_access=False,
+            segments_scanned=result.scanned_segments,
+            released=released,
+        )
+        return {
+            "Raw": False,
+            "Released": [r.to_json() for r in released],
+            "Scanned": result.scanned_segments,
+        }
+
+    def _h_rules_list(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        snapshot = self.rules.snapshot(contributor)
+        return {"Version": snapshot.version, "Rules": rules_to_json(snapshot.rules)}
+
+    def _h_rules_add(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        rule = rule_from_json(request.body.get("Rule", {}))
+        self.rules.add(contributor, rule)
+        return {"RuleId": rule.rule_id, "Version": self.rules.version_of(contributor)}
+
+    def _h_rules_remove(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        rule_id = str(request.body.get("RuleId", ""))
+        self.rules.remove(contributor, rule_id)
+        return {"Removed": rule_id, "Version": self.rules.version_of(contributor)}
+
+    def _h_rules_replace(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        rules = rules_from_json(request.body.get("Rules", []))
+        self.rules.replace_all(contributor, rules)
+        return {"Count": len(rules), "Version": self.rules.version_of(contributor)}
+
+    def _h_rules_download(self, request: Request) -> dict:
+        """The phone downloads its owner's rules for rule-aware collection."""
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        snapshot = self.rules.snapshot(contributor)
+        return {
+            "Version": snapshot.version,
+            "Rules": rules_to_json(snapshot.rules),
+            "Places": [p.to_json() for p in self.places.get(contributor, {}).values()],
+        }
+
+    def _h_places_set(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        places = {}
+        for obj in request.body.get("Places", []):
+            place = LabeledPlace.from_json(obj)
+            places[place.label] = place
+        self.set_places(contributor, places)
+        return {"Count": len(places)}
+
+    def _h_places_list(self, request: Request) -> dict:
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        return {"Places": [p.to_json() for p in self.places.get(contributor, {}).values()]}
+
+    def _h_profile(self, request: Request) -> dict:
+        """Broker-only: rules + places snapshot for contributor search."""
+        self._require_broker(request)
+        contributor = str(request.body.get("Contributor", ""))
+        if contributor not in self.rules.contributors():
+            raise NotFoundError(f"no such contributor here: {contributor!r}")
+        return self._profile_json(contributor)
+
+    def _h_membership_set(self, request: Request) -> dict:
+        """Broker-only: which groups/studies a consumer belongs to."""
+        self._require_broker(request)
+        consumer = str(request.body.get("Consumer", ""))
+        groups = frozenset(str(g) for g in request.body.get("Groups", []))
+        self.memberships[consumer] = groups
+        return {"Consumer": consumer, "Groups": sorted(groups)}
+
+    def _h_aggregate(self, request: Request) -> dict:
+        """Windowed aggregates, computed behind the rule engine.
+
+        A consumer's aggregate only ever sees the raw payload their rules
+        release; the owner aggregates over everything.
+        """
+        from repro.datastore.aggregate import (
+            AggregateSpec,
+            aggregate_released,
+            aggregate_segments,
+        )
+
+        principal = self._authenticate(request)
+        contributor = str(request.body.get("Contributor", ""))
+        if contributor not in self.rules.contributors():
+            raise NotFoundError(f"no such contributor here: {contributor!r}")
+        query = DataQuery.from_json(request.body.get("Query", {}))
+        spec = AggregateSpec.from_json(request.body.get("Aggregate", {}))
+        result = self.store.query(contributor, query)
+        if principal == contributor:
+            rows = aggregate_segments(result.segments, spec)
+            raw = True
+            released: list = []
+        else:
+            engine = self._engine_for(contributor)
+            released = engine.evaluate(principal, result.segments)
+            rows = aggregate_released(released, spec)
+            raw = False
+        self.audit.record_access(
+            principal=principal,
+            contributor=contributor,
+            query={**query.to_json(), "Aggregate": spec.to_json()},
+            raw_access=raw,
+            segments_scanned=result.scanned_segments,
+            released=released,
+        )
+        return {"Rows": [r.to_json() for r in rows]}
+
+    def _h_delete(self, request: Request) -> dict:
+        """Owner-only data deletion — the teeth behind "data ownership".
+
+        Remote data stores exist so contributors keep control of their
+        data; that includes destroying it.  Only the owner may delete, and
+        deletions are recorded in the audit trail.
+        """
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        query = DataQuery.from_json(request.body.get("Query", {}))
+        removed = self.store.delete(contributor, query)
+        self.audit.record_access(
+            principal=contributor,
+            contributor=contributor,
+            query={**query.to_json(), "Delete": True},
+            raw_access=True,
+            segments_scanned=removed,
+        )
+        return {"Deleted": removed}
+
+    def _h_audit_list(self, request: Request) -> dict:
+        """The owner's access trail: who queried what, what left the store."""
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        limit = request.body.get("Limit")
+        records = self.audit.trail_of(
+            contributor, limit=int(limit) if limit is not None else None
+        )
+        return {"Records": [r.to_json() for r in records]}
+
+    def _h_audit_summary(self, request: Request) -> dict:
+        """Per-consumer aggregate of accesses and samples taken."""
+        contributor = str(request.body.get("Contributor", ""))
+        self._require_contributor(request, contributor)
+        return {"Summary": self.audit.summary(contributor)}
+
+    def _h_stats(self, request: Request) -> dict:
+        self._authenticate(request)
+        stats = self.store.stats
+        return {
+            "Segments": stats.n_segments,
+            "Samples": stats.n_samples,
+            "StorageBytes": stats.storage_bytes,
+            "QueriesServed": stats.queries_served,
+            "SegmentsScanned": stats.segments_scanned,
+        }

@@ -1,0 +1,138 @@
+"""Durable state for a remote data store service.
+
+The segment store already persists wave segments through the embedded
+database; a real deployment must also survive restarts without losing
+privacy rules, labeled places, registered principals, or the audit trail
+— losing a *rule* would silently widen sharing, the worst failure mode a
+privacy system can have.  This module snapshots and restores the full
+service state as JSON-lines files alongside the segment data.
+
+Restore-order note: rules are loaded with listeners detached so that a
+reload does not re-fire broker sync pushes for state the broker already
+has.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.exceptions import StorageError
+from repro.rules.parser import rules_to_json
+from repro.server.audit import AuditRecord
+from repro.util import jsonutil
+from repro.util.geo import LabeledPlace
+
+
+def _path(directory: str, host: str, kind: str) -> str:
+    return os.path.join(directory, f"{host}.{kind}.jsonl")
+
+
+def _write_lines(path: str, objects) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for obj in objects:
+            fh.write(jsonutil.canonical_dumps(obj))
+            fh.write("\n")
+
+
+def _read_lines(path: str) -> list:
+    if not os.path.exists(path):
+        return []
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(jsonutil.loads(line))
+    return out
+
+
+def save_service_state(service, directory: Optional[str] = None) -> list:
+    """Persist a DataStoreService's full state; returns written paths."""
+    directory = directory or service.store.db.directory
+    if directory is None:
+        raise StorageError(
+            f"store {service.host!r} has no persistence directory configured"
+        )
+    paths = service.store.save()
+
+    rules_rows = []
+    for contributor in service.rules.contributors():
+        snapshot = service.rules.snapshot(contributor)
+        rules_rows.append(snapshot.to_json())
+    path = _path(directory, service.host, "rules")
+    _write_lines(path, rules_rows)
+    paths.append(path)
+
+    places_rows = [
+        {
+            "Contributor": contributor,
+            "Places": [p.to_json() for p in places.values()],
+        }
+        for contributor, places in sorted(service.places.items())
+    ]
+    path = _path(directory, service.host, "places")
+    _write_lines(path, places_rows)
+    paths.append(path)
+
+    roles_rows = [
+        {"Principal": principal, "Role": role}
+        for principal, role in sorted(service.roles.items())
+    ]
+    path = _path(directory, service.host, "roles")
+    _write_lines(path, roles_rows)
+    paths.append(path)
+
+    audit_rows = []
+    for contributor in service.rules.contributors():
+        audit_rows.extend(r.to_json() for r in service.audit.trail_of(contributor))
+    path = _path(directory, service.host, "audit")
+    _write_lines(path, audit_rows)
+    paths.append(path)
+    return paths
+
+
+def load_service_state(service, directory: Optional[str] = None) -> dict:
+    """Restore a DataStoreService's state; returns per-kind counts.
+
+    Principals' API keys are *not* restored — keys are re-issued after a
+    restart (a deliberate rotation; stale clients re-register through the
+    broker escrow), matching the advice that key material should not sit
+    in the same snapshot as the data it protects.
+    """
+    from repro.rules.rulestore import RuleSetSnapshot
+
+    directory = directory or service.store.db.directory
+    if directory is None:
+        raise StorageError(
+            f"store {service.host!r} has no persistence directory configured"
+        )
+    counts = {"segments": service.store.load(), "rules": 0, "places": 0, "roles": 0,
+              "audit": 0}
+
+    # Rules: restore without firing sync listeners (the broker already
+    # knows this state).
+    for obj in _read_lines(_path(directory, service.host, "rules")):
+        snapshot = RuleSetSnapshot.from_json(obj)
+        service.rules.register(snapshot.contributor)
+        service.rules.restore(snapshot.contributor, snapshot.rules, snapshot.version)
+        counts["rules"] += len(snapshot.rules)
+
+    for obj in _read_lines(_path(directory, service.host, "places")):
+        places = {
+            place.label: place
+            for place in (LabeledPlace.from_json(p) for p in obj.get("Places", []))
+        }
+        service.places[str(obj["Contributor"])] = places
+        counts["places"] += len(places)
+
+    for obj in _read_lines(_path(directory, service.host, "roles")):
+        service.roles[str(obj["Principal"])] = str(obj["Role"])
+        counts["roles"] += 1
+
+    counts["audit"] = service.audit.restore(
+        AuditRecord.from_json(obj)
+        for obj in _read_lines(_path(directory, service.host, "audit"))
+    )
+    return counts

@@ -1,0 +1,51 @@
+"""Shared utilities: time intervals and schedules, geography, ids, JSON.
+
+These are the leaf dependencies of every other subpackage.  Nothing in
+:mod:`repro.util` imports from the rest of the package.
+"""
+
+from repro.util.timeutil import (
+    Interval,
+    RepeatedTime,
+    TimeCondition,
+    WEEKDAY_NAMES,
+    day_of_week,
+    format_timestamp,
+    parse_hhmm,
+    truncate_timestamp,
+)
+from repro.util.geo import (
+    BoundingBox,
+    CircleRegion,
+    LatLon,
+    PolygonRegion,
+    Region,
+    haversine_m,
+    region_from_json,
+)
+from repro.util.idgen import DeterministicRng, api_key, stable_id
+from repro.util.jsonutil import canonical_dumps, dumps, loads
+
+__all__ = [
+    "Interval",
+    "RepeatedTime",
+    "TimeCondition",
+    "WEEKDAY_NAMES",
+    "day_of_week",
+    "format_timestamp",
+    "parse_hhmm",
+    "truncate_timestamp",
+    "BoundingBox",
+    "CircleRegion",
+    "LatLon",
+    "PolygonRegion",
+    "Region",
+    "haversine_m",
+    "region_from_json",
+    "DeterministicRng",
+    "api_key",
+    "stable_id",
+    "canonical_dumps",
+    "dumps",
+    "loads",
+]

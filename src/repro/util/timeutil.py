@@ -1,0 +1,368 @@
+"""Time intervals, repeated-time schedules, and timestamp abstraction.
+
+SensorSafe's privacy rules constrain *when* data may be shared in two ways
+(Table 1 of the paper): a continuous time range ("from Feb. 2011 to
+Mar. 2011") or a repeated time ("3-6pm on every Wednesday").  Rules can also
+*abstract* timestamps, rounding them down to hour/day/month/year granularity
+before the data leaves the store.
+
+All timestamps in this package are integer **epoch milliseconds, UTC**.
+Sensor hardware emits integer millisecond stamps and the wave-segment format
+(Fig. 5) stores a start time plus a sampling interval in the same unit, so
+the whole stack shares one clock with no timezone ambiguity.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Iterable, Optional, Sequence
+
+from repro.exceptions import TimeRangeError
+
+#: Canonical weekday names used in rule JSON, Monday-first (ISO order).
+WEEKDAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+_MS_PER_MINUTE = 60_000
+_MS_PER_HOUR = 3_600_000
+_MS_PER_DAY = 86_400_000
+
+_HHMM_RE = re.compile(r"^\s*(\d{1,2}):(\d{2})\s*(am|pm)?\s*$", re.IGNORECASE)
+
+#: Granularities accepted by :func:`truncate_timestamp`, coarsest last.
+TIME_GRANULARITIES = ("milliseconds", "second", "minute", "hour", "day", "month", "year")
+
+
+def _utc(ts_ms: int) -> datetime:
+    return datetime.fromtimestamp(ts_ms / 1000.0, tz=timezone.utc)
+
+
+def day_of_week(ts_ms: int) -> str:
+    """Return the weekday name ("Mon".."Sun") of a UTC epoch-ms timestamp."""
+    return WEEKDAY_NAMES[_utc(ts_ms).weekday()]
+
+
+def minutes_since_midnight(ts_ms: int) -> int:
+    """Return minutes elapsed since UTC midnight for an epoch-ms timestamp."""
+    dt = _utc(ts_ms)
+    return dt.hour * 60 + dt.minute
+
+
+def parse_hhmm(text: str) -> int:
+    """Parse a clock time like ``"9:00am"``, ``"18:30"`` into minutes.
+
+    Returns minutes since midnight in ``[0, 1440)``.  Accepts 12-hour times
+    with an am/pm suffix (the format the paper's Fig. 4 rule uses) and
+    24-hour times without one.
+    """
+    match = _HHMM_RE.match(text)
+    if not match:
+        raise TimeRangeError(f"unparseable clock time: {text!r}")
+    hour, minute = int(match.group(1)), int(match.group(2))
+    suffix = (match.group(3) or "").lower()
+    if minute >= 60:
+        raise TimeRangeError(f"minute out of range in {text!r}")
+    if suffix:
+        if not 1 <= hour <= 12:
+            raise TimeRangeError(f"12-hour clock hour out of range in {text!r}")
+        hour = hour % 12
+        if suffix == "pm":
+            hour += 12
+    elif hour >= 24:
+        raise TimeRangeError(f"hour out of range in {text!r}")
+    return hour * 60 + minute
+
+
+def format_timestamp(ts_ms: int) -> str:
+    """Render an epoch-ms timestamp as an ISO-8601 UTC string."""
+    return _utc(ts_ms).strftime("%Y-%m-%dT%H:%M:%S.") + f"{ts_ms % 1000:03d}Z"
+
+
+def timestamp_ms(
+    year: int,
+    month: int = 1,
+    day: int = 1,
+    hour: int = 0,
+    minute: int = 0,
+    second: int = 0,
+    millisecond: int = 0,
+) -> int:
+    """Build an epoch-ms timestamp from UTC calendar fields."""
+    dt = datetime(year, month, day, hour, minute, second, tzinfo=timezone.utc)
+    return int(dt.timestamp() * 1000) + millisecond
+
+
+def truncate_timestamp(ts_ms: int, granularity: str) -> int:
+    """Round a timestamp down to ``granularity`` (time abstraction action).
+
+    ``"milliseconds"`` is the identity; ``"year"`` keeps only the year.
+    This implements the Time row of Table 1(b).
+    """
+    if granularity not in TIME_GRANULARITIES:
+        raise TimeRangeError(f"unknown time granularity: {granularity!r}")
+    if granularity == "milliseconds":
+        return ts_ms
+    dt = _utc(ts_ms)
+    if granularity == "second":
+        dt = dt.replace(microsecond=0)
+    elif granularity == "minute":
+        dt = dt.replace(second=0, microsecond=0)
+    elif granularity == "hour":
+        dt = dt.replace(minute=0, second=0, microsecond=0)
+    elif granularity == "day":
+        dt = dt.replace(hour=0, minute=0, second=0, microsecond=0)
+    elif granularity == "month":
+        dt = dt.replace(day=1, hour=0, minute=0, second=0, microsecond=0)
+    else:  # year
+        dt = dt.replace(month=1, day=1, hour=0, minute=0, second=0, microsecond=0)
+    return int(dt.timestamp() * 1000)
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[start, end)`` in epoch milliseconds.
+
+    Half-open intervals compose cleanly: two back-to-back wave segments
+    cover ``[a, b)`` and ``[b, c)`` with no shared instant, which is what
+    the segment merge optimizer relies on.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise TimeRangeError(f"interval end {self.end} before start {self.start}")
+
+    @property
+    def duration_ms(self) -> int:
+        return self.end - self.start
+
+    def is_empty(self) -> bool:
+        return self.end == self.start
+
+    def contains(self, ts_ms: int) -> bool:
+        return self.start <= ts_ms < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def is_adjacent(self, other: "Interval") -> bool:
+        """True when the two intervals share exactly one boundary point."""
+        return self.end == other.start or other.end == self.start
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+    def union_adjacent(self, other: "Interval") -> "Interval":
+        """Merge two overlapping or adjacent intervals into one."""
+        if not (self.overlaps(other) or self.is_adjacent(other)):
+            raise TimeRangeError("cannot union disjoint, non-adjacent intervals")
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def to_json(self) -> dict:
+        return {"Start": self.start, "End": self.end}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Interval":
+        try:
+            return cls(int(obj["Start"]), int(obj["End"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TimeRangeError(f"bad interval JSON: {obj!r}") from exc
+
+
+def coalesce_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Sort and merge overlapping/adjacent intervals into a disjoint list."""
+    merged: list[Interval] = []
+    for iv in sorted(intervals):
+        if merged and (merged[-1].overlaps(iv) or merged[-1].is_adjacent(iv)):
+            merged[-1] = merged[-1].union_adjacent(iv)
+        else:
+            merged.append(iv)
+    return merged
+
+
+@dataclass(frozen=True)
+class RepeatedTime:
+    """A weekly repeating window: a set of weekdays and a clock-time range.
+
+    Matches the paper's ``RepeatTime`` rule attribute (Fig. 4)::
+
+        {'Day': ['Mon', ..., 'Fri'], 'HourMin': ['9:00am', '6:00pm']}
+
+    The clock range is half-open ``[start, end)`` in minutes since UTC
+    midnight.  A range whose end is at or before its start wraps past
+    midnight (e.g. 10pm-6am); the weekday test applies to the timestamp's
+    own day, matching how a user reads "10pm-6am on Fridays".
+    """
+
+    days: frozenset[str]
+    start_minute: int
+    end_minute: int
+
+    def __post_init__(self) -> None:
+        unknown = self.days - set(WEEKDAY_NAMES)
+        if unknown:
+            raise TimeRangeError(f"unknown weekday names: {sorted(unknown)}")
+        if not self.days:
+            raise TimeRangeError("RepeatedTime needs at least one weekday")
+        for minute in (self.start_minute, self.end_minute):
+            if not 0 <= minute <= 1440:
+                raise TimeRangeError(f"minute-of-day out of range: {minute}")
+
+    @classmethod
+    def weekly(cls, days: Sequence[str], start: str, end: str) -> "RepeatedTime":
+        """Build from weekday names and clock strings like ``"9:00am"``."""
+        return cls(frozenset(days), parse_hhmm(start), parse_hhmm(end))
+
+    def contains(self, ts_ms: int) -> bool:
+        if day_of_week(ts_ms) not in self.days:
+            return False
+        minute = minutes_since_midnight(ts_ms)
+        if self.start_minute < self.end_minute:
+            return self.start_minute <= minute < self.end_minute
+        # Wrapping window (or degenerate full-day when start == end == 0).
+        if self.start_minute == self.end_minute:
+            return True
+        return minute >= self.start_minute or minute < self.end_minute
+
+    def to_json(self) -> dict:
+        def fmt(minute: int) -> str:
+            hour, mm = divmod(minute % 1440, 60)
+            suffix = "am" if hour < 12 else "pm"
+            hour12 = hour % 12 or 12
+            return f"{hour12}:{mm:02d}{suffix}"
+
+        ordered = [d for d in WEEKDAY_NAMES if d in self.days]
+        return {"Day": ordered, "HourMin": [fmt(self.start_minute), fmt(self.end_minute)]}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "RepeatedTime":
+        try:
+            days = obj["Day"]
+            start, end = obj["HourMin"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TimeRangeError(f"bad RepeatTime JSON: {obj!r}") from exc
+        return cls.weekly(days, start, end)
+
+
+@dataclass(frozen=True)
+class TimeCondition:
+    """The time condition of a privacy rule: ranges and/or repeated windows.
+
+    A timestamp matches when it falls in *any* listed interval or repeated
+    window.  An empty condition matches every timestamp (the rule simply
+    does not constrain time), mirroring how the paper's example rule in
+    Fig. 4 omits the attribute entirely.
+    """
+
+    intervals: tuple[Interval, ...] = ()
+    repeated: tuple[RepeatedTime, ...] = ()
+
+    def is_unconstrained(self) -> bool:
+        return not self.intervals and not self.repeated
+
+    def contains(self, ts_ms: int) -> bool:
+        if self.is_unconstrained():
+            return True
+        return any(iv.contains(ts_ms) for iv in self.intervals) or any(
+            rt.contains(ts_ms) for rt in self.repeated
+        )
+
+    def contains_any(self, interval: Interval) -> bool:
+        """Could any instant of ``interval`` match this condition?
+
+        Used to prune whole wave segments before per-sample evaluation.
+        Interval checks against repeated windows fall back to conservative
+        truth (a day-long segment always *may* intersect a weekly window).
+        """
+        if self.is_unconstrained():
+            return True
+        if any(iv.overlaps(interval) for iv in self.intervals):
+            return True
+        if not self.repeated:
+            return False
+        if interval.duration_ms >= _MS_PER_DAY:
+            return True
+        # Sample the window boundaries plus endpoints: a repeated window
+        # shorter than the probe spacing could in principle be skipped, so
+        # also probe at minute granularity for sub-day segments.
+        step = max(_MS_PER_MINUTE, interval.duration_ms // 1440 or _MS_PER_MINUTE)
+        ts = interval.start
+        while ts < interval.end:
+            if any(rt.contains(ts) for rt in self.repeated):
+                return True
+            ts += step
+        return any(rt.contains(interval.end - 1) for rt in self.repeated)
+
+    def matching_intervals(self, span: Interval) -> list["Interval"]:
+        """The sub-intervals of ``span`` during which this condition holds.
+
+        Used by the rule engine to split a wave segment at the instants
+        where rule applicability flips.  Repeated windows are expanded
+        day-by-day across the span; a window wrapping midnight contributes
+        ``[start, midnight)`` and ``[midnight, end)`` pieces on each
+        matching day (the weekday test applies to each piece's own day,
+        consistent with :meth:`RepeatedTime.contains`).
+        """
+        if self.is_unconstrained():
+            return [span]
+        pieces: list[Interval] = []
+        for iv in self.intervals:
+            overlap = iv.intersect(span)
+            if overlap is not None:
+                pieces.append(overlap)
+        if self.repeated:
+            first_day = (span.start // _MS_PER_DAY) * _MS_PER_DAY
+            day = first_day
+            while day < span.end:
+                weekday = day_of_week(day)
+                for rt in self.repeated:
+                    if weekday not in rt.days:
+                        continue
+                    if rt.start_minute < rt.end_minute:
+                        windows = [(rt.start_minute, rt.end_minute)]
+                    elif rt.start_minute == rt.end_minute:
+                        windows = [(0, 1440)]
+                    else:
+                        windows = [(rt.start_minute, 1440), (0, rt.end_minute)]
+                    for lo, hi in windows:
+                        window = Interval(day + lo * _MS_PER_MINUTE, day + hi * _MS_PER_MINUTE)
+                        overlap = window.intersect(span)
+                        if overlap is not None:
+                            pieces.append(overlap)
+                day += _MS_PER_DAY
+        return coalesce_intervals(pieces)
+
+    def to_json(self) -> dict:
+        obj: dict = {}
+        if self.intervals:
+            obj["TimeRange"] = [iv.to_json() for iv in self.intervals]
+        if self.repeated:
+            reps = [rt.to_json() for rt in self.repeated]
+            obj["RepeatTime"] = reps[0] if len(reps) == 1 else reps
+        return obj
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "TimeCondition":
+        intervals: list[Interval] = []
+        repeated: list[RepeatedTime] = []
+        ranges = obj.get("TimeRange", [])
+        if isinstance(ranges, dict):
+            ranges = [ranges]
+        for entry in ranges:
+            intervals.append(Interval.from_json(entry))
+        reps = obj.get("RepeatTime", [])
+        if isinstance(reps, dict):
+            reps = [reps]
+        for entry in reps:
+            repeated.append(RepeatedTime.from_json(entry))
+        return cls(tuple(intervals), tuple(repeated))

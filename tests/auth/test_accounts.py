@@ -1,0 +1,85 @@
+"""Tests for web-UI accounts and sessions."""
+
+import pytest
+
+from repro.auth.accounts import AccountRegistry, ROLE_CONSUMER, ROLE_CONTRIBUTOR
+from repro.exceptions import AuthenticationError, ConflictError
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        reg = AccountRegistry()
+        account = reg.register("alice", "pw1", ROLE_CONTRIBUTOR)
+        assert account.role == ROLE_CONTRIBUTOR
+        assert reg.get("alice").username == "alice"
+        assert reg.get("nobody") is None
+
+    def test_duplicate_rejected(self):
+        reg = AccountRegistry()
+        reg.register("alice", "pw", ROLE_CONTRIBUTOR)
+        with pytest.raises(ConflictError):
+            reg.register("alice", "pw", ROLE_CONSUMER)
+
+    def test_unknown_role_rejected(self):
+        reg = AccountRegistry()
+        with pytest.raises(ConflictError):
+            reg.register("alice", "pw", "admin")
+
+    def test_password_not_stored_in_clear(self):
+        reg = AccountRegistry()
+        account = reg.register("alice", "hunter2", ROLE_CONTRIBUTOR)
+        assert "hunter2" not in account.password_hash
+        assert "hunter2" not in account.salt
+
+
+class TestLogin:
+    def test_good_credentials_open_session(self):
+        reg = AccountRegistry()
+        reg.register("alice", "pw", ROLE_CONTRIBUTOR)
+        token = reg.login("alice", "pw")
+        assert reg.session_user(token).username == "alice"
+
+    def test_bad_password_rejected(self):
+        reg = AccountRegistry()
+        reg.register("alice", "pw", ROLE_CONTRIBUTOR)
+        with pytest.raises(AuthenticationError):
+            reg.login("alice", "wrong")
+
+    def test_unknown_user_rejected(self):
+        reg = AccountRegistry()
+        with pytest.raises(AuthenticationError):
+            reg.login("ghost", "pw")
+
+    def test_invalid_token_rejected(self):
+        reg = AccountRegistry()
+        with pytest.raises(AuthenticationError):
+            reg.session_user("bogus")
+        with pytest.raises(AuthenticationError):
+            reg.session_user(None)
+
+    def test_logout_invalidates(self):
+        reg = AccountRegistry()
+        reg.register("alice", "pw", ROLE_CONTRIBUTOR)
+        token = reg.login("alice", "pw")
+        assert reg.logout(token)
+        assert not reg.logout(token)
+        with pytest.raises(AuthenticationError):
+            reg.session_user(token)
+
+    def test_sessions_distinct_per_login(self):
+        reg = AccountRegistry()
+        reg.register("alice", "pw", ROLE_CONTRIBUTOR)
+        assert reg.login("alice", "pw") != reg.login("alice", "pw")
+
+
+class TestGroups:
+    def test_principals_include_groups(self):
+        reg = AccountRegistry()
+        reg.register("bob", "pw", ROLE_CONSUMER)
+        reg.set_groups("bob", {"stress-study"})
+        assert reg.get("bob").principals() == frozenset({"bob", "stress-study"})
+
+    def test_set_groups_unknown_account(self):
+        reg = AccountRegistry()
+        with pytest.raises(AuthenticationError):
+            reg.set_groups("ghost", {"g"})

@@ -1,0 +1,174 @@
+"""Tests for probe-based contributor search (Section 5.2)."""
+
+import pytest
+
+from repro.broker.registry import ContributorRegistry
+from repro.broker.search import ContributorSearch, SearchCriteria, probe_instants
+from repro.exceptions import QueryError
+from repro.rules.model import ALLOW, Rule, abstraction
+from repro.util.geo import BoundingBox, LabeledPlace
+from repro.util.timeutil import Interval, RepeatedTime, TimeCondition, timestamp_ms
+
+WORK = LabeledPlace("work", BoundingBox(34.05, -118.25, 34.06, -118.24))
+HOME = LabeledPlace("home", BoundingBox(34.02, -118.48, 34.04, -118.46))
+
+WORK_HOURS = TimeCondition(
+    repeated=(RepeatedTime.weekly(["Mon", "Tue", "Wed", "Thu", "Fri"], "9:00am", "6:00pm"),)
+)
+
+
+def registry_with(rules_by_name):
+    reg = ContributorRegistry()
+    for i, (name, rules) in enumerate(rules_by_name.items()):
+        reg.register(name, f"{name}-store")
+        reg.update_profile(
+            name, version=1, rules=rules, places=[WORK, HOME]
+        )
+    return reg
+
+
+class TestProbeInstants:
+    def test_unconstrained_single_probe(self):
+        assert len(probe_instants(TimeCondition())) == 1
+
+    def test_interval_midpoints(self):
+        cond = TimeCondition(intervals=(Interval(0, 100), Interval(200, 300)))
+        assert probe_instants(cond) == [50, 250]
+
+    def test_repeated_probes_every_weekday_occurrence(self):
+        instants = probe_instants(WORK_HOURS)
+        assert len(instants) == 5  # one per weekday on the canonical week
+
+
+class TestSearchMatching:
+    def test_paper_example_work_hours_ecg_respiration(self):
+        """'finding data contributors who share ECG and respiration sensor
+        data at the location labeled work from 9am to 6pm on weekdays'."""
+        reg = registry_with(
+            {
+                "sharer": [Rule(consumers=("bob",), action=ALLOW)],
+                "denier": [],
+                "partial": [
+                    Rule(consumers=("bob",), action=ALLOW),
+                    # Shares, but not stress raw -> ECG/Respiration blocked
+                    # by the closure during all hours.
+                    Rule(consumers=("bob",), action=abstraction(Stress="NotShare")),
+                ],
+            }
+        )
+        criteria = SearchCriteria(
+            consumer="bob",
+            channels=("ECG", "Respiration"),
+            location_label="work",
+            time=WORK_HOURS,
+        )
+        search = ContributorSearch(reg)
+        assert [r.name for r in search.search(criteria)] == ["sharer"]
+
+    def test_location_label_must_exist(self):
+        reg = ContributorRegistry()
+        reg.register("noplaces", "h")
+        reg.update_profile(
+            "noplaces", version=1, rules=[Rule(action=ALLOW)], places=[]
+        )
+        criteria = SearchCriteria(consumer="bob", channels=("ECG",), location_label="work")
+        assert ContributorSearch(reg).search(criteria) == []
+
+    def test_context_criteria_drive_stress(self):
+        """Bob's Section 6 search: stress data while driving."""
+        alice_rules = [
+            Rule(consumers=("bob",), action=ALLOW),
+            Rule(
+                consumers=("bob",),
+                contexts=("Drive",),
+                action=abstraction(Stress="NotShare"),
+            ),
+        ]
+        dan_rules = [Rule(consumers=("bob",), action=ALLOW)]
+        reg = registry_with({"alice": alice_rules, "dan": dan_rules})
+        criteria = SearchCriteria(
+            consumer="bob",
+            channels=("ECG", "Respiration"),
+            contexts={"Activity": "Drive"},
+        )
+        matches = [r.name for r in ContributorSearch(reg).search(criteria)]
+        assert matches == ["dan"]  # alice withholds stress while driving
+
+    def test_require_labels_without_raw_channels(self):
+        rules = [
+            Rule(consumers=("bob",), action=ALLOW),
+            Rule(consumers=("bob",), action=abstraction(Stress="StressedNotStressed")),
+        ]
+        reg = registry_with({"labeler": rules})
+        # Stress label available even though raw ECG is closed off.
+        label_criteria = SearchCriteria(
+            consumer="bob", require_labels=("Stress",)
+        )
+        raw_criteria = SearchCriteria(consumer="bob", channels=("ECG",))
+        search = ContributorSearch(reg)
+        assert [r.name for r in search.search(label_criteria)] == ["labeler"]
+        assert search.search(raw_criteria) == []
+
+    def test_time_restricted_sharing_fails_full_window_search(self):
+        rules = [
+            Rule(consumers=("bob",), time=WORK_HOURS, action=ALLOW),
+        ]
+        reg = registry_with({"nineToFiver": rules})
+        search = ContributorSearch(reg)
+        # Asking for work hours succeeds...
+        ok = SearchCriteria(consumer="bob", channels=("ECG",), time=WORK_HOURS)
+        assert [r.name for r in search.search(ok)] == ["nineToFiver"]
+        # ...asking for unconstrained (probe at Monday noon is fine) but a
+        # weekend window fails.
+        weekend = TimeCondition(
+            repeated=(RepeatedTime.weekly(["Sat"], "9:00am", "6:00pm"),)
+        )
+        bad = SearchCriteria(consumer="bob", channels=("ECG",), time=weekend)
+        assert search.search(bad) == []
+
+    def test_consumer_specificity(self):
+        reg = registry_with({"alice": [Rule(consumers=("carol",), action=ALLOW)]})
+        assert (
+            ContributorSearch(reg).search(
+                SearchCriteria(consumer="bob", channels=("ECG",))
+            )
+            == []
+        )
+
+    def test_membership_resolution(self):
+        reg = registry_with({"alice": [Rule(consumers=("study-x",), action=ALLOW)]})
+        search = ContributorSearch(
+            reg, membership=lambda c: frozenset({c, "study-x"})
+        )
+        matches = search.search(SearchCriteria(consumer="bob", channels=("ECG",)))
+        assert [r.name for r in matches] == ["alice"]
+
+    def test_vacuous_criteria_matches_everyone(self):
+        reg = registry_with({"a": [], "b": []})
+        assert len(ContributorSearch(reg).search(SearchCriteria(consumer="bob"))) == 2
+
+
+class TestCriteriaValidation:
+    def test_needs_consumer(self):
+        with pytest.raises(QueryError):
+            SearchCriteria(consumer="")
+
+    def test_unknown_channel(self):
+        with pytest.raises(Exception):
+            SearchCriteria(consumer="bob", channels=("Sonar",))
+
+    def test_unknown_context_category(self):
+        with pytest.raises(QueryError):
+            SearchCriteria(consumer="bob", contexts={"Mood": "Happy"})
+
+    def test_json_roundtrip(self):
+        criteria = SearchCriteria(
+            consumer="bob",
+            channels=("ECG",),
+            location_label="work",
+            time=WORK_HOURS,
+            contexts={"Activity": "Drive"},
+            require_labels=("Stress",),
+        )
+        again = SearchCriteria.from_json(criteria.to_json())
+        assert again == criteria

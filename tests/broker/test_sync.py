@@ -1,0 +1,78 @@
+"""Tests for the rule-sync manager."""
+
+import pytest
+
+from repro.broker.registry import ContributorRegistry
+from repro.broker.sync import SyncManager
+from repro.exceptions import SchemaError
+from repro.rules.model import ALLOW, Rule
+from repro.rules.parser import rules_to_json
+
+
+def profile(name="alice", version=1, rules=None, host="alice-store"):
+    return {
+        "Contributor": name,
+        "Host": host,
+        "Version": version,
+        "Rules": rules_to_json(rules or [Rule(action=ALLOW)]),
+        "Places": [],
+    }
+
+
+@pytest.fixture()
+def sync():
+    reg = ContributorRegistry()
+    reg.register("alice", "alice-store")
+    return SyncManager(reg)
+
+
+class TestApplyProfile:
+    def test_apply_updates_registry(self, sync):
+        assert sync.apply_profile(profile(version=3))
+        record = sync.registry.get("alice")
+        assert record.rules_version == 3
+        assert len(record.rules) == 1
+        assert sync.stats.pushes_received == 1
+        assert sync.stats.applied == 1
+
+    def test_stale_dropped_and_counted(self, sync):
+        sync.apply_profile(profile(version=3))
+        assert not sync.apply_profile(profile(version=2))
+        assert sync.stats.stale_dropped == 1
+        assert sync.registry.get("alice").rules_version == 3
+
+    def test_pull_flag_counted_separately(self, sync):
+        sync.apply_profile(profile(version=1), via_pull=True)
+        assert sync.stats.pulls_performed == 1
+        assert sync.stats.pushes_received == 0
+
+    def test_malformed_profile_rejected(self, sync):
+        with pytest.raises(SchemaError):
+            sync.apply_profile({"Contributor": "alice"})
+
+    def test_bad_rules_propagate(self, sync):
+        bad = profile()
+        bad["Rules"] = [{"Action": "Perhaps"}]
+        with pytest.raises(Exception):
+            sync.apply_profile(bad)
+
+
+class TestPullOverNetwork:
+    def test_pull_roundtrip(self, system):
+        """End-to-end: broker pulls a profile from a live store."""
+        alice = system.add_contributor("alice")
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        # Wipe the eagerly-synced state to prove the pull works by itself.
+        record = system.broker.registry.get("alice")
+        record.rules_version = 0
+        record.rules = ()
+        applied = system.broker.pull_profiles()
+        assert applied == 1
+        assert system.broker.registry.get("alice").rules_version == 1
+
+    def test_pull_all_skips_unknown_hosts(self, sync):
+        from repro.net.client import HttpClient
+        from repro.net.transport import Network
+
+        client = HttpClient(Network(), "broker")
+        assert sync.pull_all(client, store_keys={}) == 0

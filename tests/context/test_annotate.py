@@ -1,0 +1,66 @@
+"""Tests for context annotation over packet streams."""
+
+import pytest
+
+from repro.context.annotate import ContextAnnotator, annotate_packets, label_accuracy
+
+
+class TestAnnotator:
+    def test_inferred_labels_replace_ground_truth(self, weekday_trace):
+        packets = weekday_trace.all_packets_sorted()[:200]
+        annotated = ContextAnnotator(window_ms=60_000).annotate(packets)
+        assert len(annotated) == len(packets)
+        # Context is inferred, not copied: drop one channel and re-infer.
+        for pkt in annotated:
+            assert "Activity" in pkt.context
+
+    def test_annotation_preserves_payload(self, weekday_trace):
+        packets = weekday_trace.all_packets_sorted()[:50]
+        annotated = ContextAnnotator().annotate(packets)
+        assert sorted(p.values for p in annotated) == sorted(p.values for p in packets)
+
+    def test_windows_share_labels(self, weekday_trace):
+        packets = weekday_trace.all_packets_sorted()[:100]
+        annotated = ContextAnnotator(window_ms=60_000).annotate(packets)
+        by_window = {}
+        for pkt in annotated:
+            by_window.setdefault(pkt.start_ms // 60_000, set()).add(
+                tuple(sorted(pkt.context.items()))
+            )
+        for labels in by_window.values():
+            assert len(labels) == 1
+
+    def test_output_sorted_by_time(self, weekday_trace):
+        packets = list(reversed(weekday_trace.all_packets_sorted()[:80]))
+        annotated = ContextAnnotator().annotate(packets)
+        starts = [p.start_ms for p in annotated]
+        assert starts == sorted(starts)
+
+
+class TestAccuracy:
+    """End-to-end inference accuracy on the simulated day.
+
+    The thresholds encode the reproduction claim that rule conditions on
+    context are meaningful: they only work if inference mostly agrees with
+    ground truth.
+    """
+
+    @pytest.fixture(scope="class")
+    def annotated(self, weekday_trace):
+        return annotate_packets(weekday_trace.all_packets_sorted(), window_ms=60_000)
+
+    def test_activity_accuracy(self, weekday_trace, annotated):
+        acc = label_accuracy(annotated, weekday_trace.state_at)
+        assert acc["Activity"] > 0.85
+
+    def test_stress_accuracy(self, weekday_trace, annotated):
+        acc = label_accuracy(annotated, weekday_trace.state_at)
+        assert acc["Stress"] > 0.9
+
+    def test_smoking_accuracy(self, weekday_trace, annotated):
+        acc = label_accuracy(annotated, weekday_trace.state_at)
+        assert acc["Smoking"] > 0.9
+
+    def test_conversation_accuracy(self, weekday_trace, annotated):
+        acc = label_accuracy(annotated, weekday_trace.state_at)
+        assert acc["Conversation"] > 0.8

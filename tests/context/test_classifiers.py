@@ -1,0 +1,119 @@
+"""Tests for the context classifiers against synthetic feature vectors."""
+
+import numpy as np
+import pytest
+
+from repro.context.classifiers import (
+    ActivityClassifier,
+    ConversationClassifier,
+    InferencePipeline,
+    SmokingClassifier,
+    StressClassifier,
+)
+from repro.context.features import window_features
+
+
+def accel_features(std_per_axis: float, freq: float, rate: float = 8.0, n: int = 128):
+    """Features for a synthetic 3-axis accel window."""
+    rng = np.random.default_rng(0)
+    t = np.arange(n) / rate
+    out = {}
+    for i, axis in enumerate(("AccelX", "AccelY", "AccelZ")):
+        signal = rng.normal(0, std_per_axis, n)
+        if freq > 0:
+            signal = signal + std_per_axis * 1.4 * np.sin(2 * np.pi * freq * t + i)
+        out[axis] = window_features(signal, rate)
+    return out
+
+
+def scalar_features(name: str, mean: float, std: float = 0.5, n: int = 64):
+    rng = np.random.default_rng(1)
+    return {name: window_features(mean + rng.normal(0, std, n), 4.0)}
+
+
+class TestActivity:
+    def test_still_detected(self):
+        clf = ActivityClassifier()
+        assert clf.classify(accel_features(0.05, 0.0)) == "Still"
+
+    def test_run_detected(self):
+        clf = ActivityClassifier()
+        assert clf.classify(accel_features(1.8, 2.8)) == "Run"
+
+    def test_missing_axis_returns_none(self):
+        clf = ActivityClassifier()
+        features = accel_features(0.05, 0.0)
+        del features["AccelZ"]
+        assert clf.classify(features) is None
+
+
+class TestStress:
+    def test_elevated_respiration_is_stress(self):
+        clf = StressClassifier()
+        assert clf.classify(scalar_features("Respiration", 19.0)) == "Stressed"
+
+    def test_baseline_is_calm(self):
+        clf = StressClassifier()
+        assert clf.classify(scalar_features("Respiration", 14.0)) == "NotStressed"
+
+    def test_smoking_signature_is_not_stress(self):
+        clf = StressClassifier()
+        assert clf.classify(scalar_features("Respiration", 8.0)) == "NotStressed"
+
+    def test_requires_respiration(self):
+        assert StressClassifier().classify({}) is None
+
+
+class TestSmoking:
+    def test_slow_breathing_is_smoking(self):
+        assert SmokingClassifier().classify(scalar_features("Respiration", 8.0)) == "Smoking"
+
+    def test_normal_breathing_is_not(self):
+        assert (
+            SmokingClassifier().classify(scalar_features("Respiration", 14.0))
+            == "NotSmoking"
+        )
+
+
+class TestConversation:
+    def test_loud_mic_is_conversation(self):
+        clf = ConversationClassifier()
+        assert clf.classify(scalar_features("MicAmplitude", -22.0)) == "Conversation"
+
+    def test_quiet_mic_is_not(self):
+        clf = ConversationClassifier()
+        assert clf.classify(scalar_features("MicAmplitude", -60.0)) == "NotConversation"
+
+    def test_irregular_breathing_detects_without_mic(self):
+        """Degrades to the respiration sensor when the mic is off."""
+        clf = ConversationClassifier()
+        features = scalar_features("Respiration", 14.0, std=2.5)
+        assert clf.classify(features) == "Conversation"
+
+    def test_smoking_wave_is_not_conversation(self):
+        clf = ConversationClassifier()
+        features = scalar_features("Respiration", 8.0, std=3.0)
+        assert clf.classify(features) == "NotConversation"
+
+    def test_no_input_channels_returns_none(self):
+        assert ConversationClassifier().classify({}) is None
+
+
+class TestPipeline:
+    def test_all_categories_when_all_channels_present(self):
+        features = {}
+        features.update(accel_features(0.05, 0.0))
+        features.update(scalar_features("Respiration", 14.0))
+        features.update(scalar_features("MicAmplitude", -60.0))
+        features.update(scalar_features("ECG", 65.0))
+        labels = InferencePipeline().infer(features)
+        assert labels == {
+            "Activity": "Still",
+            "Stress": "NotStressed",
+            "Smoking": "NotSmoking",
+            "Conversation": "NotConversation",
+        }
+
+    def test_missing_channels_omit_categories(self):
+        labels = InferencePipeline().infer(accel_features(0.05, 0.0))
+        assert set(labels) == {"Activity"}

@@ -1,0 +1,67 @@
+"""Tests for windowed feature extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.context.features import (
+    FeatureVector,
+    channel_features,
+    dominant_frequency,
+    window_features,
+)
+from repro.exceptions import ValidationError
+
+
+class TestWindowFeatures:
+    def test_basic_statistics(self):
+        fv = window_features(np.array([1.0, 2.0, 3.0, 4.0]), rate_hz=4.0)
+        assert fv.mean == 2.5
+        assert fv.minimum == 1.0 and fv.maximum == 4.0
+        assert fv.peak_to_peak == 3.0
+        assert fv.std == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValidationError):
+            window_features(np.array([]), rate_hz=4.0)
+
+    def test_energy_is_variance(self):
+        values = np.array([0.0, 2.0, 0.0, 2.0])
+        fv = window_features(values, rate_hz=4.0)
+        assert fv.energy == pytest.approx(np.var(values))
+
+
+class TestDominantFrequency:
+    def test_pure_sine_recovered(self):
+        rate = 32.0
+        t = np.arange(256) / rate
+        for freq in (1.0, 2.5, 4.0):
+            signal = np.sin(2 * math.pi * freq * t)
+            assert dominant_frequency(signal, rate) == pytest.approx(freq, abs=0.2)
+
+    def test_flat_signal_has_no_dominant_freq(self):
+        assert dominant_frequency(np.ones(64), 10.0) == 0.0
+
+    def test_short_window_returns_zero(self):
+        assert dominant_frequency(np.array([1.0, 2.0]), 10.0) == 0.0
+
+    def test_dc_offset_ignored(self):
+        rate = 32.0
+        t = np.arange(256) / rate
+        signal = 100.0 + np.sin(2 * math.pi * 2.0 * t)
+        assert dominant_frequency(signal, rate) == pytest.approx(2.0, abs=0.2)
+
+
+class TestChannelFeatures:
+    def test_multi_channel(self):
+        out = channel_features(
+            {"ECG": np.array([60.0, 61.0]), "Respiration": np.array([14.0])},
+            {"ECG": 8.0, "Respiration": 4.0},
+        )
+        assert set(out) == {"ECG", "Respiration"}
+        assert out["Respiration"].mean == 14.0
+
+    def test_missing_rate_defaults_to_zero(self):
+        out = channel_features({"ECG": np.array([60.0] * 16)}, {})
+        assert out["ECG"].dominant_freq_hz == 0.0

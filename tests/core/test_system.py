@@ -1,0 +1,75 @@
+"""Tests for the system facade and high-level handles."""
+
+import pytest
+
+from repro.datastore.optimizer import MergePolicy
+from repro.exceptions import ConflictError
+from repro.rules.model import ALLOW, Rule
+from repro.util.geo import BoundingBox, LabeledPlace
+
+from tests.conftest import make_segment
+
+
+class TestTopology:
+    def test_personal_store_created_per_contributor(self, system):
+        system.add_contributor("alice")
+        assert "alice-store" in system.stores
+        assert system.broker.registry.get("alice").host == "alice-store"
+
+    def test_institutional_store_shared(self, system):
+        lab = system.create_store("lab-store", institution="UCLA")
+        a = system.add_contributor("subject-1", store=lab)
+        b = system.add_contributor("subject-2", store=lab)
+        assert a.store_host == b.store_host == "lab-store"
+        assert system.broker.registry.get("subject-1").institution == "UCLA"
+
+    def test_duplicate_names_rejected(self, system):
+        system.add_contributor("alice")
+        with pytest.raises(ConflictError):
+            system.add_contributor("alice")
+        system.add_consumer("bob")
+        with pytest.raises(ConflictError):
+            system.add_consumer("bob")
+        with pytest.raises(ConflictError):
+            system.create_store("alice-store")
+
+    def test_store_merge_policy_threaded(self, system):
+        store = system.create_store("s", merge_policy=MergePolicy(max_samples=7))
+        assert store.store.optimizer.policy.max_samples == 7
+
+
+class TestContributorHandle:
+    def test_places_roundtrip(self, system):
+        alice = system.add_contributor("alice")
+        alice.set_places([LabeledPlace("home", BoundingBox(0, 0, 1, 1))])
+        places = alice.places()
+        assert set(places) == {"home"}
+
+    def test_rule_lifecycle(self, system):
+        alice = system.add_contributor("alice")
+        rule_id = alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        assert len(alice.rules()) == 1
+        alice.remove_rule(rule_id)
+        assert alice.rules() == []
+        alice.replace_rules([Rule(action=ALLOW)])
+        assert len(alice.rules()) == 1
+
+    def test_add_rule_accepts_fig4_json(self, system):
+        alice = system.add_contributor("alice")
+        alice.add_rule({"Consumer": ["Bob"], "Action": "Allow"})
+        assert alice.rules()[0].consumers == ("Bob",)
+
+    def test_view_own_data_is_raw(self, system):
+        alice = system.add_contributor("alice")
+        alice.upload_segments([make_segment(n=8)])
+        alice.flush()
+        segments = alice.view_data()
+        assert len(segments) == 1
+        assert segments[0].n_samples == 8
+
+
+class TestTraffic:
+    def test_traffic_snapshot_contains_all_hosts(self, system):
+        system.add_contributor("alice")
+        traffic = system.traffic()
+        assert "broker" in traffic and "alice-store" in traffic

@@ -1,0 +1,135 @@
+"""Tests for the interval and grid indexes, including a naive-model check."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datastore.index import GridIndex, IntervalIndex
+from repro.exceptions import StorageError
+from repro.util.geo import BoundingBox, CircleRegion, LatLon
+from repro.util.timeutil import Interval
+
+
+class TestIntervalIndex:
+    def test_overlapping_basic(self):
+        idx = IntervalIndex()
+        idx.add(Interval(0, 10), "a")
+        idx.add(Interval(5, 15), "b")
+        idx.add(Interval(20, 30), "c")
+        assert sorted(idx.overlapping(Interval(8, 22))) == ["a", "b", "c"]
+        assert sorted(idx.overlapping(Interval(10, 20))) == ["b"]
+        assert list(idx.overlapping(Interval(30, 40))) == []
+
+    def test_half_open_boundaries(self):
+        idx = IntervalIndex()
+        idx.add(Interval(0, 10), "a")
+        assert list(idx.overlapping(Interval(10, 20))) == []  # touching, not overlapping
+        assert list(idx.overlapping(Interval(9, 10))) == ["a"]
+
+    def test_stabbing(self):
+        idx = IntervalIndex()
+        idx.add(Interval(0, 10), "a")
+        assert list(idx.stabbing(0)) == ["a"]
+        assert list(idx.stabbing(9)) == ["a"]
+        assert list(idx.stabbing(10)) == []
+
+    def test_remove(self):
+        idx = IntervalIndex()
+        idx.add(Interval(0, 10), "a")
+        idx.remove(Interval(0, 10), "a")
+        assert len(idx) == 0
+        with pytest.raises(StorageError):
+            idx.remove(Interval(0, 10), "a")
+
+    def test_span(self):
+        idx = IntervalIndex()
+        assert idx.span() is None
+        idx.add(Interval(5, 10), "a")
+        idx.add(Interval(0, 3), "b")
+        assert idx.span() == Interval(0, 10)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=1, max_value=60),
+            ),
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=80),
+    )
+    def test_matches_naive_overlap(self, items, qstart, qlen):
+        idx = IntervalIndex()
+        intervals = []
+        for i, (start, length) in enumerate(items):
+            iv = Interval(start, start + length)
+            idx.add(iv, i)
+            intervals.append(iv)
+        window = Interval(qstart, qstart + qlen)
+        expected = sorted(i for i, iv in enumerate(intervals) if iv.overlaps(window))
+        assert sorted(idx.overlapping(window)) == expected
+
+
+class TestGridIndex:
+    def test_within_region_exact(self):
+        grid = GridIndex(cell_degrees=0.1)
+        inside = LatLon(34.05, -118.25)
+        outside = LatLon(35.5, -118.25)
+        grid.add(inside, "in")
+        grid.add(outside, "out")
+        box = BoundingBox(34.0, -118.3, 34.1, -118.2)
+        assert list(grid.within(box)) == ["in"]
+
+    def test_circle_region_filtering(self):
+        grid = GridIndex(cell_degrees=0.01)
+        center = LatLon(34.0, -118.0)
+        near = LatLon(34.0005, -118.0005)
+        far = LatLon(34.02, -118.02)
+        grid.add(near, "near")
+        grid.add(far, "far")
+        assert list(grid.within(CircleRegion(center, 200.0))) == ["near"]
+
+    def test_duplicate_id_rejected(self):
+        grid = GridIndex()
+        grid.add(LatLon(0, 0), "x")
+        with pytest.raises(StorageError):
+            grid.add(LatLon(1, 1), "x")
+
+    def test_remove(self):
+        grid = GridIndex()
+        grid.add(LatLon(0, 0), "x")
+        grid.remove("x")
+        assert len(grid) == 0
+        with pytest.raises(StorageError):
+            grid.remove("x")
+
+    def test_location_of(self):
+        grid = GridIndex()
+        point = LatLon(10, 20)
+        grid.add(point, "x")
+        assert grid.location_of("x") == point
+        assert grid.location_of("y") is None
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(StorageError):
+            GridIndex(cell_degrees=0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-80, max_value=80, allow_nan=False),
+                st.floats(min_value=-170, max_value=170, allow_nan=False),
+            ),
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_matches_naive_bbox(self, points):
+        grid = GridIndex(cell_degrees=0.5)
+        for i, (lat, lon) in enumerate(points):
+            grid.add(LatLon(lat, lon), i)
+        box = BoundingBox(-10.0, -50.0, 30.0, 60.0)
+        expected = sorted(
+            i for i, (lat, lon) in enumerate(points) if box.contains(LatLon(lat, lon))
+        )
+        assert sorted(grid.within(box)) == expected

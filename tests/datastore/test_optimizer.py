@@ -1,0 +1,130 @@
+"""Tests for the wave-segment merge optimizer (paper Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datastore.optimizer import MergePolicy, SegmentOptimizer
+from repro.datastore.wavesegment import segment_from_packet
+from repro.exceptions import ValidationError
+from repro.sensors.packets import packetize
+from repro.util.geo import LatLon
+
+LOC = LatLon(34.0, -118.0)
+
+
+def packets_to_segments(n_samples=640, packet_samples=64, start=0, location=LOC, context=None):
+    packets = packetize(
+        "ECG",
+        start,
+        250,
+        list(range(n_samples)),
+        packet_samples=packet_samples,
+        location=location,
+        context=context or {},
+    )
+    return [segment_from_packet("alice", p) for p in packets]
+
+
+class TestPolicy:
+    def test_rejects_bad_max_samples(self):
+        with pytest.raises(ValidationError):
+            MergePolicy(max_samples=0)
+
+
+class TestIngestMerging:
+    def test_seamless_stream_buffers_until_max(self):
+        opt = SegmentOptimizer(MergePolicy(max_samples=256))
+        finalized = []
+        for seg in packets_to_segments(n_samples=640, packet_samples=64):
+            finalized.extend(opt.add(seg))
+        finalized.extend(opt.flush())
+        # 640 samples with a 256 cap: 256, 256, 128.
+        assert [s.n_samples for s in finalized] == [256, 256, 128]
+        assert opt.merged_count > 0
+
+    def test_gap_splits_streams(self):
+        opt = SegmentOptimizer(MergePolicy(max_samples=10_000))
+        first = packets_to_segments(n_samples=128, start=0)
+        second = packets_to_segments(n_samples=128, start=1_000_000)  # gap
+        finalized = []
+        for seg in first + second:
+            finalized.extend(opt.add(seg))
+        finalized.extend(opt.flush())
+        assert [s.n_samples for s in finalized] == [128, 128]
+
+    def test_location_change_splits(self):
+        opt = SegmentOptimizer(MergePolicy(max_samples=10_000))
+        here = packets_to_segments(n_samples=128, start=0, location=LOC)
+        there = packets_to_segments(
+            n_samples=128, start=128 * 250, location=LatLon(35.0, -118.0)
+        )
+        finalized = []
+        for seg in here + there:
+            finalized.extend(opt.add(seg))
+        finalized.extend(opt.flush())
+        assert sorted(s.n_samples for s in finalized) == [128, 128]
+
+    def test_context_change_splits(self):
+        opt = SegmentOptimizer(MergePolicy(max_samples=10_000))
+        still = packets_to_segments(n_samples=128, start=0, context={"Activity": "Still"})
+        drive = packets_to_segments(
+            n_samples=128, start=128 * 250, context={"Activity": "Drive"}
+        )
+        finalized = []
+        for seg in still + drive:
+            finalized.extend(opt.add(seg))
+        finalized.extend(opt.flush())
+        assert sorted(s.n_samples for s in finalized) == [128, 128]
+
+    def test_disabled_policy_passes_through(self):
+        opt = SegmentOptimizer(MergePolicy(enabled=False))
+        segments = packets_to_segments(n_samples=640)
+        out = []
+        for seg in segments:
+            out.extend(opt.add(seg))
+        out.extend(opt.flush())
+        assert len(out) == len(segments)
+        assert opt.merged_count == 0
+
+    def test_oversized_segment_finalizes_immediately(self):
+        opt = SegmentOptimizer(MergePolicy(max_samples=32))
+        (seg,) = packets_to_segments(n_samples=64, packet_samples=64)
+        assert opt.add(seg) == [seg]
+        assert opt.flush() == []
+
+    def test_values_preserved_across_merging(self):
+        opt = SegmentOptimizer(MergePolicy(max_samples=4096))
+        finalized = []
+        for seg in packets_to_segments(n_samples=640):
+            finalized.extend(opt.add(seg))
+        finalized.extend(opt.flush())
+        merged_values = np.concatenate([s.channel_values("ECG") for s in finalized])
+        assert list(merged_values) == list(range(640))
+
+
+class TestCompaction:
+    def test_compact_merges_existing_list(self):
+        segments = packets_to_segments(n_samples=640, packet_samples=64)
+        opt = SegmentOptimizer(MergePolicy(max_samples=4096))
+        out = opt.compact(segments)
+        assert len(out) == 1
+        assert out[0].n_samples == 640
+
+    def test_compact_respects_max_samples(self):
+        segments = packets_to_segments(n_samples=640, packet_samples=64)
+        opt = SegmentOptimizer(MergePolicy(max_samples=256))
+        out = opt.compact(segments)
+        assert all(s.n_samples <= 256 for s in out)
+        assert sum(s.n_samples for s in out) == 640
+
+    def test_compact_handles_unsorted_input(self):
+        segments = packets_to_segments(n_samples=256, packet_samples=64)
+        opt = SegmentOptimizer(MergePolicy(max_samples=4096))
+        out = opt.compact(list(reversed(segments)))
+        assert len(out) == 1
+        assert list(out[0].channel_values("ECG")) == list(range(256))
+
+    def test_compact_disabled_is_identity_sized(self):
+        segments = packets_to_segments(n_samples=256, packet_samples=64)
+        opt = SegmentOptimizer(MergePolicy(enabled=False))
+        assert len(opt.compact(segments)) == len(segments)

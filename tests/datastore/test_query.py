@@ -1,0 +1,65 @@
+"""Tests for the data query language."""
+
+import pytest
+
+from repro.datastore.query import DataQuery, QueryResult
+from repro.exceptions import QueryError, UnknownChannelError
+from repro.util.geo import BoundingBox
+from repro.util.timeutil import Interval
+
+from tests.conftest import make_segment
+
+
+class TestDataQuery:
+    def test_defaults_unconstrained(self):
+        q = DataQuery()
+        assert q.expanded_channels() == ()
+        assert q.time_range is None and q.region is None
+
+    def test_group_expansion(self):
+        q = DataQuery(channels=("Accelerometer", "ECG"))
+        assert q.expanded_channels() == ("AccelX", "AccelY", "AccelZ", "ECG")
+
+    def test_duplicate_expansion_removed(self):
+        q = DataQuery(channels=("ECG", "ECG"))
+        assert q.expanded_channels() == ("ECG",)
+
+    def test_unknown_channel_raises(self):
+        with pytest.raises(UnknownChannelError):
+            DataQuery(channels=("Sonar",)).expanded_channels()
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(QueryError):
+            DataQuery(limit_segments=0)
+
+    def test_json_roundtrip(self):
+        q = DataQuery(
+            channels=("ECG",),
+            time_range=Interval(100, 200),
+            region=BoundingBox(0, 0, 1, 1),
+            limit_segments=5,
+        )
+        again = DataQuery.from_json(q.to_json())
+        assert again == q
+
+    def test_empty_json_is_empty_query(self):
+        assert DataQuery.from_json({}) == DataQuery()
+
+    def test_from_json_rejects_non_dict(self):
+        with pytest.raises(QueryError):
+            DataQuery.from_json([1, 2])
+
+
+class TestQueryResult:
+    def test_aggregates(self):
+        result = QueryResult(segments=[make_segment(n=4), make_segment(n=6, start_ms=99999)])
+        assert result.n_segments == 2
+        assert result.n_samples == 10
+        assert result.channels() == ("ECG",)
+
+    def test_json_roundtrip(self):
+        result = QueryResult(segments=[make_segment(n=4)], scanned_segments=7, truncated=True)
+        again = QueryResult.from_json(result.to_json())
+        assert again.n_segments == 1
+        assert again.scanned_segments == 7
+        assert again.truncated is True

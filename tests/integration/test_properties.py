@@ -1,0 +1,204 @@
+"""Property-based enforcement invariants.
+
+Hypothesis drives the rule engine with randomized rule sets and segments
+and checks the privacy invariants that must hold for *every* combination:
+
+1. Default deny — without a matching Allow, nothing is released.
+2. Deny dominance — adding an unscoped Deny to any rule set empties it.
+3. Monotonicity — adding an abstraction rule never *increases* what a
+   consumer receives (channels and labels only shrink or coarsen).
+4. Closure soundness — a raw channel is never released while any context
+   it can reveal is restricted.
+5. Sample conservation — released samples are a subset of stored samples
+   (no fabrication, no duplication across time pieces).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.rules.dependency import DEFAULT_DEPENDENCIES
+from repro.rules.engine import RuleEngine
+from repro.rules.model import ALLOW, DENY, Rule, abstraction
+from repro.sensors.contexts import CONTEXTS
+from repro.util.geo import BoundingBox, LabeledPlace
+from repro.util.timeutil import Interval, RepeatedTime, TimeCondition
+
+from tests.conftest import MONDAY, make_segment
+
+PLACES = {
+    "UCLA": LabeledPlace("UCLA", BoundingBox(34.0, -118.5, 34.1, -118.4)),
+}
+
+CHANNEL_SETS = st.sampled_from(
+    [
+        ("ECG",),
+        ("Respiration",),
+        ("ECG", "Respiration"),
+        ("AccelX", "AccelY", "AccelZ"),
+        ("ECG", "MicAmplitude", "AccelX"),
+        ("GpsLat", "GpsLon", "ECG"),
+    ]
+)
+
+CONTEXT_VALUES = st.fixed_dictionaries(
+    {
+        "Activity": st.sampled_from(["Still", "Walk", "Run", "Bike", "Drive"]),
+        "Stress": st.sampled_from(["Stressed", "NotStressed"]),
+        "Conversation": st.sampled_from(["Conversation", "NotConversation"]),
+        "Smoking": st.sampled_from(["Smoking", "NotSmoking"]),
+    }
+)
+
+ASPECT_LEVELS = [
+    ("Activity", "TransportMode"),
+    ("Activity", "MoveNotMove"),
+    ("Activity", "NotShare"),
+    ("Stress", "StressedNotStressed"),
+    ("Stress", "NotShare"),
+    ("Smoking", "NotShare"),
+    ("Conversation", "NotShare"),
+    ("Location", "city"),
+    ("Time", "day"),
+]
+
+
+def rule_strategy():
+    actions = st.one_of(
+        st.just(ALLOW),
+        st.just(DENY),
+        st.sampled_from(ASPECT_LEVELS).map(lambda al: abstraction(**{al[0]: al[1]})),
+    )
+    consumers = st.sampled_from([(), ("bob",), ("carol",)])
+    sensors = st.sampled_from([(), ("ECG",), ("Accelerometer",), ("Respiration",)])
+    contexts = st.sampled_from([(), ("Drive",), ("Conversation",), ("Stress",)])
+    times = st.sampled_from(
+        [
+            TimeCondition(),
+            TimeCondition(intervals=(Interval(MONDAY, MONDAY + 3_600_000),)),
+            TimeCondition(
+                repeated=(RepeatedTime.weekly(["Mon", "Wed"], "9:00am", "6:00pm"),)
+            ),
+        ]
+    )
+    return st.builds(
+        Rule,
+        consumers=consumers,
+        sensors=sensors,
+        contexts=contexts,
+        time=times,
+        action=actions,
+    )
+
+
+RULES = st.lists(rule_strategy(), max_size=6)
+
+
+def segment_strategy():
+    return st.builds(
+        lambda channels, context, offset, n: make_segment(
+            channels=channels,
+            context=context,
+            start_ms=MONDAY + offset * 60_000,
+            n=n,
+            interval_ms=30_000,
+        ),
+        CHANNEL_SETS,
+        CONTEXT_VALUES,
+        st.integers(min_value=0, max_value=600),
+        st.integers(min_value=1, max_value=50),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(RULES, segment_strategy())
+def test_default_deny_without_allow(rules, segment):
+    rules = [r for r in rules if not r.action.is_allow]
+    engine = RuleEngine(rules, PLACES)
+    assert engine.evaluate("bob", [segment]) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(RULES, segment_strategy())
+def test_unscoped_deny_dominates(rules, segment):
+    engine = RuleEngine(rules + [Rule(action=DENY)], PLACES)
+    assert engine.evaluate("bob", [segment]) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(RULES, segment_strategy(), st.sampled_from(ASPECT_LEVELS))
+def test_abstraction_is_monotone_restrictive(rules, segment, aspect_level):
+    aspect, level = aspect_level
+    base = RuleEngine(rules, PLACES)
+    restricted = RuleEngine(
+        rules + [Rule(action=abstraction(**{aspect: level}))], PLACES
+    )
+    base_out = base.evaluate("bob", [segment])
+    restricted_out = restricted.evaluate("bob", [segment])
+
+    def released_channels(items):
+        return {c for item in items for c in item.channels()}
+
+    def released_labels(items):
+        return {(k, v) for item in items for k, v in item.context_labels.items()}
+
+    assert released_channels(restricted_out) <= released_channels(base_out)
+    # Labels may coarsen (different value) but never appear for categories
+    # that base withheld entirely.
+    assert {k for k, _ in released_labels(restricted_out)} <= {
+        k for k, _ in released_labels(base_out)
+    }
+
+
+@settings(max_examples=80, deadline=None)
+@given(RULES, segment_strategy())
+def test_closure_soundness(rules, segment):
+    """No released raw channel may reveal a restricted context."""
+    engine = RuleEngine(rules, PLACES)
+    for item in engine.evaluate("bob", [segment]):
+        if item.segment is None:
+            continue
+        # Reconstruct the effective restriction from the released labels:
+        # a category whose label is absent *and* whose raw sources are
+        # absent might be restricted; the direct invariant is simpler —
+        # ask the engine's own sharing decision via the withheld map.
+        for channel in item.channels():
+            revealed = DEFAULT_DEPENDENCIES.contexts_revealed_by(channel)
+            for category in revealed:
+                # If a raw source channel flows, the category is at its raw
+                # level, so a NotShare of that category can't be in force:
+                # its label (if the category was annotated) must be present
+                # unless the ladder level coarsened it away — raw level
+                # always renders a label for annotated categories.
+                if category in segment.context:
+                    assert category in item.context_labels, (
+                        f"raw {channel} released while {category} restricted"
+                    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(RULES, segment_strategy())
+def test_sample_conservation(rules, segment):
+    """Across all released pieces, per-channel samples are a subset of the
+    stored segment's samples and are never duplicated."""
+    engine = RuleEngine(rules, PLACES)
+    released = engine.evaluate("bob", [segment])
+    per_channel: dict = {}
+    for item in released:
+        if item.segment is None:
+            continue
+        for channel in item.segment.channels:
+            if channel == "Time":
+                continue
+            per_channel.setdefault(channel, []).append(
+                np.asarray(item.segment.channel_values(channel))
+            )
+    for channel, chunks in per_channel.items():
+        out = np.concatenate(chunks)
+        stored = np.asarray(segment.channel_values(channel))
+        assert len(out) <= len(stored)
+        # Values are a sub-multiset: every released value occurs in stored
+        # at least as often (values here are distinct by construction).
+        stored_list = stored.tolist()
+        for value in out.tolist():
+            assert value in stored_list
+            stored_list.remove(value)

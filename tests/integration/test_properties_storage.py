@@ -1,0 +1,153 @@
+"""Property-based invariants for the storage pipeline.
+
+Complements ``test_properties.py`` (rule-engine invariants) with the
+storage-side contracts:
+
+* merge/compact conservation — however the optimizer groups packets, the
+  concatenated per-channel sample sequence is unchanged;
+* compaction idempotence — compacting twice equals compacting once;
+* slicing partitions — slicing a segment at arbitrary cut points and
+  concatenating the pieces reproduces the original samples;
+* rule JSON round-trips — parser(serializer(rule)) preserves identity for
+  arbitrary generated rules.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datastore.optimizer import MergePolicy, SegmentOptimizer
+from repro.datastore.wavesegment import segment_from_packet
+from repro.rules.model import ALLOW, DENY, Rule, abstraction
+from repro.rules.parser import rule_from_json, rule_to_json
+from repro.sensors.packets import packetize
+from repro.util.geo import LatLon
+from repro.util.timeutil import Interval, RepeatedTime, TimeCondition
+
+from tests.conftest import MONDAY, make_segment
+
+LOC = LatLon(34.0, -118.0)
+
+
+def _stream_values(segments, channel="ECG"):
+    ordered = sorted(segments, key=lambda s: s.start_ms)
+    return [v for s in ordered for v in s.channel_values(channel)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=600),
+)
+def test_ingest_merge_conserves_stream(n_samples, packet_size, max_samples):
+    packets = packetize(
+        "ECG",
+        MONDAY,
+        250,
+        [float(i) for i in range(n_samples)],
+        packet_samples=packet_size,
+        location=LOC,
+    )
+    optimizer = SegmentOptimizer(MergePolicy(max_samples=max_samples))
+    out = []
+    for packet in packets:
+        out.extend(optimizer.add(segment_from_packet("alice", packet)))
+    out.extend(optimizer.flush())
+    assert _stream_values(out) == [float(i) for i in range(n_samples)]
+    # No segment exceeds the bound by more than one packet's worth.
+    assert all(s.n_samples <= max_samples + packet_size for s in out)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=400),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=8, max_value=512),
+)
+def test_compaction_is_idempotent(n_samples, packet_size, max_samples):
+    packets = packetize(
+        "ECG",
+        MONDAY,
+        250,
+        [float(i) for i in range(n_samples)],
+        packet_samples=packet_size,
+        location=LOC,
+    )
+    segments = [segment_from_packet("alice", p) for p in packets]
+    optimizer = SegmentOptimizer(MergePolicy(max_samples=max_samples))
+    once = optimizer.compact(segments)
+    twice = optimizer.compact(once)
+    assert [s.n_samples for s in twice] == [s.n_samples for s in once]
+    assert _stream_values(twice) == _stream_values(segments)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=200),
+    st.lists(st.integers(min_value=1, max_value=199), min_size=1, max_size=4, unique=True),
+)
+def test_slicing_partitions_samples(n_samples, cut_offsets):
+    segment = make_segment(n=n_samples, interval_ms=1000)
+    cuts = sorted(
+        {segment.start_ms + offset * 1000 for offset in cut_offsets if offset < n_samples}
+    )
+    points = [segment.start_ms] + cuts + [segment.end_ms]
+    pieces = []
+    for lo, hi in zip(points, points[1:]):
+        if lo >= hi:
+            continue
+        piece = segment.slice_time(Interval(lo, hi))
+        if piece is not None:
+            pieces.append(piece)
+    reassembled = [v for p in pieces for v in p.channel_values("ECG")]
+    assert reassembled == list(segment.channel_values("ECG"))
+
+
+_ACTIONS = st.one_of(
+    st.just(ALLOW),
+    st.just(DENY),
+    st.sampled_from(
+        [
+            abstraction(Stress="NotShare"),
+            abstraction(Activity="MoveNotMove"),
+            abstraction(Location="city", Time="hour"),
+            abstraction(Smoking="SmokingNotSmoking"),
+        ]
+    ),
+)
+
+_TIMES = st.sampled_from(
+    [
+        TimeCondition(),
+        TimeCondition(intervals=(Interval(MONDAY, MONDAY + 3_600_000),)),
+        TimeCondition(repeated=(RepeatedTime.weekly(["Tue", "Sat"], "7:30am", "11:45pm"),)),
+        TimeCondition(
+            intervals=(Interval(0, 1), Interval(5, 500)),
+            repeated=(RepeatedTime.weekly(["Sun"], "10:00pm", "2:00am"),),
+        ),
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.builds(
+        Rule,
+        consumers=st.sampled_from([(), ("bob",), ("bob", "carol"), ("study-x",)]),
+        location_labels=st.sampled_from([(), ("home",), ("home", "work")]),
+        sensors=st.sampled_from([(), ("ECG",), ("Accelerometer", "GPS")]),
+        contexts=st.sampled_from([(), ("Drive",), ("Conversation", "Smoke")]),
+        time=_TIMES,
+        action=_ACTIONS,
+        note=st.sampled_from(["", "a note"]),
+    )
+)
+def test_rule_json_roundtrip_preserves_identity(rule):
+    again = rule_from_json(rule_to_json(rule))
+    assert again.rule_id == rule.rule_id
+    assert again.consumers == rule.consumers
+    assert again.sensors == rule.sensors
+    assert again.contexts == rule.contexts
+    assert again.action == rule.action
+    assert again.time == rule.time
+    assert again.note == rule.note

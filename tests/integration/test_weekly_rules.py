@@ -1,0 +1,152 @@
+"""Weekly repeated-time rules over a full simulated week.
+
+The Fig. 4 rule is weekday-scoped; this suite uploads seven days of data
+and verifies the enforcement boundary follows the calendar — weekday
+conversations abstract stress away, weekend conversations do not — and
+that broker search honours the same weekly geometry.
+"""
+
+import pytest
+
+from repro.broker.search import SearchCriteria
+from repro.collection.phone import PhoneConfig
+from repro.datastore.query import DataQuery
+from repro.rules.parser import rules_from_json
+from repro.sensors.personas import make_persona
+from repro.sensors.simulator import SimulatorConfig, TraceSimulator
+from repro.util.timeutil import (
+    Interval,
+    RepeatedTime,
+    TimeCondition,
+    day_of_week,
+    timestamp_ms,
+)
+
+MONDAY = timestamp_ms(2011, 2, 7)
+DAY_MS = 86_400_000
+
+FIG4 = [
+    {"Consumer": ["bob"], "Action": "Allow"},
+    {
+        "Consumer": ["bob"],
+        "RepeatTime": {
+            "Day": ["Mon", "Tue", "Wed", "Thu", "Fri"],
+            "HourMin": ["9:00am", "6:00pm"],
+        },
+        "Context": ["Conversation"],
+        "Action": {"Abstraction": {"Stress": "NotShared"}},
+    },
+]
+
+
+@pytest.fixture(scope="module")
+def week(request):
+    from repro.core import SensorSafeSystem
+
+    system = SensorSafeSystem(seed=77)
+    persona = make_persona("alice", conversation_prob=0.6)
+    alice = system.add_contributor("alice")
+    alice.set_places(persona.places.values())
+    for rule in rules_from_json(FIG4):
+        alice.add_rule(rule)
+    trace = TraceSimulator(
+        persona,
+        SimulatorConfig(rate_scale=0.02, channels=("ECG", "Respiration", "MicAmplitude")),
+        seed=7,
+    ).run(MONDAY, days=7)
+    alice.phone(PhoneConfig(rule_aware=False)).collect(trace.all_packets_sorted())
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    released = bob.fetch(
+        "alice", DataQuery(time_range=Interval(MONDAY, MONDAY + 7 * DAY_MS))
+    )
+    return system, bob, released
+
+
+def _in_window(ts_ms):
+    weekday = day_of_week(ts_ms) in ("Mon", "Tue", "Wed", "Thu", "Fri")
+    minute = (ts_ms % DAY_MS) // 60_000
+    return weekday and 9 * 60 <= minute < 18 * 60
+
+
+def _conversation_windows(released):
+    return {
+        item.interval.start // 60_000
+        for item in released
+        if item.context_labels.get("Conversation") == "Conversation"
+    }
+
+
+class TestWeeklyEnforcement:
+    def test_week_contains_both_regimes(self, week):
+        _, _, released = week
+        convo = _conversation_windows(released)
+        assert any(_in_window(w * 60_000) for w in convo)
+        assert any(not _in_window(w * 60_000) for w in convo)
+
+    def test_stress_withheld_exactly_in_weekday_window_conversations(self, week):
+        _, _, released = week
+        convo = _conversation_windows(released)
+        for item in released:
+            window = item.interval.start // 60_000
+            in_convo = window in convo
+            in_scope = _in_window(item.interval.start) and in_convo
+            if in_scope:
+                assert "Stress" not in item.context_labels
+                assert "ECG" not in item.channels()
+            elif "ECG" in item.channels():
+                # Outside the rule's scope raw ECG flows freely.
+                assert True
+
+    def test_weekend_conversations_share_stress(self, week):
+        _, _, released = week
+        convo = _conversation_windows(released)
+        weekend_stress = [
+            item
+            for item in released
+            if item.interval.start // 60_000 in convo
+            and day_of_week(item.interval.start) in ("Sat", "Sun")
+            and "Stress" in item.context_labels
+        ]
+        assert weekend_stress
+
+    def test_search_sees_the_weekly_gap(self, week):
+        """Searching for raw stress signals *during weekday conversations*
+        excludes alice; the complementary searches include her."""
+        system, bob, _ = week
+        weekday_hours = TimeCondition(
+            repeated=(
+                RepeatedTime.weekly(
+                    ["Mon", "Tue", "Wed", "Thu", "Fri"], "9:00am", "6:00pm"
+                ),
+            )
+        )
+        in_scope = bob.search(
+            SearchCriteria(
+                consumer="bob",
+                channels=("ECG",),
+                time=weekday_hours,
+                contexts={"Conversation": "Conversation"},
+            )
+        )
+        assert "alice" not in in_scope
+        quiet = bob.search(
+            SearchCriteria(
+                consumer="bob",
+                channels=("ECG",),
+                time=weekday_hours,
+                contexts={"Conversation": "NotConversation"},
+            )
+        )
+        assert "alice" in quiet
+        weekend = bob.search(
+            SearchCriteria(
+                consumer="bob",
+                channels=("ECG",),
+                time=TimeCondition(
+                    repeated=(RepeatedTime.weekly(["Sat", "Sun"], "9:00am", "6:00pm"),)
+                ),
+                contexts={"Conversation": "Conversation"},
+            )
+        )
+        assert "alice" in weekend

@@ -1,0 +1,76 @@
+"""Tests for the HTTP client: key injection and error mapping."""
+
+import pytest
+
+from repro.exceptions import (
+    AuthenticationError,
+    BadRequestError,
+    NotFoundError,
+    ServiceError,
+)
+from repro.net.client import HttpClient
+from repro.net.http import Router, json_response
+from repro.net.transport import Network
+
+
+@pytest.fixture()
+def network():
+    network = Network()
+    router = Router()
+    router.add("POST", "/api/whoami", lambda req: {"key": req.api_key})
+
+    def fail(req):
+        status = int(req.body.get("status", 500))
+        return json_response({"Error": "boom"}, status=status)
+
+    router.add("POST", "/api/fail", fail)
+    router.add("GET", "/web/page", lambda req: {"page": 1})
+    network.register_host("store", router)
+    return network
+
+
+class TestKeyInjection:
+    def test_key_injected_into_body(self, network):
+        client = HttpClient(network, api_key="secret-key")
+        assert client.post("https://store/api/whoami")["key"] == "secret-key"
+
+    def test_explicit_key_not_overridden(self, network):
+        client = HttpClient(network, api_key="secret-key")
+        body = client.post("https://store/api/whoami", {"ApiKey": "other"})
+        assert body["key"] == "other"
+
+    def test_keyless_client_sends_nothing(self, network):
+        client = HttpClient(network)
+        assert client.post("https://store/api/whoami")["key"] is None
+
+    def test_with_key_copies(self, network):
+        client = HttpClient(network, name="me", api_key="a")
+        other = client.with_key("b")
+        assert other.post("https://store/api/whoami")["key"] == "b"
+        assert client.post("https://store/api/whoami")["key"] == "a"
+        assert other.name == "me"
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "status,exc",
+        [(400, BadRequestError), (401, AuthenticationError), (404, NotFoundError)],
+    )
+    def test_status_to_exception(self, network, status, exc):
+        client = HttpClient(network)
+        with pytest.raises(exc, match="boom"):
+            client.post("https://store/api/fail", {"status": status})
+
+    def test_unknown_status_generic(self, network):
+        client = HttpClient(network)
+        with pytest.raises(ServiceError):
+            client.post("https://store/api/fail", {"status": 500})
+
+    def test_raw_mode_returns_response(self, network):
+        client = HttpClient(network)
+        response = client.post("https://store/api/fail", {"status": 404}, raw=True)
+        assert response.status == 404
+
+    def test_get(self, network):
+        client = HttpClient(network)
+        assert client.get("https://store/web/page") == {"page": 1}

@@ -1,0 +1,101 @@
+"""Tests for the simulated network: metrics and the TLS invariant."""
+
+import pytest
+
+from repro.exceptions import InsecureTransportError, TransportError
+from repro.net.http import Router
+from repro.net.transport import Network
+
+
+def make_network():
+    network = Network()
+    router = Router()
+    router.add("POST", "/api/echo", lambda req: {"echo": req.body.get("msg", "")})
+    network.register_host("store", router)
+    return network
+
+
+class TestUrlParsing:
+    def test_https(self):
+        assert Network.parse_url("https://host/api/x") == (True, "host", "/api/x")
+
+    def test_http(self):
+        assert Network.parse_url("http://host/") == (False, "host", "/")
+
+    def test_default_path(self):
+        assert Network.parse_url("https://host")[2] == "/"
+
+    def test_malformed(self):
+        with pytest.raises(TransportError):
+            Network.parse_url("ftp://host/x")
+
+
+class TestDelivery:
+    def test_roundtrip(self):
+        network = make_network()
+        response = network.request("POST", "https://store/api/echo", {"msg": "hi"})
+        assert response.body == {"echo": "hi"}
+
+    def test_unknown_host(self):
+        network = make_network()
+        with pytest.raises(TransportError):
+            network.request("POST", "https://ghost/api/echo", {})
+
+    def test_duplicate_host_rejected(self):
+        network = make_network()
+        with pytest.raises(TransportError):
+            network.register_host("store", Router())
+
+
+class TestTlsInvariant:
+    """Section 5.4: API keys travel only in HTTPS POST bodies."""
+
+    def test_api_key_over_http_refused(self):
+        network = make_network()
+        with pytest.raises(InsecureTransportError):
+            network.request("POST", "http://store/api/echo", {"ApiKey": "k"})
+
+    def test_api_key_in_get_refused(self):
+        network = make_network()
+        with pytest.raises(InsecureTransportError):
+            network.request("GET", "https://store/api/echo", {"ApiKey": "k"})
+
+    def test_https_post_accepted(self):
+        network = make_network()
+        response = network.request("POST", "https://store/api/echo", {"ApiKey": "k"})
+        assert response.ok
+
+    def test_keyless_http_allowed(self):
+        network = make_network()
+        assert network.request("POST", "http://store/api/echo", {"msg": "x"}).ok
+
+
+class TestMetrics:
+    def test_bytes_and_requests_counted(self):
+        network = make_network()
+        before = network.metrics_of("store")
+        assert before.requests_in == 0
+        network.request("POST", "https://store/api/echo", {"msg": "hello"})
+        after = network.metrics_of("store")
+        assert after.requests_in == 1
+        assert after.bytes_in > 0 and after.bytes_out > 0
+
+    def test_larger_payload_more_bytes(self):
+        network = make_network()
+        network.request("POST", "https://store/api/echo", {"msg": "x"})
+        small = network.metrics_of("store").bytes_in
+        network.reset_metrics()
+        network.request("POST", "https://store/api/echo", {"msg": "x" * 10_000})
+        big = network.metrics_of("store").bytes_in
+        assert big > small + 9000
+
+    def test_reset(self):
+        network = make_network()
+        network.request("POST", "https://store/api/echo", {})
+        network.reset_metrics()
+        assert network.metrics_of("store").requests_in == 0
+
+    def test_unknown_host_metrics(self):
+        network = make_network()
+        with pytest.raises(TransportError):
+            network.metrics_of("ghost")

@@ -1,0 +1,87 @@
+"""Tests for the abstraction-level algebra (Table 1b)."""
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.rules.abstraction import EffectiveSharing, coarsen_context_label
+
+
+class TestCoarsenLabel:
+    def test_raw_and_fine_pass_label_through(self):
+        assert coarsen_context_label("Activity", "Bike", "AccelerometerData") == "Bike"
+        assert coarsen_context_label("Activity", "Bike", "TransportMode") == "Bike"
+
+    def test_move_not_move(self):
+        assert coarsen_context_label("Activity", "Bike", "MoveNotMove") == "Moving"
+        assert coarsen_context_label("Activity", "Still", "MoveNotMove") == "NotMoving"
+
+    def test_not_share_returns_none(self):
+        assert coarsen_context_label("Stress", "Stressed", "NotShare") is None
+
+    def test_binary_categories_pass_label(self):
+        assert (
+            coarsen_context_label("Smoking", "Smoking", "SmokingNotSmoking") == "Smoking"
+        )
+
+    def test_unknown_category_and_level(self):
+        with pytest.raises(RuleError):
+            coarsen_context_label("Mood", "Happy", "NotShare")
+        with pytest.raises(Exception):
+            coarsen_context_label("Stress", "Stressed", "Sepia")
+
+
+class TestEffectiveSharing:
+    def test_starts_fully_raw(self):
+        sharing = EffectiveSharing()
+        assert sharing.location_is_raw()
+        assert sharing.time_level == "milliseconds"
+        assert sharing.raw_contexts() == frozenset(
+            {"Activity", "Stress", "Smoking", "Conversation"}
+        )
+        assert not sharing.shares_nothing()
+
+    def test_apply_moves_coarser(self):
+        sharing = EffectiveSharing()
+        sharing.apply({"Stress": "StressedNotStressed"})
+        assert "Stress" not in sharing.raw_contexts()
+        assert sharing.restricted_contexts() == frozenset({"Stress"})
+
+    def test_coarsest_wins_not_latest(self):
+        sharing = EffectiveSharing()
+        sharing.apply({"Stress": "NotShare"})
+        sharing.apply({"Stress": "StressedNotStressed"})  # finer, must not win
+        assert sharing.context_levels["Stress"] == "NotShare"
+
+    def test_location_and_time_ladders(self):
+        sharing = EffectiveSharing()
+        sharing.apply({"Location": "zipcode", "Time": "hour"})
+        sharing.apply({"Location": "street_address"})  # finer, ignored
+        assert sharing.location_level == "zipcode"
+        assert sharing.time_level == "hour"
+        assert not sharing.location_is_raw()
+
+    def test_context_label_rendering(self):
+        sharing = EffectiveSharing()
+        sharing.apply({"Activity": "MoveNotMove", "Stress": "NotShare"})
+        assert sharing.context_label("Activity", "Drive") == "Moving"
+        assert sharing.context_label("Stress", "Stressed") is None
+        assert sharing.context_label("Smoking", "NotSmoking") == "NotSmoking"
+
+    def test_shares_nothing_when_everything_notshare(self):
+        sharing = EffectiveSharing()
+        sharing.apply(
+            {
+                "Location": "NotShare",
+                "Time": "NotShare",
+                "Activity": "NotShare",
+                "Stress": "NotShare",
+                "Smoking": "NotShare",
+                "Conversation": "NotShare",
+            }
+        )
+        assert sharing.shares_nothing()
+
+    def test_unknown_aspect_rejected(self):
+        sharing = EffectiveSharing()
+        with pytest.raises(RuleError):
+            sharing.apply({"Mood": "NotShare"})

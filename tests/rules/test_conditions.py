@@ -1,0 +1,115 @@
+"""Tests for per-rule condition matching."""
+
+import pytest
+
+from repro.rules.conditions import (
+    consumer_matches,
+    context_matches,
+    location_matches,
+    rule_applies,
+    sensor_overlaps,
+)
+from repro.rules.model import ALLOW, Rule
+from repro.util.geo import BoundingBox, LabeledPlace, LatLon
+
+from tests.conftest import UCLA, make_segment
+
+PLACES = {
+    "UCLA": LabeledPlace("UCLA", BoundingBox(34.0, -118.5, 34.1, -118.4)),
+    "home": LabeledPlace("home", BoundingBox(34.02, -118.48, 34.04, -118.46)),
+}
+
+
+class TestConsumer:
+    def test_empty_condition_matches_anyone(self):
+        assert consumer_matches(Rule(), frozenset({"whoever"}))
+
+    def test_name_match(self):
+        rule = Rule(consumers=("bob",))
+        assert consumer_matches(rule, frozenset({"bob"}))
+        assert not consumer_matches(rule, frozenset({"carol"}))
+
+    def test_group_membership_match(self):
+        rule = Rule(consumers=("stress-study",))
+        assert consumer_matches(rule, frozenset({"bob", "stress-study"}))
+
+
+class TestLocation:
+    def test_unconstrained(self):
+        assert location_matches(Rule(), None, PLACES)
+        assert location_matches(Rule(), UCLA, {})
+
+    def test_label_resolution(self):
+        rule = Rule(location_labels=("UCLA",))
+        assert location_matches(rule, UCLA, PLACES)
+        assert not location_matches(rule, LatLon(35.0, -118.0), PLACES)
+
+    def test_undefined_label_never_matches(self):
+        rule = Rule(location_labels=("mars",))
+        assert not location_matches(rule, UCLA, PLACES)
+
+    def test_region_condition(self):
+        rule = Rule(location_regions=(BoundingBox(34.0, -118.5, 34.1, -118.4),))
+        assert location_matches(rule, UCLA, {})
+
+    def test_unknown_location_fails_constrained_rules(self):
+        rule = Rule(location_labels=("UCLA",))
+        assert not location_matches(rule, None, PLACES)
+
+    def test_label_or_region_is_or(self):
+        rule = Rule(
+            location_labels=("home",),
+            location_regions=(BoundingBox(34.0, -118.5, 34.1, -118.4),),
+        )
+        assert location_matches(rule, UCLA, PLACES)  # region matches, label not
+
+
+class TestContext:
+    CTX = {"Activity": "Drive", "Stress": "Stressed", "Conversation": "NotConversation"}
+
+    def test_unconstrained(self):
+        assert context_matches(Rule(), {})
+
+    def test_single_label(self):
+        assert context_matches(Rule(contexts=("Drive",)), self.CTX)
+        assert not context_matches(Rule(contexts=("Walk",)), self.CTX)
+
+    def test_or_within_category(self):
+        assert context_matches(Rule(contexts=("Walk", "Drive")), self.CTX)
+
+    def test_and_across_categories(self):
+        assert context_matches(Rule(contexts=("Drive", "Stress")), self.CTX)
+        assert not context_matches(Rule(contexts=("Drive", "Conversation")), self.CTX)
+
+    def test_moving_meta_label(self):
+        assert context_matches(Rule(contexts=("Moving",)), self.CTX)
+        assert not context_matches(Rule(contexts=("NotMoving",)), self.CTX)
+
+    def test_unannotated_category_never_matches(self):
+        assert not context_matches(Rule(contexts=("Smoke",)), self.CTX)
+
+
+class TestSensorOverlap:
+    def test_unconstrained(self):
+        assert sensor_overlaps(Rule(), make_segment(channels=("ECG",)))
+
+    def test_overlap_and_disjoint(self):
+        rule = Rule(sensors=("Accelerometer",))
+        assert sensor_overlaps(rule, make_segment(channels=("AccelX",)))
+        assert not sensor_overlaps(rule, make_segment(channels=("ECG",)))
+
+
+class TestRuleApplies:
+    def test_all_conditions_conjoined(self):
+        rule = Rule(
+            consumers=("bob",),
+            location_labels=("UCLA",),
+            contexts=("Still",),
+            sensors=("ECG",),
+            action=ALLOW,
+        )
+        seg = make_segment(channels=("ECG",), location=UCLA)
+        assert rule_applies(rule, frozenset({"bob"}), seg, PLACES)
+        assert not rule_applies(rule, frozenset({"carol"}), seg, PLACES)
+        away = make_segment(channels=("ECG",), location=LatLon(35.0, -118.0))
+        assert not rule_applies(rule, frozenset({"bob"}), away, PLACES)

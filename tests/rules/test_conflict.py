@@ -1,0 +1,182 @@
+"""Focused conflict-resolution matrix for the rule engine.
+
+DESIGN.md names deny-overrides as the chosen conflict-resolution policy
+(vs. most-specific-rule).  This module enumerates the rule-combination
+matrix in one place so the policy is documented by tests:
+
+* default deny — an empty or non-matching rule set releases nothing;
+* allow ∪ allow — channel grants union;
+* deny ⊳ allow — deny wins regardless of order, count, or specificity;
+* abstraction ⊓ abstraction — coarsest level per aspect wins;
+* abstraction ∘ allow — abstraction modifies, never grants.
+"""
+
+import pytest
+
+from repro.rules.engine import RuleEngine
+from repro.rules.model import ALLOW, DENY, Rule, abstraction
+
+from tests.conftest import make_segment
+
+
+def released_channels(engine, segment, consumer="bob"):
+    return {c for item in engine.evaluate(consumer, [segment]) for c in item.channels()}
+
+
+SEG = make_segment(channels=("ECG", "AccelX", "MicAmplitude"), n=8)
+
+
+class TestDefaultDeny:
+    @pytest.mark.parametrize(
+        "rules",
+        [
+            [],
+            [Rule(consumers=("carol",), action=ALLOW)],
+            [Rule(consumers=("bob",), action=DENY)],
+            [Rule(consumers=("bob",), action=abstraction(Stress="NotShare"))],
+            [
+                Rule(consumers=("bob",), action=DENY),
+                Rule(consumers=("bob",), action=abstraction(Stress="NotShare")),
+            ],
+        ],
+    )
+    def test_nothing_without_a_matching_allow(self, rules):
+        assert RuleEngine(rules, {}).evaluate("bob", [SEG]) == []
+
+
+class TestAllowUnion:
+    def test_overlapping_scopes_union(self):
+        engine = RuleEngine(
+            [
+                Rule(consumers=("bob",), sensors=("ECG",), action=ALLOW),
+                Rule(consumers=("bob",), sensors=("ECG", "Microphone"), action=ALLOW),
+            ],
+            {},
+        )
+        assert released_channels(engine, SEG) == {"ECG", "MicAmplitude"}
+
+    def test_unscoped_allow_dominates_scoped(self):
+        engine = RuleEngine(
+            [
+                Rule(consumers=("bob",), sensors=("ECG",), action=ALLOW),
+                Rule(consumers=("bob",), action=ALLOW),
+            ],
+            {},
+        )
+        assert released_channels(engine, SEG) == {"ECG", "AccelX", "MicAmplitude"}
+
+    def test_duplicate_allows_idempotent(self):
+        one = RuleEngine([Rule(consumers=("bob",), action=ALLOW)], {})
+        # The same rule via a group and via the name: still one grant.
+        both = RuleEngine(
+            [
+                Rule(consumers=("bob",), action=ALLOW),
+                Rule(consumers=("study",), action=ALLOW),
+            ],
+            {},
+            membership=lambda c: frozenset({c, "study"}),
+        )
+        assert released_channels(one, SEG) == released_channels(both, SEG)
+
+
+class TestDenyOverrides:
+    def test_order_independent(self):
+        a = RuleEngine(
+            [Rule(consumers=("bob",), action=ALLOW), Rule(consumers=("bob",), action=DENY)],
+            {},
+        )
+        b = RuleEngine(
+            [Rule(consumers=("bob",), action=DENY), Rule(consumers=("bob",), action=ALLOW)],
+            {},
+        )
+        assert a.evaluate("bob", [SEG]) == [] and b.evaluate("bob", [SEG]) == []
+
+    def test_specific_allow_does_not_beat_general_deny(self):
+        """Explicitly NOT most-specific-rule: a narrowly scoped allow
+        cannot override a broad deny."""
+        engine = RuleEngine(
+            [
+                Rule(consumers=("bob",), sensors=("ECG",), contexts=("Still",), action=ALLOW),
+                Rule(consumers=("bob",), action=DENY),
+            ],
+            {},
+        )
+        assert engine.evaluate("bob", [SEG]) == []
+
+    def test_scoped_deny_leaves_the_rest(self):
+        engine = RuleEngine(
+            [
+                Rule(consumers=("bob",), action=ALLOW),
+                Rule(consumers=("bob",), sensors=("ECG", "Microphone"), action=DENY),
+            ],
+            {},
+        )
+        assert released_channels(engine, SEG) == {"AccelX"}
+
+    def test_many_scoped_denies_accumulate(self):
+        engine = RuleEngine(
+            [
+                Rule(consumers=("bob",), action=ALLOW),
+                Rule(consumers=("bob",), sensors=("ECG",), action=DENY),
+                Rule(consumers=("bob",), sensors=("Microphone",), action=DENY),
+                Rule(consumers=("bob",), sensors=("Accelerometer",), action=DENY),
+            ],
+            {},
+        )
+        assert engine.evaluate("bob", [SEG]) == []
+
+
+class TestAbstractionMeet:
+    def test_aspects_combine_independently(self):
+        engine = RuleEngine(
+            [
+                Rule(consumers=("bob",), action=ALLOW),
+                Rule(consumers=("bob",), action=abstraction(Location="zipcode")),
+                Rule(consumers=("bob",), action=abstraction(Time="hour")),
+            ],
+            {},
+        )
+        (released, *_) = engine.evaluate("bob", [SEG])
+        assert released.location_level == "zipcode"
+        assert released.time_level == "hour"
+
+    def test_coarsest_wins_is_commutative(self):
+        fine_then_coarse = RuleEngine(
+            [
+                Rule(consumers=("bob",), action=ALLOW),
+                Rule(consumers=("bob",), action=abstraction(Location="zipcode")),
+                Rule(consumers=("bob",), action=abstraction(Location="country")),
+            ],
+            {},
+        )
+        coarse_then_fine = RuleEngine(
+            [
+                Rule(consumers=("bob",), action=ALLOW),
+                Rule(consumers=("bob",), action=abstraction(Location="country")),
+                Rule(consumers=("bob",), action=abstraction(Location="zipcode")),
+            ],
+            {},
+        )
+        (a, *_) = fine_then_coarse.evaluate("bob", [SEG])
+        (b, *_) = coarse_then_fine.evaluate("bob", [SEG])
+        assert a.location_level == b.location_level == "country"
+
+    def test_all_aspects_notshare_equals_deny(self):
+        engine = RuleEngine(
+            [
+                Rule(consumers=("bob",), action=ALLOW),
+                Rule(
+                    consumers=("bob",),
+                    action=abstraction(
+                        Location="NotShare",
+                        Time="NotShare",
+                        Activity="NotShare",
+                        Stress="NotShare",
+                        Smoking="NotShare",
+                        Conversation="NotShare",
+                    ),
+                ),
+            ],
+            {},
+        )
+        assert engine.evaluate("bob", [SEG]) == []

@@ -1,0 +1,107 @@
+"""Tests for the privacy-rule data model (Table 1)."""
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.rules.model import (
+    ACTION_ABSTRACTION,
+    ALLOW,
+    Action,
+    DENY,
+    LOCATION_LEVELS,
+    Rule,
+    TIME_LEVELS,
+    abstraction,
+)
+from repro.util.geo import BoundingBox
+from repro.util.timeutil import RepeatedTime, TimeCondition
+
+
+class TestAction:
+    def test_allow_deny_constants(self):
+        assert ALLOW.is_allow and not ALLOW.is_deny
+        assert DENY.is_deny and not DENY.is_abstraction
+
+    def test_unknown_kind(self):
+        with pytest.raises(RuleError):
+            Action("maybe")
+
+    def test_allow_cannot_carry_levels(self):
+        with pytest.raises(RuleError):
+            Action("allow", {"Stress": "NotShare"})
+
+    def test_abstraction_needs_levels(self):
+        with pytest.raises(RuleError):
+            Action(ACTION_ABSTRACTION, {})
+
+    def test_notshared_alias_normalized(self):
+        """The paper's Fig. 4 spells it 'NotShared'."""
+        action = abstraction(Stress="NotShared")
+        assert action.abstraction == {"Stress": "NotShare"}
+
+    def test_validates_ladder_levels(self):
+        with pytest.raises(RuleError):
+            abstraction(Stress="Pixelated")
+        with pytest.raises(RuleError):
+            abstraction(Mood="NotShare")
+
+    def test_location_and_time_aspects(self):
+        action = abstraction(Location="zipcode", Time="day")
+        assert action.abstraction == {"Location": "zipcode", "Time": "day"}
+        assert "NotShare" in LOCATION_LEVELS and "NotShare" in TIME_LEVELS
+
+
+class TestRule:
+    def test_validates_context_labels(self):
+        with pytest.raises(RuleError):
+            Rule(contexts=("Levitating",))
+
+    def test_validates_sensor_names(self):
+        with pytest.raises(RuleError):
+            Rule(sensors=("Sonar",))
+
+    def test_stable_rule_id(self):
+        a = Rule(consumers=("bob",), action=ALLOW)
+        b = Rule(consumers=("bob",), action=ALLOW)
+        assert a.rule_id == b.rule_id
+
+    def test_distinct_rules_distinct_ids(self):
+        a = Rule(consumers=("bob",), action=ALLOW)
+        b = Rule(consumers=("carol",), action=ALLOW)
+        assert a.rule_id != b.rule_id
+
+    def test_sensor_channels_expansion(self):
+        rule = Rule(sensors=("Accelerometer",))
+        assert rule.sensor_channels() == frozenset({"AccelX", "AccelY", "AccelZ"})
+        assert Rule().sensor_channels() is None
+
+    def test_context_requirements_grouping(self):
+        rule = Rule(contexts=("Drive", "Walk", "Stress"))
+        grouped = rule.context_requirements()
+        assert set(grouped["Activity"]) == {"Drive", "Walk"}
+        assert grouped["Stress"] == ["Stress"]
+
+    def test_is_unconditional(self):
+        assert Rule(consumers=("bob",)).is_unconditional()
+        assert not Rule(location_labels=("home",)).is_unconditional()
+        assert not Rule(
+            time=TimeCondition(repeated=(RepeatedTime.weekly(["Mon"], "9:00am", "5:00pm"),))
+        ).is_unconditional()
+
+    def test_describe_mentions_key_facts(self):
+        rule = Rule(
+            consumers=("bob",),
+            location_labels=("UCLA",),
+            contexts=("Conversation",),
+            action=abstraction(Stress="NotShare"),
+        )
+        text = rule.describe()
+        assert "bob" in text and "UCLA" in text and "Conversation" in text
+        assert "Stress=NotShare" in text
+
+    def test_describe_everyone(self):
+        assert "everyone" in Rule(action=DENY).describe()
+
+    def test_region_condition_allowed(self):
+        rule = Rule(location_regions=(BoundingBox(0, 0, 1, 1),))
+        assert rule.location_regions[0].contains.__self__  # region is usable

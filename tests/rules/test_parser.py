@@ -1,0 +1,129 @@
+"""Tests for Fig. 4 JSON rule parsing and serialization."""
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.rules.model import ALLOW, Rule, abstraction
+from repro.rules.parser import (
+    rule_from_json,
+    rule_to_json,
+    rules_from_json,
+    rules_to_json,
+)
+
+#: The paper's Fig. 4 example, verbatim (JSON-ified quotes).
+FIG4 = [
+    {"Consumer": ["Bob"], "LocationLabel": ["UCLA"], "Action": "Allow"},
+    {
+        "Consumer": ["Bob"],
+        "LocationLabel": ["UCLA"],
+        "RepeatTime": {
+            "Day": ["Mon", "Tue", "Wed", "Thu", "Fri"],
+            "HourMin": ["9:00am", "6:00pm"],
+        },
+        "Context": ["Conversation"],
+        "Action": {"Abstraction": {"Stress": "NotShared"}},
+    },
+]
+
+
+class TestFig4:
+    def test_parses_both_rules(self):
+        rules = rules_from_json(FIG4)
+        assert len(rules) == 2
+        allow, abstract = rules
+        assert allow.action.is_allow
+        assert allow.consumers == ("Bob",)
+        assert allow.location_labels == ("UCLA",)
+        assert abstract.action.is_abstraction
+        assert abstract.action.abstraction == {"Stress": "NotShare"}
+        assert abstract.contexts == ("Conversation",)
+        assert abstract.time.repeated[0].days == frozenset(
+            {"Mon", "Tue", "Wed", "Thu", "Fri"}
+        )
+        assert abstract.time.repeated[0].start_minute == 9 * 60
+        assert abstract.time.repeated[0].end_minute == 18 * 60
+
+    def test_roundtrip_preserves_semantics(self):
+        rules = rules_from_json(FIG4)
+        again = rules_from_json(rules_to_json(rules))
+        assert [r.rule_id for r in again] == [r.rule_id for r in rules]
+
+
+class TestParsing:
+    def test_missing_action_rejected(self):
+        with pytest.raises(RuleError):
+            rule_from_json({"Consumer": ["Bob"]})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(RuleError, match="unknown rule attributes"):
+            rule_from_json({"Action": "Allow", "Condition": "x"})
+
+    def test_unknown_action_string(self):
+        with pytest.raises(RuleError):
+            rule_from_json({"Action": "Permit"})
+
+    def test_action_object_must_be_abstraction(self):
+        with pytest.raises(RuleError):
+            rule_from_json({"Action": {"Deny": {}}})
+
+    def test_abstraction_must_be_mapping(self):
+        with pytest.raises(RuleError):
+            rule_from_json({"Action": {"Abstraction": ["Stress"]}})
+
+    def test_string_promoted_to_list(self):
+        rule = rule_from_json({"Consumer": "Bob", "Action": "Allow"})
+        assert rule.consumers == ("Bob",)
+
+    def test_non_string_list_rejected(self):
+        with pytest.raises(RuleError):
+            rule_from_json({"Consumer": [1], "Action": "Allow"})
+
+    def test_location_region_parses(self):
+        rule = rule_from_json(
+            {
+                "Action": "Deny",
+                "LocationRegion": {
+                    "Type": "BoundingBox",
+                    "South": 0,
+                    "West": 0,
+                    "North": 1,
+                    "East": 1,
+                },
+            }
+        )
+        assert len(rule.location_regions) == 1
+
+    def test_bad_region_surfaces_rule_error(self):
+        with pytest.raises(RuleError):
+            rule_from_json({"Action": "Allow", "LocationRegion": {"Type": "Blob"}})
+
+    def test_time_range_parses(self):
+        rule = rule_from_json(
+            {"Action": "Allow", "TimeRange": {"Start": 100, "End": 200}}
+        )
+        assert rule.time.intervals[0].start == 100
+
+    def test_rules_from_json_requires_list(self):
+        with pytest.raises(RuleError):
+            rules_from_json({"Action": "Allow"})
+
+    def test_note_survives_roundtrip(self):
+        rule = rule_from_json({"Action": "Allow", "Note": "my first rule"})
+        assert rule_from_json(rule_to_json(rule)).note == "my first rule"
+
+
+class TestSerialization:
+    def test_minimal_rule(self):
+        obj = rule_to_json(Rule(action=ALLOW))
+        assert obj["Action"] == "Allow"
+        assert "Consumer" not in obj
+
+    def test_abstraction_rule(self):
+        obj = rule_to_json(Rule(action=abstraction(Location="city")))
+        assert obj["Action"] == {"Abstraction": {"Location": "city"}}
+
+    def test_sensor_and_context_emitted(self):
+        obj = rule_to_json(Rule(sensors=("ECG",), contexts=("Drive",)))
+        assert obj["Sensor"] == ["ECG"]
+        assert obj["Context"] == ["Drive"]

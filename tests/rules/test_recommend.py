@@ -1,0 +1,169 @@
+"""Tests for the privacy-rule recommender."""
+
+import pytest
+
+from repro.rules.model import ALLOW, Rule, abstraction
+from repro.rules.recommend import RuleSuggestion, suggest_rules
+from repro.util.geo import BoundingBox, LabeledPlace, LatLon
+
+from tests.conftest import MONDAY, UCLA, make_segment
+
+WORK = LabeledPlace("work", BoundingBox(34.05, -118.25, 34.06, -118.24))
+WORK_POINT = LatLon(34.055, -118.245)
+PLACES = {"work": WORK}
+
+_HOUR = 3_600_000
+
+
+def segments_with(count, *, activity="Drive", stress="Stressed", location=UCLA,
+                  channels=("ECG",), start=MONDAY + 12 * _HOUR, smoking="NotSmoking"):
+    return [
+        make_segment(
+            channels=channels,
+            start_ms=start + i * 60_000,
+            n=4,
+            location=location,
+            context={
+                "Activity": activity,
+                "Stress": stress,
+                "Conversation": "NotConversation",
+                "Smoking": smoking,
+            },
+        )
+        for i in range(count)
+    ]
+
+
+class TestCoOccurrence:
+    def test_stressed_while_driving_flagged(self):
+        """The Section 6 pattern: frequent stress while driving."""
+        segments = segments_with(10) + segments_with(
+            10, activity="Still", stress="NotStressed", start=MONDAY + 14 * _HOUR
+        )
+        suggestions = suggest_rules(segments, [Rule(action=ALLOW)], {})
+        stress_drive = [
+            s
+            for s in suggestions
+            if s.rule.contexts == ("Drive",)
+            and s.rule.action.abstraction.get("Stress") == "NotShare"
+        ]
+        assert len(stress_drive) == 1
+        assert stress_drive[0].evidence_segments == 10
+        assert stress_drive[0].confidence == 1.0
+        assert "drive" in stress_drive[0].rationale.lower()
+
+    def test_rare_pattern_not_flagged(self):
+        segments = segments_with(2) + segments_with(
+            50, activity="Drive", stress="NotStressed", start=MONDAY + 14 * _HOUR
+        )
+        suggestions = suggest_rules(segments, [Rule(action=ALLOW)], {})
+        assert not any(
+            s.rule.action.abstraction.get("Stress") == "NotShare"
+            and s.rule.contexts == ("Drive",)
+            for s in suggestions
+        )
+
+    def test_existing_restriction_suppresses_suggestion(self):
+        segments = segments_with(10)
+        rules = [
+            Rule(action=ALLOW),
+            Rule(contexts=("Drive",), action=abstraction(Stress="NotShare")),
+        ]
+        suggestions = suggest_rules(segments, rules, {})
+        assert not any(
+            s.rule.contexts == ("Drive",)
+            and s.rule.action.abstraction.get("Stress") == "NotShare"
+            for s in suggestions
+        )
+
+    def test_min_support_configurable(self):
+        segments = segments_with(3)
+        none = suggest_rules(segments, [Rule(action=ALLOW)], {}, min_support=5)
+        some = suggest_rules(segments, [Rule(action=ALLOW)], {}, min_support=2)
+        assert not any(s.rule.contexts == ("Drive",) for s in none)
+        assert any(s.rule.contexts == ("Drive",) for s in some)
+
+
+class TestPlacePatterns:
+    def test_smoking_at_work_flagged(self):
+        segments = segments_with(
+            8, activity="Still", stress="NotStressed", smoking="Smoking",
+            location=WORK_POINT,
+        ) + segments_with(
+            8, activity="Still", stress="NotStressed", start=MONDAY + 16 * _HOUR
+        )
+        suggestions = suggest_rules(segments, [Rule(action=ALLOW)], PLACES)
+        at_work = [
+            s
+            for s in suggestions
+            if s.rule.location_labels == ("work",)
+            and s.rule.action.abstraction.get("Smoking") == "NotShare"
+        ]
+        assert len(at_work) == 1
+        assert "work" in at_work[0].rationale
+
+
+class TestBroadAllow:
+    def test_raw_gps_under_blanket_allow_flagged(self):
+        segments = segments_with(
+            6, channels=("GpsLat", "GpsLon"), activity="Still", stress="NotStressed"
+        )
+        suggestions = suggest_rules(segments, [Rule(consumers=("bob",), action=ALLOW)], {})
+        gps = [s for s in suggestions if s.rule.action.abstraction.get("Location")]
+        assert len(gps) == 1
+        assert gps[0].rule.consumers == ("bob",)
+
+    def test_no_flag_when_location_already_abstracted(self):
+        segments = segments_with(
+            6, channels=("GpsLat", "GpsLon"), activity="Still", stress="NotStressed"
+        )
+        rules = [
+            Rule(consumers=("bob",), action=ALLOW),
+            Rule(action=abstraction(Location="city")),
+        ]
+        suggestions = suggest_rules(segments, rules, {})
+        assert not any(s.rule.action.abstraction.get("Location") for s in suggestions)
+
+    def test_night_data_suggests_time_coarsening(self):
+        segments = segments_with(
+            10, activity="Still", stress="NotStressed", start=MONDAY + 2 * _HOUR
+        )
+        suggestions = suggest_rules(segments, [Rule(action=ALLOW)], {})
+        night = [s for s in suggestions if s.rule.action.abstraction.get("Time")]
+        assert len(night) == 1
+
+    def test_no_broad_allow_no_flag(self):
+        segments = segments_with(6, channels=("GpsLat", "GpsLon"))
+        rules = [Rule(consumers=("bob",), sensors=("ECG",), action=ALLOW)]
+        suggestions = suggest_rules(segments, rules, {})
+        assert not any(s.rule.action.abstraction.get("Location") for s in suggestions)
+
+
+class TestOutputShape:
+    def test_sorted_by_confidence_and_unique(self):
+        segments = segments_with(10) + segments_with(
+            4, activity="Walk", start=MONDAY + 16 * _HOUR
+        )
+        suggestions = suggest_rules(segments, [Rule(action=ALLOW)], {}, min_support=3)
+        confidences = [s.confidence for s in suggestions]
+        assert confidences == sorted(confidences, reverse=True)
+        rule_ids = [s.rule.rule_id for s in suggestions]
+        assert len(rule_ids) == len(set(rule_ids))
+
+    def test_json_rendering(self):
+        segments = segments_with(10)
+        (suggestion, *_) = suggest_rules(segments, [Rule(action=ALLOW)], {})
+        obj = suggestion.to_json()
+        assert {"Rule", "Rationale", "Evidence", "Confidence"} <= set(obj)
+
+    def test_end_to_end_through_contributor_handle(self, system):
+        alice = system.add_contributor("alice")
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        alice.upload_segments(segments_with(10, channels=("ECG",)))
+        alice.flush()
+        suggestions = alice.suggest_rules(min_support=3)
+        assert any(
+            s.rule.contexts == ("Drive",)
+            and s.rule.action.abstraction.get("Stress") == "NotShare"
+            for s in suggestions
+        )

@@ -1,0 +1,94 @@
+"""Tests for versioned per-contributor rule storage."""
+
+import pytest
+
+from repro.exceptions import MissingRecordError, RuleError
+from repro.rules.model import ALLOW, DENY, Rule
+from repro.rules.rulestore import RuleSetSnapshot, RuleStore
+
+
+class TestVersions:
+    def test_register_starts_at_zero(self):
+        store = RuleStore()
+        store.register("alice")
+        assert store.version_of("alice") == 0
+        assert store.rules_of("alice") == ()
+
+    def test_every_mutation_bumps(self):
+        store = RuleStore()
+        store.register("alice")
+        rule = Rule(consumers=("bob",), action=ALLOW)
+        store.add("alice", rule)
+        assert store.version_of("alice") == 1
+        store.remove("alice", rule.rule_id)
+        assert store.version_of("alice") == 2
+        store.replace_all("alice", [Rule(action=DENY)])
+        assert store.version_of("alice") == 3
+
+    def test_versions_are_per_contributor(self):
+        store = RuleStore()
+        store.add("alice", Rule(action=ALLOW))
+        assert store.version_of("bob") == 0
+
+
+class TestCrud:
+    def test_duplicate_rule_id_rejected(self):
+        store = RuleStore()
+        rule = Rule(action=ALLOW)
+        store.add("alice", rule)
+        with pytest.raises(RuleError):
+            store.add("alice", Rule(action=ALLOW))  # same content, same id
+
+    def test_remove_missing_raises(self):
+        store = RuleStore()
+        store.register("alice")
+        with pytest.raises(MissingRecordError):
+            store.remove("alice", "nope")
+
+    def test_get_by_id(self):
+        store = RuleStore()
+        rule = Rule(action=ALLOW)
+        store.add("alice", rule)
+        assert store.get("alice", rule.rule_id) == rule
+        with pytest.raises(MissingRecordError):
+            store.get("alice", "nope")
+
+    def test_contributors_sorted(self):
+        store = RuleStore()
+        store.register("zed")
+        store.register("amy")
+        assert store.contributors() == ["amy", "zed"]
+
+
+class TestListeners:
+    def test_listener_fires_with_snapshot(self):
+        store = RuleStore()
+        seen = []
+        store.on_change(seen.append)
+        rule = Rule(action=ALLOW)
+        store.add("alice", rule)
+        assert len(seen) == 1
+        snapshot = seen[0]
+        assert snapshot.contributor == "alice"
+        assert snapshot.version == 1
+        assert snapshot.rules == (rule,)
+
+    def test_listener_fires_on_every_mutation(self):
+        store = RuleStore()
+        count = []
+        store.on_change(lambda s: count.append(s.version))
+        rule = Rule(action=ALLOW)
+        store.add("alice", rule)
+        store.remove("alice", rule.rule_id)
+        assert count == [1, 2]
+
+
+class TestSnapshot:
+    def test_json_roundtrip(self):
+        store = RuleStore()
+        store.add("alice", Rule(consumers=("bob",), action=ALLOW))
+        snapshot = store.snapshot("alice")
+        again = RuleSetSnapshot.from_json(snapshot.to_json())
+        assert again.contributor == "alice"
+        assert again.version == 1
+        assert [r.rule_id for r in again.rules] == [r.rule_id for r in snapshot.rules]

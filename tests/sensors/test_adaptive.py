@@ -1,0 +1,140 @@
+"""Tests for adaptive (non-uniform) sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.sensors.adaptive import (
+    AdaptivePolicy,
+    adaptive_downsample,
+    compress_segment,
+    compression_report,
+    reconstruct,
+)
+from repro.datastore.wavesegment import TIME_CHANNEL
+
+from tests.conftest import MONDAY, make_segment
+
+
+class TestPolicy:
+    def test_validates(self):
+        with pytest.raises(ValidationError):
+            AdaptivePolicy(epsilon=-1.0)
+        with pytest.raises(ValidationError):
+            AdaptivePolicy(epsilon=1.0, max_gap_ms=0)
+
+
+class TestDownsample:
+    def test_flat_signal_keeps_heartbeat_only(self):
+        times = np.arange(0, 100_000, 1000)
+        values = np.full(100, 36.5)
+        kept_t, kept_v = adaptive_downsample(
+            times, values, AdaptivePolicy(epsilon=0.5, max_gap_ms=10_000)
+        )
+        assert len(kept_t) < 15  # 100 -> ~11 heartbeat samples
+        assert kept_t[0] == 0 and kept_t[-1] == 99_000
+
+    def test_step_change_captured(self):
+        times = np.arange(0, 10_000, 1000)
+        values = np.array([0.0] * 5 + [10.0] * 5)
+        kept_t, kept_v = adaptive_downsample(
+            times, values, AdaptivePolicy(epsilon=1.0, max_gap_ms=10**9)
+        )
+        assert 5000 in kept_t  # the step instant is kept
+        assert 10.0 in kept_v
+
+    def test_epsilon_zero_keeps_every_change(self):
+        times = np.arange(0, 5000, 1000)
+        values = np.array([0.0, 1.0, 1.0, 2.0, 2.0])
+        kept_t, _ = adaptive_downsample(
+            times, values, AdaptivePolicy(epsilon=0.0, max_gap_ms=10**9)
+        )
+        assert list(kept_t) == [0, 1000, 3000, 4000]  # changes + endpoints
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            adaptive_downsample(np.arange(3), np.arange(4), AdaptivePolicy(1.0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=60),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_zoh_reconstruction_within_epsilon(self, raw_values, epsilon):
+        """The downsampler's contract: ZOH reconstruction error <= epsilon
+        at every original instant (heartbeat disabled)."""
+        times = np.arange(len(raw_values)) * 1000
+        values = np.asarray(raw_values)
+        policy = AdaptivePolicy(epsilon=epsilon, max_gap_ms=10**12)
+        kept_t, kept_v = adaptive_downsample(times, values, policy)
+        idx = np.searchsorted(kept_t, times, side="right") - 1
+        idx = np.clip(idx, 0, len(kept_v) - 1)
+        recon = kept_v[idx]
+        # Every instant except possibly the final sample (kept verbatim).
+        assert np.all(np.abs(recon - values) <= epsilon + 1e-9)
+
+
+class TestSegmentCompression:
+    def make_slow_segment(self, n=600):
+        # A slow drift with two step events.
+        values = np.concatenate(
+            [np.full(200, 36.5), np.full(200, 37.4), np.full(200, 36.8)]
+        ).reshape(-1, 1)
+        return make_segment(n=n, interval_ms=1000, values=values)
+
+    def test_compression_and_fidelity(self):
+        original = self.make_slow_segment()
+        compressed = compress_segment(original, AdaptivePolicy(epsilon=0.2))
+        assert not compressed.is_uniform
+        assert TIME_CHANNEL in compressed.channels
+        report = compression_report(original, compressed)
+        assert report["ratio"] > 10
+        assert report["max_abs_error"] <= 0.2
+        assert report["compressed_bytes"] < report["original_bytes"]
+
+    def test_rejects_multichannel(self):
+        seg = make_segment(channels=("ECG", "Respiration"), n=8)
+        with pytest.raises(ValidationError):
+            compress_segment(seg, AdaptivePolicy(epsilon=0.1))
+
+    def test_rejects_already_nonuniform(self):
+        compressed = compress_segment(self.make_slow_segment(), AdaptivePolicy(0.2))
+        with pytest.raises(ValidationError):
+            compress_segment(compressed, AdaptivePolicy(0.2))
+
+    def test_compressed_segment_roundtrips_json(self):
+        from repro.datastore.wavesegment import WaveSegment
+
+        compressed = compress_segment(self.make_slow_segment(), AdaptivePolicy(0.2))
+        again = WaveSegment.from_json(compressed.to_json())
+        assert list(again.sample_times()) == list(compressed.sample_times())
+
+    def test_compressed_segment_queryable_in_store(self):
+        """Non-uniform segments flow through store + rule engine."""
+        from repro.datastore.query import DataQuery
+        from repro.datastore.segment_store import SegmentStore
+        from repro.rules.engine import RuleEngine
+        from repro.rules.model import ALLOW, Rule
+        from repro.util.timeutil import Interval
+
+        compressed = compress_segment(self.make_slow_segment(), AdaptivePolicy(0.2))
+        store = SegmentStore()
+        store.add_segment(compressed)
+        store.flush()
+        window = Interval(MONDAY + 100_000, MONDAY + 300_000)
+        result = store.query("alice", DataQuery(channels=("ECG",), time_range=window))
+        assert result.n_segments == 1
+        for ts in result.segments[0].sample_times():
+            assert window.contains(int(ts))
+
+        engine = RuleEngine([Rule(consumers=("bob",), action=ALLOW)], {})
+        released = engine.evaluate("bob", result.segments)
+        assert released and released[0].segment is not None
+
+    def test_reconstruct_validations(self):
+        compressed = compress_segment(self.make_slow_segment(), AdaptivePolicy(0.2))
+        with pytest.raises(ValidationError):
+            reconstruct(self.make_slow_segment(), np.array([MONDAY]))
+        values = reconstruct(compressed, np.array([MONDAY - 10_000]))
+        assert values[0] == pytest.approx(36.5)  # clamps to first kept value

@@ -1,0 +1,53 @@
+"""Tests for the sensor channel registry."""
+
+import pytest
+
+from repro.exceptions import UnknownChannelError
+from repro.sensors.channels import (
+    CHANNEL_GROUPS,
+    CHANNELS,
+    ChannelSpec,
+    channel,
+    channel_names,
+    expand_channel_group,
+)
+
+
+class TestRegistry:
+    def test_paper_sensors_present(self):
+        """Every sensor the paper names must be a registered channel/group."""
+        for group in ("Accelerometer", "GPS", "ECG", "Respiration", "Microphone"):
+            assert group in CHANNEL_GROUPS
+
+    def test_lookup_by_name(self):
+        spec = channel("ECG")
+        assert spec.device == "chestband"
+        assert spec.packet_samples == 64  # the Zephyr packet size the paper cites
+
+    def test_unknown_channel_raises(self):
+        with pytest.raises(UnknownChannelError):
+            channel("Thermocouple")
+
+    def test_channel_names_cover_registry(self):
+        assert set(channel_names()) == set(CHANNELS)
+
+    def test_default_interval_positive(self):
+        for spec in CHANNELS.values():
+            assert spec.default_interval_ms >= 1
+
+
+class TestGroups:
+    def test_accelerometer_expands_to_axes(self):
+        assert expand_channel_group("Accelerometer") == ("AccelX", "AccelY", "AccelZ")
+
+    def test_single_channel_passthrough(self):
+        assert expand_channel_group("ECG") == ("ECG",)
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(UnknownChannelError):
+            expand_channel_group("Gyroscope")
+
+    def test_groups_reference_real_channels(self):
+        for names in CHANNEL_GROUPS.values():
+            for name in names:
+                assert name in CHANNELS

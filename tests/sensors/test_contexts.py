@@ -1,0 +1,103 @@
+"""Tests for the context registry and Table 1 coverage."""
+
+import pytest
+
+from repro.exceptions import UnknownContextError
+from repro.sensors.contexts import (
+    CONTEXT_NAMES,
+    CONTEXTS,
+    categories_for_channel,
+    context,
+    label_category,
+    label_matches,
+)
+
+
+class TestTable1Coverage:
+    def test_paper_context_labels_all_supported(self):
+        """Table 1(a) Context row: Moving, Not Moving, Still, Walk, Run,
+        Bike, Drive, Stress, Conversation, Smoke."""
+        paper_labels = {
+            "Moving",
+            "NotMoving",
+            "Still",
+            "Walk",
+            "Run",
+            "Bike",
+            "Drive",
+            "Stress",
+            "Conversation",
+            "Smoke",
+        }
+        assert paper_labels <= set(CONTEXT_NAMES)
+
+    def test_table1b_ladders(self):
+        """Table 1(b) abstraction ladders, finest to coarsest."""
+        assert CONTEXTS["Activity"].abstraction_levels == (
+            "AccelerometerData",
+            "TransportMode",
+            "MoveNotMove",
+            "NotShare",
+        )
+        assert CONTEXTS["Stress"].abstraction_levels == (
+            "EcgRespirationData",
+            "StressedNotStressed",
+            "NotShare",
+        )
+        assert CONTEXTS["Smoking"].abstraction_levels == (
+            "RespirationData",
+            "SmokingNotSmoking",
+            "NotShare",
+        )
+        assert CONTEXTS["Conversation"].abstraction_levels == (
+            "MicRespirationData",
+            "ConversationNotConversation",
+            "NotShare",
+        )
+
+    def test_respiration_feeds_three_contexts(self):
+        """The paper's dependency example: respiration reveals stress,
+        conversation, and smoking."""
+        assert set(categories_for_channel("Respiration")) == {
+            "Stress",
+            "Conversation",
+            "Smoking",
+        }
+
+
+class TestSpecApi:
+    def test_context_lookup(self):
+        assert context("Stress").name == "Stress"
+        with pytest.raises(UnknownContextError):
+            context("Mood")
+
+    def test_level_index_and_coarsest(self):
+        spec = CONTEXTS["Activity"]
+        assert spec.level_index("NotShare") == 3
+        assert spec.coarsest("TransportMode", "MoveNotMove") == "MoveNotMove"
+        with pytest.raises(UnknownContextError):
+            spec.level_index("Pixelated")
+
+
+class TestLabels:
+    def test_label_category(self):
+        assert label_category("Drive") == "Activity"
+        assert label_category("Smoke") == "Smoking"
+        with pytest.raises(UnknownContextError):
+            label_category("Flying")
+
+    def test_moving_matches_any_transport(self):
+        for mode in ("Walk", "Run", "Bike", "Drive"):
+            assert label_matches("Moving", mode)
+        assert not label_matches("Moving", "Still")
+        assert label_matches("NotMoving", "Still")
+
+    def test_exact_labels(self):
+        assert label_matches("Drive", "Drive")
+        assert not label_matches("Drive", "Bike")
+        assert label_matches("Stress", "Stressed")
+        assert not label_matches("Stress", "NotStressed")
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(UnknownContextError):
+            label_matches("Zooming", "Still")

@@ -1,0 +1,102 @@
+"""Tests for personas and ground-truth timelines."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sensors.personas import (
+    DaySchedule,
+    Persona,
+    ScheduleEntry,
+    default_places,
+    make_persona,
+)
+from repro.util.idgen import DeterministicRng
+from repro.util.timeutil import timestamp_ms
+
+MONDAY = timestamp_ms(2011, 2, 7)
+SATURDAY = timestamp_ms(2011, 2, 12)
+_DAY = 86_400_000
+
+
+class TestScheduleValidation:
+    def test_entry_rejects_inverted_minutes(self):
+        with pytest.raises(ValidationError):
+            ScheduleEntry(100, 50, "home", "Still")
+
+    def test_schedule_rejects_gaps(self):
+        with pytest.raises(ValidationError):
+            DaySchedule(
+                entries=(
+                    ScheduleEntry(0, 700, "home", "Still"),
+                    ScheduleEntry(800, 1440, "home", "Still"),
+                )
+            )
+
+    def test_schedule_must_cover_full_day(self):
+        with pytest.raises(ValidationError):
+            DaySchedule(entries=(ScheduleEntry(0, 1000, "home", "Still"),))
+
+
+class TestTimeline:
+    def test_states_tile_the_days(self):
+        persona = make_persona("p")
+        states = persona.timeline(MONDAY, 2, DeterministicRng(0))
+        assert states[0].interval.start == MONDAY
+        assert states[-1].interval.end == MONDAY + 2 * _DAY
+        for a, b in zip(states, states[1:]):
+            assert a.interval.end == b.interval.start
+
+    def test_weekday_has_commute_weekend_does_not(self):
+        persona = make_persona("p", commute_mode="Drive")
+        weekday = persona.timeline(MONDAY, 1, DeterministicRng(0))
+        weekend = persona.timeline(SATURDAY, 1, DeterministicRng(0))
+        assert any(s.activity == "Drive" for s in weekday)
+        assert not any(s.activity == "Drive" for s in weekend)
+
+    def test_nonsmoker_never_smokes(self):
+        persona = make_persona("p", smoker=False)
+        states = persona.timeline(MONDAY, 3, DeterministicRng(1))
+        assert not any(s.smoking for s in states)
+
+    def test_smoker_sometimes_smokes(self):
+        persona = make_persona("p", smoker=True)
+        states = persona.timeline(MONDAY, 5, DeterministicRng(1))
+        assert any(s.smoking for s in states)
+
+    def test_context_labels_shape(self):
+        persona = make_persona("p")
+        state = persona.timeline(MONDAY, 1, DeterministicRng(0))[0]
+        labels = state.context_labels()
+        assert set(labels) == {"Activity", "Stress", "Conversation", "Smoking"}
+
+    def test_place_locations_inside_their_regions(self):
+        persona = make_persona("p")
+        for state in persona.timeline(MONDAY, 1, DeterministicRng(2)):
+            if state.place is not None:
+                assert persona.place(state.place).contains(state.location)
+
+    def test_deterministic_given_seed(self):
+        persona = make_persona("p", smoker=True)
+        a = persona.timeline(MONDAY, 1, DeterministicRng(3))
+        b = persona.timeline(MONDAY, 1, DeterministicRng(3))
+        assert a == b
+
+    def test_rejects_nonpositive_days(self):
+        persona = make_persona("p")
+        with pytest.raises(ValidationError):
+            persona.timeline(MONDAY, 0, DeterministicRng(0))
+
+    def test_unknown_place_raises(self):
+        persona = make_persona("p")
+        with pytest.raises(ValidationError):
+            persona.place("moon-base")
+
+
+class TestDefaultPlaces:
+    def test_expected_labels(self):
+        assert set(default_places()) == {"home", "work", "UCLA", "gym"}
+
+    def test_seed_offset_moves_the_map(self):
+        a = default_places(0.0)["home"].region.bounding_box()
+        b = default_places(0.5)["home"].region.bounding_box()
+        assert a != b

@@ -1,0 +1,140 @@
+"""Tests for the access audit trail."""
+
+import pytest
+
+from repro.datastore.query import DataQuery
+from repro.rules.model import ALLOW, Rule, abstraction
+from repro.server.audit import AuditLog, AuditRecord
+
+from tests.conftest import make_segment
+
+
+class TestAuditLogUnit:
+    def test_records_accumulate_in_order(self):
+        log = AuditLog()
+        log.record_access(
+            principal="bob", contributor="alice", query={}, raw_access=False,
+            segments_scanned=3,
+        )
+        log.record_access(
+            principal="carol", contributor="alice", query={}, raw_access=False,
+            segments_scanned=1,
+        )
+        trail = log.trail_of("alice")
+        assert [r.principal for r in trail] == ["bob", "carol"]
+        assert trail[0].seq < trail[1].seq
+
+    def test_trails_are_per_contributor(self):
+        log = AuditLog()
+        log.record_access(
+            principal="bob", contributor="alice", query={}, raw_access=False,
+            segments_scanned=0,
+        )
+        assert log.trail_of("dana") == []
+
+    def test_limit_returns_most_recent(self):
+        log = AuditLog()
+        for i in range(5):
+            log.record_access(
+                principal=f"p{i}", contributor="alice", query={}, raw_access=False,
+                segments_scanned=0,
+            )
+        assert [r.principal for r in log.trail_of("alice", limit=2)] == ["p3", "p4"]
+
+    def test_released_items_summarized(self):
+        from repro.rules.engine import ReleasedSegment
+        from repro.util.timeutil import Interval
+
+        log = AuditLog()
+        items = [
+            ReleasedSegment(
+                contributor="alice",
+                interval=Interval(0, 10),
+                segment=make_segment(n=8),
+                context_labels={"Stress": "Stressed"},
+                withheld={"Respiration": "closure"},
+            )
+        ]
+        record = log.record_access(
+            principal="bob", contributor="alice", query={}, raw_access=False,
+            segments_scanned=1, released=items,
+        )
+        assert record.pieces_released == 1
+        assert record.samples_released == 8
+        assert record.labels_released == ("Stress",)
+        assert record.withheld == {"Respiration": "closure"}
+
+    def test_accesses_by_principal(self):
+        log = AuditLog()
+        log.record_access(principal="bob", contributor="alice", query={},
+                          raw_access=False, segments_scanned=0)
+        log.record_access(principal="carol", contributor="alice", query={},
+                          raw_access=False, segments_scanned=0)
+        assert len(log.accesses_by("alice", "bob")) == 1
+
+    def test_summary_aggregates(self):
+        log = AuditLog()
+        log.record_access(principal="bob", contributor="alice", query={},
+                          raw_access=False, segments_scanned=0)
+        log.record_access(principal="alice", contributor="alice", query={},
+                          raw_access=True, segments_scanned=0)
+        summary = log.summary("alice")
+        assert summary["bob"]["accesses"] == 1
+        assert summary["alice"]["raw"] == 1
+
+    def test_json_roundtrip(self):
+        log = AuditLog()
+        record = log.record_access(
+            principal="bob", contributor="alice", query={"Channels": ["ECG"]},
+            raw_access=False, segments_scanned=2,
+        )
+        again = AuditRecord.from_json(record.to_json())
+        assert again == record
+
+
+class TestAuditThroughService:
+    @pytest.fixture()
+    def wired(self, system):
+        alice = system.add_contributor("alice")
+        alice.upload_segments([make_segment(channels=("ECG", "AccelX"), n=16)])
+        alice.flush()
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        alice.add_rule(Rule(consumers=("bob",), action=abstraction(Stress="NotShare")))
+        bob = system.add_consumer("bob")
+        bob.add_contributors(["alice"])
+        return system, alice, bob
+
+    def test_consumer_query_is_audited(self, wired):
+        _, alice, bob = wired
+        bob.fetch("alice", DataQuery())
+        trail = alice.audit_trail()
+        assert len(trail) == 1
+        record = trail[0]
+        assert record.principal == "bob"
+        assert not record.raw_access
+        # AccelX flows (16 samples); ECG is withheld by the closure
+        # because Stress is NotShared — both facts land in the audit.
+        assert record.samples_released == 16
+        assert "ECG" in record.withheld
+
+    def test_owner_view_is_audited_as_raw(self, wired):
+        _, alice, _ = wired
+        alice.view_data()
+        trail = alice.audit_trail()
+        assert trail[-1].raw_access
+        assert trail[-1].principal == "alice"
+
+    def test_audit_requires_owner(self, wired):
+        system, alice, bob = wired
+        key = bob.refresh_keys()["alice-store"]
+        response = bob.client.with_key(key).post(
+            "https://alice-store/api/audit/list", {"Contributor": "alice"}, raw=True
+        )
+        assert response.status == 403
+
+    def test_summary_through_api(self, wired):
+        _, alice, bob = wired
+        bob.fetch("alice")
+        bob.fetch("alice")
+        summary = alice.audit_summary()
+        assert summary["bob"]["accesses"] == 2

@@ -1,0 +1,188 @@
+"""Tests for the broker service: registry, escrow, search, sync."""
+
+import pytest
+
+from repro.datastore.query import DataQuery
+from repro.rules.model import ALLOW, Rule
+
+from tests.conftest import MONDAY, make_segment
+
+
+@pytest.fixture()
+def populated(system):
+    """Two contributors with stores, one consumer, some data."""
+    alice = system.add_contributor("alice")
+    carol = system.add_contributor("carol")
+    bob = system.add_consumer("bob")
+    for contributor in (alice, carol):
+        contributor.upload_segments(
+            [make_segment(contributor=contributor.name, n=16)]
+        )
+        contributor.flush()
+    return system, alice, carol, bob
+
+
+class TestRegistryAndListing:
+    def test_contributors_listed_with_hosts(self, populated):
+        _, _, _, bob = populated
+        listed = bob.list_contributors()
+        names = {c["Contributor"]: c["Host"] for c in listed}
+        assert names == {"alice": "alice-store", "carol": "carol-store"}
+
+    def test_consumer_registration_required(self, system):
+        system.add_contributor("alice")
+        response = system.network.request(
+            "POST", "https://broker/api/contributors/list", {}
+        )
+        assert response.status == 401
+
+
+class TestAutoRegistrationAndEscrow:
+    def test_add_contributors_obtains_keys(self, populated):
+        system, _, _, bob = populated
+        added = bob.add_contributors(["alice", "carol"])
+        assert set(added) == {"alice", "carol"}
+        ring = bob.refresh_keys()
+        assert set(ring) == {"alice-store", "carol-store"}
+        # Keys actually work against the stores.
+        assert system.stores["alice-store"].keys.authenticate(ring["alice-store"]) == "bob"
+
+    def test_add_is_idempotent(self, populated):
+        _, _, _, bob = populated
+        bob.add_contributors(["alice"])
+        first_ring = bob.refresh_keys()
+        bob.add_contributors(["alice"])
+        assert bob.refresh_keys() == first_ring
+
+    def test_unknown_contributor_404(self, populated):
+        _, _, _, bob = populated
+        from repro.exceptions import NotFoundError
+
+        with pytest.raises(NotFoundError):
+            bob.add_contributors(["ghost"])
+
+
+class TestDataAccess:
+    def test_direct_fetch_respects_rules(self, populated):
+        _, alice, _, bob = populated
+        bob.add_contributors(["alice"])
+        assert bob.fetch("alice") == []  # default deny
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        released = bob.fetch("alice")
+        assert len(released) == 1
+        assert released[0].channels() == ("ECG",)
+
+    def test_fetch_without_account_raises(self, populated):
+        _, _, _, bob = populated
+        from repro.exceptions import AuthorizationError
+
+        with pytest.raises(AuthorizationError):
+            bob.fetch("alice")
+
+    def test_broker_proxy_path(self, populated):
+        _, alice, _, bob = populated
+        bob.add_contributors(["alice"])
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        released = bob.fetch_via_broker("alice", DataQuery())
+        assert len(released) == 1
+
+    def test_proxy_requires_account(self, populated):
+        _, _, _, bob = populated
+        from repro.exceptions import AuthorizationError
+
+        with pytest.raises(AuthorizationError):
+            bob.fetch_via_broker("alice")
+
+
+class TestSavedLists:
+    def test_save_and_get(self, populated):
+        _, _, _, bob = populated
+        bob.save_list("my-study", ["alice", "carol"])
+        assert bob.get_list("my-study") == ["alice", "carol"]
+
+    def test_unknown_list_404(self, populated):
+        _, _, _, bob = populated
+        from repro.exceptions import NotFoundError
+
+        with pytest.raises(NotFoundError):
+            bob.get_list("nope")
+
+    def test_list_with_unknown_contributor_rejected(self, populated):
+        _, _, _, bob = populated
+        from repro.exceptions import NotFoundError
+
+        with pytest.raises(NotFoundError):
+            bob.save_list("bad", ["ghost"])
+
+
+class TestStudies:
+    def test_study_membership_resolves_in_rules(self, populated):
+        system, alice, _, bob = populated
+        bob.create_study("stress-study")
+        # Alice allows the study, not bob personally.
+        alice.add_rule(Rule(consumers=("stress-study",), action=ALLOW))
+        bob.add_contributors(["alice"])
+        released = bob.fetch("alice")
+        assert len(released) == 1
+
+    def test_duplicate_study_conflict(self, populated):
+        _, _, _, bob = populated
+        from repro.exceptions import ConflictError
+
+        bob.create_study("s1")
+        with pytest.raises(ConflictError):
+            bob.create_study("s1")
+
+
+class TestSync:
+    def test_rule_edits_sync_eagerly(self, populated):
+        system, alice, _, _ = populated
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        record = system.broker.registry.get("alice")
+        assert record.rules_version == 1
+        assert len(record.rules) == 1
+        assert system.broker.sync.stats.pushes_received >= 1
+
+    def test_lazy_pull_mode(self):
+        from repro.core import SensorSafeSystem
+
+        system = SensorSafeSystem(seed=1, eager_sync=False)
+        alice = system.add_contributor("alice")
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        record = system.broker.registry.get("alice")
+        assert record.rules_version == 0  # not synced yet
+        assert system.pull_sync() >= 1
+        assert system.broker.registry.get("alice").rules_version == 1
+
+    def test_stale_push_dropped(self, populated):
+        system, alice, _, _ = populated
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        # Replay an old profile directly.
+        applied = system.broker.sync.apply_profile(
+            {"Contributor": "alice", "Version": 0, "Rules": [], "Places": []}
+        )
+        assert not applied
+        assert system.broker.registry.get("alice").rules_version == 1
+
+    def test_sync_endpoint_requires_store_key(self, populated):
+        system, _, _, bob = populated
+        response = bob.client.post(
+            "https://broker/api/sync",
+            {"Profile": {"Contributor": "alice", "Version": 9}},
+            raw=True,
+        )
+        assert response.status == 403
+
+    def test_store_cannot_sync_other_stores_contributors(self, populated):
+        system, _, _, _ = populated
+        # alice-store's key trying to claim a profile hosted elsewhere.
+        key = system.broker.keys.key_of("store:alice-store")
+        from repro.net.client import HttpClient
+
+        client = HttpClient(system.network, "alice-store", key)
+        response = client.post(
+            "https://broker/api/sync",
+            {"Profile": {"Contributor": "carol", "Host": "carol-store", "Version": 5}},
+            raw=True,
+        )
+        assert response.status == 403

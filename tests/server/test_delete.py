@@ -1,0 +1,112 @@
+"""Tests for owner data deletion."""
+
+import pytest
+
+from repro.datastore.optimizer import MergePolicy
+from repro.datastore.query import DataQuery
+from repro.datastore.segment_store import SegmentStore
+from repro.rules.model import ALLOW, Rule
+from repro.util.timeutil import Interval
+
+from tests.conftest import MONDAY, make_segment
+
+_HOUR = 3_600_000
+
+
+def distinct_segments():
+    """Three segments with distinct hours/channels that never merge."""
+    return [
+        make_segment(channels=("ECG",), start_ms=MONDAY, n=16),
+        make_segment(channels=("ECG",), start_ms=MONDAY + _HOUR, n=16),
+        make_segment(channels=("AccelX",), start_ms=MONDAY, n=16),
+    ]
+
+
+class TestStoreDelete:
+    @pytest.fixture()
+    def store(self):
+        store = SegmentStore(merge_policy=MergePolicy(enabled=False))
+        for seg in distinct_segments():
+            store.add_segment(seg)
+        store.flush()
+        return store
+
+    def test_delete_everything(self, store):
+        assert store.delete("alice", DataQuery()) == 3
+        assert store.stats.n_segments == 0
+        assert store.query("alice", DataQuery()).n_segments == 0
+
+    def test_delete_by_time_window(self, store):
+        removed = store.delete(
+            "alice", DataQuery(time_range=Interval(MONDAY, MONDAY + _HOUR))
+        )
+        assert removed == 2  # both segments starting at MONDAY
+        remaining = store.query("alice", DataQuery())
+        assert remaining.n_segments == 1
+        assert remaining.segments[0].start_ms == MONDAY + _HOUR
+
+    def test_delete_by_channel(self, store):
+        assert store.delete("alice", DataQuery(channels=("AccelX",))) == 1
+        assert store.query("alice", DataQuery(channels=("AccelX",))).n_segments == 0
+        assert store.query("alice", DataQuery(channels=("ECG",))).n_segments == 2
+
+    def test_delete_other_contributor_untouched(self, store):
+        store.add_segment(make_segment(contributor="carol", start_ms=MONDAY + 5 * _HOUR))
+        store.flush()
+        store.delete("alice", DataQuery())
+        assert store.query("carol", DataQuery()).n_segments == 1
+
+    def test_delete_flushes_buffers_first(self):
+        store = SegmentStore()  # merging on: small segments stay buffered
+        store.add_segment(make_segment(n=8))
+        assert store.delete("alice", DataQuery()) == 1
+        assert store.query("alice", DataQuery()).n_segments == 0
+
+    def test_stats_shrink(self, store):
+        before = store.stats.storage_bytes
+        store.delete("alice", DataQuery(channels=("ECG",)))
+        assert store.stats.storage_bytes < before
+        assert store.stats.n_samples == 16
+
+
+class TestDeleteThroughService:
+    @pytest.fixture()
+    def wired(self, system):
+        alice = system.add_contributor("alice")
+        for seg in distinct_segments():
+            alice.upload_segments([seg])
+        alice.flush()
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        bob = system.add_consumer("bob")
+        bob.add_contributors(["alice"])
+        return system, alice, bob
+
+    def test_owner_deletes_and_consumer_sees_nothing(self, wired):
+        _, alice, bob = wired
+        assert len(bob.fetch("alice")) > 0
+        deleted = alice.delete_data()
+        assert deleted == 3
+        assert bob.fetch("alice") == []
+
+    def test_consumer_cannot_delete(self, wired):
+        system, _, bob = wired
+        key = bob.refresh_keys()["alice-store"]
+        response = bob.client.with_key(key).post(
+            "https://alice-store/api/delete",
+            {"Contributor": "alice", "Query": {}},
+            raw=True,
+        )
+        assert response.status == 403
+
+    def test_deletion_is_audited(self, wired):
+        _, alice, _ = wired
+        alice.delete_data(DataQuery(channels=("AccelX",)))
+        trail = alice.audit_trail()
+        assert trail[-1].query.get("Delete") is True
+        assert trail[-1].principal == "alice"
+
+    def test_scoped_delete_keeps_the_rest(self, wired):
+        _, alice, bob = wired
+        alice.delete_data(DataQuery(channels=("AccelX",)))
+        channels = {c for r in bob.fetch("alice") for c in r.channels()}
+        assert channels == {"ECG"}

@@ -1,0 +1,108 @@
+"""Tests for full service-state persistence across restarts."""
+
+import pytest
+
+from repro.datastore.query import DataQuery
+from repro.exceptions import StorageError
+from repro.net.transport import Network
+from repro.rules.model import ALLOW, Rule, abstraction
+from repro.server.datastore_service import DataStoreService
+from repro.server.persistence import load_service_state, save_service_state
+from repro.util.geo import BoundingBox, LabeledPlace
+
+from tests.conftest import make_segment
+
+
+def build_service(tmp_path, network=None, register=True):
+    network = network or Network()
+    service = DataStoreService("store", network, directory=str(tmp_path))
+    key = service.register_contributor("alice") if register else None
+    return network, service, key
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    network, service, alice_key = build_service(tmp_path)
+    service.register_consumer("bob")
+    service.set_places(
+        "alice", {"home": LabeledPlace("home", BoundingBox(0, 0, 1, 1))}
+    )
+    service.rules.add("alice", Rule(consumers=("bob",), action=ALLOW))
+    service.rules.add(
+        "alice", Rule(consumers=("bob",), action=abstraction(Stress="NotShare"))
+    )
+    service.store.add_segment(make_segment(channels=("ECG", "AccelX"), n=32))
+    service.store.flush()
+    # One audited access.
+    bob_key = service.keys.key_of("bob")
+    network.request(
+        "POST",
+        "https://store/api/query",
+        {"Contributor": "alice", "Query": {}, "ApiKey": bob_key},
+    )
+    save_service_state(service)
+    return tmp_path
+
+
+class TestRoundtrip:
+    def test_everything_survives_restart(self, saved):
+        network2, service2, _ = build_service(saved, register=False)
+        counts = load_service_state(service2)
+        assert counts["segments"] > 0
+        assert counts["rules"] == 2
+        assert counts["places"] == 1
+        assert counts["audit"] == 1
+
+        # Rules enforce identically after reload.
+        assert service2.rules.version_of("alice") == 2
+        engine = service2._engine_for("alice")
+        released = engine.evaluate("bob", [make_segment(channels=("AccelX",), n=4)])
+        assert released  # allow rule survived
+        ecg = engine.evaluate("bob", [make_segment(channels=("ECG",), n=4)])
+        assert all(r.segment is None for r in ecg)  # closure rule survived
+
+        # Places and roles survived.
+        assert "home" in service2.places["alice"]
+        assert service2.roles["alice"] == "contributor"
+
+        # Audit trail survived and the sequence continues, not restarts.
+        trail = service2.audit.trail_of("alice")
+        assert len(trail) == 1
+        next_record = service2.audit.record_access(
+            principal="x", contributor="alice", query={}, raw_access=False,
+            segments_scanned=0,
+        )
+        assert next_record.seq > trail[0].seq
+
+    def test_data_queryable_after_reload(self, saved):
+        _, service2, _ = build_service(saved, register=False)
+        load_service_state(service2)
+        result = service2.store.query("alice", DataQuery(channels=("ECG",)))
+        assert result.n_samples == 32
+
+    def test_api_keys_are_rotated_not_restored(self, saved):
+        """Key material is never written to disk: after a restart the old
+        keys are invalid until principals re-register."""
+        network2, service2, _ = build_service(saved, register=False)
+        load_service_state(service2)
+        assert service2.keys.key_of("alice") is None
+
+    def test_reload_does_not_refire_broker_sync(self, saved):
+        _, service2, _ = build_service(saved, register=False)
+        pushes = []
+        service2.pair_broker(push=pushes.append)
+        load_service_state(service2)
+        assert pushes == []  # restore() bypasses change listeners
+
+    def test_save_requires_directory(self):
+        network = Network()
+        service = DataStoreService("memonly", network)
+        with pytest.raises(StorageError):
+            save_service_state(service)
+        with pytest.raises(StorageError):
+            load_service_state(service)
+
+    def test_load_from_empty_directory_is_fresh(self, tmp_path):
+        _, service, _ = build_service(tmp_path, register=False)
+        counts = load_service_state(service)
+        assert counts == {"segments": 0, "rules": 0, "places": 0, "roles": 0, "audit": 0}

@@ -1,0 +1,157 @@
+"""Unit and property tests for geographic primitives and abstraction."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import GeoError
+from repro.util.geo import (
+    BoundingBox,
+    CircleRegion,
+    LabeledPlace,
+    LatLon,
+    LOCATION_GRANULARITIES,
+    PolygonRegion,
+    abstract_location,
+    coarsest,
+    granularity_index,
+    haversine_m,
+    region_from_json,
+)
+
+UCLA = LatLon(34.0689, -118.4452)
+DOWNTOWN_LA = LatLon(34.0522, -118.2437)
+
+lat_st = st.floats(min_value=-89.0, max_value=89.0, allow_nan=False)
+lon_st = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+
+
+class TestLatLon:
+    def test_validates_ranges(self):
+        with pytest.raises(GeoError):
+            LatLon(91, 0)
+        with pytest.raises(GeoError):
+            LatLon(0, 181)
+
+    def test_json_roundtrip(self):
+        assert LatLon.from_json(UCLA.to_json()) == UCLA
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(GeoError):
+            LatLon.from_json(["x", "y"])
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(UCLA, UCLA) == 0.0
+
+    def test_known_distance_ucla_downtown(self):
+        # ~18.7 km between UCLA and downtown LA.
+        d = haversine_m(UCLA, DOWNTOWN_LA)
+        assert 17_000 < d < 20_500
+
+    @given(lat_st, lon_st, lat_st, lon_st)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        a, b = LatLon(lat1, lon1), LatLon(lat2, lon2)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+
+class TestRegions:
+    def test_bbox_contains_and_rejects(self):
+        box = BoundingBox(34.0, -119.0, 35.0, -118.0)
+        assert box.contains(UCLA)
+        assert not box.contains(LatLon(36.0, -118.5))
+
+    def test_bbox_validation(self):
+        with pytest.raises(GeoError):
+            BoundingBox(35.0, -118.0, 34.0, -119.0)
+
+    def test_bbox_intersects(self):
+        a = BoundingBox(0, 0, 10, 10)
+        assert a.intersects(BoundingBox(5, 5, 15, 15))
+        assert not a.intersects(BoundingBox(11, 11, 12, 12))
+
+    def test_circle_contains_by_distance(self):
+        circle = CircleRegion(UCLA, 1000.0)
+        assert circle.contains(UCLA)
+        assert not circle.contains(DOWNTOWN_LA)
+
+    def test_circle_bounding_box_covers_circle(self):
+        circle = CircleRegion(UCLA, 5000.0)
+        box = circle.bounding_box()
+        # Points on the circle's cardinal extremes are inside the box.
+        dlat = math.degrees(5000.0 / 6_371_000.0)
+        assert box.contains(LatLon(UCLA.lat + dlat * 0.99, UCLA.lon))
+        assert box.contains(LatLon(UCLA.lat - dlat * 0.99, UCLA.lon))
+
+    def test_circle_rejects_nonpositive_radius(self):
+        with pytest.raises(GeoError):
+            CircleRegion(UCLA, 0.0)
+
+    def test_polygon_contains(self):
+        tri = PolygonRegion((LatLon(0, 0), LatLon(0, 10), LatLon(10, 0)))
+        assert tri.contains(LatLon(2, 2))
+        assert not tri.contains(LatLon(8, 8))
+
+    def test_polygon_needs_three_vertices(self):
+        with pytest.raises(GeoError):
+            PolygonRegion((LatLon(0, 0), LatLon(1, 1)))
+
+    @pytest.mark.parametrize(
+        "region",
+        [
+            BoundingBox(34.0, -119.0, 35.0, -118.0),
+            CircleRegion(UCLA, 1234.5),
+            PolygonRegion((LatLon(0, 0), LatLon(0, 10), LatLon(10, 0))),
+        ],
+    )
+    def test_json_roundtrip(self, region):
+        again = region_from_json(region.to_json())
+        assert again == region
+
+    def test_region_from_json_rejects_unknown_type(self):
+        with pytest.raises(GeoError):
+            region_from_json({"Type": "Blob"})
+
+    def test_labeled_place_roundtrip(self):
+        place = LabeledPlace("UCLA", BoundingBox(34.0, -119.0, 35.0, -118.0))
+        again = LabeledPlace.from_json(place.to_json())
+        assert again == place
+        assert again.contains(UCLA)
+
+
+class TestAbstraction:
+    def test_coordinates_level_returns_raw(self):
+        assert abstract_location(UCLA, "coordinates") == [UCLA.lat, UCLA.lon]
+
+    def test_labels_are_prefixed_strings(self):
+        for level in LOCATION_GRANULARITIES[1:]:
+            label = abstract_location(UCLA, level)
+            assert isinstance(label, str)
+            assert label.split("-")[0] in ("addr", "zip", "city", "state", "country")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(GeoError):
+            abstract_location(UCLA, "galaxy")
+
+    def test_granularity_ladder_order(self):
+        indexes = [granularity_index(g) for g in LOCATION_GRANULARITIES]
+        assert indexes == sorted(indexes)
+        assert coarsest("zipcode", "state") == "state"
+        assert coarsest("city", "coordinates") == "city"
+
+    @given(lat_st, lon_st)
+    def test_nearby_points_share_coarse_labels(self, lat, lon):
+        """Coarser levels are functions of finer ones: two points in the
+        same street cell share every coarser label too."""
+        a = LatLon(lat, lon)
+        b = LatLon(lat + 0.0001, lon + 0.0001)
+        if abstract_location(a, "street_address") == abstract_location(b, "street_address"):
+            for level in ("zipcode", "city", "state", "country"):
+                assert abstract_location(a, level) == abstract_location(b, level)
+
+    @given(lat_st, lon_st)
+    def test_labels_deterministic(self, lat, lon):
+        point = LatLon(lat, lon)
+        assert abstract_location(point, "zipcode") == abstract_location(point, "zipcode")

@@ -1,0 +1,269 @@
+"""Unit and property tests for intervals, schedules, and time abstraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import TimeRangeError
+from repro.util.timeutil import (
+    Interval,
+    RepeatedTime,
+    TimeCondition,
+    WEEKDAY_NAMES,
+    coalesce_intervals,
+    day_of_week,
+    format_timestamp,
+    minutes_since_midnight,
+    parse_hhmm,
+    timestamp_ms,
+    truncate_timestamp,
+)
+
+MONDAY = timestamp_ms(2011, 2, 7)
+_DAY = 86_400_000
+_HOUR = 3_600_000
+_MIN = 60_000
+
+
+class TestParseHhmm:
+    def test_12_hour_am(self):
+        assert parse_hhmm("9:00am") == 9 * 60
+
+    def test_12_hour_pm(self):
+        assert parse_hhmm("6:00pm") == 18 * 60
+
+    def test_noon_and_midnight(self):
+        assert parse_hhmm("12:00pm") == 12 * 60
+        assert parse_hhmm("12:00am") == 0
+
+    def test_24_hour(self):
+        assert parse_hhmm("18:30") == 18 * 60 + 30
+        assert parse_hhmm("0:05") == 5
+
+    def test_whitespace_and_case(self):
+        assert parse_hhmm(" 9:15 AM ") == 9 * 60 + 15
+
+    @pytest.mark.parametrize("bad", ["25:00", "9:60", "13:00pm", "0:00pm", "noon", ""])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(TimeRangeError):
+            parse_hhmm(bad)
+
+
+class TestCalendarHelpers:
+    def test_day_of_week_known_date(self):
+        assert day_of_week(MONDAY) == "Mon"
+        assert day_of_week(MONDAY + 5 * _DAY) == "Sat"
+
+    def test_minutes_since_midnight(self):
+        assert minutes_since_midnight(MONDAY + 9 * _HOUR + 30 * _MIN) == 9 * 60 + 30
+
+    def test_format_timestamp_iso(self):
+        assert format_timestamp(MONDAY) == "2011-02-07T00:00:00.000Z"
+
+    def test_timestamp_ms_roundtrip_fields(self):
+        ts = timestamp_ms(2011, 2, 7, 9, 30, 15, 250)
+        assert format_timestamp(ts) == "2011-02-07T09:30:15.250Z"
+
+
+class TestTruncate:
+    @pytest.mark.parametrize(
+        "gran,expected",
+        [
+            ("milliseconds", timestamp_ms(2011, 2, 7, 9, 30, 15, 250)),
+            ("second", timestamp_ms(2011, 2, 7, 9, 30, 15)),
+            ("minute", timestamp_ms(2011, 2, 7, 9, 30)),
+            ("hour", timestamp_ms(2011, 2, 7, 9)),
+            ("day", timestamp_ms(2011, 2, 7)),
+            ("month", timestamp_ms(2011, 2, 1)),
+            ("year", timestamp_ms(2011, 1, 1)),
+        ],
+    )
+    def test_each_granularity(self, gran, expected):
+        ts = timestamp_ms(2011, 2, 7, 9, 30, 15, 250)
+        assert truncate_timestamp(ts, gran) == expected
+
+    def test_unknown_granularity(self):
+        with pytest.raises(TimeRangeError):
+            truncate_timestamp(MONDAY, "fortnight")
+
+    @given(st.integers(min_value=0, max_value=4_000_000_000_000))
+    def test_truncation_is_monotone_decreasing_in_precision(self, ts):
+        order = ["milliseconds", "second", "minute", "hour", "day", "month", "year"]
+        values = [truncate_timestamp(ts, g) for g in order]
+        assert values == sorted(values, reverse=True)
+        assert all(v <= ts for v in values)
+
+    @given(st.integers(min_value=0, max_value=4_000_000_000_000))
+    def test_truncation_is_idempotent(self, ts):
+        for gran in ("hour", "day", "month", "year"):
+            once = truncate_timestamp(ts, gran)
+            assert truncate_timestamp(once, gran) == once
+
+
+class TestInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(TimeRangeError):
+            Interval(10, 5)
+
+    def test_half_open_contains(self):
+        iv = Interval(10, 20)
+        assert iv.contains(10)
+        assert iv.contains(19)
+        assert not iv.contains(20)
+
+    def test_overlap_and_adjacency(self):
+        a, b, c = Interval(0, 10), Interval(10, 20), Interval(5, 15)
+        assert not a.overlaps(b)
+        assert a.is_adjacent(b)
+        assert a.overlaps(c) and c.overlaps(b)
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 15)) == Interval(5, 10)
+        assert Interval(0, 10).intersect(Interval(10, 20)) is None
+
+    def test_union_adjacent(self):
+        assert Interval(0, 10).union_adjacent(Interval(10, 20)) == Interval(0, 20)
+        with pytest.raises(TimeRangeError):
+            Interval(0, 10).union_adjacent(Interval(11, 20))
+
+    def test_contains_interval(self):
+        assert Interval(0, 100).contains_interval(Interval(10, 90))
+        assert not Interval(0, 100).contains_interval(Interval(10, 101))
+
+    def test_json_roundtrip(self):
+        iv = Interval(123, 456)
+        assert Interval.from_json(iv.to_json()) == iv
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(TimeRangeError):
+            Interval.from_json({"Start": "x"})
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=100),
+            ),
+            max_size=20,
+        )
+    )
+    def test_coalesce_produces_disjoint_sorted_cover(self, pairs):
+        intervals = [Interval(s, s + d) for s, d in pairs]
+        merged = coalesce_intervals(intervals)
+        # Sorted, disjoint, non-adjacent.
+        for a, b in zip(merged, merged[1:]):
+            assert a.end < b.start
+        # Same coverage: every input point is covered, and no extra points.
+        covered = set()
+        for iv in intervals:
+            covered.update(range(iv.start, iv.end))
+        merged_cover = set()
+        for iv in merged:
+            merged_cover.update(range(iv.start, iv.end))
+        assert covered == merged_cover
+
+
+class TestRepeatedTime:
+    def test_weekly_contains(self):
+        rt = RepeatedTime.weekly(["Mon", "Wed"], "9:00am", "6:00pm")
+        assert rt.contains(MONDAY + 9 * _HOUR)
+        assert rt.contains(MONDAY + 17 * _HOUR + 59 * _MIN)
+        assert not rt.contains(MONDAY + 18 * _HOUR)  # half-open end
+        assert not rt.contains(MONDAY + _DAY + 10 * _HOUR)  # Tuesday
+
+    def test_wrapping_window(self):
+        rt = RepeatedTime.weekly(["Mon"], "10:00pm", "6:00am")
+        assert rt.contains(MONDAY + 23 * _HOUR)
+        assert rt.contains(MONDAY + 2 * _HOUR)
+        assert not rt.contains(MONDAY + 12 * _HOUR)
+
+    def test_equal_endpoints_means_full_day(self):
+        rt = RepeatedTime.weekly(["Tue"], "0:00", "0:00")
+        assert rt.contains(MONDAY + _DAY + 13 * _HOUR)
+
+    def test_rejects_unknown_weekday(self):
+        with pytest.raises(TimeRangeError):
+            RepeatedTime.weekly(["Funday"], "9:00am", "5:00pm")
+
+    def test_rejects_empty_days(self):
+        with pytest.raises(TimeRangeError):
+            RepeatedTime(frozenset(), 0, 60)
+
+    def test_json_roundtrip_preserves_semantics(self):
+        rt = RepeatedTime.weekly(["Mon", "Fri"], "9:30am", "6:15pm")
+        rt2 = RepeatedTime.from_json(rt.to_json())
+        assert rt2 == rt
+
+    def test_json_day_order_is_canonical(self):
+        rt = RepeatedTime.weekly(["Fri", "Mon"], "9:00am", "6:00pm")
+        assert rt.to_json()["Day"] == ["Mon", "Fri"]
+
+
+class TestTimeCondition:
+    def test_unconstrained_matches_everything(self):
+        cond = TimeCondition()
+        assert cond.is_unconstrained()
+        assert cond.contains(MONDAY)
+        assert cond.matching_intervals(Interval(0, 100)) == [Interval(0, 100)]
+
+    def test_interval_condition(self):
+        cond = TimeCondition(intervals=(Interval(MONDAY, MONDAY + _HOUR),))
+        assert cond.contains(MONDAY + 10)
+        assert not cond.contains(MONDAY + 2 * _HOUR)
+
+    def test_mixed_or_semantics(self):
+        cond = TimeCondition(
+            intervals=(Interval(MONDAY, MONDAY + _HOUR),),
+            repeated=(RepeatedTime.weekly(["Fri"], "9:00am", "5:00pm"),),
+        )
+        friday_10am = MONDAY + 4 * _DAY + 10 * _HOUR
+        assert cond.contains(MONDAY + 10)
+        assert cond.contains(friday_10am)
+        assert not cond.contains(MONDAY + 5 * _HOUR)
+
+    def test_matching_intervals_expands_repeated_windows(self):
+        cond = TimeCondition(
+            repeated=(RepeatedTime.weekly(["Mon", "Tue"], "9:00am", "10:00am"),)
+        )
+        span = Interval(MONDAY, MONDAY + 3 * _DAY)
+        pieces = cond.matching_intervals(span)
+        assert pieces == [
+            Interval(MONDAY + 9 * _HOUR, MONDAY + 10 * _HOUR),
+            Interval(MONDAY + _DAY + 9 * _HOUR, MONDAY + _DAY + 10 * _HOUR),
+        ]
+
+    def test_matching_intervals_wrapping_window(self):
+        # The weekday test applies to each instant's own day: a Monday
+        # 11pm-1am window covers Monday 00:00-01:00 (the wrap tail of the
+        # *previous* occurrence lands on Monday) and Monday 23:00-24:00,
+        # but nothing on Tuesday.
+        cond = TimeCondition(repeated=(RepeatedTime.weekly(["Mon"], "11:00pm", "1:00am"),))
+        span = Interval(MONDAY, MONDAY + 2 * _DAY)
+        pieces = cond.matching_intervals(span)
+        assert pieces == [
+            Interval(MONDAY, MONDAY + _HOUR),
+            Interval(MONDAY + 23 * _HOUR, MONDAY + _DAY),
+        ]
+
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=1439))
+    def test_matching_intervals_agrees_with_contains(self, day, minute):
+        cond = TimeCondition(
+            repeated=(RepeatedTime.weekly(["Mon", "Wed", "Fri"], "8:15am", "7:45pm"),)
+        )
+        ts = MONDAY + day * _DAY + minute * _MIN
+        week = Interval(MONDAY, MONDAY + 7 * _DAY)
+        pieces = cond.matching_intervals(week)
+        in_pieces = any(p.contains(ts) for p in pieces)
+        assert in_pieces == cond.contains(ts)
+
+    def test_json_roundtrip(self):
+        cond = TimeCondition(
+            intervals=(Interval(1, 2), Interval(5, 9)),
+            repeated=(RepeatedTime.weekly(["Sat"], "1:00pm", "3:00pm"),),
+        )
+        again = TimeCondition.from_json(cond.to_json())
+        assert again == cond
+
+    def test_contains_any_prunes_disjoint_ranges(self):
+        cond = TimeCondition(intervals=(Interval(0, 100),))
+        assert cond.contains_any(Interval(50, 150))
+        assert not cond.contains_any(Interval(200, 300))
