@@ -191,19 +191,20 @@ def test_c5_sync_mode_ablation(benchmark):
         if not eager:
             system.pull_sync()
         sync_after = total_requests() - EDITS
-        return sync_messages, stale_before, sync_after
+        return sync_messages, stale_before, sync_after, system.broker.sync.stats.skipped_no_key
 
-    eager_msgs, eager_stale, _ = run(eager=True)
-    lazy_msgs, lazy_stale, lazy_total = run(eager=False)
+    eager_msgs, eager_stale, _, eager_skipped = run(eager=True)
+    lazy_msgs, lazy_stale, lazy_total, lazy_skipped = run(eager=False)
     report_table(
         f"C5 — Rule-sync ablation ({EDITS} rule edits)",
-        ["Mode", "Sync messages during edits", "Stale after edits?", "Messages incl. one pull round"],
+        ["Mode", "Sync messages during edits", "Stale after edits?", "Messages incl. one pull round", "Skipped (no key)"],
         [
-            ["eager push", eager_msgs, "no" if not eager_stale else "YES", eager_msgs],
-            ["lazy pull", lazy_msgs, "yes (until next pull)" if lazy_stale else "no", lazy_total],
+            ["eager push", eager_msgs, "no" if not eager_stale else "YES", eager_msgs, eager_skipped],
+            ["lazy pull", lazy_msgs, "yes (until next pull)" if lazy_stale else "no", lazy_total, lazy_skipped],
         ],
         notes="eager: one message per edit, zero staleness; lazy: constant message "
-        "rate, bounded staleness",
+        "rate, bounded staleness; pulls of stores the broker holds no key for are "
+        "counted as skipped, not silently dropped",
     )
     assert eager_msgs == EDITS and not eager_stale
     assert lazy_msgs == 0 and lazy_stale

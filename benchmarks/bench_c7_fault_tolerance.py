@@ -1,0 +1,205 @@
+"""C7 — Fault tolerance: delivered-vs-lost uploads and sync staleness.
+
+The paper's architecture assumes phone→store uploads and store↔broker
+rule sync survive a distributed deployment.  This benchmark breaks the
+network on purpose — a seeded :class:`~repro.net.faults.FaultPlan` drops
+30% of upload requests and takes the store down for one simulated minute —
+and measures what each client layer does about it:
+
+* **uploads** — a resilient agent (retry + offline queue) must deliver
+  100% of permitted packets once the store recovers; the naive baseline
+  measurably loses data;
+* **rule sync** — ``pull_all`` must skip a dead store without aborting the
+  round, report it stale, and recover it on the next round;
+* **reproducibility** — identical seeds must produce byte-identical fault
+  schedules.
+
+Run standalone for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_c7_fault_tolerance.py --faults
+"""
+
+import sys
+
+from repro.collection.phone import PhoneConfig
+from repro.core import SensorSafeSystem
+from repro.net.faults import FaultPlan
+from repro.net.resilience import NO_RETRY, RetryPolicy
+from repro.rules.model import ALLOW, Rule
+
+from conftest import format_table, report_table
+from helpers import ecg_packets
+
+SEED = 7
+DROP_RATE = 0.30
+OUTAGE_START_MS = 5_000
+OUTAGE_MS = 60_000
+WAVES = 12
+WAVE_GAP_MS = 10_000
+
+
+def upload_fault_plan(seed: int = SEED) -> FaultPlan:
+    """30% of phone→store uploads dropped, plus one 60s store outage."""
+    plan = FaultPlan(seed=seed)
+    plan.add_drop("alice-store", path="/api/upload_packets", rate=DROP_RATE)
+    plan.add_outage("alice-store", start_ms=OUTAGE_START_MS, duration_ms=OUTAGE_MS)
+    return plan
+
+
+def run_upload_scenario(resilient: bool, seed: int = SEED):
+    """Collect-and-upload in waves across the outage; return the evidence."""
+    plan = upload_fault_plan(seed)
+    system = SensorSafeSystem(
+        seed=seed, fault_plan=plan, retry=RetryPolicy() if resilient else NO_RETRY
+    )
+    alice = system.add_contributor("alice")
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    phone = alice.phone(PhoneConfig(resilient=resilient))
+    packets = ecg_packets(0.5, packet_samples=32)
+    permitted = len(packets)
+    wave_size = (permitted + WAVES - 1) // WAVES
+    for wave in range(WAVES):
+        phone.upload(packets[wave * wave_size : (wave + 1) * wave_size])
+        system.clock.advance(WAVE_GAP_MS)
+    backlog = phone.drain_offline(max_rounds=20) if resilient else phone.offline_backlog
+    return {
+        "permitted": permitted,
+        "delivered": phone.stats.packets_delivered,
+        "lost": phone.stats.packets_lost,
+        "buffered": phone.stats.packets_buffered,
+        "recovered": phone.stats.packets_recovered,
+        "failures": phone.stats.upload_failures,
+        "backlog": backlog,
+        "schedule": plan.schedule_bytes(),
+    }
+
+
+def upload_rows():
+    resilient = run_upload_scenario(resilient=True)
+    baseline = run_upload_scenario(resilient=False)
+    rows = [
+        [
+            label,
+            r["permitted"],
+            r["delivered"],
+            r["lost"],
+            r["buffered"],
+            r["recovered"],
+            f"{100.0 * r['delivered'] / r['permitted']:.1f}%",
+        ]
+        for label, r in (("retry + offline queue", resilient), ("naive (no resilience)", baseline))
+    ]
+    return resilient, baseline, rows
+
+
+UPLOAD_HEADERS = ["Agent", "Permitted", "Delivered", "Lost", "Buffered", "Recovered", "Delivery"]
+
+
+def test_c7_uploads_survive_drops_and_outage(benchmark):
+    resilient, baseline, rows = upload_rows()
+    report_table(
+        f"C7 — Uploads under {DROP_RATE:.0%} drops + one {OUTAGE_MS // 1000}s store outage",
+        UPLOAD_HEADERS,
+        rows,
+        notes="resilient agent parks failed batches offline and drains on recovery; "
+        "the naive agent drops them on the floor",
+    )
+    # The acceptance criterion: zero permitted data lost with resilience on.
+    assert resilient["delivered"] == resilient["permitted"]
+    assert resilient["backlog"] == 0 and resilient["lost"] == 0
+    assert resilient["buffered"] > 0  # the outage actually bit
+    # ... while the baseline measurably loses data.
+    assert baseline["lost"] > 0
+    assert baseline["delivered"] < baseline["permitted"]
+    benchmark.pedantic(lambda: run_upload_scenario(resilient=True), rounds=1, iterations=1)
+
+
+def test_c7_fault_schedule_reproducible(benchmark):
+    """Identical seeds ⇒ byte-identical fault schedules."""
+    first = run_upload_scenario(resilient=True, seed=SEED)
+    second = run_upload_scenario(resilient=True, seed=SEED)
+    assert first["schedule"] == second["schedule"]
+    assert len(first["schedule"]) > 0
+    report_table(
+        "C7 — Fault-schedule reproducibility",
+        ["Run", "Schedule bytes", "Identical?"],
+        [
+            ["seed 7, run 1", len(first["schedule"]), "-"],
+            ["seed 7, run 2", len(second["schedule"]), "yes (byte-for-byte)"],
+        ],
+    )
+    benchmark.pedantic(lambda: upload_fault_plan().schedule_bytes(), rounds=1, iterations=1)
+
+
+def run_sync_scenario(seed: int = SEED):
+    """Rule sync with one dead store: degrade, report, recover."""
+    system = SensorSafeSystem(seed=seed, eager_sync=False)
+    for name in ("ann", "ben", "cal"):
+        contributor = system.add_contributor(name)
+        contributor.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    plan = FaultPlan(seed=seed)
+    plan.add_outage("ben-store", start_ms=0, duration_ms=30_000)
+    system.install_faults(plan)
+    sync = system.broker.sync
+    applied_down = system.pull_sync()  # ben's store is dark
+    stale_during = list(sync.stale_contributors())
+    system.clock.advance(30_000)  # outage ends
+    applied_up = system.pull_sync()
+    return {
+        "applied_down": applied_down,
+        "stale_during": stale_during,
+        "applied_up": applied_up,
+        "stale_after": list(sync.stale_contributors()),
+        "stats": sync.stats,
+    }
+
+
+def test_c7_sync_skips_broken_store_and_recovers(benchmark):
+    result = run_sync_scenario()
+    stats = result["stats"]
+    report_table(
+        "C7 — Rule sync with one store down (3 stores, lazy pull)",
+        ["Phase", "Profiles applied", "Stale contributors", "Pull failures", "Recovered"],
+        [
+            ["store down", result["applied_down"], ",".join(result["stale_during"]) or "-",
+             stats.pull_failures, 0],
+            ["store back", result["applied_up"], ",".join(result["stale_after"]) or "-",
+             stats.pull_failures, stats.recovered],
+        ],
+        notes="a dead store must not abort the round: the broker keeps syncing the "
+        "others and resumes the stale contributor on recovery",
+    )
+    assert result["applied_down"] == 2  # the two live stores still synced
+    assert result["stale_during"] == ["ben"]
+    assert result["stale_after"] == [] and stats.recovered == 1
+    assert stats.host_failures == {"ben-store": 1}
+    benchmark.pedantic(run_sync_scenario, rounds=1, iterations=1)
+
+
+def main(argv) -> int:
+    """CI smoke mode: run the scenarios without pytest and print tables."""
+    if "--faults" not in argv:
+        print(__doc__)
+        return 2
+    resilient, baseline, rows = upload_rows()
+    print(f"C7 — Uploads under {DROP_RATE:.0%} drops + one {OUTAGE_MS // 1000}s outage")
+    print(format_table(UPLOAD_HEADERS, [[str(c) for c in r] for r in rows]))
+    ok = (
+        resilient["delivered"] == resilient["permitted"]
+        and resilient["lost"] == 0
+        and baseline["lost"] > 0
+    )
+    repro = run_upload_scenario(True)["schedule"] == run_upload_scenario(True)["schedule"]
+    sync = run_sync_scenario()
+    print(f"\nsync: applied {sync['applied_down']} with a store down, "
+          f"stale={sync['stale_during']}, recovered={sync['stats'].recovered}")
+    print(f"schedule reproducible: {repro}")
+    if not (ok and repro and sync["stats"].recovered == 1):
+        print("FAULT SMOKE FAILED")
+        return 1
+    print("fault smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,10 +19,10 @@ versions make the modes idempotent and safely concurrent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.broker.registry import ContributorRegistry
-from repro.exceptions import SchemaError
+from repro.exceptions import SchemaError, ServiceError, TransportError
 from repro.net.client import HttpClient
 from repro.rules.parser import rules_from_json
 from repro.util.geo import LabeledPlace
@@ -30,12 +30,22 @@ from repro.util.geo import LabeledPlace
 
 @dataclass
 class SyncStats:
-    """Instrumentation for the C5 sync-mode ablation."""
+    """Instrumentation for the C5 sync-mode ablation and C7 fault runs."""
 
     pushes_received: int = 0
     pulls_performed: int = 0
     applied: int = 0
     stale_dropped: int = 0
+    #: contributors skipped because the broker holds no key for their store.
+    skipped_no_key: int = 0
+    #: pulls that failed outright (transport or service error).
+    pull_failures: int = 0
+    #: contributors skipped because their store already failed this round.
+    skipped_broken_host: int = 0
+    #: previously-stale contributors whose pull succeeded again.
+    recovered: int = 0
+    #: failed pulls per store host, across the manager's lifetime.
+    host_failures: dict = field(default_factory=dict)
 
 
 class SyncManager:
@@ -44,6 +54,13 @@ class SyncManager:
     def __init__(self, registry: ContributorRegistry):
         self.registry = registry
         self.stats = SyncStats()
+        #: contributors whose most recent pull attempt failed; retried (and
+        #: on success counted as recovered) by the next pull round.
+        self._stale: set[str] = set()
+
+    def stale_contributors(self) -> list[str]:
+        """Contributors whose broker-side rule mirror may be outdated."""
+        return sorted(self._stale)
 
     def apply_profile(self, profile: dict, *, via_pull: bool = False) -> bool:
         """Apply one profile JSON (from a push or a pull); False if stale."""
@@ -85,13 +102,40 @@ class SyncManager:
         return self.apply_profile(body, via_pull=True)
 
     def pull_all(self, client: HttpClient, store_keys: dict) -> int:
-        """Pull every registered contributor; returns profiles applied."""
+        """Pull every registered contributor; returns profiles applied.
+
+        Degrades gracefully under faults: a store that fails one pull is
+        skipped for the rest of the round (its other contributors are
+        marked stale rather than hammered), per-host failures are counted
+        in :attr:`SyncStats.host_failures`, and contributors left stale by
+        an earlier round are retried — and counted as recovered — once
+        their store answers again.
+        """
         applied = 0
+        broken_hosts: set[str] = set()
         for name in self.registry.names():
             record = self.registry.get(name)
             key = store_keys.get(record.host)
             if key is None:
+                self.stats.skipped_no_key += 1
                 continue
-            if self.pull(client, name, key):
+            if record.host in broken_hosts:
+                self.stats.skipped_broken_host += 1
+                self._stale.add(name)
+                continue
+            try:
+                fresh = self.pull(client, name, key)
+            except (TransportError, ServiceError):
+                self.stats.pull_failures += 1
+                self.stats.host_failures[record.host] = (
+                    self.stats.host_failures.get(record.host, 0) + 1
+                )
+                broken_hosts.add(record.host)
+                self._stale.add(name)
+                continue
+            if name in self._stale:
+                self._stale.discard(name)
+                self.stats.recovered += 1
+            if fresh:
                 applied += 1
         return applied

@@ -25,6 +25,7 @@ from typing import Iterable, Optional
 
 from repro.context.annotate import ContextAnnotator
 from repro.datastore.wavesegment import segment_from_packet
+from repro.exceptions import ServiceError, TransportError
 from repro.net.client import HttpClient
 from repro.rules.engine import RuleEngine
 from repro.rules.model import Rule
@@ -61,6 +62,16 @@ class CollectionStats:
     samples_uploaded: int = 0
     energy_units: float = 0.0
     upload_requests: int = 0
+    #: upload attempts that failed (the request or its batch was not stored)
+    upload_failures: int = 0
+    #: packets actually acknowledged by the store
+    packets_delivered: int = 0
+    #: packets parked in the offline queue by failed uploads (cumulative)
+    packets_buffered: int = 0
+    #: buffered packets later delivered by a drain or a following upload
+    packets_recovered: int = 0
+    #: packets dropped on the floor (non-resilient agents only)
+    packets_lost: int = 0
 
 
 @dataclass(frozen=True)
@@ -70,6 +81,14 @@ class PhoneConfig:
     rule_aware: bool = False
     window_ms: int = 60_000
     upload_batch_packets: int = 200
+    #: Buffer failed uploads in an offline queue and redeliver on recovery
+    #: (the paper's "no sensed-and-permitted data is ever lost" property).
+    #: When off, a failed batch is counted lost and the agent moves on —
+    #: the naive baseline benchmark C7 measures against.
+    resilient: bool = True
+    #: Hard cap on the offline queue; beyond it the oldest packets are
+    #: dropped (and counted lost) so a dead store cannot exhaust the phone.
+    offline_queue_packets: int = 50_000
 
 
 class SmartphoneAgent:
@@ -90,6 +109,8 @@ class SmartphoneAgent:
         self.rules: tuple = ()
         self.places: dict = {}
         self.stats = CollectionStats()
+        self._offline_queue: list[SensorPacket] = []
+        self._flush_pending = False
         self._exact_engine: Optional[RuleEngine] = None
         self._optimistic_engine: Optional[RuleEngine] = None
         self._consumers: tuple = ()
@@ -256,10 +277,37 @@ class SmartphoneAgent:
         return kept
 
     def upload(self, packets: list) -> None:
-        """Ship packets to the remote data store in batches."""
+        """Ship packets to the remote data store in batches.
+
+        Resilient mode (the default): a batch that fails — store down,
+        request dropped, 5xx — is parked in the offline queue together
+        with everything behind it (order preserved), and redelivered by
+        the next :meth:`upload` or an explicit :meth:`drain_offline` once
+        the store recovers.  Non-resilient agents count the failed batch
+        as lost and move on.
+        """
+        recovering = len(self._offline_queue)
+        pending = self._offline_queue + list(packets)
+        self._offline_queue = []
         batch = self.config.upload_batch_packets
-        for offset in range(0, len(packets), batch):
-            chunk = packets[offset : offset + batch]
+        delivered = 0
+        for offset in range(0, len(pending), batch):
+            chunk = pending[offset : offset + batch]
+            if not self._post_chunk(chunk):
+                remainder = pending[offset:]
+                if self.config.resilient:
+                    self._buffer(remainder)
+                else:
+                    self.stats.packets_lost += len(remainder)
+                break
+            delivered += len(chunk)
+        self.stats.packets_recovered += min(delivered, recovering)
+        if delivered or (pending and not self.config.resilient):
+            self._flush_pending = True
+        self._try_flush()
+
+    def _post_chunk(self, chunk: list) -> bool:
+        try:
             self.client.post(
                 f"https://{self.store_host}/api/upload_packets",
                 {
@@ -267,11 +315,56 @@ class SmartphoneAgent:
                     "Packets": [p.to_json() for p in chunk],
                 },
             )
-            self.stats.upload_requests += 1
-        if packets:
+        except (TransportError, ServiceError):
+            self.stats.upload_failures += 1
+            return False
+        self.stats.upload_requests += 1
+        self.stats.packets_delivered += len(chunk)
+        return True
+
+    def _buffer(self, packets: list) -> None:
+        self.stats.packets_buffered += len(packets)
+        self._offline_queue.extend(packets)
+        overflow = len(self._offline_queue) - self.config.offline_queue_packets
+        if overflow > 0:
+            del self._offline_queue[:overflow]
+            self.stats.packets_lost += overflow
+
+    def _try_flush(self) -> None:
+        if not self._flush_pending:
+            return
+        try:
             self.client.post(
                 f"https://{self.store_host}/api/flush", {"Contributor": self.contributor}
             )
+        except (TransportError, ServiceError):
+            if not self.config.resilient:
+                self._flush_pending = False  # naive agent gives up
+            return
+        self._flush_pending = False
+
+    @property
+    def offline_backlog(self) -> int:
+        """Packets currently parked in the offline queue."""
+        return len(self._offline_queue)
+
+    def drain_offline(self, *, max_rounds: int = 8, round_delay_ms: int = 5_000) -> int:
+        """Redeliver the offline queue; returns packets still queued.
+
+        Each round is one :meth:`upload` pass over the backlog; the
+        client's retry policy supplies backoff between attempts, and
+        ``round_delay_ms`` passes on the simulated clock between rounds
+        (the phone waking up periodically) so an open circuit breaker can
+        reach its half-open probe.  Stops early once the queue is empty
+        and any pending flush went through.
+        """
+        for round_no in range(max_rounds):
+            if not self._offline_queue and not self._flush_pending:
+                break
+            if round_no:
+                self.client.network.clock.sleep(round_delay_ms)
+            self.upload([])
+        return len(self._offline_queue)
 
 
 def replace_contexts(rule: Rule) -> Rule:

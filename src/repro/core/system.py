@@ -9,6 +9,8 @@ from repro.core.contributor import Contributor
 from repro.datastore.optimizer import MergePolicy
 from repro.exceptions import ConflictError
 from repro.net.client import HttpClient
+from repro.net.faults import FaultPlan, SimClock
+from repro.net.resilience import RetryPolicy
 from repro.net.transport import Network
 from repro.server.broker_service import BrokerService
 from repro.server.datastore_service import DataStoreService
@@ -26,14 +28,29 @@ class SensorSafeSystem:
         bob = system.add_consumer("bob")
     """
 
-    def __init__(self, seed: int = 0, *, eager_sync: bool = True):
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        eager_sync: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.seed = seed
         self.eager_sync = eager_sync
-        self.network = Network()
+        self.clock = SimClock()
+        self.network = Network(clock=self.clock, fault_plan=fault_plan)
+        #: default retry policy handed to every client this system creates;
+        #: on a fault-free network it never fires, so resilience is free.
+        self.retry = retry if retry is not None else RetryPolicy()
         self.broker = BrokerService(self.network, "broker", seed=seed)
         self.stores: dict[str, DataStoreService] = {}
         self.contributors: dict[str, Contributor] = {}
         self.consumers: dict[str, Consumer] = {}
+
+    def install_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or remove) a fault-injection plan on the network."""
+        self.network.install_faults(plan)
 
     # ------------------------------------------------------------------
     # Topology
@@ -87,7 +104,9 @@ class SensorSafeSystem:
             store = self.create_store(f"{name}-store")
         api_key = store.register_contributor(name, password)
         self.broker.register_contributor(name, store.host, store.institution)
-        client = HttpClient(self.network, name=f"{name}-phone", api_key=api_key)
+        client = HttpClient(
+            self.network, name=f"{name}-phone", api_key=api_key, retry=self.retry
+        )
         contributor = Contributor(name, store.host, client)
         self.contributors[name] = contributor
         return contributor
@@ -97,7 +116,9 @@ class SensorSafeSystem:
         if name in self.consumers:
             raise ConflictError(f"consumer already exists: {name!r}")
         api_key = self.broker.register_consumer(name, password)
-        client = HttpClient(self.network, name=f"{name}-app", api_key=api_key)
+        client = HttpClient(
+            self.network, name=f"{name}-app", api_key=api_key, retry=self.retry
+        )
         consumer = Consumer(name, self.broker.host, client)
         self.consumers[name] = consumer
         return consumer

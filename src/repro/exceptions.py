@@ -111,5 +111,22 @@ class InsecureTransportError(TransportError):
     """
 
 
+class NetworkUnavailableError(TransportError):
+    """A request was dropped in transit (fault injection, partition, outage).
+
+    The retryable transport failure: the request never reached the target
+    host, so resending it is always safe.
+    """
+
+
+class CircuitOpenError(NetworkUnavailableError):
+    """A circuit breaker is open for the target host; the call was not sent.
+
+    Raised client-side by :class:`~repro.net.resilience.CircuitBreaker` to
+    shed load from a host that keeps failing, until the reset timeout
+    elapses and a half-open probe is allowed through.
+    """
+
+
 class CollectionError(SensorSafeError):
     """The smartphone collection agent hit an unrecoverable condition."""

@@ -10,7 +10,9 @@ carry API keys over plain ``http://`` (the paper's transport invariant).
 """
 
 from repro.net.http import Request, Response, Router, json_response
+from repro.net.faults import FaultPlan, FaultRule, SimClock
 from repro.net.transport import HostMetrics, Network
+from repro.net.resilience import NO_RETRY, CircuitBreaker, RetryPolicy
 from repro.net.client import HttpClient
 
 __all__ = [
@@ -18,7 +20,13 @@ __all__ = [
     "Response",
     "Router",
     "json_response",
+    "FaultPlan",
+    "FaultRule",
+    "SimClock",
     "HostMetrics",
     "Network",
+    "NO_RETRY",
+    "CircuitBreaker",
+    "RetryPolicy",
     "HttpClient",
 ]

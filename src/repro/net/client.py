@@ -3,21 +3,32 @@
 Injects the caller's API key into every POST body (the paper's transport
 convention) and raises :class:`~repro.exceptions.ServiceError` subclasses
 for error statuses so application code can use ordinary exception flow.
+
+Resilience is opt-in per client or per call: construct with a
+:class:`~repro.net.resilience.RetryPolicy` (or pass one to :meth:`post`)
+and failed requests are retried with capped exponential backoff on the
+network's simulated clock — but only *safe* failures: dropped requests
+that never reached the host, and 5xx responses.  A 4xx is never retried.
+A per-host :class:`~repro.net.resilience.CircuitBreaker` sheds calls to a
+host that keeps failing until its reset timeout elapses.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.exceptions import (
     AuthenticationError,
     AuthorizationError,
     BadRequestError,
+    CircuitOpenError,
     ConflictError,
+    NetworkUnavailableError,
     NotFoundError,
     ServiceError,
 )
 from repro.net.http import Response
+from repro.net.resilience import CircuitBreaker, RetryPolicy
 from repro.net.transport import Network
 
 _STATUS_ERRORS = {
@@ -32,35 +43,103 @@ _STATUS_ERRORS = {
 class HttpClient:
     """A principal's view of the network."""
 
-    def __init__(self, network: Network, name: str = "client", api_key: Optional[str] = None):
+    def __init__(
+        self,
+        network: Network,
+        name: str = "client",
+        api_key: Optional[str] = None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        breakers: Optional[dict] = None,
+    ):
         self.network = network
         self.name = name
         self.api_key = api_key
+        self.retry = retry
+        #: per-host circuit breakers, shared across with_key() copies so
+        #: circuit state follows the principal, not the key in hand.
+        self.breakers: dict[str, CircuitBreaker] = breakers if breakers is not None else {}
 
     def with_key(self, api_key: str) -> "HttpClient":
         """A copy of this client authenticating with a different key."""
-        return HttpClient(self.network, self.name, api_key)
+        return HttpClient(
+            self.network, self.name, api_key, retry=self.retry, breakers=self.breakers
+        )
 
-    def post(self, url: str, body: Optional[dict] = None, *, raw: bool = False) -> dict:
+    def post(
+        self,
+        url: str,
+        body: Optional[dict] = None,
+        *,
+        raw: bool = False,
+        retry: Optional[RetryPolicy] = None,
+    ) -> Union[dict, Response]:
         """POST with the API key injected; returns the response body.
 
         With ``raw=True`` the full :class:`Response` is returned and error
         statuses are not raised — used by tests asserting on status codes.
+        ``retry`` overrides the client's default policy for this call.
         """
         body = dict(body or {})
         if self.api_key is not None and "ApiKey" not in body:
             body["ApiKey"] = self.api_key
-        response = self.network.request("POST", url, body, client=self.name)
+        response = self._send("POST", url, body, retry=retry)
         if raw:
             return response
         return self._unwrap(response)
 
-    def get(self, url: str, *, raw: bool = False):
+    def get(
+        self, url: str, *, raw: bool = False, retry: Optional[RetryPolicy] = None
+    ) -> Union[dict, Response]:
         """GET (no API key; used for public web pages)."""
-        response = self.network.request("GET", url, client=self.name)
+        response = self._send("GET", url, None, retry=retry)
         if raw:
             return response
         return self._unwrap(response)
+
+    # ------------------------------------------------------------------
+    # Resilient send loop
+    # ------------------------------------------------------------------
+
+    def _send(
+        self, method: str, url: str, body: Optional[dict], *, retry: Optional[RetryPolicy]
+    ) -> Response:
+        policy = retry if retry is not None else self.retry
+        if policy is None:
+            return self.network.request(method, url, body, client=self.name)
+        _, host, path = Network.parse_url(url)
+        breaker = self.breakers.setdefault(host, CircuitBreaker())
+        clock = self.network.clock
+        last_error: Optional[NetworkUnavailableError] = None
+        last_response: Optional[Response] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                clock.sleep(policy.delay_ms(attempt, key=f"{self.name}|{host}{path}"))
+            if not breaker.allow(clock.now_ms()):
+                raise CircuitOpenError(
+                    f"circuit open for {host!r}; call shed without sending"
+                )
+            try:
+                response = self.network.request(method, url, body, client=self.name)
+            except NetworkUnavailableError as exc:
+                breaker.record_failure(clock.now_ms())
+                last_error, last_response = exc, None
+                continue
+            if response.ok or not policy.should_retry_response(response):
+                # Delivered — success, or a definitive (4xx) answer that a
+                # resend could never change.  Only 5xx count against the
+                # breaker's failure streak.
+                if response.ok:
+                    breaker.record_success()
+                elif response.status >= 500:
+                    breaker.record_failure(clock.now_ms())
+                return response
+            breaker.record_failure(clock.now_ms())
+            last_error, last_response = None, response
+        if last_response is not None:
+            return last_response  # retries exhausted on a 5xx: surface it
+        assert last_error is not None
+        raise last_error
 
     @staticmethod
     def _unwrap(response: Response) -> dict:

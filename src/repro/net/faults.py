@@ -1,0 +1,280 @@
+"""Deterministic fault injection for the simulated network.
+
+The seed network delivers every request perfectly, so none of the paper's
+availability claims (store↔broker rule sync surviving outages, phone→store
+uploads surviving connectivity loss) are actually exercised.  This module
+adds a :class:`FaultPlan` that :meth:`~repro.net.transport.Network.request`
+consults before dispatch.  A plan is a list of rules matched against
+``(method, host, path)`` plus named partitions matched against the caller
+and target endpoints.  Rules can:
+
+* return an **error response** (500/503) instead of dispatching;
+* **drop** the request entirely, raising
+  :class:`~repro.exceptions.NetworkUnavailableError`;
+* inject **latency** on the simulated clock;
+* be **flaky** — fail the first N matching requests, then recover;
+* be confined to a **time window** on the simulated clock (outages).
+
+Every probabilistic decision is derived by hashing ``(seed, rule index,
+per-rule hit counter)``, never from global randomness, so identical seeds
+produce byte-identical fault schedules regardless of what else the process
+does — the property benchmark C7 asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import NetworkUnavailableError
+from repro.net.http import Response, json_response
+
+
+class SimClock:
+    """A simulated millisecond clock shared by the network and backoff.
+
+    Latency injection and retry backoff *advance* this clock instead of
+    sleeping, so fault scenarios spanning simulated minutes run in
+    microseconds and stay deterministic.
+    """
+
+    def __init__(self, start_ms: int = 0):
+        self._now_ms = int(start_ms)
+
+    def now_ms(self) -> int:
+        return self._now_ms
+
+    def advance(self, ms: float) -> int:
+        """Move time forward; returns the new now."""
+        if ms < 0:
+            raise ValueError(f"cannot advance the clock backwards: {ms}")
+        self._now_ms += int(ms)
+        return self._now_ms
+
+    # Backoff code reads like real code: ``clock.sleep(delay_ms)``.
+    sleep = advance
+
+
+#: Fault kinds a rule can inject.
+DROP = "drop"
+ERROR = "error"
+LATENCY = "latency"
+FLAKY = "flaky"
+
+
+@dataclass
+class FaultRule:
+    """One match-and-inject rule of a :class:`FaultPlan`."""
+
+    kind: str
+    host: str = "*"  # exact host name, or "*" for any
+    path_prefix: str = ""  # "" matches every path
+    method: Optional[str] = None  # None matches every method
+    rate: float = 1.0  # probability a matching request is affected
+    status: int = 503  # for ERROR rules
+    latency_ms: int = 0  # for LATENCY rules
+    fail_first: int = 0  # for FLAKY rules: fail this many, then recover
+    from_ms: Optional[int] = None  # active window on the simulated clock
+    until_ms: Optional[int] = None
+    hits: int = 0  # matching requests seen (drives flaky + hashing)
+
+    def matches(self, method: str, host: str, path: str, now_ms: int) -> bool:
+        if self.host != "*" and self.host != host:
+            return False
+        if self.method is not None and self.method != method:
+            return False
+        if not path.startswith(self.path_prefix):
+            return False
+        if self.from_ms is not None and now_ms < self.from_ms:
+            return False
+        if self.until_ms is not None and now_ms >= self.until_ms:
+            return False
+        return True
+
+
+@dataclass
+class FaultEvent:
+    """One injected (or passed-through) decision, for the schedule log."""
+
+    seq: int
+    now_ms: int
+    client: str
+    method: str
+    host: str
+    path: str
+    kind: str  # rule kind, or "partition"
+    outcome: str  # "drop" | "error:<status>" | "latency:<ms>" | "pass"
+
+    def line(self) -> str:
+        return (
+            f"{self.seq}\t{self.now_ms}\t{self.client}\t{self.method}\t"
+            f"{self.host}{self.path}\t{self.kind}\t{self.outcome}"
+        )
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of network faults.
+
+    Install on a network with
+    :meth:`~repro.net.transport.Network.install_faults`; build with the
+    ``add_*`` methods::
+
+        plan = FaultPlan(seed=7)
+        plan.add_drop("alice-store", path="/api/upload_packets", rate=0.3)
+        plan.add_outage("alice-store", start_ms=10_000, duration_ms=60_000)
+        plan.add_partition("split", {"broker"}, {"lab-store"})
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.rules: list[FaultRule] = []
+        #: name -> (side_a, side_b); endpoints across sides cannot talk.
+        self.partitions: dict[str, tuple[frozenset, frozenset]] = {}
+        self.log: list[FaultEvent] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def add_error(
+        self,
+        host: str = "*",
+        *,
+        path: str = "",
+        method: Optional[str] = None,
+        status: int = 503,
+        rate: float = 1.0,
+    ) -> FaultRule:
+        """Matching requests receive an error response instead of service."""
+        return self.add_rule(
+            FaultRule(ERROR, host, path, method, rate=rate, status=status)
+        )
+
+    def add_drop(
+        self,
+        host: str = "*",
+        *,
+        path: str = "",
+        method: Optional[str] = None,
+        rate: float = 1.0,
+    ) -> FaultRule:
+        """Matching requests vanish (``NetworkUnavailableError``)."""
+        return self.add_rule(FaultRule(DROP, host, path, method, rate=rate))
+
+    def add_latency(
+        self, host: str = "*", latency_ms: int = 100, *, path: str = ""
+    ) -> FaultRule:
+        """Matching requests advance the simulated clock before dispatch."""
+        return self.add_rule(FaultRule(LATENCY, host, path, latency_ms=latency_ms))
+
+    def add_flaky(self, host: str = "*", fail_first: int = 3, *, path: str = "") -> FaultRule:
+        """Fail the first N matching requests (drops), then recover."""
+        return self.add_rule(FaultRule(FLAKY, host, path, fail_first=fail_first))
+
+    def add_outage(self, host: str, *, start_ms: int, duration_ms: int) -> FaultRule:
+        """Drop everything to ``host`` during a simulated-clock window."""
+        return self.add_rule(
+            FaultRule(DROP, host, from_ms=start_ms, until_ms=start_ms + duration_ms)
+        )
+
+    def add_partition(self, name: str, side_a, side_b) -> None:
+        """Endpoints in ``side_a`` cannot reach ``side_b`` (nor vice versa).
+
+        Sides are sets of endpoint names: registered hosts *or* client
+        names (e.g. ``"alice-phone"``), since phones are callers that never
+        mount a router.
+        """
+        self.partitions[name] = (frozenset(side_a), frozenset(side_b))
+
+    def heal(self, name: str) -> None:
+        """Remove a named partition (no-op if already healed)."""
+        self.partitions.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Decision making (called by Network.request)
+    # ------------------------------------------------------------------
+
+    def _roll(self, rule_index: int, hit: int) -> float:
+        """A deterministic uniform draw for one (rule, hit) pair."""
+        material = f"{self.seed}\x1f{rule_index}\x1f{hit}".encode()
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _record(self, now, client, method, host, path, kind, outcome) -> None:
+        self.log.append(
+            FaultEvent(self._seq, now, client, method, host, path, kind, outcome)
+        )
+        self._seq += 1
+
+    def apply(
+        self, method: str, host: str, path: str, client: str, clock: SimClock
+    ) -> Optional[Response]:
+        """Decide this request's fate.
+
+        Returns an injected error :class:`Response`, raises
+        :class:`NetworkUnavailableError` for drops/partitions, or returns
+        ``None`` to let the request through (latency rules may have
+        advanced the clock either way).
+        """
+        now = clock.now_ms()
+        for name, (side_a, side_b) in sorted(self.partitions.items()):
+            if (client in side_a and host in side_b) or (
+                client in side_b and host in side_a
+            ):
+                self._record(now, client, method, host, path, "partition", f"drop:{name}")
+                raise NetworkUnavailableError(
+                    f"partition {name!r} separates {client!r} from {host!r}"
+                )
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(method, host, path, now):
+                continue
+            hit = rule.hits
+            rule.hits += 1
+            if rule.kind == LATENCY:
+                clock.advance(rule.latency_ms)
+                now = clock.now_ms()
+                self._record(
+                    now, client, method, host, path, LATENCY, f"latency:{rule.latency_ms}"
+                )
+                continue  # latency composes with whatever rule fires next
+            if rule.kind == FLAKY:
+                if hit < rule.fail_first:
+                    self._record(now, client, method, host, path, FLAKY, "drop")
+                    raise NetworkUnavailableError(
+                        f"flaky host {host!r} failing request {hit + 1}/{rule.fail_first}"
+                    )
+                continue
+            if self._roll(index, hit) >= rule.rate:
+                self._record(now, client, method, host, path, rule.kind, "pass")
+                continue
+            if rule.kind == DROP:
+                self._record(now, client, method, host, path, DROP, "drop")
+                raise NetworkUnavailableError(
+                    f"request to {host!r} dropped by fault plan"
+                )
+            if rule.kind == ERROR:
+                self._record(
+                    now, client, method, host, path, ERROR, f"error:{rule.status}"
+                )
+                return json_response(
+                    {"Error": f"injected fault ({rule.status})"}, status=rule.status
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Reproducibility instrument
+    # ------------------------------------------------------------------
+
+    def schedule_bytes(self) -> bytes:
+        """The full decision log, canonically serialized.
+
+        Two runs with the same seed and workload must produce identical
+        bytes — benchmark C7's reproducibility assertion.
+        """
+        return "\n".join(event.line() for event in self.log).encode("utf-8")

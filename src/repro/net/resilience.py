@@ -1,0 +1,121 @@
+"""Client-side resilience: retry with backoff, and circuit breaking.
+
+Counterpart to :mod:`repro.net.faults`: the fault plan breaks the network,
+this module teaches clients to survive it.  :class:`RetryPolicy` retries
+*safe* failures — dropped requests
+(:class:`~repro.exceptions.NetworkUnavailableError`, which by construction
+never reached the host) and 5xx server errors — with capped exponential
+backoff and deterministic jitter on the simulated clock.  A 4xx is never
+retried: the request was delivered and rejected, and resending it cannot
+change the answer.
+
+:class:`CircuitBreaker` guards one host.  After ``failure_threshold``
+consecutive failures it *opens* and sheds calls instantly
+(:class:`~repro.exceptions.CircuitOpenError`) until ``reset_timeout_ms``
+elapses on the clock; then it goes *half-open* and admits a single probe —
+success closes the circuit, failure re-opens it for another timeout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.net.http import Response
+
+#: Server-side statuses considered transient and safe to retry.
+RETRYABLE_STATUSES = (500, 502, 503, 504)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``max_attempts=1`` disables retries entirely (the no-resilience
+    baseline).  Delay before attempt ``k`` (1-based retries) is
+    ``min(base * multiplier**(k-1), max) * (1 ± jitter)``, where the jitter
+    fraction is hashed from ``(key, k)`` so schedules are reproducible.
+    """
+
+    max_attempts: int = 4
+    base_delay_ms: float = 100.0
+    max_delay_ms: float = 5_000.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    retry_statuses: tuple = RETRYABLE_STATUSES
+
+    def delay_ms(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.base_delay_ms * self.multiplier ** (attempt - 1), self.max_delay_ms
+        )
+        if self.jitter:
+            digest = hashlib.sha256(f"{key}\x1f{attempt}".encode()).digest()
+            unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return delay
+
+    def retryable_status(self, status: int) -> bool:
+        return status in self.retry_statuses
+
+    def should_retry_response(self, response: Response) -> bool:
+        """May this response be retried?  Never a 4xx (delivered + rejected)."""
+        return self.retryable_status(response.status)
+
+
+#: A policy that never retries — the explicit no-resilience baseline.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class CircuitBreaker:
+    """Failure-counting breaker for one host, on a simulated clock."""
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout_ms: int = 30_000):
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_ms = reset_timeout_ms
+        self.state = CLOSED
+        self.failures = 0  # consecutive failures while closed
+        self.opened_at_ms = 0
+        #: lifetime counters, for benchmark reporting
+        self.times_opened = 0
+        self.calls_shed = 0
+
+    def allow(self, now_ms: int) -> bool:
+        """May a call proceed now?  Transitions open → half-open on timeout."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now_ms - self.opened_at_ms >= self.reset_timeout_ms:
+                self.state = HALF_OPEN
+                return True  # the single probe
+            self.calls_shed += 1
+            return False
+        # Half-open: a probe is already in flight; shed concurrent calls.
+        # (The simulated network is synchronous, so this arm only triggers
+        # if a caller ignores allow()'s contract.)
+        self.calls_shed += 1
+        return False
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self, now_ms: int) -> None:
+        if self.state == HALF_OPEN:
+            self._open(now_ms)  # failed probe: straight back to open
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._open(now_ms)
+
+    def _open(self, now_ms: int) -> None:
+        self.state = OPEN
+        self.opened_at_ms = now_ms
+        self.times_opened += 1
+        self.failures = 0

@@ -16,10 +16,11 @@ scales with data volume.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import InsecureTransportError, TransportError
+from repro.net.faults import FaultPlan, SimClock
 from repro.net.http import Request, Response, Router
 from repro.util import jsonutil
 
@@ -41,9 +42,19 @@ class HostMetrics:
 class Network:
     """An in-process network of named hosts."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self._hosts: dict[str, Router] = {}
         self.metrics: dict[str, HostMetrics] = {}
+        self.clock = clock or SimClock()
+        self.faults = fault_plan
+
+    def install_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or with ``None`` remove) a fault-injection plan."""
+        self.faults = plan
 
     def register_host(self, name: str, router: Router) -> None:
         if name in self._hosts:
@@ -51,7 +62,7 @@ class Network:
         self._hosts[name] = router
         self.metrics[name] = HostMetrics()
 
-    def hosts(self) -> list:
+    def hosts(self) -> list[str]:
         return sorted(self._hosts)
 
     def metrics_of(self, name: str) -> HostMetrics:
@@ -89,7 +100,7 @@ class Network:
         """
         secure, host, path = self.parse_url(url)
         body = dict(body or {})
-        if "ApiKey" in body:
+        if _carries_api_key(body):
             if not secure:
                 raise InsecureTransportError(
                     f"refusing to send an API key over insecure http to {host!r}"
@@ -102,13 +113,43 @@ class Network:
         router = self._hosts.get(host)
         if router is None:
             raise TransportError(f"no such host: {host!r}")
+        injected: Optional[Response] = None
+        if self.faults is not None:
+            # May raise NetworkUnavailableError (drop/partition/outage) —
+            # the request never reaches the host, so nothing is counted.
+            injected = self.faults.apply(method, host, path, client, self.clock)
         payload = jsonutil.canonical_dumps(body)
-        request = Request(
-            method=method, host=host, path=path, body=body, secure=secure, client=client
-        )
-        response = router.dispatch(request)
+        # The request has arrived: count it (and its payload) before
+        # dispatch so traffic accounting stays honest when a handler — or
+        # an injected fault — errors out.
         metrics = self.metrics[host]
         metrics.requests_in += 1
         metrics.bytes_in += len(payload)
+        if injected is not None:
+            response = injected
+        else:
+            request = Request(
+                method=method, host=host, path=path, body=body, secure=secure, client=client
+            )
+            response = router.dispatch(request)
         metrics.bytes_out += len(jsonutil.canonical_dumps(response.body))
         return response
+
+
+def _carries_api_key(body: dict) -> bool:
+    """Does the body carry an ``ApiKey`` at the top level or one level deep?
+
+    Section 5.4's invariant must also catch keys smuggled inside a nested
+    object (e.g. ``{"Profile": {"ApiKey": ...}}``) — one level is as deep
+    as any legitimate request schema nests.
+    """
+    if "ApiKey" in body:
+        return True
+    for value in body.values():
+        if isinstance(value, dict) and "ApiKey" in value:
+            return True
+        if isinstance(value, list) and any(
+            isinstance(item, dict) and "ApiKey" in item for item in value
+        ):
+            return True
+    return False

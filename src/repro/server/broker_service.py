@@ -30,6 +30,7 @@ from repro.exceptions import (
 )
 from repro.net.client import HttpClient
 from repro.net.http import Request, Router
+from repro.net.resilience import RetryPolicy
 from repro.net.transport import Network
 from repro.util.idgen import DeterministicRng
 
@@ -50,7 +51,9 @@ class BrokerService:
         self.keys = ApiKeyRegistry(f"secret:{host}", rng.fork("keys"))
         self.accounts = AccountRegistry(rng.fork("accounts"))
         self.escrow = KeyEscrow()
-        self.client = HttpClient(network, name=host)
+        # Pull-sync and auto-registration calls ride the same retry policy
+        # the phones use; on a fault-free network it never fires.
+        self.client = HttpClient(network, name=host, retry=RetryPolicy())
         #: broker's own API keys at each store host (for profile pulls).
         self.store_keys: dict[str, str] = {}
         #: per-consumer saved contributor lists, keyed by list name.

@@ -76,3 +76,64 @@ class TestPullOverNetwork:
 
         client = HttpClient(Network(), "broker")
         assert sync.pull_all(client, store_keys={}) == 0
+        assert sync.stats.skipped_no_key == 1
+
+
+class TestPullAllUnderFaults:
+    def make_system(self):
+        from repro.core import SensorSafeSystem
+        from repro.rules.model import ALLOW, Rule
+
+        system = SensorSafeSystem(seed=5, eager_sync=False)
+        for name in ("ann", "ben", "cal"):
+            system.add_contributor(name).add_rule(Rule(consumers=("bob",), action=ALLOW))
+        return system
+
+    def test_broken_store_skipped_not_fatal(self):
+        from repro.net.faults import FaultPlan
+
+        system = self.make_system()
+        plan = FaultPlan()
+        plan.add_drop("ben-store")
+        system.install_faults(plan)
+        applied = system.pull_sync()
+        stats = system.broker.sync.stats
+        assert applied == 2  # ann and cal synced despite ben's store being dark
+        assert stats.pull_failures == 1
+        assert stats.host_failures == {"ben-store": 1}
+        assert system.broker.sync.stale_contributors() == ["ben"]
+
+    def test_stale_contributor_recovers(self):
+        from repro.net.faults import FaultPlan
+
+        system = self.make_system()
+        plan = FaultPlan()
+        plan.add_outage("ben-store", start_ms=0, duration_ms=10_000)
+        system.install_faults(plan)
+        system.pull_sync()
+        system.clock.advance(10_000)
+        applied = system.pull_sync()
+        stats = system.broker.sync.stats
+        assert applied == 3
+        assert stats.recovered == 1
+        assert system.broker.sync.stale_contributors() == []
+
+    def test_other_contributors_on_broken_host_skipped_once(self):
+        from repro.net.faults import FaultPlan
+        from repro.rules.model import ALLOW, Rule
+
+        system = self.make_system()
+        lab = system.stores["ann-store"]
+        system.add_contributor("amy", store=lab).add_rule(
+            Rule(consumers=("bob",), action=ALLOW)
+        )
+        plan = FaultPlan()
+        plan.add_drop("ann-store")
+        system.install_faults(plan)
+        system.pull_sync()
+        stats = system.broker.sync.stats
+        # One failed pull marks the host broken; the host's other
+        # contributor is skipped, not hammered.
+        assert stats.pull_failures == 1
+        assert stats.skipped_broken_host == 1
+        assert sorted(system.broker.sync.stale_contributors()) == ["amy", "ann"]

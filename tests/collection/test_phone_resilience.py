@@ -1,0 +1,104 @@
+"""Tests for the smartphone agent's offline queue under network faults."""
+
+import pytest
+
+from repro.collection.phone import PhoneConfig
+from repro.core import SensorSafeSystem
+from repro.net.faults import FaultPlan
+from repro.net.resilience import NO_RETRY, RetryPolicy
+from repro.rules.model import ALLOW, Rule
+from repro.sensors.packets import SensorPacket
+
+from tests.conftest import MONDAY, UCLA
+
+
+def make_packets(n, channel="ECG"):
+    return [
+        SensorPacket(channel, MONDAY + i * 1_000, 250, (1.0, 2.0, 3.0, 4.0), UCLA, {})
+        for i in range(n)
+    ]
+
+
+def make_phone(fault_plan=None, *, retry=None, config=None):
+    system = SensorSafeSystem(
+        seed=11, retry=retry if retry is not None else RetryPolicy()
+    )
+    alice = system.add_contributor("alice")
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    phone = alice.phone(config or PhoneConfig(upload_batch_packets=10))
+    # Faults go live only after setup so registration/rule download are clean.
+    system.install_faults(fault_plan)
+    return system, alice, phone
+
+
+class TestOfflineQueue:
+    def test_fault_free_upload_unchanged(self):
+        _, alice, phone = make_phone()
+        phone.upload(make_packets(25))
+        assert phone.stats.packets_delivered == 25
+        assert phone.offline_backlog == 0
+        assert phone.stats.upload_requests == 3  # 10+10+5
+        assert len(alice.view_data()) > 0
+
+    def test_outage_buffers_then_drains(self):
+        plan = FaultPlan(seed=11)
+        plan.add_outage("alice-store", start_ms=0, duration_ms=20_000)
+        system, alice, phone = make_phone(plan)
+        phone.upload(make_packets(25))
+        assert phone.offline_backlog == 25
+        assert phone.stats.packets_delivered == 0
+        assert phone.stats.packets_buffered == 25
+        system.clock.advance(20_000)
+        assert phone.drain_offline() == 0
+        assert phone.stats.packets_delivered == 25
+        assert phone.stats.packets_recovered == 25
+        assert phone.stats.packets_lost == 0
+        assert len(alice.view_data()) > 0  # data actually reached the store
+
+    def test_order_preserved_across_recovery(self):
+        plan = FaultPlan(seed=11)
+        plan.add_outage("alice-store", start_ms=0, duration_ms=20_000)
+        system, alice, phone = make_phone(plan)
+        phone.upload(make_packets(10))
+        system.clock.advance(20_000)
+        phone.upload(make_packets(10, channel="SkinTemp"))  # triggers the drain too
+        assert phone.offline_backlog == 0
+        segments = alice.view_data()
+        channels = {s.channels[0] for s in segments}
+        assert {"ECG", "SkinTemp"} <= channels
+
+    def test_non_resilient_agent_loses_data(self):
+        plan = FaultPlan(seed=11)
+        plan.add_outage("alice-store", start_ms=0, duration_ms=20_000)
+        _, _, phone = make_phone(
+            plan,
+            retry=NO_RETRY,
+            config=PhoneConfig(resilient=False, upload_batch_packets=10),
+        )
+        phone.upload(make_packets(25))
+        assert phone.stats.packets_lost == 25
+        assert phone.offline_backlog == 0
+
+    def test_queue_cap_drops_oldest_and_counts_lost(self):
+        plan = FaultPlan(seed=11)
+        plan.add_drop("alice-store", path="/api/upload_packets")
+        _, _, phone = make_phone(
+            plan,
+            config=PhoneConfig(upload_batch_packets=10, offline_queue_packets=15),
+        )
+        phone.upload(make_packets(20))
+        assert phone.offline_backlog == 15
+        assert phone.stats.packets_lost == 5
+
+    def test_flush_retried_after_recovery(self):
+        from repro.net.faults import DROP, FaultRule
+
+        plan = FaultPlan(seed=11)
+        # Only the flush endpoint is dark for the first 10 simulated seconds.
+        plan.add_rule(FaultRule(DROP, "alice-store", "/api/flush", until_ms=10_000))
+        system, alice, phone = make_phone(plan)
+        phone.upload(make_packets(10))
+        assert phone.stats.packets_delivered == 10
+        system.clock.advance(10_000)
+        assert phone.drain_offline() == 0
+        assert len(alice.view_data()) > 0  # flush finally finalized segments

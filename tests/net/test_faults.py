@@ -1,0 +1,165 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.exceptions import NetworkUnavailableError
+from repro.net.faults import FaultPlan, SimClock
+from repro.net.http import Router
+from repro.net.transport import Network
+
+
+def make_network(plan=None, clock=None):
+    network = Network(clock=clock, fault_plan=plan)
+    router = Router()
+    router.add("POST", "/api/echo", lambda req: {"echo": req.body.get("msg", "")})
+    router.add("POST", "/api/other", lambda req: {"ok": True})
+    network.register_host("store", router)
+    return network
+
+
+def post(network, path="/api/echo", client="phone"):
+    return network.request("POST", f"https://store{path}", {"msg": "x"}, client=client)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.now_ms() == 0
+        clock.advance(250)
+        assert clock.now_ms() == 250
+
+    def test_sleep_is_advance(self):
+        clock = SimClock(start_ms=10)
+        clock.sleep(90)
+        assert clock.now_ms() == 100
+
+    def test_no_time_travel(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+
+class TestErrorInjection:
+    def test_injected_status(self):
+        plan = FaultPlan()
+        plan.add_error("store", status=503)
+        response = post(make_network(plan))
+        assert response.status == 503
+        assert "injected" in response.body["Error"]
+
+    def test_path_scoped(self):
+        plan = FaultPlan()
+        plan.add_error("store", path="/api/echo", status=500)
+        network = make_network(plan)
+        assert post(network, "/api/echo").status == 500
+        assert post(network, "/api/other").ok
+
+    def test_other_host_unaffected(self):
+        plan = FaultPlan()
+        plan.add_error("ghost-store")
+        assert post(make_network(plan)).ok
+
+
+class TestDropsAndOutages:
+    def test_drop_raises(self):
+        plan = FaultPlan()
+        plan.add_drop("store")
+        with pytest.raises(NetworkUnavailableError):
+            post(make_network(plan))
+
+    def test_drop_rate_deterministic(self):
+        def outcomes(seed):
+            plan = FaultPlan(seed=seed)
+            plan.add_drop("store", rate=0.3)
+            network = make_network(plan)
+            out = []
+            for _ in range(50):
+                try:
+                    post(network)
+                    out.append("ok")
+                except NetworkUnavailableError:
+                    out.append("drop")
+            return out
+
+        first, second = outcomes(7), outcomes(7)
+        assert first == second
+        dropped = first.count("drop")
+        assert 5 < dropped < 25  # ~30% of 50
+
+    def test_outage_window_on_sim_clock(self):
+        clock = SimClock()
+        plan = FaultPlan()
+        plan.add_outage("store", start_ms=1_000, duration_ms=500)
+        network = make_network(plan, clock)
+        assert post(network).ok  # before the outage
+        clock.advance(1_000)
+        with pytest.raises(NetworkUnavailableError):
+            post(network)
+        clock.advance(500)  # outage over
+        assert post(network).ok
+
+
+class TestLatencyAndFlaky:
+    def test_latency_advances_clock(self):
+        clock = SimClock()
+        plan = FaultPlan()
+        plan.add_latency("store", latency_ms=120)
+        network = make_network(plan, clock)
+        assert post(network).ok
+        assert clock.now_ms() == 120
+
+    def test_flaky_fails_first_n_then_recovers(self):
+        plan = FaultPlan()
+        plan.add_flaky("store", fail_first=3)
+        network = make_network(plan)
+        for _ in range(3):
+            with pytest.raises(NetworkUnavailableError):
+                post(network)
+        assert post(network).ok
+        assert post(network).ok
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self):
+        plan = FaultPlan()
+        plan.add_partition("split", {"phone"}, {"store"})
+        network = make_network(plan)
+        with pytest.raises(NetworkUnavailableError):
+            post(network, client="phone")
+        assert post(network, client="other-phone").ok
+
+    def test_heal(self):
+        plan = FaultPlan()
+        plan.add_partition("split", {"phone"}, {"store"})
+        network = make_network(plan)
+        plan.heal("split")
+        assert post(network).ok
+        plan.heal("split")  # healing twice is a no-op
+
+
+class TestScheduleLog:
+    def test_byte_identical_across_runs(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed)
+            plan.add_drop("store", rate=0.5)
+            plan.add_error("store", path="/api/other", status=500, rate=0.5)
+            network = make_network(plan)
+            for i in range(20):
+                path = "/api/echo" if i % 2 else "/api/other"
+                try:
+                    post(network, path)
+                except NetworkUnavailableError:
+                    pass
+            return plan.schedule_bytes()
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_log_records_decisions(self):
+        plan = FaultPlan()
+        plan.add_drop("store")
+        network = make_network(plan)
+        with pytest.raises(NetworkUnavailableError):
+            post(network)
+        assert len(plan.log) == 1
+        event = plan.log[0]
+        assert (event.host, event.path, event.outcome) == ("store", "/api/echo", "drop")

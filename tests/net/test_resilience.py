@@ -1,0 +1,181 @@
+"""Tests for retry, backoff, and circuit breaking."""
+
+import pytest
+
+from repro.exceptions import (
+    BadRequestError,
+    CircuitOpenError,
+    NetworkUnavailableError,
+    ServiceError,
+)
+from repro.net.client import HttpClient
+from repro.net.faults import FaultPlan, SimClock
+from repro.net.http import Router, json_response
+from repro.net.resilience import NO_RETRY, CircuitBreaker, RetryPolicy
+from repro.net.transport import Network
+
+
+def make_network(plan=None, clock=None):
+    network = Network(clock=clock, fault_plan=plan)
+    router = Router()
+    calls = {"n": 0}
+
+    def echo(req):
+        calls["n"] += 1
+        return {"ok": True, "calls": calls["n"]}
+
+    router.add("POST", "/api/echo", echo)
+    router.add(
+        "POST", "/api/bad", lambda req: json_response({"Error": "nope"}, status=400)
+    )
+    network.register_host("store", router)
+    return network, calls
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_ms=100, max_delay_ms=500, multiplier=2, jitter=0)
+        assert [policy.delay_ms(k) for k in (1, 2, 3, 4)] == [100, 200, 400, 500]
+
+    def test_jitter_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_ms=100, jitter=0.1)
+        first = policy.delay_ms(1, key="a")
+        assert first == policy.delay_ms(1, key="a")
+        assert first != policy.delay_ms(1, key="b")
+        assert 90 <= first <= 110
+
+    def test_no_retry_policy(self):
+        assert NO_RETRY.max_attempts == 1
+
+
+class TestClientRetries:
+    def test_retries_through_flaky_host(self):
+        plan = FaultPlan()
+        plan.add_flaky("store", fail_first=2)
+        network, calls = make_network(plan)
+        client = HttpClient(network, retry=RetryPolicy(max_attempts=4))
+        assert client.post("https://store/api/echo")["ok"]
+        assert calls["n"] == 1  # two drops never reached the host
+
+    def test_retries_injected_5xx(self):
+        plan = FaultPlan()
+        rule = plan.add_error("store", status=503)
+        network, _ = make_network(plan)
+        client = HttpClient(network, retry=RetryPolicy(max_attempts=3))
+        with pytest.raises(ServiceError):
+            client.post("https://store/api/echo")
+        # three attempts, all answered 503
+        assert rule.hits == 3
+
+    def test_never_retries_4xx(self):
+        network, _ = make_network()
+        client = HttpClient(network, retry=RetryPolicy(max_attempts=5))
+        with pytest.raises(BadRequestError):
+            client.post("https://store/api/bad")
+        assert network.metrics_of("store").requests_in == 1
+
+    def test_exhausted_retries_raise_last_error(self):
+        plan = FaultPlan()
+        plan.add_drop("store")
+        network, _ = make_network(plan)
+        client = HttpClient(network, retry=RetryPolicy(max_attempts=3))
+        with pytest.raises(NetworkUnavailableError):
+            client.post("https://store/api/echo")
+
+    def test_backoff_advances_sim_clock(self):
+        clock = SimClock()
+        plan = FaultPlan()
+        plan.add_flaky("store", fail_first=1)
+        network, _ = make_network(plan, clock)
+        policy = RetryPolicy(base_delay_ms=100, jitter=0)
+        client = HttpClient(network, retry=policy)
+        client.post("https://store/api/echo")
+        assert clock.now_ms() == 100  # one retry, one backoff sleep
+
+    def test_per_call_override(self):
+        plan = FaultPlan()
+        plan.add_flaky("store", fail_first=1)
+        network, _ = make_network(plan)
+        client = HttpClient(network)  # no client-level policy
+        with pytest.raises(NetworkUnavailableError):
+            client.post("https://store/api/echo")
+        assert client.post("https://store/api/echo", retry=RetryPolicy())["ok"]
+
+    def test_no_policy_means_single_attempt(self):
+        plan = FaultPlan()
+        plan.add_flaky("store", fail_first=1)
+        network, _ = make_network(plan)
+        client = HttpClient(network)
+        with pytest.raises(NetworkUnavailableError):
+            client.post("https://store/api/echo")
+
+    def test_with_key_shares_breakers_and_policy(self):
+        network, _ = make_network()
+        client = HttpClient(network, retry=RetryPolicy())
+        other = client.with_key("k")
+        assert other.retry is client.retry
+        assert other.breakers is client.breakers
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_ms=1_000)
+        for _ in range(3):
+            assert breaker.allow(0)
+            breaker.record_failure(0)
+        assert breaker.state == "open"
+        assert not breaker.allow(500)
+        assert breaker.calls_shed == 1
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_ms=1_000)
+        breaker.record_failure(0)
+        assert breaker.allow(1_000)  # the half-open probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_ms=1_000)
+        breaker.record_failure(0)
+        assert breaker.allow(1_000)
+        breaker.record_failure(1_000)
+        assert breaker.state == "open"
+        assert not breaker.allow(1_500)
+        assert breaker.allow(2_000)  # next probe window
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0)
+        breaker.record_success()
+        breaker.record_failure(0)
+        assert breaker.state == "closed"
+
+    def test_client_sheds_when_open(self):
+        clock = SimClock()
+        plan = FaultPlan()
+        plan.add_drop("store")
+        network, _ = make_network(plan, clock)
+        client = HttpClient(network, retry=RetryPolicy(max_attempts=3, jitter=0))
+        breaker = client.breakers.setdefault(
+            "store", CircuitBreaker(failure_threshold=2, reset_timeout_ms=60_000)
+        )
+        with pytest.raises(NetworkUnavailableError):
+            client.post("https://store/api/echo")
+        assert breaker.state == "open"
+        requests_before = plan.rules[0].hits
+        with pytest.raises(CircuitOpenError):
+            client.post("https://store/api/echo")
+        assert plan.rules[0].hits == requests_before  # shed without sending
+
+    def test_client_recovers_after_reset_timeout(self):
+        clock = SimClock()
+        plan = FaultPlan()
+        plan.add_outage("store", start_ms=0, duration_ms=10_000)
+        network, _ = make_network(plan, clock)
+        client = HttpClient(network, retry=RetryPolicy(max_attempts=3, jitter=0))
+        client.breakers["store"] = CircuitBreaker(failure_threshold=2, reset_timeout_ms=5_000)
+        with pytest.raises(NetworkUnavailableError):
+            client.post("https://store/api/echo")
+        clock.advance(15_000)  # past the outage and the reset timeout
+        assert client.post("https://store/api/echo")["ok"]
+        assert client.breakers["store"].state == "closed"

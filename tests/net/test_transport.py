@@ -70,6 +70,48 @@ class TestTlsInvariant:
         assert network.request("POST", "http://store/api/echo", {"msg": "x"}).ok
 
 
+class TestTlsInvariantEdgeCases:
+    """Section 5.4 corner cases: keys must not leak via GET bodies, plain
+    http POSTs, or one level of nesting."""
+
+    def test_api_key_in_get_body_refused(self):
+        network = make_network()
+        with pytest.raises(InsecureTransportError):
+            network.request("GET", "https://store/api/echo", {"ApiKey": "k"})
+
+    def test_api_key_in_http_post_refused(self):
+        network = make_network()
+        with pytest.raises(InsecureTransportError):
+            network.request("POST", "http://store/api/echo", {"ApiKey": "k"})
+
+    def test_api_key_nested_in_dict_refused_over_http(self):
+        network = make_network()
+        with pytest.raises(InsecureTransportError):
+            network.request(
+                "POST", "http://store/api/echo", {"Profile": {"ApiKey": "k"}}
+            )
+
+    def test_api_key_nested_in_list_refused_over_http(self):
+        network = make_network()
+        with pytest.raises(InsecureTransportError):
+            network.request(
+                "POST", "http://store/api/echo", {"Items": [{"ApiKey": "k"}]}
+            )
+
+    def test_api_key_nested_in_get_refused(self):
+        network = make_network()
+        with pytest.raises(InsecureTransportError):
+            network.request(
+                "GET", "https://store/api/echo", {"Profile": {"ApiKey": "k"}}
+            )
+
+    def test_nested_key_over_https_post_accepted(self):
+        network = make_network()
+        assert network.request(
+            "POST", "https://store/api/echo", {"Profile": {"ApiKey": "k"}}
+        ).ok
+
+
 class TestMetrics:
     def test_bytes_and_requests_counted(self):
         network = make_network()
@@ -99,3 +141,44 @@ class TestMetrics:
         network = make_network()
         with pytest.raises(TransportError):
             network.metrics_of("ghost")
+
+    def test_request_counted_when_handler_raises(self):
+        """C2's traffic accounting must stay honest under faults: a request
+        that reaches the host counts even if its handler blows up."""
+        network = make_network()
+
+        def explode(req):
+            raise RuntimeError("handler bug")
+
+        router = Router()
+        router.add("POST", "/api/boom", explode)
+        network.register_host("buggy", router)
+        with pytest.raises(RuntimeError):
+            network.request("POST", "https://buggy/api/boom", {"msg": "payload"})
+        metrics = network.metrics_of("buggy")
+        assert metrics.requests_in == 1
+        assert metrics.bytes_in > 0
+        assert metrics.bytes_out == 0  # no response ever left
+
+    def test_injected_fault_response_counted(self):
+        from repro.net.faults import FaultPlan
+
+        plan = FaultPlan()
+        plan.add_error("store", status=503)
+        network = make_network()
+        network.install_faults(plan)
+        network.request("POST", "https://store/api/echo", {"msg": "x"})
+        metrics = network.metrics_of("store")
+        assert metrics.requests_in == 1 and metrics.bytes_out > 0
+
+    def test_dropped_request_not_counted(self):
+        from repro.exceptions import NetworkUnavailableError
+        from repro.net.faults import FaultPlan
+
+        plan = FaultPlan()
+        plan.add_drop("store")
+        network = make_network()
+        network.install_faults(plan)
+        with pytest.raises(NetworkUnavailableError):
+            network.request("POST", "https://store/api/echo", {"msg": "x"})
+        assert network.metrics_of("store").requests_in == 0  # never arrived
