@@ -1,8 +1,11 @@
-"""Self-check demo: ``python -m repro``.
+"""Command-line entry point.
 
-Builds a miniature deployment, runs the paper's headline flow, and prints
-a short report.  Exits non-zero if any invariant fails, so this doubles as
-a post-install smoke test.
+``python -m repro`` runs the self-check demo: builds a miniature
+deployment, runs the paper's headline flow, and prints a short report,
+exiting non-zero if any invariant fails — a post-install smoke test.
+
+``python -m repro conformance [...]`` runs the privacy-conformance
+harness (see :mod:`repro.conformance.runner`) instead.
 """
 
 from __future__ import annotations
@@ -79,5 +82,16 @@ def main() -> int:
     return 0
 
 
+def dispatch(argv: list) -> int:
+    if argv and argv[0] == "conformance":
+        from repro.conformance.runner import main as conformance_main
+
+        return conformance_main(argv[1:])
+    if argv:
+        print(f"unknown subcommand {argv[0]!r}; known: conformance", file=sys.stderr)
+        return 2
+    return main()
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(dispatch(sys.argv[1:]))

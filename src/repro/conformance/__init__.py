@@ -1,0 +1,54 @@
+"""Privacy-conformance harness: oracle, generators, invariants, runner.
+
+The rule engine in :mod:`repro.rules.engine` is the single gate between a
+contributor's sensor data and the outside world, and it is *optimized* —
+rules are bucketed per consumer, segments are split into time pieces, and
+conditions are evaluated per piece rather than per sample.  Every one of
+those optimizations is an opportunity to silently open a leak.
+
+This package checks the optimized engine against a deliberately naive
+reference implementation and a set of output invariants:
+
+* :mod:`repro.conformance.oracle` — a brute-force per-sample evaluator
+  that re-derives, for every (consumer, sample instant, channel), whether
+  data may flow and at which abstraction level.  It shares no code with
+  the engine's decision logic.
+* :mod:`repro.conformance.generators` — seeded random rule sets, wave
+  segments, places, and memberships; the corpus replays from a seed.
+* :mod:`repro.conformance.invariants` — properties every release must
+  satisfy (default deny, deny dominance, dependency closure, truncation
+  and location-abstraction correctness, query-API containment).
+* :mod:`repro.conformance.runner` — runs N seeded trials, diffs engine
+  vs oracle sample-by-sample, shrinks failing cases to minimal repros,
+  and backs the ``python -m repro conformance`` CLI.
+"""
+
+from repro.conformance.generators import Trial, TrialGenerator, trial_from_json, trial_to_json
+from repro.conformance.invariants import Violation, check_release
+from repro.conformance.oracle import Decision, decide_instant, decide_samples
+from repro.conformance.runner import (
+    MUTATIONS,
+    ConformanceSummary,
+    Divergence,
+    run_conformance,
+    run_trial,
+    shrink_trial,
+)
+
+__all__ = [
+    "Trial",
+    "TrialGenerator",
+    "trial_from_json",
+    "trial_to_json",
+    "Violation",
+    "check_release",
+    "Decision",
+    "decide_instant",
+    "decide_samples",
+    "MUTATIONS",
+    "ConformanceSummary",
+    "Divergence",
+    "run_conformance",
+    "run_trial",
+    "shrink_trial",
+]

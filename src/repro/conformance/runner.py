@@ -1,0 +1,604 @@
+"""Differential conformance runner and the ``repro conformance`` CLI.
+
+For each seeded trial the optimized :class:`~repro.rules.engine.RuleEngine`
+evaluates the generated segments and the result is checked three ways:
+
+1. **differential** — every sample instant is compared against the
+   brute-force oracle: which channels flow, which labels, which levels;
+2. **invariants** — the release is checked against the output properties
+   in :mod:`repro.conformance.invariants`;
+3. **end-to-end** (every N-th trial) — the same scenario is loaded into a
+   real :class:`~repro.server.datastore_service.DataStoreService` and
+   queried over the simulated network; the HTTP payload must be exactly
+   what the engine released (the release-guard hook observes the engine
+   output inside the service) and must re-derive from an independently
+   constructed engine.
+
+A failing trial is shrunk — greedily removing rules, segments, samples,
+channels, context annotations, and rule conditions while the failure
+persists — and printed as a minimal JSON repro that replays with
+:func:`repro.conformance.generators.trial_from_json`.
+
+Mutation smoke tests: ``MUTATIONS`` maps names to deliberately broken
+engine factories ("ignore-deny", "no-closure", ...).  The harness must
+find and shrink a divergence against each of them; if it cannot, the
+harness itself is broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional
+
+from repro.conformance.generators import (
+    Trial,
+    TrialGenerator,
+    rule_variant,
+    segment_truncated,
+    segment_without_channel,
+    segment_without_context,
+    segment_without_location,
+    trial_from_json,
+    trial_to_json,
+)
+from repro.conformance.invariants import Violation, check_release
+from repro.conformance.oracle import decide_instant
+from repro.datastore.query import DataQuery
+from repro.datastore.wavesegment import TIME_CHANNEL, WaveSegment
+from repro.rules.engine import ReleasedSegment, RuleEngine
+from repro.util.timeutil import TimeCondition
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One engine-vs-oracle disagreement at a specific instant or piece."""
+
+    kind: str
+    segment_id: str
+    detail: str
+    t: Optional[int] = None
+    piece_index: Optional[int] = None
+
+    def to_json(self) -> dict:
+        obj = {"Kind": self.kind, "SegmentId": self.segment_id, "Detail": self.detail}
+        if self.t is not None:
+            obj["T"] = self.t
+        if self.piece_index is not None:
+            obj["PieceIndex"] = self.piece_index
+        return obj
+
+
+@dataclass
+class TrialResult:
+    trial: Trial
+    divergences: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.violations
+
+    def to_json(self) -> dict:
+        return {
+            "Trial": trial_to_json(self.trial),
+            "Divergences": [d.to_json() for d in self.divergences],
+            "Violations": [v.to_json() for v in self.violations],
+        }
+
+
+# ----------------------------------------------------------------------
+# Engine construction and mutations
+# ----------------------------------------------------------------------
+
+
+def build_engine(trial: Trial, **engine_kwargs) -> RuleEngine:
+    """The engine under test, wired exactly like the datastore service."""
+
+    def membership(name: str) -> frozenset:
+        return frozenset({name}) | trial.memberships.get(name, frozenset())
+
+    return RuleEngine(
+        trial.rules, trial.places, membership=membership, **engine_kwargs
+    )
+
+
+def _engine_dropping(kind: str) -> Callable[[Trial], RuleEngine]:
+    def factory(trial: Trial) -> RuleEngine:
+        pruned = replace(
+            trial, rules=[r for r in trial.rules if r.action.kind != kind]
+        )
+        return build_engine(pruned)
+
+    return factory
+
+
+def _engine_ignoring_time(trial: Trial) -> RuleEngine:
+    stripped = replace(
+        trial, rules=[rule_variant(r, time=TimeCondition()) for r in trial.rules]
+    )
+    return build_engine(stripped)
+
+
+def _engine_ignoring_context(trial: Trial) -> RuleEngine:
+    stripped = replace(trial, rules=[rule_variant(r, contexts=()) for r in trial.rules])
+    return build_engine(stripped)
+
+
+#: Deliberately broken engines.  Each removes one enforcement layer, the
+#: way a careless refactor of rules/engine.py might; the harness must
+#: catch every one of them (tests/conformance/test_runner.py asserts it).
+MUTATIONS: dict = {
+    "ignore-deny": _engine_dropping("deny"),
+    "ignore-abstraction": _engine_dropping("abstraction"),
+    "no-closure": lambda trial: build_engine(trial, enforce_closure=False),
+    "ignore-time": _engine_ignoring_time,
+    "ignore-context": _engine_ignoring_context,
+}
+
+
+# ----------------------------------------------------------------------
+# The differ
+# ----------------------------------------------------------------------
+
+
+def _fmt(value) -> str:
+    if isinstance(value, frozenset) or isinstance(value, set):
+        return str(sorted(value))
+    return repr(value)
+
+
+def diff_segment(trial: Trial, segment: WaveSegment, pieces: Iterable[ReleasedSegment]) -> list:
+    """Engine-vs-oracle divergences for one segment, sample by sample."""
+    pieces = list(pieces)
+    principals = trial.principals()
+    rules, places = trial.rules, trial.places
+    out: list[Divergence] = []
+    times = [int(t) for t in segment.sample_times()]
+    covering: dict = {t: [] for t in times}
+
+    for index, piece in enumerate(pieces):
+        piece_channels = frozenset(piece.channels()) - {TIME_CHANNEL}
+        covered = [t for t in times if piece.interval.contains(t)]
+        for t in covered:
+            covering[t].append((index, piece_channels))
+
+        # The piece's metadata must match the oracle at its own start
+        # instant — this also polices label-only pieces that cover no
+        # sample (a time window between two sample instants).
+        probe = decide_instant(rules, segment, principals, places, piece.interval.start)
+        if not probe.releases:
+            out.append(
+                Divergence(
+                    "released-but-oracle-denies",
+                    segment.segment_id,
+                    f"piece {piece.interval} released; oracle denies everything "
+                    f"at t={piece.interval.start}",
+                    t=piece.interval.start,
+                    piece_index=index,
+                )
+            )
+            continue
+        for name, got, want in (
+            ("context labels", piece.context_labels, probe.context_labels),
+            ("location", piece.location, probe.location),
+            ("location level", piece.location_level, probe.location_level),
+            ("time level", piece.time_level, probe.time_level),
+        ):
+            if got != want:
+                out.append(
+                    Divergence(
+                        "piece-mismatch",
+                        segment.segment_id,
+                        f"{name}: engine {_fmt(got)} vs oracle {_fmt(want)} "
+                        f"at t={piece.interval.start}",
+                        t=piece.interval.start,
+                        piece_index=index,
+                    )
+                )
+        if covered and piece_channels != probe.channels:
+            out.append(
+                Divergence(
+                    "channel-mismatch",
+                    segment.segment_id,
+                    f"engine released {_fmt(piece_channels)} vs oracle "
+                    f"{_fmt(probe.channels)} at t={piece.interval.start}",
+                    t=piece.interval.start,
+                    piece_index=index,
+                )
+            )
+
+    # Per-sample comparison across all pieces.
+    for t in times:
+        hits = covering[t]
+        if len(hits) > 1:
+            out.append(
+                Divergence(
+                    "overlapping-release",
+                    segment.segment_id,
+                    f"sample at t={t} covered by pieces {[i for i, _ in hits]}",
+                    t=t,
+                )
+            )
+            continue
+        expected = decide_instant(rules, segment, principals, places, t)
+        actual_channels = hits[0][1] if hits else frozenset()
+        if expected.releases and not hits:
+            out.append(
+                Divergence(
+                    "missing-release",
+                    segment.segment_id,
+                    f"oracle releases {_fmt(expected.channels)} / labels "
+                    f"{expected.context_labels} at t={t}; engine released nothing",
+                    t=t,
+                )
+            )
+        elif not expected.releases and hits:
+            out.append(
+                Divergence(
+                    "released-but-oracle-denies",
+                    segment.segment_id,
+                    f"engine covers t={t} with channels {_fmt(actual_channels)}; "
+                    "oracle denies everything",
+                    t=t,
+                )
+            )
+        elif hits and expected.channels != actual_channels:
+            out.append(
+                Divergence(
+                    "channel-mismatch",
+                    segment.segment_id,
+                    f"engine released {_fmt(actual_channels)} vs oracle "
+                    f"{_fmt(expected.channels)} at t={t}",
+                    t=t,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Trial execution
+# ----------------------------------------------------------------------
+
+
+def run_trial(
+    trial: Trial, engine_factory: Optional[Callable[[Trial], RuleEngine]] = None
+) -> TrialResult:
+    """Diff + invariant-check one trial against the (possibly broken) engine."""
+    factory = engine_factory or build_engine
+    engine = factory(trial)
+    result = TrialResult(trial)
+    for segment in trial.segments:
+        pieces = engine.evaluate_segment(trial.consumer, segment)
+        result.divergences.extend(diff_segment(trial, segment, pieces))
+        result.violations.extend(check_release(trial, segment, pieces))
+    return result
+
+
+def end_to_end_violations(trial: Trial) -> list:
+    """Drive the real query path and check query-API containment.
+
+    Loads the trial into a live :class:`DataStoreService` on a simulated
+    network, queries it as the trial's consumer, and asserts:
+
+    * the HTTP payload is byte-for-byte the engine's release (observed by
+      the service's release-guard hook) — the API adds nothing;
+    * the payload re-derives from an independently constructed engine over
+      the segments the store actually served (which may be merged);
+    * the oracle diff holds on those served segments too.
+    """
+    from repro.net.client import HttpClient
+    from repro.net.transport import Network
+    from repro.server.datastore_service import DataStoreService
+
+    network = Network()
+    store = DataStoreService("conformance-store", network, seed=0)
+    store.register_contributor(trial.contributor)
+    consumer_key = store.register_consumer(trial.consumer)
+    for name, groups in trial.memberships.items():
+        store.memberships[name] = frozenset(groups)
+    store.set_places(trial.contributor, trial.places)
+    store.rules.replace_all(trial.contributor, trial.rules)
+    for segment in trial.segments:
+        store.store.add_segment(segment)
+    store.store.flush()
+
+    events: list = []
+    store.release_guards.append(events.append)
+    client = HttpClient(network, name=trial.consumer, api_key=consumer_key)
+    body = client.post(
+        f"https://{store.host}/api/query",
+        {"Contributor": trial.contributor, "Query": DataQuery().to_json()},
+    )
+    api_released = body.get("Released", [])
+
+    out: list[Violation] = []
+    if not events:
+        out.append(
+            Violation("query-containment", "release guard never fired on the query path")
+        )
+        return out
+    event = events[-1]
+    engine_payload = [r.to_json() for r in event.released]
+    if api_released != engine_payload:
+        out.append(
+            Violation(
+                "query-containment",
+                f"query API returned {len(api_released)} piece(s) but the engine "
+                f"released {len(engine_payload)} — payload and release differ",
+            )
+        )
+    reference = build_engine(trial)
+    if api_released != [r.to_json() for r in reference.evaluate(trial.consumer, event.segments)]:
+        out.append(
+            Violation(
+                "query-containment",
+                "query API payload does not re-derive from an independently "
+                "constructed engine over the served segments",
+            )
+        )
+    # The store may have merged uploads; diff whatever it actually served.
+    for segment in event.segments:
+        pieces = reference.evaluate_segment(trial.consumer, segment)
+        for divergence in diff_segment(trial, segment, pieces):
+            out.append(
+                Violation(
+                    "query-containment",
+                    f"served segment diverges from oracle: {divergence.detail}",
+                    divergence.segment_id,
+                )
+            )
+        out.extend(check_release(trial, segment, pieces))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+
+def _trial_edits(trial: Trial):
+    """Candidate one-step simplifications, most aggressive first."""
+    for i in range(len(trial.segments)):
+        if len(trial.segments) > 1:
+            yield replace(trial, segments=trial.segments[:i] + trial.segments[i + 1 :])
+    for i in range(len(trial.rules)):
+        yield replace(trial, rules=trial.rules[:i] + trial.rules[i + 1 :])
+    if trial.memberships:
+        yield replace(trial, memberships={})
+    if trial.places:
+        yield replace(trial, places={})
+    for i, rule in enumerate(trial.rules):
+        variants = []
+        if rule.consumers:
+            variants.append(rule_variant(rule, consumers=()))
+        if rule.location_labels or rule.location_regions:
+            variants.append(
+                rule_variant(rule, location_labels=(), location_regions=())
+            )
+        if not rule.time.is_unconstrained():
+            variants.append(rule_variant(rule, time=TimeCondition()))
+        if rule.sensors:
+            variants.append(rule_variant(rule, sensors=()))
+        if rule.contexts:
+            variants.append(rule_variant(rule, contexts=()))
+        if rule.action.is_abstraction and len(rule.action.abstraction) > 1:
+            for aspect, level in rule.action.abstraction.items():
+                variants.append(
+                    rule_variant(
+                        rule,
+                        action=type(rule.action)("abstraction", {aspect: level}),
+                    )
+                )
+        for variant in variants:
+            yield replace(
+                trial, rules=trial.rules[:i] + [variant] + trial.rules[i + 1 :]
+            )
+    for i, segment in enumerate(trial.segments):
+        candidates = [
+            segment_truncated(segment, segment.n_samples // 2),
+            segment_truncated(segment, 1),
+            segment_without_location(segment),
+        ]
+        candidates.extend(segment_without_channel(segment, c) for c in segment.channels)
+        candidates.extend(segment_without_context(segment, c) for c in segment.context)
+        for candidate in candidates:
+            if candidate is not None:
+                yield replace(
+                    trial,
+                    segments=trial.segments[:i] + [candidate] + trial.segments[i + 1 :],
+                )
+
+
+def shrink_trial(
+    trial: Trial,
+    failing: Callable[[Trial], bool],
+    *,
+    max_checks: int = 400,
+) -> Trial:
+    """Greedy structural shrink: keep any single edit that still fails.
+
+    ``failing(trial)`` must be True on entry; the returned trial also
+    fails and is at a local minimum (no single edit keeps it failing), up
+    to the ``max_checks`` evaluation budget.  Fully deterministic.
+    """
+    checks = 0
+    current = trial
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _trial_edits(current):
+            if checks >= max_checks:
+                break
+            checks += 1
+            try:
+                if failing(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            except Exception:  # a crashing candidate is a different bug
+                continue
+    return current
+
+
+# ----------------------------------------------------------------------
+# The harness entry points
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ConformanceSummary:
+    trials: int
+    seed: int
+    divergences: int = 0
+    violations: int = 0
+    end_to_end_runs: int = 0
+    mutation: Optional[str] = None
+    failed_index: Optional[int] = None
+    repro: Optional[dict] = None  # shrunken TrialResult JSON
+
+    @property
+    def ok(self) -> bool:
+        return self.divergences == 0 and self.violations == 0
+
+    def to_json(self) -> dict:
+        obj = {
+            "Trials": self.trials,
+            "Seed": self.seed,
+            "Divergences": self.divergences,
+            "Violations": self.violations,
+            "EndToEndRuns": self.end_to_end_runs,
+        }
+        if self.mutation:
+            obj["Mutation"] = self.mutation
+        if self.failed_index is not None:
+            obj["FailedIndex"] = self.failed_index
+        if self.repro is not None:
+            obj["Repro"] = self.repro
+        return obj
+
+
+def run_conformance(
+    trials: int,
+    seed: int,
+    *,
+    mutation: Optional[str] = None,
+    engine_factory: Optional[Callable[[Trial], RuleEngine]] = None,
+    end_to_end_every: int = 25,
+    shrink: bool = True,
+    max_shrink_checks: int = 400,
+) -> ConformanceSummary:
+    """Run ``trials`` seeded trials; stop, shrink, and report on failure."""
+    if mutation is not None:
+        if mutation not in MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {mutation!r}; known: {sorted(MUTATIONS)}"
+            )
+        engine_factory = MUTATIONS[mutation]
+    factory = engine_factory or build_engine
+    generator = TrialGenerator(seed)
+    summary = ConformanceSummary(trials=trials, seed=seed, mutation=mutation)
+
+    for index in range(trials):
+        trial = generator.trial(index)
+        result = run_trial(trial, factory)
+        # The end-to-end path only makes sense against the real engine —
+        # the service builds its own, so mutations cannot reach it.
+        if (
+            mutation is None
+            and engine_factory is None
+            and end_to_end_every
+            and index % end_to_end_every == 0
+        ):
+            result.violations.extend(end_to_end_violations(trial))
+            summary.end_to_end_runs += 1
+        if result.ok:
+            continue
+        summary.divergences += len(result.divergences)
+        summary.violations += len(result.violations)
+        summary.failed_index = index
+        shrunk_trial = trial
+        if shrink:
+            def _fails(candidate: Trial) -> bool:
+                return not run_trial(candidate, factory).ok
+
+            shrunk_trial = shrink_trial(trial, _fails, max_checks=max_shrink_checks)
+        summary.repro = run_trial(shrunk_trial, factory).to_json()
+        break
+    return summary
+
+
+def replay_repro(repro: dict, mutation: Optional[str] = None) -> TrialResult:
+    """Re-run a shrunken repro JSON (the ``Repro`` field of a summary)."""
+    trial = trial_from_json(repro["Trial"] if "Trial" in repro else repro)
+    factory = MUTATIONS[mutation] if mutation else build_engine
+    return run_trial(trial, factory)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro conformance ...
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro conformance",
+        description="Differential privacy-conformance harness for the rule engine.",
+    )
+    parser.add_argument("--trials", type=int, default=200, help="number of seeded trials")
+    parser.add_argument("--seed", type=int, default=7, help="corpus seed")
+    parser.add_argument(
+        "--mutate",
+        choices=sorted(MUTATIONS),
+        default=None,
+        help="run against a deliberately broken engine (harness smoke test)",
+    )
+    parser.add_argument(
+        "--expect-divergence",
+        action="store_true",
+        help="invert the exit code: succeed only if a divergence was found",
+    )
+    parser.add_argument(
+        "--end-to-end-every",
+        type=int,
+        default=25,
+        help="run the real-service query-path check every N trials (0 = never)",
+    )
+    parser.add_argument("--no-shrink", action="store_true", help="skip shrinking")
+    parser.add_argument(
+        "--out", default=None, help="write the shrunken repro JSON to this file"
+    )
+    args = parser.parse_args(argv)
+
+    summary = run_conformance(
+        args.trials,
+        args.seed,
+        mutation=args.mutate,
+        end_to_end_every=args.end_to_end_every,
+        shrink=not args.no_shrink,
+    )
+
+    label = f" against mutated engine {args.mutate!r}" if args.mutate else ""
+    print(f"conformance: {summary.trials} trials, seed {summary.seed}{label}")
+    print(f"  engine-vs-oracle divergences: {summary.divergences}")
+    print(f"  invariant violations:         {summary.violations}")
+    print(f"  end-to-end query-path runs:   {summary.end_to_end_runs}")
+    if summary.ok:
+        print("  OK — engine conforms to the reference oracle")
+    else:
+        print(f"  FAIL at trial {summary.failed_index} — shrunken repro follows")
+        print(json.dumps(summary.repro, indent=2, sort_keys=True))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(summary.to_json(), fh, indent=2, sort_keys=True)
+            print(f"  repro written to {args.out}")
+
+    if args.expect_divergence:
+        return 0 if not summary.ok else 1
+    return 0 if summary.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

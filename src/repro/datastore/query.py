@@ -64,10 +64,17 @@ class DataQuery:
             obj["Limit"] = self.limit_segments
         return obj
 
+    _JSON_KEYS = frozenset(("Channels", "TimeRange", "Region", "Limit"))
+
     @classmethod
     def from_json(cls, obj: dict) -> "DataQuery":
         if not isinstance(obj, dict):
             raise QueryError(f"query must be a JSON object, got {type(obj).__name__}")
+        unknown = set(obj) - cls._JSON_KEYS
+        if unknown:
+            # A typo like "TimeRnage" must not silently widen the query to
+            # "everything" — reject it at the API boundary instead.
+            raise QueryError(f"unknown query key(s): {sorted(unknown)}")
         time_range = obj.get("TimeRange")
         region = obj.get("Region")
         limit = obj.get("Limit")

@@ -20,6 +20,7 @@ broker may read rule snapshots or set consumer group memberships.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.auth.accounts import AccountRegistry, ROLE_CONSUMER, ROLE_CONTRIBUTOR
@@ -45,6 +46,25 @@ from repro.util.geo import LabeledPlace
 from repro.util.idgen import DeterministicRng
 
 BROKER_PRINCIPAL = "__broker__"
+
+
+@dataclass(frozen=True)
+class ReleaseEvent:
+    """One engine-mediated release observed on a consumer-facing endpoint.
+
+    ``segments`` are the (possibly merged) wave segments the store served
+    to the engine; ``released`` is exactly what left the store.  Release
+    guards (see :attr:`DataStoreService.release_guards`) receive these so
+    external checkers — notably the conformance harness's query-containment
+    invariant — can verify the API never returns more than the engine
+    released, without re-implementing the query path.
+    """
+
+    endpoint: str
+    consumer: str
+    contributor: str
+    segments: tuple
+    released: tuple
 
 
 class DataStoreService:
@@ -74,6 +94,10 @@ class DataStoreService:
         self.roles: dict[str, str] = {}
         self.places: dict[str, dict] = {}  # contributor -> {label: LabeledPlace}
         self.memberships: dict[str, frozenset] = {}  # consumer -> groups/studies
+        #: Observers called with a :class:`ReleaseEvent` after every
+        #: engine-mediated release.  Guards must not mutate anything; a
+        #: guard raising aborts the request (fail closed, nothing leaks).
+        self.release_guards: list[Callable[[ReleaseEvent], None]] = []
         self._broker_push: Optional[Callable[[dict], None]] = None
         self.router = Router()
         self._mount_routes()
@@ -167,6 +191,21 @@ class DataStoreService:
             membership=self._membership,
             enforce_closure=self.enforce_closure,
         )
+
+    def _emit_release(
+        self, endpoint: str, consumer: str, contributor: str, segments, released
+    ) -> None:
+        if not self.release_guards:
+            return
+        event = ReleaseEvent(
+            endpoint=endpoint,
+            consumer=consumer,
+            contributor=contributor,
+            segments=tuple(segments),
+            released=tuple(released),
+        )
+        for guard in self.release_guards:
+            guard(event)
 
     # ------------------------------------------------------------------
     # Routes
@@ -269,6 +308,7 @@ class DataStoreService:
             }
         engine = self._engine_for(contributor)
         released = engine.evaluate(principal, result.segments)
+        self._emit_release("/api/query", principal, contributor, result.segments, released)
         self.audit.record_access(
             principal=principal,
             contributor=contributor,
@@ -378,6 +418,9 @@ class DataStoreService:
         else:
             engine = self._engine_for(contributor)
             released = engine.evaluate(principal, result.segments)
+            self._emit_release(
+                "/api/aggregate", principal, contributor, result.segments, released
+            )
             rows = aggregate_released(released, spec)
             raw = False
         self.audit.record_access(

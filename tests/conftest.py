@@ -16,6 +16,24 @@ from repro.sensors.simulator import SimulatorConfig, TraceSimulator
 from repro.util.geo import LatLon
 from repro.util.timeutil import timestamp_ms
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (long conformance sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--slow"):
+        return
+    skip = pytest.mark.skip(reason="slow test: pass --slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
+
+
 #: Monday, Feb 7 2011 UTC — the paper's own era; all fixture traces start here.
 MONDAY = timestamp_ms(2011, 2, 7)
 SATURDAY = timestamp_ms(2011, 2, 12)
