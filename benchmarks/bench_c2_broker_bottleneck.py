@@ -180,3 +180,7 @@ def test_c2_proxy_path_puts_broker_on_data_path(benchmark):
     assert direct_broker == 0
     # ~23 KB of blob plus envelope transits the broker on the proxy path.
     assert proxy_broker > 10_000
+
+    from helpers import emit_obs_snapshot
+
+    emit_obs_snapshot("c2_proxy_path", system)

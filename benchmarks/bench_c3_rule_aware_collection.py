@@ -109,6 +109,10 @@ def test_c3_gate_savings_and_zero_shareable_loss(benchmark):
     )
     assert off_payload == on_payload
 
+    from helpers import emit_obs_snapshot
+
+    emit_obs_snapshot("c3_gate_on", system_on)
+
     # Timed: the upload-gate decision (the per-packet hot path).
     packets = trace.all_packets_sorted()[:100]
     annotated = phone_on.annotator.annotate(packets)

@@ -160,6 +160,10 @@ def test_c5_broker_vs_no_broker_discovery(benchmark):
     assert broker_requests <= 2  # one search API call
     assert probe_bytes > 10 * broker_bytes
 
+    from helpers import emit_obs_snapshot
+
+    emit_obs_snapshot("c5_discovery", system)
+
     benchmark(
         lambda: bob.search(
             SearchCriteria(consumer="bob", channels=("ECG",), location_label="work")

@@ -71,6 +71,7 @@ def run_upload_scenario(resilient: bool, seed: int = SEED):
         "failures": phone.stats.upload_failures,
         "backlog": backlog,
         "schedule": plan.schedule_bytes(),
+        "obs_snapshot": system.obs.metrics.snapshot(),
     }
 
 
@@ -111,6 +112,16 @@ def test_c7_uploads_survive_drops_and_outage(benchmark):
     # ... while the baseline measurably loses data.
     assert baseline["lost"] > 0
     assert baseline["delivered"] < baseline["permitted"]
+
+    # The shared registry saw the same story: retries fired, requests were
+    # dropped, and the breaker opened at least once during the outage.
+    from conftest import report_metrics
+
+    report_metrics("c7_resilient_upload", resilient["obs_snapshot"])
+    counters = resilient["obs_snapshot"]["Counters"]
+    assert any(s["Value"] > 0 for s in counters.get("client_retry_attempts_total", []))
+    assert any(s["Value"] > 0 for s in counters.get("net_requests_dropped_total", []))
+
     benchmark.pedantic(lambda: run_upload_scenario(resilient=True), rounds=1, iterations=1)
 
 
@@ -194,7 +205,21 @@ def main(argv) -> int:
     print(f"\nsync: applied {sync['applied_down']} with a store down, "
           f"stale={sync['stale_during']}, recovered={sync['stats'].recovered}")
     print(f"schedule reproducible: {repro}")
-    if not (ok and repro and sync["stats"].recovered == 1):
+
+    # Observability view of the resilient run: retries, drops, and breaker
+    # state transitions must all be visible in the shared registry.
+    from repro.obs.report import render_metrics
+
+    print("\nresilience metrics (resilient agent run):")
+    print(render_metrics(resilient["obs_snapshot"], prefix="breaker_"))
+    print(render_metrics(resilient["obs_snapshot"], prefix="client_retry_"))
+    print(render_metrics(resilient["obs_snapshot"], prefix="net_requests_dropped_"))
+    counters = resilient["obs_snapshot"]["Counters"]
+    obs_ok = any(
+        s["Value"] > 0 for s in counters.get("client_retry_attempts_total", [])
+    ) and any(s["Value"] > 0 for s in counters.get("net_requests_dropped_total", []))
+
+    if not (ok and repro and obs_ok and sync["stats"].recovered == 1):
         print("FAULT SMOKE FAILED")
         return 1
     print("fault smoke ok")

@@ -12,12 +12,31 @@ contains every regenerated table alongside pytest-benchmark's timings.
 
 from __future__ import annotations
 
+import json
+import os
+
 _TABLES: list = []
+_METRICS: dict = {}
+
+#: Where the end-of-run metrics snapshot JSON lands (CI archives it).
+METRICS_OUT_ENV = "SENSORSAFE_METRICS_OUT"
+METRICS_OUT_DEFAULT = "obs-metrics-snapshot.json"
 
 
 def report_table(title: str, headers, rows, notes: str = "") -> None:
     """Register one result table for the end-of-run report."""
     _TABLES.append((title, [str(h) for h in headers], [[str(c) for c in r] for r in rows], notes))
+
+
+def report_metrics(name: str, snapshot: dict) -> None:
+    """Register one bench run's metrics snapshot for the JSON artifact.
+
+    ``snapshot`` is a :meth:`MetricsRegistry.snapshot` dump (all labels
+    already passed the redaction boundary at instrument creation).  The
+    terminal-summary hook writes every registered snapshot to one JSON
+    file — ``$SENSORSAFE_METRICS_OUT`` or ``obs-metrics-snapshot.json``.
+    """
+    _METRICS[str(name)] = snapshot
 
 
 def format_table(headers, rows) -> str:
@@ -32,7 +51,7 @@ def format_table(headers, rows) -> str:
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _TABLES:
+    if not _TABLES and not _METRICS:
         return
     tr = terminalreporter
     tr.section("SensorSafe reproduction results")
@@ -44,3 +63,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         if notes:
             tr.write_line(f"   note: {notes}")
     _TABLES.clear()
+    if _METRICS:
+        path = os.environ.get(METRICS_OUT_ENV, METRICS_OUT_DEFAULT)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_METRICS, handle, indent=2, sort_keys=True)
+        tr.write_line("")
+        tr.write_line(f"metrics snapshots ({len(_METRICS)} run(s)) written to {path}")
+        _METRICS.clear()

@@ -40,6 +40,21 @@ def alice_day(rate_scale: float = 0.1, seed: int = 3, smoker: bool = False):
     return persona, trace
 
 
+def emit_obs_snapshot(name: str, system_or_obs) -> dict:
+    """Register a system's (or hub's) metrics snapshot for the run artifact.
+
+    Accepts a :class:`SensorSafeSystem` or anything exposing a
+    ``metrics.snapshot()`` (an :class:`~repro.obs.Observability` hub);
+    returns the snapshot so callers can also assert on it.
+    """
+    from conftest import report_metrics
+
+    obs = getattr(system_or_obs, "obs", system_or_obs)
+    snapshot = obs.metrics.snapshot()
+    report_metrics(name, snapshot)
+    return snapshot
+
+
 def populated_system(seed: int = 7, *, upload: bool = True, rate_scale: float = 0.05):
     """A system with Alice (full rules), Bob (consumer), and data uploaded."""
     system = SensorSafeSystem(seed=seed)

@@ -34,6 +34,7 @@ from repro.rules import (
 )
 from repro.broker import SearchCriteria
 from repro.datastore.aggregate import AggregateRow, AggregateSpec
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.rules.recommend import RuleSuggestion, suggest_rules
 from repro.collection import PhoneConfig, SmartphoneAgent
 from repro.sensors import (
@@ -68,6 +69,9 @@ __all__ = [
     "SearchCriteria",
     "AggregateRow",
     "AggregateSpec",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
     "RuleSuggestion",
     "suggest_rules",
     "PhoneConfig",

@@ -6,6 +6,10 @@ exiting non-zero if any invariant fails — a post-install smoke test.
 
 ``python -m repro conformance [...]`` runs the privacy-conformance
 harness (see :mod:`repro.conformance.runner`) instead.
+
+``python -m repro obs report [...]`` runs the observability demo: an
+end-to-end scenario whose metrics snapshot and query trace tree are
+printed (and optionally dumped as JSON); see :mod:`repro.obs.report`.
 """
 
 from __future__ import annotations
@@ -87,8 +91,12 @@ def dispatch(argv: list) -> int:
         from repro.conformance.runner import main as conformance_main
 
         return conformance_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.report import main as obs_main
+
+        return obs_main(argv[1:])
     if argv:
-        print(f"unknown subcommand {argv[0]!r}; known: conformance", file=sys.stderr)
+        print(f"unknown subcommand {argv[0]!r}; known: conformance, obs", file=sys.stderr)
         return 2
     return main()
 

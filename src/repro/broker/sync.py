@@ -51,12 +51,28 @@ class SyncStats:
 class SyncManager:
     """Applies contributor profiles to the broker's registry."""
 
-    def __init__(self, registry: ContributorRegistry):
+    def __init__(self, registry: ContributorRegistry, *, obs=None):
         self.registry = registry
         self.stats = SyncStats()
         #: contributors whose most recent pull attempt failed; retried (and
         #: on success counted as recovered) by the next pull round.
         self._stale: set[str] = set()
+        # Observability (repro.obs.Observability): sync counters mirror
+        # SyncStats into the shared registry so /api/metrics sees them.
+        self.obs = obs if obs is not None and obs.enabled else None
+        if self.obs is not None:
+            m = self.obs.metrics
+            self._c_pulls = m.counter("sync_pulls_total")
+            self._c_pushes = m.counter("sync_pushes_total")
+            self._c_applied = m.counter("sync_profiles_applied_total")
+            self._c_stale = m.counter("sync_stale_dropped_total")
+            self._c_failures = m.counter("sync_pull_failures_total")
+            self._c_skipped = m.counter("sync_skipped_total")
+            self.obs.metrics.gauge(
+                "sync_stale_contributors", callback=lambda: len(self._stale)
+            )
+        else:
+            self._c_pulls = None
 
     def stale_contributors(self) -> list[str]:
         """Contributors whose broker-side rule mirror may be outdated."""
@@ -87,6 +103,9 @@ class SyncManager:
             self.stats.applied += 1
         else:
             self.stats.stale_dropped += 1
+        if self._c_pulls is not None:
+            (self._c_pulls if via_pull else self._c_pushes).inc()
+            (self._c_applied if applied else self._c_stale).inc()
         return applied
 
     def pull(self, client: HttpClient, contributor: str, store_key: str) -> bool:
@@ -118,10 +137,14 @@ class SyncManager:
             key = store_keys.get(record.host)
             if key is None:
                 self.stats.skipped_no_key += 1
+                if self._c_pulls is not None:
+                    self._c_skipped.inc()
                 continue
             if record.host in broken_hosts:
                 self.stats.skipped_broken_host += 1
                 self._stale.add(name)
+                if self._c_pulls is not None:
+                    self._c_skipped.inc()
                 continue
             try:
                 fresh = self.pull(client, name, key)
@@ -132,6 +155,8 @@ class SyncManager:
                 )
                 broken_hosts.add(record.host)
                 self._stale.add(name)
+                if self._c_pulls is not None:
+                    self._c_failures.inc()
                 continue
             if name in self._stale:
                 self._stale.discard(name)

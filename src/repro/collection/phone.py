@@ -110,6 +110,22 @@ class SmartphoneAgent:
         self.places: dict = {}
         self.stats = CollectionStats()
         self._offline_queue: list[SensorPacket] = []
+        # Observability: queue depth as a gauge, overflow drops as a
+        # counter, both labelled by contributor (a name, never a value).
+        # A clientless agent (offline unit tests) has no hub to report to.
+        obs = client.network.obs if client is not None else None
+        self.obs = obs if obs is not None and obs.enabled else None
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "phone_offline_queue_depth",
+                callback=lambda: len(self._offline_queue),
+                contributor=contributor,
+            )
+            self._c_dropped = self.obs.metrics.counter(
+                "phone_packets_dropped_total", contributor=contributor
+            )
+        else:
+            self._c_dropped = None
         self._flush_pending = False
         self._exact_engine: Optional[RuleEngine] = None
         self._optimistic_engine: Optional[RuleEngine] = None
@@ -329,6 +345,8 @@ class SmartphoneAgent:
         if overflow > 0:
             del self._offline_queue[:overflow]
             self.stats.packets_lost += overflow
+            if self._c_dropped is not None:
+                self._c_dropped.inc(overflow)
 
     def _try_flush(self) -> None:
         if not self._flush_pending:

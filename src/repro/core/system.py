@@ -40,6 +40,9 @@ class SensorSafeSystem:
         self.eager_sync = eager_sync
         self.clock = SimClock()
         self.network = Network(clock=self.clock, fault_plan=fault_plan)
+        #: deployment-wide observability hub (metrics registry + tracer);
+        #: every host, client, and phone on this network shares it.
+        self.obs = self.network.obs
         #: default retry policy handed to every client this system creates;
         #: on a fault-free network it never fires, so resilience is free.
         self.retry = retry if retry is not None else RetryPolicy()

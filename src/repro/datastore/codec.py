@@ -14,6 +14,7 @@ and for the storage-size comparison in benchmark C1.
 from __future__ import annotations
 
 import base64
+import time
 
 import numpy as np
 
@@ -21,6 +22,28 @@ from repro.exceptions import SchemaError
 
 ENCODING_B64 = "b64le-f64"
 ENCODING_PLAIN = "plain"
+
+
+class CodecStats:
+    """Process-wide decode accounting (codec functions have no instance).
+
+    The observability layer surfaces these through gauge callbacks
+    (``codec_decode_calls`` / ``codec_decode_us_total``); they count only
+    calls and time — never the decoded values themselves.
+    """
+
+    __slots__ = ("decode_calls", "decode_seconds")
+
+    def __init__(self) -> None:
+        self.decode_calls = 0
+        self.decode_seconds = 0.0
+
+    def reset(self) -> None:
+        self.decode_calls = 0
+        self.decode_seconds = 0.0
+
+
+DECODE_STATS = CodecStats()
 
 
 def encode_values(values: np.ndarray, encoding: str = ENCODING_B64) -> dict:
@@ -49,6 +72,15 @@ def encode_values(values: np.ndarray, encoding: str = ENCODING_B64) -> dict:
 
 def decode_values(obj: dict) -> np.ndarray:
     """Decode a blob JSON object back into a (n_samples, n_channels) array."""
+    started = time.perf_counter()
+    try:
+        return _decode_values(obj)
+    finally:
+        DECODE_STATS.decode_calls += 1
+        DECODE_STATS.decode_seconds += time.perf_counter() - started
+
+
+def _decode_values(obj: dict) -> np.ndarray:
     try:
         encoding = obj["Encoding"]
         n_samples = int(obj["Samples"])

@@ -44,8 +44,25 @@ class SegmentStore:
         merge_policy: Optional[MergePolicy] = None,
         directory: Optional[str] = None,
         grid_cell_degrees: float = 0.01,
+        obs=None,
     ):
         self.name = name
+        # Observability (repro.obs.Observability); instruments bound once.
+        self.obs = obs if obs is not None and obs.enabled else None
+        if self.obs is not None:
+            from repro.datastore.codec import DECODE_STATS
+
+            m = self.obs.metrics
+            self._c_scanned = m.counter("store_segments_scanned_total", store=name)
+            self._h_query = m.histogram("store_query_us", store=name)
+            m.gauge("codec_decode_calls", callback=lambda: DECODE_STATS.decode_calls)
+            m.gauge(
+                "codec_decode_us_total",
+                callback=lambda: DECODE_STATS.decode_seconds * 1e6,
+            )
+        else:
+            self._c_scanned = None
+            self._h_query = None
         self.db = Database(name, directory=directory)
         self._segments = self.db.create_table(
             "segments",
@@ -146,6 +163,20 @@ class SegmentStore:
         per-segment test) narrows by region, then segments are projected to
         the requested channels and sliced to the time range.
         """
+        if self.obs is None:
+            return self._query(contributor, query)
+        started = time.perf_counter()
+        with self.obs.tracer.start_span("store.scan", store=self.name) as span:
+            result = self._query(contributor, query)
+            span.set_attributes(
+                segments_scanned=result.scanned_segments,
+                segments_returned=len(result.segments),
+            )
+        self._h_query.observe((time.perf_counter() - started) * 1e6)
+        self._c_scanned.inc(result.scanned_segments)
+        return result
+
+    def _query(self, contributor: str, query: DataQuery) -> QueryResult:
         wanted_channels = query.expanded_channels()  # validates names
         candidate_ids = self._candidates(contributor, query, wanted_channels)
         result = QueryResult()

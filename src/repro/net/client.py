@@ -101,45 +101,76 @@ class HttpClient:
     # Resilient send loop
     # ------------------------------------------------------------------
 
+    def _breaker_for(self, host: str) -> CircuitBreaker:
+        breaker = self.breakers.get(host)
+        if breaker is None:
+            metrics = self.network.obs.metrics
+
+            def observe(old_state: str, new_state: str, _host: str = host) -> None:
+                metrics.counter(
+                    "breaker_transitions_total", host=_host, to_state=new_state
+                ).inc()
+
+            breaker = self.breakers[host] = CircuitBreaker(on_state_change=observe)
+        return breaker
+
+    def _request(self, method: str, url: str, body: Optional[dict]) -> Response:
+        """One network delivery, carrying the active trace context."""
+        headers = self.network.obs.tracer.inject({})
+        return self.network.request(
+            method, url, body, client=self.name, headers=headers
+        )
+
     def _send(
         self, method: str, url: str, body: Optional[dict], *, retry: Optional[RetryPolicy]
     ) -> Response:
         policy = retry if retry is not None else self.retry
-        if policy is None:
-            return self.network.request(method, url, body, client=self.name)
         _, host, path = Network.parse_url(url)
-        breaker = self.breakers.setdefault(host, CircuitBreaker())
-        clock = self.network.clock
-        last_error: Optional[NetworkUnavailableError] = None
-        last_response: Optional[Response] = None
-        for attempt in range(policy.max_attempts):
-            if attempt:
-                clock.sleep(policy.delay_ms(attempt, key=f"{self.name}|{host}{path}"))
-            if not breaker.allow(clock.now_ms()):
-                raise CircuitOpenError(
-                    f"circuit open for {host!r}; call shed without sending"
-                )
-            try:
-                response = self.network.request(method, url, body, client=self.name)
-            except NetworkUnavailableError as exc:
-                breaker.record_failure(clock.now_ms())
-                last_error, last_response = exc, None
-                continue
-            if response.ok or not policy.should_retry_response(response):
-                # Delivered — success, or a definitive (4xx) answer that a
-                # resend could never change.  Only 5xx count against the
-                # breaker's failure streak.
-                if response.ok:
-                    breaker.record_success()
-                elif response.status >= 500:
-                    breaker.record_failure(clock.now_ms())
+        obs = self.network.obs
+        with obs.tracer.start_span(
+            "client.send", method=method, host=host, peer=self.name
+        ) as span:
+            if policy is None:
+                response = self._request(method, url, body)
+                span.set_attribute("status", response.status)
                 return response
-            breaker.record_failure(clock.now_ms())
-            last_error, last_response = None, response
-        if last_response is not None:
-            return last_response  # retries exhausted on a 5xx: surface it
-        assert last_error is not None
-        raise last_error
+            breaker = self._breaker_for(host)
+            clock = self.network.clock
+            last_error: Optional[NetworkUnavailableError] = None
+            last_response: Optional[Response] = None
+            for attempt in range(policy.max_attempts):
+                if attempt:
+                    obs.metrics.counter("client_retry_attempts_total", host=host).inc()
+                    clock.sleep(policy.delay_ms(attempt, key=f"{self.name}|{host}{path}"))
+                if not breaker.allow(clock.now_ms()):
+                    obs.metrics.counter("breaker_calls_shed_total", host=host).inc()
+                    raise CircuitOpenError(
+                        f"circuit open for {host!r}; call shed without sending"
+                    )
+                try:
+                    response = self._request(method, url, body)
+                except NetworkUnavailableError as exc:
+                    breaker.record_failure(clock.now_ms())
+                    last_error, last_response = exc, None
+                    continue
+                if response.ok or not policy.should_retry_response(response):
+                    # Delivered — success, or a definitive (4xx) answer that a
+                    # resend could never change.  Only 5xx count against the
+                    # breaker's failure streak.
+                    if response.ok:
+                        breaker.record_success()
+                    elif response.status >= 500:
+                        breaker.record_failure(clock.now_ms())
+                    span.set_attributes(status=response.status, attempts=attempt + 1)
+                    return response
+                breaker.record_failure(clock.now_ms())
+                last_error, last_response = None, response
+            span.set_attribute("attempts", policy.max_attempts)
+            if last_response is not None:
+                span.set_attribute("status", last_response.status)
+                return last_response  # retries exhausted on a 5xx: surface it
+            assert last_error is not None
+            raise last_error
 
     @staticmethod
     def _unwrap(response: Response) -> dict:

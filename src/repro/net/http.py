@@ -28,6 +28,7 @@ class Request:
     body: dict = field(default_factory=dict)
     secure: bool = True  # https vs http
     client: str = "anonymous"  # network name of the caller, for metrics
+    headers: dict = field(default_factory=dict)  # transport metadata (trace context)
 
     @property
     def api_key(self) -> Optional[str]:
@@ -99,6 +100,23 @@ class Router:
             if matched:
                 return handler, params
         return None, {}
+
+    def route_pattern(self, method: str, path: str) -> Optional[str]:
+        """The registered pattern a path resolves to, e.g. ``/web/rules/{contributor}``.
+
+        Used as the low-cardinality ``route`` metric label: path *parameters*
+        (contributor names) collapse into their placeholder.
+        """
+        segments = self._split(path)
+        for route_method, pattern, _handler in self._routes:
+            if route_method != method or len(pattern) != len(segments):
+                continue
+            if all(
+                pat == seg or (pat.startswith("{") and pat.endswith("}"))
+                for pat, seg in zip(pattern, segments)
+            ):
+                return "/" + "/".join(pattern)
+        return None
 
     def dispatch(self, request: Request) -> Response:
         """Route and invoke; translate errors into status codes."""

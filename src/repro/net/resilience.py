@@ -74,17 +74,35 @@ NO_RETRY = RetryPolicy(max_attempts=1)
 
 
 class CircuitBreaker:
-    """Failure-counting breaker for one host, on a simulated clock."""
+    """Failure-counting breaker for one host, on a simulated clock.
 
-    def __init__(self, failure_threshold: int = 5, reset_timeout_ms: int = 30_000):
+    ``on_state_change(old_state, new_state)`` — when provided — fires on
+    every transition; :class:`~repro.net.client.HttpClient` wires it to
+    the deployment's metrics registry so breaker trips show up in
+    ``/api/metrics`` and the obs report.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_ms: int = 30_000,
+        *,
+        on_state_change=None,
+    ):
         self.failure_threshold = failure_threshold
         self.reset_timeout_ms = reset_timeout_ms
         self.state = CLOSED
         self.failures = 0  # consecutive failures while closed
         self.opened_at_ms = 0
+        self.on_state_change = on_state_change
         #: lifetime counters, for benchmark reporting
         self.times_opened = 0
         self.calls_shed = 0
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self.state = self.state, new_state
+        if old_state != new_state and self.on_state_change is not None:
+            self.on_state_change(old_state, new_state)
 
     def allow(self, now_ms: int) -> bool:
         """May a call proceed now?  Transitions open → half-open on timeout."""
@@ -92,7 +110,7 @@ class CircuitBreaker:
             return True
         if self.state == OPEN:
             if now_ms - self.opened_at_ms >= self.reset_timeout_ms:
-                self.state = HALF_OPEN
+                self._transition(HALF_OPEN)
                 return True  # the single probe
             self.calls_shed += 1
             return False
@@ -103,7 +121,7 @@ class CircuitBreaker:
         return False
 
     def record_success(self) -> None:
-        self.state = CLOSED
+        self._transition(CLOSED)
         self.failures = 0
 
     def record_failure(self, now_ms: int) -> None:
@@ -115,7 +133,7 @@ class CircuitBreaker:
             self._open(now_ms)
 
     def _open(self, now_ms: int) -> None:
-        self.state = OPEN
+        self._transition(OPEN)
         self.opened_at_ms = now_ms
         self.times_opened += 1
         self.failures = 0

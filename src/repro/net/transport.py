@@ -1,4 +1,4 @@
-"""The simulated network: named hosts, metrics, and the TLS invariant.
+"""The simulated network: named hosts, metrics, tracing, and TLS invariant.
 
 Hosts mount a :class:`~repro.net.http.Router` under a name ("broker",
 "alice-store").  :meth:`Network.request` parses a URL, serializes the body
@@ -11,32 +11,88 @@ The byte accounting is the instrument for benchmark C2: the paper claims
 directly transferred from each remote data store to data consumers" — with
 these counters we can show broker traffic stays flat while store traffic
 scales with data volume.
+
+Observability: the network owns the deployment's
+:class:`~repro.obs.Observability` hub.  Every delivered request increments
+per-host, per-route, and per-status-class counters in the shared metrics
+registry (:class:`HostMetrics` is now a back-compat view over those
+counters) and runs inside a ``net.request`` server span that joins the
+caller's trace via the ``Traceparent`` request header.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import InsecureTransportError, TransportError
 from repro.net.faults import FaultPlan, SimClock
 from repro.net.http import Request, Response, Router
+from repro.obs import Observability
 from repro.util import jsonutil
 
 _URL_RE = re.compile(r"^(https?)://([A-Za-z0-9._-]+)(/.*)?$")
 
+_STATUS_CLASSES = ("1xx", "2xx", "3xx", "4xx", "5xx")
 
-@dataclass
+
 class HostMetrics:
-    """Traffic counters for one host."""
+    """Traffic counters for one host — a view over the metrics registry.
 
-    requests_in: int = 0
-    bytes_in: int = 0
-    bytes_out: int = 0
+    Keeps the original attribute surface (``requests_in``, ``bytes_in``,
+    ``bytes_out``, ``total_bytes()``) that benchmarks C1/C2/C5 and the
+    examples read, while the actual counts live in the shared
+    :class:`~repro.obs.metrics.MetricsRegistry` where ``/api/metrics``
+    and ``python -m repro obs report`` can see them.
+    """
+
+    def __init__(self, registry, host: str):
+        self._registry = registry
+        self.host = host
+        self._requests = registry.counter("net_requests_total", host=host)
+        self._bytes_in = registry.counter("net_bytes_in_total", host=host)
+        self._bytes_out = registry.counter("net_bytes_out_total", host=host)
+        self._dropped = registry.counter("net_requests_dropped_total", host=host)
+        self._status = {
+            cls: registry.counter("net_responses_total", host=host, status_class=cls)
+            for cls in _STATUS_CLASSES
+        }
+
+    @property
+    def requests_in(self) -> int:
+        return self._requests.value
+
+    @property
+    def bytes_in(self) -> int:
+        return self._bytes_in.value
+
+    @property
+    def bytes_out(self) -> int:
+        return self._bytes_out.value
+
+    @property
+    def requests_dropped(self) -> int:
+        """Requests a fault plan dropped before they reached this host."""
+        return self._dropped.value
 
     def total_bytes(self) -> int:
         return self.bytes_in + self.bytes_out
+
+    def status_class(self, cls: str) -> int:
+        """Responses in one status class ("2xx", "4xx", "5xx", ...)."""
+        counter = self._status.get(cls)
+        return counter.value if counter is not None else 0
+
+    @property
+    def status_classes(self) -> dict:
+        """Non-zero response counts by status class."""
+        return {cls: c.value for cls, c in self._status.items() if c.value}
+
+    def reset(self) -> None:
+        for counter in (self._requests, self._bytes_in, self._bytes_out, self._dropped):
+            counter.reset()
+        for counter in self._status.values():
+            counter.reset()
 
 
 class Network:
@@ -46,11 +102,13 @@ class Network:
         self,
         clock: Optional[SimClock] = None,
         fault_plan: Optional[FaultPlan] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._hosts: dict[str, Router] = {}
-        self.metrics: dict[str, HostMetrics] = {}
         self.clock = clock or SimClock()
         self.faults = fault_plan
+        self.obs = obs if obs is not None else Observability(clock=self.clock)
+        self.metrics: dict[str, HostMetrics] = {}
 
     def install_faults(self, plan: Optional[FaultPlan]) -> None:
         """Install (or with ``None`` remove) a fault-injection plan."""
@@ -60,7 +118,7 @@ class Network:
         if name in self._hosts:
             raise TransportError(f"host name already registered: {name!r}")
         self._hosts[name] = router
-        self.metrics[name] = HostMetrics()
+        self.metrics[name] = HostMetrics(self.obs.metrics, name)
 
     def hosts(self) -> list[str]:
         return sorted(self._hosts)
@@ -72,8 +130,8 @@ class Network:
             raise TransportError(f"unknown host: {name!r}") from None
 
     def reset_metrics(self) -> None:
-        for name in self.metrics:
-            self.metrics[name] = HostMetrics()
+        """Zero the traffic counters (other instrument families survive)."""
+        self.obs.metrics.reset("net_")
 
     @staticmethod
     def parse_url(url: str) -> tuple:
@@ -91,6 +149,7 @@ class Network:
         body: Optional[dict] = None,
         *,
         client: str = "anonymous",
+        headers: Optional[dict] = None,
     ) -> Response:
         """Deliver one request and return the response.
 
@@ -113,26 +172,62 @@ class Network:
         router = self._hosts.get(host)
         if router is None:
             raise TransportError(f"no such host: {host!r}")
-        injected: Optional[Response] = None
-        if self.faults is not None:
-            # May raise NetworkUnavailableError (drop/partition/outage) —
-            # the request never reaches the host, so nothing is counted.
-            injected = self.faults.apply(method, host, path, client, self.clock)
-        payload = jsonutil.canonical_dumps(body)
-        # The request has arrived: count it (and its payload) before
-        # dispatch so traffic accounting stays honest when a handler — or
-        # an injected fault — errors out.
+        headers = dict(headers or {})
+        route = router.route_pattern(method, path) or path
         metrics = self.metrics[host]
-        metrics.requests_in += 1
-        metrics.bytes_in += len(payload)
-        if injected is not None:
-            response = injected
-        else:
-            request = Request(
-                method=method, host=host, path=path, body=body, secure=secure, client=client
-            )
-            response = router.dispatch(request)
-        metrics.bytes_out += len(jsonutil.canonical_dumps(response.body))
+        tracer = self.obs.tracer
+        with tracer.start_span(
+            "net.request",
+            remote_parent=tracer.extract(headers),
+            method=method,
+            host=host,
+            route=route,
+            peer=client,
+        ) as span:
+            injected: Optional[Response] = None
+            if self.faults is not None:
+                # May raise NetworkUnavailableError (drop/partition/outage) —
+                # the request never reaches the host, so nothing is counted
+                # against its traffic (only the drop counter moves).
+                try:
+                    injected = self.faults.apply(method, host, path, client, self.clock)
+                except Exception:
+                    metrics._dropped.inc()
+                    raise
+            payload = jsonutil.canonical_dumps(body)
+            # The request has arrived: count it (and its payload) before
+            # dispatch so traffic accounting stays honest when a handler — or
+            # an injected fault — errors out.
+            metrics._requests.inc()
+            metrics._bytes_in.inc(len(payload))
+            if injected is not None:
+                response = injected
+                span.set_attribute("fault_injected", True)
+            else:
+                request = Request(
+                    method=method,
+                    host=host,
+                    path=path,
+                    body=body,
+                    secure=secure,
+                    client=client,
+                    headers=headers,
+                )
+                response = router.dispatch(request)
+            metrics._bytes_out.inc(len(jsonutil.canonical_dumps(response.body)))
+            status_class = f"{response.status // 100}xx"
+            counter = metrics._status.get(status_class)
+            if counter is not None:
+                counter.inc()
+            self.obs.metrics.counter(
+                "net_route_requests_total",
+                host=host,
+                route=route,
+                status_class=status_class,
+            ).inc()
+            span.set_attribute("status", response.status)
+            if response.status >= 500:
+                span.set_error(f"status {response.status}")
         return response
 
 

@@ -1,0 +1,69 @@
+"""Observability: metrics, traces, and the telemetry redaction boundary.
+
+The :class:`Observability` hub bundles one
+:class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.tracing.Tracer` for a deployment.  It hangs off the
+:class:`~repro.net.transport.Network` (every component already shares the
+network), so stores, the broker, phones, and clients all report into the
+same registry and the same trace store.
+
+Telemetry is privacy-safe by construction: every span attribute and every
+metric label passes the redaction boundary in :mod:`repro.obs.redaction`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.redaction import (
+    REDACTED,
+    check_label,
+    redact_attribute,
+    redact_attributes,
+)
+from repro.obs.tracing import TRACEPARENT, Span, Tracer
+
+
+class Observability:
+    """Metrics + tracing for one deployment."""
+
+    def __init__(self, clock=None, *, enabled: bool = True):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock, enabled=enabled)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable metrics dump (traces via ``tracer.export_json``)."""
+        return self.metrics.snapshot()
+
+    def reset(self) -> None:
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+def noop_observability() -> Observability:
+    """A disabled hub: spans are no-ops, the registry stays empty-ish.
+
+    Handed to components running outside any deployment (bare engines in
+    unit tests, the conformance oracle) so instrumentation code never has
+    to null-check.
+    """
+    return Observability(enabled=False)
+
+
+__all__ = [
+    "Observability",
+    "noop_observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "TRACEPARENT",
+    "REDACTED",
+    "check_label",
+    "redact_attribute",
+    "redact_attributes",
+]

@@ -1,0 +1,230 @@
+"""Metrics registry: counters, gauges, and percentile histograms.
+
+One :class:`MetricsRegistry` serves a whole simulated deployment (it hangs
+off the :class:`~repro.net.transport.Network`, which every component
+already shares).  Instruments are identified by a name plus a small set of
+labels; lookups are get-or-create, so callers can bind an instrument once
+in their constructor and pay only an attribute access plus an integer add
+on the hot path.
+
+Privacy: every label passes the redaction boundary's
+:func:`~repro.obs.redaction.check_label` at creation time — a metric
+label can never carry a sample value, a coordinate, or a context label,
+and an attempt to create one raises immediately.
+
+Histograms keep a bounded sample buffer (first ``max_samples``
+observations, plus exact count/sum/min/max for everything) and report
+p50/p95/p99 from it; with the deterministic simulated clock driving every
+workload, the early prefix is as representative as any reservoir and the
+snapshot stays reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.redaction import check_label
+
+
+def _series_key(name: str, labels: dict) -> tuple:
+    return (name,) + tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def to_json(self) -> dict:
+        return {"Labels": dict(self.labels), "Value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; optionally computed by a callback."""
+
+    __slots__ = ("name", "labels", "_value", "callback")
+
+    def __init__(self, name: str, labels: dict, callback: Optional[Callable] = None):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self.callback = callback
+
+    @property
+    def value(self) -> float:
+        if self.callback is not None:
+            return float(self.callback())
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def to_json(self) -> dict:
+        return {"Labels": dict(self.labels), "Value": self.value}
+
+
+class Histogram:
+    """Observations with exact count/sum/min/max and sampled percentiles."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_samples", "_max_samples")
+
+    def __init__(self, name: str, labels: dict, max_samples: int = 4096):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list = []
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (q in [0, 100]) over the sample buffer."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples = []
+
+    def to_json(self) -> dict:
+        return {
+            "Labels": dict(self.labels),
+            "Count": self.count,
+            "Sum": self.total,
+            "Min": self.min if self.count else 0.0,
+            "Max": self.max if self.count else 0.0,
+            "Mean": self.mean,
+            "P50": self.percentile(50),
+            "P95": self.percentile(95),
+            "P99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one deployment, keyed by (name, labels)."""
+
+    def __init__(self):
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- instrument factories (get-or-create) ---------------------------
+
+    @staticmethod
+    def _clean_labels(labels: dict) -> dict:
+        return {str(k): check_label(str(k), v) for k, v in labels.items()}
+
+    def counter(self, name: str, **labels) -> Counter:
+        clean = self._clean_labels(labels)
+        key = _series_key(name, clean)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, clean)
+        return instrument
+
+    def gauge(self, name: str, callback: Optional[Callable] = None, **labels) -> Gauge:
+        clean = self._clean_labels(labels)
+        key = _series_key(name, clean)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, clean, callback)
+        elif callback is not None and instrument.callback is None:
+            instrument.callback = callback
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        clean = self._clean_labels(labels)
+        key = _series_key(name, clean)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, clean)
+        return instrument
+
+    # -- reads ----------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> int:
+        """Current value, 0 if the series was never created."""
+        instrument = self._counters.get(_series_key(name, self._clean_labels(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def sum_counter(self, name: str, **labels) -> int:
+        """Sum over every series of ``name`` whose labels contain ``labels``."""
+        wanted = self._clean_labels(labels).items()
+        return sum(
+            c.value
+            for c in self._counters.values()
+            if c.name == name and wanted <= c.labels.items()
+        )
+
+    def series(self, name: str) -> list:
+        """Every instrument (any kind) registered under ``name``."""
+        out: list = []
+        for table in (self._counters, self._gauges, self._histograms):
+            out.extend(i for i in table.values() if i.name == name)
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every instrument, sorted for diffing."""
+
+        def dump(table: dict) -> dict:
+            grouped: dict[str, list] = {}
+            for key in sorted(table, key=repr):
+                instrument = table[key]
+                grouped.setdefault(instrument.name, []).append(instrument.to_json())
+            return grouped
+
+        return {
+            "Counters": dump(self._counters),
+            "Gauges": dump(self._gauges),
+            "Histograms": dump(self._histograms),
+        }
+
+    def reset(self, name_prefix: str = "") -> None:
+        """Zero instruments whose name starts with ``name_prefix``."""
+        for table in (self._counters, self._gauges, self._histograms):
+            for instrument in table.values():
+                if instrument.name.startswith(name_prefix):
+                    instrument.reset()

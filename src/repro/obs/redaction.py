@@ -1,0 +1,162 @@
+"""The telemetry redaction boundary.
+
+Telemetry must itself honor the paper's privacy rules: spans and metrics
+may carry *counts, timings, and names* (rule ids, hosts, routes, channel
+and context-category names) — never sensor sample values, raw coordinates,
+or context labels finer than the released abstraction level.  Every span
+attribute and every metric label flows through this module; nothing else
+in the codebase decides what telemetry may carry.
+
+The policy is deny-by-default over value *shapes*, not just key names:
+
+* numeric arrays, byte blobs, dicts and any other container that could
+  smuggle a waveform are redacted outright;
+* floats are redacted unless the attribute key declares itself a timing
+  (``*_ms``, ``*_us``, ``duration``, ``latency``, ...) — raw GPS
+  coordinates are floats, evaluation latencies are too, and the key is
+  the only trustworthy discriminator;
+* strings that parse as numbers are redacted (a coordinate serialized as
+  ``"34.0689"`` must not survive a type laundering);
+* keys naming known-sensitive payloads (``values``, ``sample``, ``lat``,
+  ``location``, ``label``, ...) are redacted regardless of value type —
+  context *labels* are finer than any abstraction telemetry should see,
+  while context *category* names remain fine.
+
+Metric labels are stricter still: an unsafe label raises
+:class:`~repro.exceptions.SensorSafeError` at instrument-creation time
+instead of being silently scrubbed, because label cardinality is chosen
+by the programmer, not by data.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Mapping
+
+from repro.exceptions import SensorSafeError
+
+#: Replacement marker for anything the boundary strips.
+REDACTED = "[redacted]"
+
+#: Substrings that mark an attribute key as carrying sensitive payloads.
+#: Matched case-insensitively against the whole key.
+_DENY_KEY_TOKENS = (
+    "value",
+    "sample",
+    "blob",
+    "waveform",
+    "coord",
+    "lat",
+    "lon",
+    "gps",
+    "location",
+    "place",
+    "label",  # context labels: finer than any released abstraction
+    "context_level",
+)
+
+#: Key suffixes that mark a float as a timing/size measurement, not a datum.
+_TIMING_KEY_SUFFIXES = ("_ms", "_us", "_s", "_seconds", "_bytes", "_rate")
+
+#: Key substrings with the same meaning ("latency" deliberately shadows
+#: the "lat" deny token).
+_TIMING_KEY_WORDS = ("duration", "latency", "elapsed", "backoff")
+
+_MAX_STRING = 200
+_MAX_LABEL = 80
+
+
+# Attribute/label keys are authored identifiers, not data, so their
+# cardinality is tiny and the verdicts are cacheable; this keeps the
+# redaction choke point off the rule-engine hot path (span attributes are
+# set on every evaluation).
+@lru_cache(maxsize=4096)
+def _is_timing_key(key: str) -> bool:
+    lowered = key.lower()
+    return lowered.endswith(_TIMING_KEY_SUFFIXES) or any(
+        word in lowered for word in _TIMING_KEY_WORDS
+    )
+
+
+@lru_cache(maxsize=4096)
+def _key_denied(key: str) -> bool:
+    # Timing words are removed before the deny scan (so "latency" does not
+    # trip the "lat" token), but a deny token elsewhere in the key always
+    # wins — "gps_rate" stays denied even though "_rate" is a timing suffix.
+    lowered = key.lower()
+    for word in _TIMING_KEY_WORDS:
+        lowered = lowered.replace(word, "")
+    return any(tok in lowered for tok in _DENY_KEY_TOKENS)
+
+
+def _numeric_string(text: str) -> bool:
+    try:
+        float(text)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def redact_attribute(key: str, value: object) -> object:
+    """The choke point: one attribute in, a telemetry-safe attribute out.
+
+    Returns the value unchanged when it is safe to export, or
+    :data:`REDACTED` when it is not.  Every path that attaches data to a
+    span calls this; export re-applies it for defense in depth.
+    """
+    if _key_denied(str(key)):
+        return REDACTED
+    if value is None or isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value if _is_timing_key(str(key)) else REDACTED
+    if isinstance(value, str):
+        if len(value) > _MAX_STRING or _numeric_string(value):
+            return REDACTED
+        return value
+    if isinstance(value, (list, tuple)):
+        # Name lists (channels, rule ids, context categories) are fine;
+        # anything containing a non-string (a number!) is not.
+        if all(isinstance(item, str) for item in value):
+            items = [redact_attribute(key, item) for item in value]
+            return [REDACTED if item == REDACTED else item for item in items]
+        return REDACTED
+    # dicts, ndarrays, bytes, dataclasses, anything else: no.
+    return REDACTED
+
+
+def redact_attributes(attributes: Mapping) -> dict:
+    """Redact a whole attribute mapping (applied again at export time)."""
+    return {str(k): redact_attribute(str(k), v) for k, v in attributes.items()}
+
+
+def check_label(key: str, value: object) -> str:
+    """Validate one metric label; returns the canonical string form.
+
+    Raises :class:`SensorSafeError` on anything that could carry a datum:
+    floats, numeric strings, containers, over-long strings, or keys from
+    the deny list.  Metrics fail fast because their labels are authored,
+    not data-driven.
+    """
+    if _key_denied(str(key)):
+        raise SensorSafeError(
+            f"metric label key {key!r} names a sensitive payload; "
+            "telemetry may carry names and counts only"
+        )
+    if isinstance(value, bool) or isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        if len(value) > _MAX_LABEL:
+            raise SensorSafeError(f"metric label {key}={value[:20]!r}... too long")
+        if _numeric_string(value):
+            raise SensorSafeError(
+                f"metric label {key}={value!r} is numeric; a coordinate or "
+                "sample value must never become a label"
+            )
+        return value
+    raise SensorSafeError(
+        f"metric label {key}={value!r} has type {type(value).__name__}; "
+        "only names, ints, and bools are allowed"
+    )

@@ -1,0 +1,187 @@
+"""Human-readable and JSON reports over the observability hub.
+
+``python -m repro obs report`` runs a miniature end-to-end deployment —
+phone upload, then a rule-gated consumer query — and prints the metrics
+snapshot plus the query's trace tree, ending with the trace id stamped on
+the matching audit record.  ``--faults`` breaks the upload path first so
+retries, offline buffering, and breaker state transitions show up in the
+counters.  ``--metrics-out`` / ``--traces-out`` dump the same data as
+JSON for machines (CI archives the metrics snapshot as an artifact).
+
+The renderers are plain functions over the snapshot/tracer shapes, so
+benchmarks and the C7 fault smoke reuse them on their own systems.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.1f}"
+    return f"{int(value):,}"
+
+
+def render_metrics(snapshot: dict, *, prefix: str = "") -> str:
+    """Text rendering of a :meth:`MetricsRegistry.snapshot` dump.
+
+    ``prefix`` filters instrument names (e.g. ``"net_"``); counters and
+    gauges print one line per series, histograms print the percentile
+    summary.  Zero-count histograms are skipped — an instrument that was
+    bound but never fired is noise, not signal.
+    """
+    lines: list[str] = []
+    for kind in ("Counters", "Gauges"):
+        table = snapshot.get(kind, {})
+        for name in sorted(table):
+            if not name.startswith(prefix):
+                continue
+            for series in table[name]:
+                lines.append(
+                    f"  {name}{_fmt_labels(series['Labels'])} = "
+                    f"{_fmt_value(series['Value'])}"
+                )
+    for name in sorted(snapshot.get("Histograms", {})):
+        if not name.startswith(prefix):
+            continue
+        for series in snapshot["Histograms"][name]:
+            if not series["Count"]:
+                continue
+            lines.append(
+                f"  {name}{_fmt_labels(series['Labels'])}: "
+                f"count={series['Count']} mean={series['Mean']:,.1f} "
+                f"p50={series['P50']:,.1f} p95={series['P95']:,.1f} "
+                f"p99={series['P99']:,.1f}"
+            )
+    return "\n".join(lines) if lines else "  (no instruments)"
+
+
+def render_trace(tracer, trace_id: str) -> str:
+    """Indented tree of one trace: name, status, durations, attributes."""
+    rows = tracer.trace_tree(trace_id)
+    if not rows:
+        return f"  (no spans for {trace_id!r})"
+    lines = [f"  trace {trace_id}"]
+    for depth, span in rows:
+        attrs = ", ".join(
+            f"{k}={v}" for k, v in sorted(span.attributes.items())
+        )
+        flag = "" if span.status == "ok" else " [ERROR]"
+        lines.append(
+            f"  {'  ' * (depth + 1)}{span.name}{flag} "
+            f"({span.duration_us:,.0f}us wall, {span.duration_sim_ms}ms sim)"
+            + (f"  {attrs}" if attrs else "")
+        )
+    return "\n".join(lines)
+
+
+def run_scenario(*, faults: bool = False, seed: int = 3):
+    """A miniature deployment exercising every instrumented layer.
+
+    Returns ``(system, trace_id)`` where ``trace_id`` is the trace of the
+    consumer query, read back off the store's audit trail — which is
+    itself the satellite property this demo exists to show.
+    """
+    from repro.core.system import SensorSafeSystem
+    from repro.datastore.query import DataQuery
+    from repro.net.faults import FaultPlan
+    from repro.rules.model import ALLOW, Rule
+    from repro.sensors.packets import SensorPacket
+
+    plan = None
+    if faults:
+        plan = FaultPlan(seed=seed)
+        # Flaky upload path: the phone's retry + offline queue and the
+        # client's circuit breaker all leave fingerprints in the metrics.
+        plan.add_flaky("alice-store", fail_first=6, path="/api/upload_packets")
+    system = SensorSafeSystem(seed=seed, fault_plan=plan)
+    alice = system.add_contributor("alice")
+    alice.add_rule(Rule(consumers=("bob",), sensors=("ECG",), action=ALLOW))
+    phone = alice.phone()
+    packets = [
+        SensorPacket(
+            channel_name="ECG",
+            start_ms=i * 64 * 4,
+            interval_ms=4,
+            values=tuple(float(j % 7) for j in range(64)),
+        )
+        for i in range(48)
+    ]
+    phone.upload(packets)
+    phone.drain_offline(max_rounds=20)
+
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    bob.fetch("alice", DataQuery())
+
+    trail = system.stores["alice-store"].audit.trail_of("alice")
+    trace_id = trail[-1].trace_id if trail else ""
+    return system, trace_id
+
+
+def main(argv) -> int:
+    """``python -m repro obs report [--faults] [--metrics-out F] [--traces-out F]``."""
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if argv and argv[0] == "report":
+        argv = argv[1:]  # `obs report` and bare `obs` both work
+
+    def _flag_value(flag: str):
+        if flag in argv:
+            index = argv.index(flag)
+            if index + 1 >= len(argv):
+                print(f"{flag} needs a path argument", file=sys.stderr)
+                return None
+            return argv[index + 1]
+        return ""
+
+    metrics_out = _flag_value("--metrics-out")
+    traces_out = _flag_value("--traces-out")
+    if metrics_out is None or traces_out is None:
+        return 2
+    faults = "--faults" in argv
+
+    system, trace_id = run_scenario(faults=faults)
+    obs = system.obs
+    snapshot = obs.metrics.snapshot()
+
+    print("Observability report" + (" (with fault injection)" if faults else ""))
+    print("====================")
+    print("metrics:")
+    print(render_metrics(snapshot))
+    print()
+    print("consumer query trace:")
+    print(render_trace(obs.tracer, trace_id))
+    trail = system.stores["alice-store"].audit.trail_of("alice")
+    print()
+    print(f"audit: {len(trail)} record(s); last TraceId={trail[-1].trace_id!r}")
+
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"metrics snapshot written to {metrics_out}")
+    if traces_out:
+        with open(traces_out, "w", encoding="utf-8") as handle:
+            json.dump(obs.tracer.export_json(), handle, indent=2, sort_keys=True)
+        print(f"traces written to {traces_out}")
+
+    if not trace_id:
+        print("FAIL: query produced no trace id on the audit record")
+        return 1
+    if not any(s.name == "rules.evaluate" for _, s in obs.tracer.trace_tree(trace_id)):
+        print("FAIL: query trace is missing the rule-engine span")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

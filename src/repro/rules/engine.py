@@ -26,6 +26,7 @@ query API returns to the data consumer.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, FrozenSet, Iterable, Mapping, Optional
 
@@ -131,6 +132,7 @@ class RuleEngine:
         membership: Optional[Callable[[str], FrozenSet[str]]] = None,
         dependencies: Optional[DependencyGraph] = None,
         enforce_closure: bool = True,
+        obs=None,
     ):
         self.places = dict(places or {})
         self.membership = membership or _self_membership
@@ -139,6 +141,23 @@ class RuleEngine:
         self._all_rules: list[Rule] = []
         # consumer name -> rules naming it; None key holds wildcard rules.
         self._buckets: dict = {None: []}
+        # Observability (repro.obs.Observability): instruments are bound
+        # once here so the per-segment cost is one None-check plus integer
+        # adds; with obs=None instrumentation costs nothing.
+        self.obs = obs if obs is not None and obs.enabled else None
+        if self.obs is not None:
+            m = self.obs.metrics
+            self._c_evals = m.counter("rule_evaluations_total")
+            self._c_denials = m.counter("rule_denials_total")
+            self._c_abstractions = m.counter("rule_abstractions_total")
+            self._c_closure = m.counter("rule_closure_withheld_total")
+            self._h_eval = m.histogram("rule_eval_us")
+        else:
+            self._c_evals = None
+            self._c_denials = None
+            self._c_abstractions = None
+            self._c_closure = None
+            self._h_eval = None
         self.set_rules(rules)
 
     # ------------------------------------------------------------------
@@ -180,12 +199,30 @@ class RuleEngine:
 
     def evaluate(self, consumer: str, segments: Iterable[WaveSegment]) -> list:
         """Evaluate many segments; returns the released pieces in order."""
-        out: list[ReleasedSegment] = []
-        for segment in segments:
-            out.extend(self.evaluate_segment(consumer, segment))
+        if self.obs is None:
+            out: list[ReleasedSegment] = []
+            for segment in segments:
+                out.extend(self.evaluate_segment(consumer, segment))
+            return out
+        with self.obs.tracer.start_span("rules.evaluate", consumer=consumer) as span:
+            out = []
+            n_in = 0
+            for segment in segments:
+                n_in += 1
+                out.extend(self.evaluate_segment(consumer, segment))
+            span.set_attributes(segments_in=n_in, pieces_out=len(out))
         return out
 
     def evaluate_segment(self, consumer: str, segment: WaveSegment) -> list:
+        if self._h_eval is None:
+            return self._evaluate_segment(consumer, segment)
+        started = time.perf_counter()
+        released = self._evaluate_segment(consumer, segment)
+        self._h_eval.observe((time.perf_counter() - started) * 1e6)
+        self._c_evals.inc()
+        return released
+
+    def _evaluate_segment(self, consumer: str, segment: WaveSegment) -> list:
         principals = self.membership(consumer)
         applicable = [
             rule
@@ -193,6 +230,8 @@ class RuleEngine:
             if rule_applies(rule, principals, segment, self.places)
         ]
         if not any(rule.action.is_allow for rule in applicable):
+            if self._c_denials is not None:
+                self._c_denials.inc()
             return []  # default deny: nothing grants access
         pieces = self._time_pieces(segment, applicable)
         released = []
@@ -260,6 +299,8 @@ class RuleEngine:
             granted -= blocked
             if scope is None:
                 # A full deny also suppresses labels and location.
+                if self._c_denials is not None:
+                    self._c_denials.inc()
                 return None
 
         # Context labels are only releasable for categories the granted
@@ -275,9 +316,13 @@ class RuleEngine:
 
         # Coarsest-wins abstraction folding.
         sharing = EffectiveSharing()
+        abstracted = False
         for rule in rules:
             if rule.action.is_abstraction:
                 sharing.apply(rule.action.abstraction)
+                abstracted = True
+        if abstracted and self._c_abstractions is not None:
+            self._c_abstractions.inc()
         if sharing.shares_nothing():
             return None
 
@@ -287,7 +332,10 @@ class RuleEngine:
             permitted = self.dependencies.raw_permitted_channels(
                 granted, sharing.raw_contexts()
             )
-            for channel_name in granted - permitted:
+            closed_over = granted - permitted
+            if closed_over and self._c_closure is not None:
+                self._c_closure.inc(len(closed_over))
+            for channel_name in closed_over:
                 revealed = sorted(
                     self.dependencies.contexts_revealed_by(channel_name)
                     & sharing.restricted_contexts()

@@ -31,6 +31,7 @@ class AuditRecord:
     samples_released: int
     labels_released: tuple  # sorted category names that flowed
     withheld: dict  # channel -> reason (aggregated across pieces)
+    trace_id: str = ""  # request trace tree this access belongs to
 
     def to_json(self) -> dict:
         return {
@@ -45,6 +46,7 @@ class AuditRecord:
             "SamplesReleased": self.samples_released,
             "LabelsReleased": list(self.labels_released),
             "Withheld": dict(self.withheld),
+            "TraceId": self.trace_id,
         }
 
     @classmethod
@@ -61,6 +63,7 @@ class AuditRecord:
             samples_released=int(obj.get("SamplesReleased", 0)),
             labels_released=tuple(obj.get("LabelsReleased", ())),
             withheld=dict(obj.get("Withheld", {})),
+            trace_id=str(obj.get("TraceId", "")),  # absent in pre-trace records
         )
 
 
@@ -80,6 +83,7 @@ class AuditLog:
         raw_access: bool,
         segments_scanned: int,
         released: Iterable = (),
+        trace_id: str = "",
     ) -> AuditRecord:
         """Log one query-API access; ``released`` are ReleasedSegments."""
         pieces = 0
@@ -104,6 +108,7 @@ class AuditLog:
             samples_released=samples,
             labels_released=tuple(sorted(labels)),
             withheld=withheld,
+            trace_id=trace_id,
         )
         self._records.setdefault(contributor, []).append(record)
         return record

@@ -17,6 +17,7 @@ Exposes the broker's HTTP API:
 
 from __future__ import annotations
 
+import time
 
 from repro.auth.accounts import AccountRegistry, ROLE_CONSUMER
 from repro.auth.apikeys import ApiKeyRegistry, KeyEscrow
@@ -46,7 +47,7 @@ class BrokerService:
         rng = DeterministicRng(seed).fork(f"broker:{host}")
         self.registry = ContributorRegistry()
         self.studies = StudyRegistry()
-        self.sync = SyncManager(self.registry)
+        self.sync = SyncManager(self.registry, obs=network.obs)
         self.search = ContributorSearch(self.registry, membership=self._membership)
         self.keys = ApiKeyRegistry(f"secret:{host}", rng.fork("keys"))
         self.accounts = AccountRegistry(rng.fork("accounts"))
@@ -176,6 +177,11 @@ class BrokerService:
         add("POST", "/api/studies/join", self._h_studies_join)
         add("POST", "/api/sync", self._h_sync)
         add("POST", "/api/data", self._h_data_proxy)
+        add("GET", "/api/metrics", self._h_metrics)
+
+    def _h_metrics(self, request: Request) -> dict:
+        """Telemetry scrape: the shared registry, labels redaction-checked."""
+        return {"Host": self.host, "Metrics": self.network.obs.snapshot()}
 
     def _h_register_consumer(self, request: Request) -> dict:
         name = str(request.body.get("Username", ""))
@@ -216,7 +222,15 @@ class BrokerService:
         if criteria_json["Consumer"] != consumer:
             raise AuthorizationError("cannot search on behalf of another consumer")
         criteria = SearchCriteria.from_json(criteria_json)
-        matches = self.search.search(criteria)
+        obs = self.network.obs
+        started = time.perf_counter()
+        with obs.tracer.start_span("broker.search", consumer=consumer) as span:
+            matches = self.search.search(criteria)
+            span.set_attribute("matches", len(matches))
+        obs.metrics.histogram("broker_search_us").observe(
+            (time.perf_counter() - started) * 1e6
+        )
+        obs.metrics.counter("broker_searches_total").inc()
         return {"Matches": [{"Contributor": r.name, "Host": r.host} for r in matches]}
 
     def _h_lists_save(self, request: Request) -> dict:

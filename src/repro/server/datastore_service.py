@@ -58,6 +58,9 @@ class ReleaseEvent:
     external checkers — notably the conformance harness's query-containment
     invariant — can verify the API never returns more than the engine
     released, without re-implementing the query path.
+
+    ``trace_id`` ties the release to the request's trace tree (empty when
+    tracing is disabled), so a guard report can name the exact request.
     """
 
     endpoint: str
@@ -65,6 +68,7 @@ class ReleaseEvent:
     contributor: str
     segments: tuple
     released: tuple
+    trace_id: str = ""
 
 
 class DataStoreService:
@@ -85,7 +89,9 @@ class DataStoreService:
         self.network = network
         self.institution = institution
         rng = DeterministicRng(seed).fork(f"store:{host}")
-        self.store = SegmentStore(host, merge_policy=merge_policy, directory=directory)
+        self.store = SegmentStore(
+            host, merge_policy=merge_policy, directory=directory, obs=network.obs
+        )
         self.rules = RuleStore()
         self.keys = ApiKeyRegistry(f"secret:{host}", rng.fork("keys"))
         self.accounts = AccountRegistry(rng.fork("accounts"))
@@ -190,7 +196,11 @@ class DataStoreService:
             self.places.get(contributor, {}),
             membership=self._membership,
             enforce_closure=self.enforce_closure,
+            obs=self.network.obs,
         )
+
+    def _trace_id(self) -> str:
+        return self.network.obs.tracer.current_trace_id()
 
     def _emit_release(
         self, endpoint: str, consumer: str, contributor: str, segments, released
@@ -203,6 +213,7 @@ class DataStoreService:
             contributor=contributor,
             segments=tuple(segments),
             released=tuple(released),
+            trace_id=self._trace_id(),
         )
         for guard in self.release_guards:
             guard(event)
@@ -232,6 +243,11 @@ class DataStoreService:
         add("POST", "/api/audit/summary", self._h_audit_summary)
         add("POST", "/api/aggregate", self._h_aggregate)
         add("POST", "/api/delete", self._h_delete)
+        add("GET", "/api/metrics", self._h_metrics)
+
+    def _h_metrics(self, request: Request) -> dict:
+        """Telemetry scrape: the shared registry, labels redaction-checked."""
+        return {"Host": self.host, "Metrics": self.network.obs.snapshot()}
 
     def _h_register(self, request: Request) -> dict:
         """Open registration endpoint.
@@ -300,6 +316,7 @@ class DataStoreService:
                 query=query.to_json(),
                 raw_access=True,
                 segments_scanned=result.scanned_segments,
+                trace_id=self._trace_id(),
             )
             return {
                 "Raw": True,
@@ -316,6 +333,7 @@ class DataStoreService:
             raw_access=False,
             segments_scanned=result.scanned_segments,
             released=released,
+            trace_id=self._trace_id(),
         )
         return {
             "Raw": False,
@@ -430,6 +448,7 @@ class DataStoreService:
             raw_access=raw,
             segments_scanned=result.scanned_segments,
             released=released,
+            trace_id=self._trace_id(),
         )
         return {"Rows": [r.to_json() for r in rows]}
 
@@ -450,6 +469,7 @@ class DataStoreService:
             query={**query.to_json(), "Delete": True},
             raw_access=True,
             segments_scanned=removed,
+            trace_id=self._trace_id(),
         )
         return {"Deleted": removed}
 

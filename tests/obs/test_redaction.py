@@ -1,0 +1,117 @@
+"""Adversarial tests for the telemetry redaction boundary.
+
+The acceptance criterion: no sensor sample value or raw coordinate may
+appear in any exported span or metric label, even when the instrumented
+code tries to attach one.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SensorSafeError
+from repro.obs import Observability
+from repro.obs.redaction import REDACTED, check_label, redact_attribute
+
+SAMPLE_VALUE = 61.54321  # a "raw ECG sample" no telemetry may carry
+UCLA_LAT = 34.0689
+UCLA_LON = -118.4452
+
+
+class TestRedactAttribute:
+    def test_floats_are_stripped_unless_timing(self):
+        assert redact_attribute("lat", UCLA_LAT) == REDACTED
+        assert redact_attribute("reading", SAMPLE_VALUE) == REDACTED
+        assert redact_attribute("duration_us", 12.5) == 12.5
+        assert redact_attribute("eval_ms", 3.0) == 3.0
+
+    def test_deny_keys_stripped_regardless_of_type(self):
+        for key in ("values", "sample_0", "gps_fix", "location", "place",
+                    "context_label", "CoordX", "blob"):
+            assert redact_attribute(key, "innocuous") == REDACTED, key
+
+    def test_timing_suffix_does_not_unlock_deny_keys(self):
+        # "gps_signal" must not sneak past because "_s"-style suffixes are
+        # only honored for keys that are not otherwise sensitive.
+        assert redact_attribute("gps_rate", UCLA_LAT) == REDACTED
+        assert redact_attribute("location_bytes", 7.0) == REDACTED
+
+    def test_latency_is_not_lat(self):
+        assert redact_attribute("latency", 12.5) == 12.5
+
+    def test_numeric_strings_stripped(self):
+        assert redact_attribute("note", "34.0689") == REDACTED
+        assert redact_attribute("note", "1e9") == REDACTED
+        assert redact_attribute("note", "fine") == "fine"
+
+    def test_containers_stripped_unless_name_list(self):
+        assert redact_attribute("channels", ("ECG", "AccelX")) == ["ECG", "AccelX"]
+        assert redact_attribute("data", [1.0, 2.0]) == REDACTED
+        assert redact_attribute("data", {"a": 1}) == REDACTED
+        assert redact_attribute("data", np.ones(4)) == REDACTED
+        assert redact_attribute("data", b"\x00\x01") == REDACTED
+
+    def test_safe_scalars_pass(self):
+        assert redact_attribute("host", "alice-store") == "alice-store"
+        assert redact_attribute("count", 7) == 7
+        assert redact_attribute("ok", True) is True
+        assert redact_attribute("missing", None) is None
+
+
+class TestSpanExportNeverLeaks:
+    def _leak_everything(self, span):
+        """What a careless (or malicious) instrumentation site might do."""
+        span.set_attribute("ecg_value", SAMPLE_VALUE)
+        span.set_attribute("values", [SAMPLE_VALUE] * 8)
+        span.set_attribute("waveform", np.full(64, SAMPLE_VALUE))
+        span.set_attribute("lat", UCLA_LAT)
+        span.set_attribute("lon", UCLA_LON)
+        span.set_attribute("note", str(SAMPLE_VALUE))
+        span.set_attribute("context_label", "Stressed")
+
+    def test_adversarial_attributes_stripped_from_export(self):
+        obs = Observability()
+        with obs.tracer.start_span("evil") as span:
+            self._leak_everything(span)
+        dump = json.dumps(obs.tracer.export_json())
+        assert str(SAMPLE_VALUE) not in dump
+        assert str(UCLA_LAT) not in dump
+        assert str(UCLA_LON) not in dump
+        assert "Stressed" not in dump
+
+    def test_direct_dict_write_caught_at_export(self):
+        # Bypassing set_attribute: the export-time second pass catches it.
+        obs = Observability()
+        with obs.tracer.start_span("evil") as span:
+            span.attributes["sneaky"] = np.full(16, SAMPLE_VALUE)
+            span.attributes["lat_direct"] = UCLA_LAT
+        dump = json.dumps(obs.tracer.export_json())
+        assert str(SAMPLE_VALUE) not in dump
+        assert str(UCLA_LAT) not in dump
+
+
+class TestMetricLabels:
+    def test_float_label_raises(self):
+        with pytest.raises(SensorSafeError):
+            check_label("host", UCLA_LAT)
+
+    def test_numeric_string_label_raises(self):
+        with pytest.raises(SensorSafeError):
+            check_label("cell", "34.0689")
+
+    def test_deny_key_label_raises(self):
+        with pytest.raises(SensorSafeError):
+            check_label("location", "home")
+
+    def test_container_label_raises(self):
+        with pytest.raises(SensorSafeError):
+            check_label("hosts", ["a", "b"])
+
+    def test_registry_snapshot_carries_no_raw_values(self):
+        obs = Observability()
+        obs.metrics.counter("requests_total", host="alice-store").inc()
+        obs.metrics.histogram("eval_us").observe(123.4)
+        dump = json.dumps(obs.metrics.snapshot())
+        assert str(UCLA_LAT) not in dump
+        assert str(SAMPLE_VALUE) not in dump

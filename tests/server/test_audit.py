@@ -86,10 +86,21 @@ class TestAuditLogUnit:
         log = AuditLog()
         record = log.record_access(
             principal="bob", contributor="alice", query={"Channels": ["ECG"]},
-            raw_access=False, segments_scanned=2,
+            raw_access=False, segments_scanned=2, trace_id="trace-000042",
         )
         again = AuditRecord.from_json(record.to_json())
         assert again == record
+        assert again.trace_id == "trace-000042"
+
+    def test_from_json_tolerates_pre_trace_records(self):
+        log = AuditLog()
+        record = log.record_access(
+            principal="bob", contributor="alice", query={}, raw_access=False,
+            segments_scanned=0,
+        )
+        legacy = record.to_json()
+        del legacy["TraceId"]  # a record persisted before tracing existed
+        assert AuditRecord.from_json(legacy).trace_id == ""
 
 
 class TestAuditThroughService:
@@ -138,3 +149,20 @@ class TestAuditThroughService:
         bob.fetch("alice")
         summary = alice.audit_summary()
         assert summary["bob"]["accesses"] == 2
+
+    def test_owner_reads_trace_id_through_api(self, wired):
+        """The owner's trail, read over the audit API, names each trace."""
+        _, alice, bob = wired
+        bob.fetch("alice")
+        trail = alice.audit_trail()
+        assert trail[-1].trace_id.startswith("trace-")
+
+    def test_non_owner_cannot_read_trail_even_with_store_key(self, wired):
+        system, alice, bob = wired
+        carol = system.add_consumer("carol")
+        carol.add_contributors(["alice"])
+        key = carol.refresh_keys()["alice-store"]
+        response = carol.client.with_key(key).post(
+            "https://alice-store/api/audit/list", {"Contributor": "alice"}, raw=True
+        )
+        assert response.status == 403
