@@ -10,6 +10,11 @@ harness (see :mod:`repro.conformance.runner`) instead.
 ``python -m repro obs report [...]`` runs the observability demo: an
 end-to-end scenario whose metrics snapshot and query trace tree are
 printed (and optionally dumped as JSON); see :mod:`repro.obs.report`.
+
+``python -m repro recover --dir DIR --host HOST [...]`` recovers a
+store's durable state offline — replays the write-ahead log over the
+last good snapshot, reports torn/quarantined/fail-closed outcomes, and
+can write a fresh checkpoint; see :mod:`repro.storage.cli`.
 """
 
 from __future__ import annotations
@@ -95,8 +100,15 @@ def dispatch(argv: list) -> int:
         from repro.obs.report import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "recover":
+        from repro.storage.cli import main as recover_main
+
+        return recover_main(argv[1:])
     if argv:
-        print(f"unknown subcommand {argv[0]!r}; known: conformance, obs", file=sys.stderr)
+        print(
+            f"unknown subcommand {argv[0]!r}; known: conformance, obs, recover",
+            file=sys.stderr,
+        )
         return 2
     return main()
 

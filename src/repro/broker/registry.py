@@ -69,15 +69,20 @@ class ContributorRegistry:
         places: Iterable[LabeledPlace],
         host: Optional[str] = None,
         institution: Optional[str] = None,
+        force: bool = False,
     ) -> bool:
         """Apply a synced profile; returns False when it was stale.
 
         Version monotonicity makes eager pushes and periodic pulls safely
         composable: whichever arrives later with an older version is a
-        no-op.
+        no-op.  ``force`` overrides the staleness check — used by restart
+        reconciliation, where the store (the authority for its own
+        contributors) may legitimately report a *lower* version after a
+        fail-closed recovery discarded untrusted rule state; the mirror
+        must follow the authority, not shadow lost rules forever.
         """
         record = self.get(name)
-        if version < record.rules_version:
+        if version < record.rules_version and not force:
             return False
         record.rules_version = version
         record.rules = tuple(rules)

@@ -78,7 +78,9 @@ class SyncManager:
         """Contributors whose broker-side rule mirror may be outdated."""
         return sorted(self._stale)
 
-    def apply_profile(self, profile: dict, *, via_pull: bool = False) -> bool:
+    def apply_profile(
+        self, profile: dict, *, via_pull: bool = False, force: bool = False
+    ) -> bool:
         """Apply one profile JSON (from a push or a pull); False if stale."""
         try:
             name = str(profile["Contributor"])
@@ -98,6 +100,7 @@ class SyncManager:
             places=places,
             host=profile.get("Host"),
             institution=profile.get("Institution"),
+            force=force,
         )
         if applied:
             self.stats.applied += 1
@@ -108,7 +111,14 @@ class SyncManager:
             (self._c_applied if applied else self._c_stale).inc()
         return applied
 
-    def pull(self, client: HttpClient, contributor: str, store_key: str) -> bool:
+    def pull(
+        self,
+        client: HttpClient,
+        contributor: str,
+        store_key: str,
+        *,
+        force: bool = False,
+    ) -> bool:
         """Pull one contributor's profile from their store and apply it.
 
         ``client`` must be bound to the broker's network identity;
@@ -118,7 +128,7 @@ class SyncManager:
         body = client.with_key(store_key).post(
             f"https://{record.host}/api/profile", {"Contributor": contributor}
         )
-        return self.apply_profile(body, via_pull=True)
+        return self.apply_profile(body, via_pull=True, force=force)
 
     def pull_all(self, client: HttpClient, store_keys: dict) -> int:
         """Pull every registered contributor; returns profiles applied.
@@ -164,3 +174,42 @@ class SyncManager:
             if fresh:
                 applied += 1
         return applied
+
+    def reconcile_host(self, client: HttpClient, host: str, store_keys: dict) -> dict:
+        """Re-pull every contributor of one store after it restarts.
+
+        A store that crashed between acknowledging a rule change and the
+        eager push reaching the broker leaves the two sides divergent;
+        the store's recovery may also have *fail-closed* contributors
+        (bumped version, empty rules).  The store is the authority for its
+        own contributors, so these pulls are applied with ``force=True``:
+        the mirror adopts the store's post-recovery state even when a
+        fail-closed recovery left it at a lower version than the mirror —
+        a mirror shadowing rules the store no longer trusts would show
+        consumers matches the store will deny.
+
+        Returns ``{"pulled": n, "applied": n, "failed": n}``.
+        """
+        key = store_keys.get(host)
+        if key is None:
+            raise ServiceError(f"no broker key for store host {host!r}", status=404)
+        out = {"pulled": 0, "applied": 0, "failed": 0}
+        for name in self.registry.names():
+            if self.registry.get(name).host != host:
+                continue
+            try:
+                fresh = self.pull(client, name, key, force=True)
+            except (TransportError, ServiceError):
+                self.stats.pull_failures += 1
+                self._stale.add(name)
+                out["failed"] += 1
+                if self._c_pulls is not None:
+                    self._c_failures.inc()
+                continue
+            out["pulled"] += 1
+            if name in self._stale:
+                self._stale.discard(name)
+                self.stats.recovered += 1
+            if fresh:
+                out["applied"] += 1
+        return out

@@ -201,8 +201,17 @@ class Database:
             raise StorageError(f"database {self.name!r} has no persistence directory")
         return os.path.join(self.directory, f"{self.name}.{table.name}.jsonl")
 
-    def save(self) -> list:
-        """Write every serializable table to JSON lines; returns paths."""
+    def save(self, *, faults=None) -> list:
+        """Write every serializable table to JSON lines; returns paths.
+
+        Each file is replaced atomically (temp + fsync + rename, see
+        :mod:`repro.storage.atomic`): a crash mid-save leaves the previous
+        complete file, never a torn one.  ``faults`` threads a
+        :class:`~repro.storage.faults.StorageFaultPlan` through for
+        crash-sweep tests.
+        """
+        from repro.storage.atomic import atomic_write_jsonl
+
         if self.directory is None:
             raise StorageError(f"database {self.name!r} has no persistence directory")
         os.makedirs(self.directory, exist_ok=True)
@@ -211,18 +220,26 @@ class Database:
             if table.schema.serialize is None:
                 continue
             path = self._table_path(table)
-            with open(path, "w", encoding="utf-8") as fh:
-                for record in table.scan():
-                    fh.write(jsonutil.canonical_dumps(table.schema.serialize(record)))
-                    fh.write("\n")
+            atomic_write_jsonl(
+                path,
+                (table.schema.serialize(record) for record in table.scan()),
+                faults=faults,
+            )
             paths.append(path)
         return paths
 
-    def load(self) -> int:
+    def load(self, *, on_corrupt=None) -> int:
         """Reload every serializable table from disk; returns record count.
 
-        Tables with no file on disk are left empty (fresh database).
+        Tables with no file on disk are left empty (fresh database).  A
+        line that fails to parse or deserialize raises
+        :class:`~repro.exceptions.CorruptRecordError` naming the file and
+        line — records are never dropped silently.  Recovery passes
+        ``on_corrupt(table_name, path, lineno, line, exc)`` instead, which
+        quarantines and counts the record, and the load continues.
         """
+        from repro.exceptions import CorruptRecordError, SensorSafeError
+
         loaded = 0
         for table in self._tables.values():
             if table.schema.deserialize is None:
@@ -232,10 +249,19 @@ class Database:
                 continue
             table.clear()
             with open(path, encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
+                for lineno, line in enumerate(fh, start=1):
+                    stripped = line.strip()
+                    if not stripped:
                         continue
-                    table.insert(table.schema.deserialize(jsonutil.loads(line)))
+                    try:
+                        record = table.schema.deserialize(jsonutil.loads(stripped))
+                        table.insert(record)
+                    except SensorSafeError as exc:
+                        if on_corrupt is None:
+                            raise CorruptRecordError(
+                                f"{path}:{lineno}: corrupt {table.name!r} record: {exc}"
+                            ) from exc
+                        on_corrupt(table.name, path, lineno, stripped, exc)
+                        continue
                     loaded += 1
         return loaded

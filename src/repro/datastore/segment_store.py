@@ -77,6 +77,11 @@ class SegmentStore:
         self._grid_index: dict[str, GridIndex] = {}
         self._grid_cell_degrees = grid_cell_degrees
         self.stats = StoreStats()
+        #: Durability hooks: fired with the segment after every persist /
+        #: unpersist so a write-ahead log can journal mutations.  Replay
+        #: and disk loads bypass them (no WAL echo of the WAL).
+        self.on_persist: list = []
+        self.on_unpersist: list = []
 
     # ------------------------------------------------------------------
     # Ingest
@@ -100,7 +105,7 @@ class SegmentStore:
             self._persist(final)
         return finalized
 
-    def _persist(self, segment: WaveSegment) -> None:
+    def _persist(self, segment: WaveSegment, *, notify: bool = True) -> None:
         self._segments.insert(segment)
         per_contrib = self._time_index.setdefault(segment.contributor, {})
         for channel_name in segment.channels:
@@ -115,8 +120,11 @@ class SegmentStore:
         self.stats.n_segments += 1
         self.stats.n_samples += segment.n_samples
         self.stats.storage_bytes += segment.storage_bytes()
+        if notify:
+            for hook in self.on_persist:
+                hook(segment)
 
-    def _unpersist(self, segment: WaveSegment) -> None:
+    def _unpersist(self, segment: WaveSegment, *, notify: bool = True) -> None:
         self._segments.delete(segment.segment_id)
         per_contrib = self._time_index.get(segment.contributor, {})
         for channel_name in segment.channels:
@@ -126,6 +134,28 @@ class SegmentStore:
         self.stats.n_segments -= 1
         self.stats.n_samples -= segment.n_samples
         self.stats.storage_bytes -= segment.storage_bytes()
+        if notify:
+            for hook in self.on_unpersist:
+                hook(segment)
+
+    # ------------------------------------------------------------------
+    # WAL replay (recovery path; never fires durability hooks)
+    # ------------------------------------------------------------------
+
+    def restore_segment(self, segment: WaveSegment) -> None:
+        """Re-install one journaled segment, idempotently."""
+        existing = self._segments.find(segment.segment_id)
+        if existing is not None:
+            self._unpersist(existing, notify=False)
+        self._persist(segment, notify=False)
+
+    def remove_segment(self, segment_id: str) -> bool:
+        """Replay a journaled deletion; False when already absent."""
+        segment = self._segments.find(segment_id)
+        if segment is None:
+            return False
+        self._unpersist(segment, notify=False)
+        return True
 
     def compact(self, contributor: str) -> int:
         """Re-run merge optimization over stored segments; returns delta.
@@ -259,14 +289,14 @@ class SegmentStore:
     # Persistence passthrough
     # ------------------------------------------------------------------
 
-    def save(self) -> list:
+    def save(self, *, faults=None) -> list:
         """Flush buffered segments and write the database to disk."""
         self.flush()
-        return self.db.save()
+        return self.db.save(faults=faults)
 
-    def load(self) -> int:
+    def load(self, *, on_corrupt=None) -> int:
         """Load segments from disk, rebuilding all indexes."""
-        count = self.db.load()
+        count = self.db.load(on_corrupt=on_corrupt)
         self._time_index.clear()
         self._grid_index.clear()
         self.stats = StoreStats()

@@ -33,6 +33,30 @@ class StorageError(SensorSafeError):
     """The embedded database failed (duplicate key, missing table, I/O)."""
 
 
+class CorruptRecordError(StorageError):
+    """A persisted record failed its integrity check (checksum, JSON, chain).
+
+    Raised when durable state cannot be trusted; recovery routes the bad
+    bytes to quarantine instead of silently dropping them, and fails
+    closed for privacy rules (see :mod:`repro.storage.recovery`).
+    """
+
+
+class SimulatedCrashError(SensorSafeError):
+    """A storage fault plan hit an armed crash point.
+
+    The disk-side sibling of fault-injected network drops: the process is
+    assumed to have died *at this exact point* — whatever bytes reached
+    the file so far are what recovery will find.  Tests catch this, throw
+    the in-memory service away, and restart from disk.
+    """
+
+    def __init__(self, point: str, hit: int = 0):
+        super().__init__(f"simulated crash at storage point {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
 class DuplicateKeyError(StorageError):
     """Insert attempted with a primary key that already exists."""
 

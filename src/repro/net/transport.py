@@ -118,7 +118,17 @@ class Network:
         if name in self._hosts:
             raise TransportError(f"host name already registered: {name!r}")
         self._hosts[name] = router
-        self.metrics[name] = HostMetrics(self.obs.metrics, name)
+        if name not in self.metrics:  # a restarted host keeps its counters
+            self.metrics[name] = HostMetrics(self.obs.metrics, name)
+
+    def unregister_host(self, name: str) -> None:
+        """Take a host off the network — a process crash or shutdown.
+
+        Requests to it fail like any unknown host until a restarted
+        service re-registers under the same name (crash-recovery tests do
+        exactly this); traffic accounting is preserved across the restart.
+        """
+        self._hosts.pop(name, None)
 
     def hosts(self) -> list[str]:
         return sorted(self._hosts)

@@ -7,13 +7,23 @@ spirit.  This module gives every remote data store an append-only audit
 log: one record per query-API access, capturing who asked, what they asked
 for, and what the rule engine actually let out (including what was
 withheld and why).  Owners read their own trail through the audit API.
+
+Integrity: each record carries a **checksum chain** value — the SHA-256 of
+the previous record's chain value plus this record's canonical content.
+A trail with records removed (a torn persistence tail, or tampering)
+stops chaining at the gap, so :meth:`AuditLog.verify_chain` detects a
+shorter, plausible-looking trail instead of trusting it.  Records
+persisted before chaining existed verify as "legacy" rather than broken.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from dataclasses import dataclass
-from typing import Iterable, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Optional
+
+from repro.util import jsonutil
 
 
 @dataclass(frozen=True)
@@ -32,8 +42,10 @@ class AuditRecord:
     labels_released: tuple  # sorted category names that flowed
     withheld: dict  # channel -> reason (aggregated across pieces)
     trace_id: str = ""  # request trace tree this access belongs to
+    chain: str = ""  # checksum chain value ("" on pre-chain records)
 
-    def to_json(self) -> dict:
+    def core_json(self) -> dict:
+        """The chained content: everything except the chain value itself."""
         return {
             "Seq": self.seq,
             "At": self.at_ms,
@@ -48,6 +60,11 @@ class AuditRecord:
             "Withheld": dict(self.withheld),
             "TraceId": self.trace_id,
         }
+
+    def to_json(self) -> dict:
+        out = self.core_json()
+        out["Chain"] = self.chain
+        return out
 
     @classmethod
     def from_json(cls, obj: dict) -> "AuditRecord":
@@ -64,15 +81,29 @@ class AuditRecord:
             labels_released=tuple(obj.get("LabelsReleased", ())),
             withheld=dict(obj.get("Withheld", {})),
             trace_id=str(obj.get("TraceId", "")),  # absent in pre-trace records
+            chain=str(obj.get("Chain", "")),  # absent in pre-chain records
         )
 
 
+def chain_value(prev_chain: str, record: AuditRecord) -> str:
+    """The chain hash linking ``record`` to its predecessor's chain."""
+    material = prev_chain + jsonutil.canonical_dumps(record.core_json())
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
 class AuditLog:
-    """Per-contributor append-only access trail."""
+    """Per-contributor append-only access trail with a checksum chain."""
 
     def __init__(self) -> None:
         self._records: dict[str, list] = {}
         self._seq = itertools.count(1)
+        #: Durability hooks fired with each freshly appended record (the
+        #: write-ahead log journals the trail through these); restores do
+        #: not fire them.
+        self._listeners: list[Callable[[AuditRecord], None]] = []
+
+    def on_append(self, listener: Callable[[AuditRecord], None]) -> None:
+        self._listeners.append(listener)
 
     def record_access(
         self,
@@ -110,20 +141,55 @@ class AuditLog:
             withheld=withheld,
             trace_id=trace_id,
         )
-        self._records.setdefault(contributor, []).append(record)
+        trail = self._records.setdefault(contributor, [])
+        prev = trail[-1].chain if trail else ""
+        record = replace(record, chain=chain_value(prev, record))
+        trail.append(record)
+        for listener in self._listeners:
+            listener(record)
         return record
 
     def restore(self, records: Iterable[AuditRecord]) -> int:
-        """Re-install persisted records, advancing the sequence counter."""
+        """Re-install persisted records, advancing the sequence counter.
+
+        Idempotent per (contributor, seq): crash recovery replays WAL
+        records over a snapshot that may already contain them (a crash
+        between snapshot rotation and the manifest commit), and a
+        duplicate trail entry would falsely break the checksum chain.
+        """
         count = 0
         max_seq = 0
         for record in records:
-            self._records.setdefault(record.contributor, []).append(record)
             max_seq = max(max_seq, record.seq)
+            trail = self._records.setdefault(record.contributor, [])
+            if any(existing.seq == record.seq for existing in trail):
+                continue
+            trail.append(record)
             count += 1
         if max_seq:
             self._seq = itertools.count(max_seq + 1)
         return count
+
+    def verify_chain(self, contributor: str) -> list:
+        """Sequence numbers whose chain value does not link to its trail.
+
+        An empty list means the trail is intact end to end.  Records with
+        an empty chain (persisted before chaining existed) are treated as
+        legacy and skipped — the chain restarts at the next record.
+        """
+        breaks = []
+        prev = ""
+        for record in self._records.get(contributor, []):
+            if not record.chain:  # legacy record: unverifiable, restart chain
+                prev = ""
+                continue
+            if record.chain != chain_value(prev, record):
+                breaks.append(record.seq)
+            prev = record.chain
+        return breaks
+
+    def contributors(self) -> list:
+        return sorted(self._records)
 
     def trail_of(self, contributor: str, *, limit: Optional[int] = None) -> list:
         """The contributor's records, oldest first."""

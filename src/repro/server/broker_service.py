@@ -103,6 +103,20 @@ class BrokerService:
         """Periodic-pull sync across every known store."""
         return self.sync.pull_all(self.client, self.store_keys)
 
+    def reconcile_store(self, store_service) -> dict:
+        """Converge with a store that restarted (crash recovery).
+
+        A restart rotates the store's keys, so the pairing is re-done
+        first (re-issuing the broker's key there), then every contributor
+        on that host is re-pulled: rule versions are monotonic, so the
+        newer side — including a recovery's fail-closed deny state, which
+        carries a bumped version — wins on both ends.
+        """
+        self.attach_store(store_service, eager_sync=True)
+        return self.sync.reconcile_host(
+            self.client, store_service.host, self.store_keys
+        )
+
     # ------------------------------------------------------------------
     # Consumer-side helpers
     # ------------------------------------------------------------------

@@ -84,6 +84,9 @@ class DataStoreService:
         directory: Optional[str] = None,
         seed: int = 0,
         enforce_closure: bool = True,
+        durable: bool = False,
+        wal_sync: str = "group",
+        storage_faults=None,
     ):
         self.host = host
         self.network = network
@@ -105,9 +108,26 @@ class DataStoreService:
         #: guard raising aborts the request (fail closed, nothing leaks).
         self.release_guards: list[Callable[[ReleaseEvent], None]] = []
         self._broker_push: Optional[Callable[[dict], None]] = None
+        #: Contributors whose persisted rules could not be trusted after a
+        #: restart: they are deny-by-default until rules are re-published.
+        self.fail_closed: set = set()
+        self.durability = None
+        self.recovery_report = None
         self.router = Router()
         self._mount_routes()
         network.register_host(host, self.router)
+        if durable:
+            from repro.storage.durability import Durability
+
+            self.durability = Durability(
+                self, sync=wal_sync, faults=storage_faults
+            )
+            self.recovery_report = self.durability.open()
+            self.fail_closed = set(self.recovery_report.fail_closed)
+        # Registered after durability: a rule change is journaled (write-
+        # ahead, force-synced) before the eager broker push propagates it,
+        # so a crash between the two leaves the *store* ahead — which the
+        # broker's restart reconciliation converges by pulling.
         self.rules.on_change(self._on_rules_changed)
 
     # ------------------------------------------------------------------
@@ -121,10 +141,13 @@ class DataStoreService:
         changed; the broker wires this to its sync endpoint.
         """
         self.roles[BROKER_PRINCIPAL] = "broker"
+        self._log_role(BROKER_PRINCIPAL, "broker")
         self._broker_push = push
         return self.keys.issue(BROKER_PRINCIPAL)
 
     def _on_rules_changed(self, snapshot) -> None:
+        # An owner re-publishing rules lifts the post-recovery deny state.
+        self.fail_closed.discard(snapshot.contributor)
         if self._broker_push is not None:
             self._broker_push(self._profile_json(snapshot.contributor))
 
@@ -147,6 +170,7 @@ class DataStoreService:
         """Register a data owner; returns their API key."""
         self.accounts.register(name, password, ROLE_CONTRIBUTOR)
         self.roles[name] = ROLE_CONTRIBUTOR
+        self._log_role(name, ROLE_CONTRIBUTOR)
         self.rules.register(name)
         self.places.setdefault(name, {})
         return self.keys.issue(name)
@@ -155,15 +179,46 @@ class DataStoreService:
         """Register a data consumer; returns their API key."""
         self.accounts.register(name, password, ROLE_CONSUMER)
         self.roles[name] = ROLE_CONSUMER
+        self._log_role(name, ROLE_CONSUMER)
         return self.keys.issue(name)
 
     def set_places(self, contributor: str, places: dict) -> None:
         self.places[contributor] = dict(places)
+        if self.durability is not None:
+            self.durability.log_places(contributor)
         # Places affect rule semantics; nudge a sync so the broker's
         # search sees the same geography the engine enforces.
         if self.rules.version_of(contributor) or self._broker_push is not None:
             if self._broker_push is not None:
                 self._broker_push(self._profile_json(contributor))
+
+    def _log_role(self, principal: str, role: str) -> None:
+        if self.durability is not None:
+            self.durability.log_role(principal, role)
+
+    def _wal_commit(self) -> None:
+        """Group-commit barrier: journaled bulk mutations become durable.
+
+        Only *barrier-bearing* requests call this — ``flush`` (the client's
+        explicit durability point: upload…upload…flush ⇒ everything
+        uploaded is on disk before the flush ack) and ``delete`` (an acked
+        deletion must never resurrect).  Plain uploads ride the group
+        window instead: under the ``group`` sync policy a crash can lose
+        the last un-flushed uploads, which the device still holds and
+        re-sends — the bounded-loss trade that keeps WAL ingest overhead
+        inside the C10 budget.  Control-plane records (rules, roles,
+        places, audit) never ride the window; they force-sync at append.
+        """
+        if self.durability is not None:
+            self.durability.commit()
+
+    def checkpoint(self) -> dict:
+        """Snapshot state, write the generation manifest, reset the WAL."""
+        if self.durability is None:
+            from repro.server.persistence import save_service_state
+
+            return {"Paths": save_service_state(self)}
+        return self.durability.checkpoint()
 
     # ------------------------------------------------------------------
     # Auth plumbing
@@ -191,8 +246,11 @@ class DataStoreService:
         return frozenset({consumer}) | self.memberships.get(consumer, frozenset())
 
     def _engine_for(self, contributor: str) -> RuleEngine:
+        # Belt and braces: recovery already emptied a fail-closed
+        # contributor's rules, and an empty rule set is default-deny.
+        rules = () if contributor in self.fail_closed else self.rules.rules_of(contributor)
         return RuleEngine(
-            self.rules.rules_of(contributor),
+            rules,
             self.places.get(contributor, {}),
             membership=self._membership,
             enforce_closure=self.enforce_closure,
@@ -240,10 +298,22 @@ class DataStoreService:
         add("POST", "/api/membership/set", self._h_membership_set)
         add("POST", "/api/stats", self._h_stats)
         add("POST", "/api/audit/list", self._h_audit_list)
+        add("POST", "/api/recovery", self._h_recovery)
         add("POST", "/api/audit/summary", self._h_audit_summary)
         add("POST", "/api/aggregate", self._h_aggregate)
         add("POST", "/api/delete", self._h_delete)
         add("GET", "/api/metrics", self._h_metrics)
+
+    def _h_recovery(self, request: Request) -> dict:
+        """What the last restart found on disk, and who is denied for it."""
+        self._authenticate(request)
+        report = self.recovery_report
+        return {
+            "Host": self.host,
+            "Durable": self.durability is not None,
+            "FailClosed": sorted(self.fail_closed),
+            "Recovery": report.to_json() if report is not None else None,
+        }
 
     def _h_metrics(self, request: Request) -> dict:
         """Telemetry scrape: the shared registry, labels redaction-checked."""
@@ -293,7 +363,9 @@ class DataStoreService:
     def _h_flush(self, request: Request) -> dict:
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
-        return {"Finalized": len(self.store.flush())}
+        finalized = len(self.store.flush())
+        self._wal_commit()
+        return {"Finalized": finalized}
 
     def _h_query(self, request: Request) -> dict:
         """The query API: every access regulated by the owner's rules.
@@ -463,6 +535,7 @@ class DataStoreService:
         self._require_contributor(request, contributor)
         query = DataQuery.from_json(request.body.get("Query", {}))
         removed = self.store.delete(contributor, query)
+        self._wal_commit()
         self.audit.record_access(
             principal=contributor,
             contributor=contributor,

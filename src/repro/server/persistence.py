@@ -17,9 +17,10 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptRecordError, SchemaError, StorageError
 from repro.rules.parser import rules_to_json
 from repro.server.audit import AuditRecord
+from repro.storage.atomic import atomic_write_jsonl
 from repro.util import jsonutil
 from repro.util.geo import LabeledPlace
 
@@ -28,41 +29,52 @@ def _path(directory: str, host: str, kind: str) -> str:
     return os.path.join(directory, f"{host}.{kind}.jsonl")
 
 
-def _write_lines(path: str, objects) -> None:
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        for obj in objects:
-            fh.write(jsonutil.canonical_dumps(obj))
-            fh.write("\n")
+def _write_lines(path: str, objects, *, faults=None) -> None:
+    """Atomically replace ``path`` (temp + fsync + rename, never in place)."""
+    atomic_write_jsonl(path, objects, faults=faults)
 
 
 def _read_lines(path: str) -> list:
+    """Parse a JSON-lines snapshot; a malformed line is an error, not a skip.
+
+    Silently dropping a line here could drop a privacy *rule*, silently
+    widening sharing.  Strict loads raise
+    :class:`~repro.exceptions.CorruptRecordError` naming the file and
+    line; the recovery path (:mod:`repro.storage.recovery`) instead
+    quarantines bad lines and fails closed for rules.
+    """
     if not os.path.exists(path):
         return []
     out = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 out.append(jsonutil.loads(line))
+            except SchemaError as exc:
+                raise CorruptRecordError(
+                    f"{path}:{lineno}: corrupt snapshot line: {exc}"
+                ) from exc
     return out
 
 
-def save_service_state(service, directory: Optional[str] = None) -> list:
+def save_service_state(service, directory: Optional[str] = None, *, faults=None) -> list:
     """Persist a DataStoreService's full state; returns written paths."""
     directory = directory or service.store.db.directory
     if directory is None:
         raise StorageError(
             f"store {service.host!r} has no persistence directory configured"
         )
-    paths = service.store.save()
+    paths = service.store.save(faults=faults)
 
     rules_rows = []
     for contributor in service.rules.contributors():
         snapshot = service.rules.snapshot(contributor)
         rules_rows.append(snapshot.to_json())
     path = _path(directory, service.host, "rules")
-    _write_lines(path, rules_rows)
+    _write_lines(path, rules_rows, faults=faults)
     paths.append(path)
 
     places_rows = [
@@ -73,7 +85,7 @@ def save_service_state(service, directory: Optional[str] = None) -> list:
         for contributor, places in sorted(service.places.items())
     ]
     path = _path(directory, service.host, "places")
-    _write_lines(path, places_rows)
+    _write_lines(path, places_rows, faults=faults)
     paths.append(path)
 
     roles_rows = [
@@ -81,14 +93,14 @@ def save_service_state(service, directory: Optional[str] = None) -> list:
         for principal, role in sorted(service.roles.items())
     ]
     path = _path(directory, service.host, "roles")
-    _write_lines(path, roles_rows)
+    _write_lines(path, roles_rows, faults=faults)
     paths.append(path)
 
     audit_rows = []
     for contributor in service.rules.contributors():
         audit_rows.extend(r.to_json() for r in service.audit.trail_of(contributor))
     path = _path(directory, service.host, "audit")
-    _write_lines(path, audit_rows)
+    _write_lines(path, audit_rows, faults=faults)
     paths.append(path)
     return paths
 

@@ -1,0 +1,66 @@
+"""``python -m repro recover`` — inspect and repair a store's durable state.
+
+Runs the same recovery path a durable service runs at startup
+(:func:`repro.storage.recovery.recover_service`) against an on-disk
+directory, prints the report, and exits non-zero when damage was found
+(``--strict``) so operators and CI can gate on it.  ``--checkpoint``
+additionally writes a fresh snapshot + manifest and resets the WAL, so the
+repaired state becomes the new baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.util import jsonutil
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro recover",
+        description="Recover a data store's durable state from disk.",
+    )
+    parser.add_argument("--dir", required=True, help="persistence directory")
+    parser.add_argument("--host", required=True, help="store host name (file prefix)")
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 unless the recovery was completely clean",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a fresh snapshot + manifest after recovery (resets the WAL)",
+    )
+    args = parser.parse_args(argv)
+
+    # Imported lazily: the CLI must not drag the whole server stack into
+    # every `import repro.storage`.
+    from repro.net.transport import Network
+    from repro.server.datastore_service import DataStoreService
+
+    service = DataStoreService(
+        args.host, Network(), directory=args.dir, durable=True
+    )
+    report = service.recovery_report
+    if args.checkpoint:
+        service.checkpoint()
+    if args.json:
+        out = report.to_json()
+        out["Checkpointed"] = bool(args.checkpoint)
+        print(jsonutil.canonical_dumps(out))
+    else:
+        print(report.summary())
+        if args.checkpoint:
+            print(f"  checkpointed: generation {service.durability.generation}")
+    if args.strict and not report.clean:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,238 @@
+"""The durability manager: WAL + checkpoints wired into a live service.
+
+One :class:`Durability` instance owns crash safety for one
+:class:`~repro.server.datastore_service.DataStoreService`:
+
+* :meth:`open` runs :func:`~repro.storage.recovery.recover_service`
+  (snapshot + WAL replay + fail-closed), then opens the write-ahead log
+  and hooks every mutation source — rule changes, segment persists and
+  unpersists, audit appends — so each is journaled *before* the API call
+  that caused it returns;
+* :meth:`checkpoint` snapshots the full service state through the atomic
+  writer, records a manifest (generation marker + checkpoint LSN + file
+  SHA-256s), and resets the WAL.  A crash at *any* interior point leaves a
+  state recovery handles: the manifest and log cover each other.
+
+Durability classes: control-plane records (rules, roles, places, audit)
+are appended with ``force_sync`` — an acknowledged rule change is on disk
+before the ack, whatever the sync policy — while bulk segment data rides
+the group-commit window until a *barrier-bearing* request (``flush``,
+``delete``) calls :meth:`commit`.  A crash can therefore lose the last
+un-flushed uploads — data the device still buffers and re-sends — which
+is the bounded-loss trade that keeps WAL overhead on ingest inside the
+benchmark C10 budget.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.exceptions import StorageError
+from repro.storage.atomic import atomic_write_bytes, file_sha256
+from repro.storage.recovery import (
+    OP_AUDIT,
+    OP_PLACES,
+    OP_ROLE,
+    OP_RULES,
+    OP_SEGMENT,
+    OP_SEGMENT_DELETE,
+    RecoveryReport,
+    manifest_path,
+    recover_service,
+    wal_path,
+)
+from repro.storage.wal import SYNC_GROUP, WriteAheadLog
+from repro.util import jsonutil
+
+
+class Durability:
+    """Crash-safe persistence for one data store service."""
+
+    def __init__(
+        self,
+        service,
+        *,
+        directory: Optional[str] = None,
+        sync: str = SYNC_GROUP,
+        faults=None,
+    ):
+        self.service = service
+        self.directory = directory or service.store.db.directory
+        if self.directory is None:
+            raise StorageError(
+                f"store {service.host!r} has no persistence directory; "
+                "durability needs one"
+            )
+        self.sync = sync
+        self.faults = faults
+        self.wal: Optional[WriteAheadLog] = None
+        self.generation = 0
+        self.recovery_report: Optional[RecoveryReport] = None
+        obs = service.network.obs
+        self.obs = obs if obs is not None and obs.enabled else None
+        if self.obs is not None:
+            m = self.obs.metrics
+            host = service.host
+            self._c_appends = m.counter("wal_appends_total", store=host)
+            self._c_commits = m.counter("wal_commits_total", store=host)
+            self._c_checkpoints = m.counter("checkpoints_total", store=host)
+            m.gauge(
+                "wal_size_bytes",
+                callback=lambda: self.wal.size_bytes() if self.wal is not None else 0,
+                store=host,
+            )
+            m.gauge(
+                "wal_io_seconds",
+                callback=lambda: self.wal.io_seconds if self.wal is not None else 0.0,
+                store=host,
+            )
+        else:
+            self._c_appends = None
+            self._c_commits = None
+            self._c_checkpoints = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self) -> RecoveryReport:
+        """Recover from disk, then start journaling every mutation."""
+        report = recover_service(self.service, self.directory, obs=self.obs)
+        self.generation = report.generation
+        self.recovery_report = report
+        os.makedirs(self.directory, exist_ok=True)
+        # recover_service repaired the log, so a fresh scan is clean.
+        self.wal = WriteAheadLog(
+            wal_path(self.directory, self.service.host),
+            sync=self.sync,
+            faults=self.faults,
+        )
+        # Journal the fail-closed deny state itself: a second crash before
+        # the next checkpoint must recover to *deny*, not to the damage.
+        for contributor in report.fail_closed:
+            self._append(
+                OP_RULES,
+                self.service.rules.snapshot(contributor).to_json(),
+                control=True,
+            )
+        self._attach()
+        return report
+
+    def _attach(self) -> None:
+        service = self.service
+        service.rules.on_change(
+            lambda snapshot: self._append(OP_RULES, snapshot.to_json(), control=True)
+        )
+        service.store.on_persist.append(
+            lambda segment: self._append(OP_SEGMENT, segment.to_json())
+        )
+        service.store.on_unpersist.append(
+            lambda segment: self._append(
+                OP_SEGMENT_DELETE, {"SegmentId": segment.segment_id}
+            )
+        )
+        service.audit.on_append(
+            lambda record: self._append(OP_AUDIT, record.to_json(), control=True)
+        )
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+    # ------------------------------------------------------------------
+    # Journaling
+    # ------------------------------------------------------------------
+
+    def _append(self, op: str, data: dict, *, control: bool = False) -> Optional[int]:
+        if self.wal is None:  # recovery replay phase, or closed
+            return None
+        lsn = self.wal.append(op, data, force_sync=control)
+        if self._c_appends is not None:
+            self._c_appends.inc()
+        return lsn
+
+    def log_places(self, contributor: str) -> None:
+        """Journal a places update (control plane: feeds rule semantics)."""
+        places = self.service.places.get(contributor, {})
+        self._append(
+            OP_PLACES,
+            {
+                "Contributor": contributor,
+                "Places": [p.to_json() for p in places.values()],
+            },
+            control=True,
+        )
+
+    def log_role(self, principal: str, role: str) -> None:
+        """Journal a principal registration (control plane)."""
+        self._append(OP_ROLE, {"Principal": principal, "Role": role}, control=True)
+
+    def commit(self) -> None:
+        """Group-commit barrier: everything journaled so far becomes durable.
+
+        The service calls this from barrier-bearing requests (``flush``,
+        ``delete``) and before every checkpoint, so those acks imply the
+        journal entries are on disk; plain uploads ride the group window.
+        """
+        if self.wal is not None:
+            self.wal.commit()
+            if self._c_commits is not None:
+                self._c_commits.inc()
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot state atomically, write the manifest, reset the WAL.
+
+        Interior crash states and why each recovers:
+
+        * during a snapshot file write — temp file torn, live file intact;
+          old manifest still matches old files; WAL still covers the delta;
+        * after snapshots, before the manifest rename — files are new but
+          the old manifest's checksums no longer match: recovery
+          quarantines per the matrix and the WAL replay re-applies (rule
+          replay is version-monotonic, segment replay idempotent);
+        * after the manifest rename, before the WAL reset — manifest's
+          CheckpointLsn makes the replay skip everything the snapshot
+          already contains.
+        """
+        if self.wal is None:
+            raise StorageError("durability not opened; call open() first")
+        from repro.server.persistence import save_service_state
+
+        faults = self.faults
+        if faults is not None:
+            faults.at_point("checkpoint.pre_snapshot")
+        # Flush the optimizer first: finalized segments journal now, below
+        # the LSN the manifest will claim to cover.
+        self.service.store.flush()
+        self.wal.commit()
+        checkpoint_lsn = self.wal.last_lsn
+        paths = save_service_state(self.service, self.directory, faults=faults)
+        manifest = {
+            "Host": self.service.host,
+            "Generation": self.generation + 1,
+            "CheckpointLsn": checkpoint_lsn,
+            "Files": {
+                os.path.basename(path): file_sha256(path) for path in paths
+            },
+        }
+        atomic_write_bytes(
+            manifest_path(self.directory, self.service.host),
+            (jsonutil.canonical_dumps(manifest) + "\n").encode("utf-8"),
+            faults=faults,
+            point="checkpoint.manifest",
+        )
+        self.generation += 1
+        if faults is not None:
+            faults.at_point("checkpoint.pre_wal_reset")
+        self.wal.reset()
+        if faults is not None:
+            faults.at_point("checkpoint.done")
+        if self._c_checkpoints is not None:
+            self._c_checkpoints.inc()
+        return manifest

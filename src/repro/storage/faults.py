@@ -1,0 +1,213 @@
+"""Deterministic storage fault injection: crashes, torn writes, bit-flips.
+
+The disk-side sibling of :mod:`repro.net.faults`.  Network faults prove
+the *protocols* survive loss; storage faults prove the *durability layer*
+survives power loss mid-write.  A :class:`StorageFaultPlan` is threaded
+through the write-ahead log and the atomic snapshot writer, which consult
+it at named **crash points** — ``wal.append.pre_write``,
+``checkpoint.manifest.pre_rename``, … — so a test can kill the process at
+every intermediate on-disk state and assert recovery handles each one.
+
+Fault kinds:
+
+* **crash** — raise :class:`~repro.exceptions.SimulatedCrashError` at a
+  point, leaving the file exactly as the real kernel would after power
+  loss at that instant;
+* **torn write** — write only a prefix of the payload (fraction derived
+  deterministically from the seed unless pinned), then crash: the classic
+  torn page / short ``write(2)``;
+* **bit-flip** — :meth:`corrupt_file` flips one deterministic bit of an
+  existing file: silent media corruption, no crash.
+
+Every variable decision hashes ``(seed, rule index, hit counter)`` — never
+global randomness — so a seed reproduces the same damage byte for byte,
+the same property benchmark C7 asserts for the network plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import SimulatedCrashError
+
+CRASH = "crash"
+TORN = "torn"
+
+#: Crash points the durability layer exposes, in write-path order.  The
+#: crash-sweep conformance test iterates this list; adding a new fsync or
+#: rename to the WAL/checkpoint code should add its points here so the
+#: sweep automatically covers them.
+CRASH_POINTS = (
+    "wal.append.pre_write",
+    "wal.append.write",  # torn frame: only a prefix of the frame lands
+    "wal.append.pre_fsync",
+    "wal.append.post_fsync",
+    "wal.commit.pre_fsync",
+    "checkpoint.pre_snapshot",
+    "snapshot.pre_write",
+    "snapshot.write",  # torn temp file; the live file is never touched
+    "snapshot.pre_rename",
+    "snapshot.post_rename",
+    "checkpoint.manifest.pre_write",
+    "checkpoint.manifest.pre_rename",
+    "checkpoint.manifest.post_rename",
+    "checkpoint.pre_wal_reset",
+    "checkpoint.done",
+)
+
+
+@dataclass
+class StorageFaultRule:
+    """One armed fault: fires when its point is hit the ``at_hit``-th time."""
+
+    kind: str
+    point: str  # prefix-matched against the crash-point name
+    at_hit: int = 0  # fire on the Nth matching hit (0 = first)
+    fraction: Optional[float] = None  # torn: payload prefix fraction
+    hits: int = 0
+
+    def matches(self, point: str) -> bool:
+        return point.startswith(self.point)
+
+
+@dataclass
+class StorageFaultEvent:
+    """One decision, for the reproducibility log."""
+
+    seq: int
+    point: str
+    path: str
+    kind: str
+    outcome: str  # "crash" | "torn:<bytes>/<total>" | "flip:<offset>.<bit>" | "pass"
+
+    def line(self) -> str:
+        return f"{self.seq}\t{self.point}\t{self.path}\t{self.kind}\t{self.outcome}"
+
+
+class StorageFaultPlan:
+    """A seeded, reproducible schedule of storage faults.
+
+    Hand to a durable service (``DataStoreService(..., storage_faults=plan)``)
+    or directly to :class:`~repro.storage.wal.WriteAheadLog` /
+    :func:`~repro.storage.atomic.atomic_write_bytes`::
+
+        plan = StorageFaultPlan(seed=7)
+        plan.add_crash("checkpoint.manifest.pre_rename")
+        plan.add_torn_write("wal.append", at_hit=3)
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.rules: list[StorageFaultRule] = []
+        self.log: list[StorageFaultEvent] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: StorageFaultRule) -> StorageFaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def add_crash(self, point: str, *, at_hit: int = 0) -> StorageFaultRule:
+        """Die at ``point`` (prefix match) on its ``at_hit``-th hit."""
+        return self.add_rule(StorageFaultRule(CRASH, point, at_hit=at_hit))
+
+    def add_torn_write(
+        self, point: str, *, at_hit: int = 0, fraction: Optional[float] = None
+    ) -> StorageFaultRule:
+        """Write a payload prefix at ``point``, then die.
+
+        ``fraction`` pins the surviving prefix; left ``None`` it is derived
+        from the seed, so a seed sweep explores many tear offsets.
+        """
+        return self.add_rule(
+            StorageFaultRule(TORN, point, at_hit=at_hit, fraction=fraction)
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks consulted by the write paths
+    # ------------------------------------------------------------------
+
+    def _roll(self, rule_index: int, hit: int) -> float:
+        material = f"{self.seed}\x1f{rule_index}\x1f{hit}".encode()
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _record(self, point: str, path: str, kind: str, outcome: str) -> None:
+        self.log.append(StorageFaultEvent(self._seq, point, path or "", kind, outcome))
+        self._seq += 1
+
+    def at_point(self, point: str, *, path: Optional[str] = None) -> None:
+        """Crash check for a non-write point (pre/post fsync, rename, …)."""
+        for index, rule in enumerate(self.rules):
+            if rule.kind != CRASH or not rule.matches(point):
+                continue
+            hit = rule.hits
+            rule.hits += 1
+            if hit == rule.at_hit:
+                self._record(point, path, CRASH, "crash")
+                raise SimulatedCrashError(point, hit)
+            self._record(point, path, CRASH, "pass")
+
+    def write(self, point: str, fh, data: bytes, *, path: Optional[str] = None) -> None:
+        """Write ``data`` to ``fh``, honouring torn-write rules at ``point``."""
+        for index, rule in enumerate(self.rules):
+            if rule.kind != TORN or not rule.matches(point):
+                continue
+            hit = rule.hits
+            rule.hits += 1
+            if hit != rule.at_hit:
+                self._record(point, path, TORN, "pass")
+                continue
+            fraction = rule.fraction
+            if fraction is None:
+                fraction = self._roll(index, hit)
+            keep = min(len(data), int(len(data) * fraction))
+            fh.write(data[:keep])
+            fh.flush()
+            try:
+                os.fsync(fh.fileno())  # the torn prefix is what survives
+            except OSError:  # pragma: no cover - non-file handles in tests
+                pass
+            self._record(point, path, TORN, f"torn:{keep}/{len(data)}")
+            raise SimulatedCrashError(point, hit)
+        fh.write(data)
+
+    # ------------------------------------------------------------------
+    # Silent media corruption
+    # ------------------------------------------------------------------
+
+    def corrupt_file(self, path: str, *, salt: int = 0) -> tuple:
+        """Flip one deterministic bit of an existing file.
+
+        Returns ``(offset, bit)``.  No crash — this models latent media
+        corruption found only when the file is next read, which is why
+        every durable record carries a checksum.
+        """
+        size = os.path.getsize(path)
+        if size == 0:
+            raise ValueError(f"cannot corrupt empty file {path!r}")
+        material = f"{self.seed}\x1fflip\x1f{salt}".encode()
+        digest = hashlib.sha256(material).digest()
+        offset = int.from_bytes(digest[:8], "big") % size
+        bit = digest[8] % 8
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ (1 << bit)]))
+        self._record("corrupt_file", path, "bitflip", f"flip:{offset}.{bit}")
+        return offset, bit
+
+    # ------------------------------------------------------------------
+    # Reproducibility instrument
+    # ------------------------------------------------------------------
+
+    def schedule_bytes(self) -> bytes:
+        """Canonical decision log; identical seeds ⇒ identical bytes."""
+        return "\n".join(event.line() for event in self.log).encode("utf-8")

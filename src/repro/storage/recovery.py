@@ -1,0 +1,490 @@
+"""Crash recovery: replay the WAL over the last good snapshot, fail closed.
+
+Restart sequence for a durable :class:`~repro.server.datastore_service.
+DataStoreService` (driven by :class:`~repro.storage.durability.Durability`):
+
+1. read the checkpoint **manifest** (generation marker) and verify the
+   SHA-256 of every snapshot file it lists;
+2. load the snapshot state, routing undecodable lines to **quarantine**
+   (they are copied out and counted, never silently dropped);
+3. scan the write-ahead log: truncate a *torn tail* (the append that was
+   in flight when the process died — never acknowledged, safe to cut),
+   quarantine anything *corrupt* (checksum/chain/LSN breaks);
+4. replay WAL records with LSN above the manifest's checkpoint LSN;
+5. verify the audit trail's checksum chain;
+6. **fail closed for rules**: when corruption touched anything that feeds
+   rule semantics, affected contributors get an *empty* rule set with a
+   bumped version — the engine's default-deny means nothing flows until
+   the owner re-publishes rules, and the bumped version propagates the
+   deny state to the broker on the next sync.  A corrupt rule record may
+   deny; it must never silently widen sharing.
+
+The fail-closed trigger matrix (conservative by construction):
+
+=====================================  =================================
+Damage observed                        Consequence
+=====================================  =================================
+WAL torn tail                          truncate; benign (unacknowledged)
+WAL corrupt frame / chain / LSN break  fail closed for ALL contributors
+                                       (later rule updates may be lost)
+rules or places snapshot untrusted     fail closed for affected
+(checksum mismatch, missing, or any    contributors (places feed rule
+line quarantined)                      semantics: a corrupt Deny place
+                                       must not lapse)
+segments / roles / audit damage        quarantine + alert; cannot widen
+audit chain break                      alert (trail shortened/tampered)
+=====================================  =================================
+
+One exemption keeps a benign crash from raising a false alarm: rule and
+place WAL records carry a contributor's *complete* state (not deltas), so
+when the WAL itself is intact, a contributor whose latest rules — and,
+if the places snapshot is also untrusted, places — were replayed from it
+is fully trusted regardless of the snapshot's condition.  This is the
+crash-inside-checkpoint window (snapshots rotated, manifest not yet):
+the old manifest's checksums no longer match the new files, but every
+changed state is still in the not-yet-reset WAL.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import SensorSafeError, StorageError
+from repro.storage.atomic import file_sha256
+from repro.storage.wal import WalScan, repair_wal, scan_wal
+from repro.util import jsonutil
+
+#: WAL record operations the replayer understands.
+OP_SEGMENT = "segment"
+OP_SEGMENT_DELETE = "segment_delete"
+OP_RULES = "rules"
+OP_PLACES = "places"
+OP_ROLE = "role"
+OP_AUDIT = "audit"
+KNOWN_OPS = (OP_SEGMENT, OP_SEGMENT_DELETE, OP_RULES, OP_PLACES, OP_ROLE, OP_AUDIT)
+
+ROLE_CONTRIBUTOR = "contributor"
+
+
+# ----------------------------------------------------------------------
+# On-disk layout (shared with Durability; kept here so durability.py can
+# import it without a cycle)
+# ----------------------------------------------------------------------
+
+
+def wal_path(directory: str, host: str) -> str:
+    return os.path.join(directory, f"{host}.wal")
+
+
+def manifest_path(directory: str, host: str) -> str:
+    return os.path.join(directory, f"{host}.manifest.json")
+
+
+def quarantine_dir(directory: str) -> str:
+    return os.path.join(directory, "quarantine")
+
+
+@dataclass
+class RecoveryReport:
+    """Everything a restarted store learned about its on-disk state."""
+
+    host: str
+    directory: str
+    generation: int = 0
+    manifest_found: bool = False
+    #: snapshot rows loaded per kind (segments/rules/places/roles/audit)
+    loaded: dict = field(default_factory=dict)
+    wal_records_replayed: int = 0
+    wal_records_skipped: int = 0  # at or below the checkpoint LSN
+    wal_torn_bytes: int = 0
+    wal_corrupt: bool = False
+    wal_corrupt_reason: str = ""
+    quarantined_records: int = 0
+    quarantined_files: list = field(default_factory=list)
+    fail_closed: list = field(default_factory=list)
+    audit_chain_breaks: dict = field(default_factory=dict)  # contributor -> seqs
+    alerts: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.wal_corrupt
+            and self.quarantined_records == 0
+            and not self.quarantined_files
+            and not self.fail_closed
+            and not self.audit_chain_breaks
+            and not self.alerts
+        )
+
+    def alert(self, message: str) -> None:
+        self.alerts.append(message)
+
+    def to_json(self) -> dict:
+        return {
+            "Host": self.host,
+            "Directory": self.directory,
+            "Generation": self.generation,
+            "ManifestFound": self.manifest_found,
+            "Loaded": dict(self.loaded),
+            "WalReplayed": self.wal_records_replayed,
+            "WalSkipped": self.wal_records_skipped,
+            "WalTornBytes": self.wal_torn_bytes,
+            "WalCorrupt": self.wal_corrupt,
+            "WalCorruptReason": self.wal_corrupt_reason,
+            "QuarantinedRecords": self.quarantined_records,
+            "QuarantinedFiles": list(self.quarantined_files),
+            "FailClosed": list(self.fail_closed),
+            "AuditChainBreaks": {k: list(v) for k, v in self.audit_chain_breaks.items()},
+            "Alerts": list(self.alerts),
+            "Clean": self.clean,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"recovery of {self.host!r} from {self.directory}",
+            f"  generation {self.generation} "
+            f"(manifest {'found' if self.manifest_found else 'absent'})",
+            "  loaded: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.loaded.items())),
+            f"  wal: {self.wal_records_replayed} replayed, "
+            f"{self.wal_records_skipped} skipped, "
+            f"{self.wal_torn_bytes} torn bytes truncated",
+        ]
+        if self.wal_corrupt:
+            lines.append(f"  WAL CORRUPT: {self.wal_corrupt_reason}")
+        if self.quarantined_records or self.quarantined_files:
+            lines.append(
+                f"  quarantined: {self.quarantined_records} records, "
+                f"files: {', '.join(self.quarantined_files) or '-'}"
+            )
+        if self.fail_closed:
+            lines.append(f"  FAIL-CLOSED (deny-by-default): {', '.join(self.fail_closed)}")
+        for contributor, seqs in sorted(self.audit_chain_breaks.items()):
+            lines.append(f"  audit chain break for {contributor!r} at seq {seqs}")
+        for alert in self.alerts:
+            lines.append(f"  ALERT: {alert}")
+        if self.clean:
+            lines.append("  clean: no damage detected")
+        return "\n".join(lines)
+
+
+class _Quarantine:
+    """Copies suspect records/files aside and counts them."""
+
+    def __init__(self, directory: str, report: RecoveryReport):
+        self.directory = quarantine_dir(directory)
+        self.report = report
+
+    def record(self, source: str, lineno: int, line: str, reason: str) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, os.path.basename(source) + ".bad")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(f"# line {lineno}: {reason}\n{line}\n")
+        if path not in self.report.quarantined_files:
+            self.report.quarantined_files.append(path)
+        self.report.quarantined_records += 1
+
+    def file(self, source: str, reason: str) -> None:
+        """Move an untrusted file aside wholesale."""
+        if not os.path.exists(source):
+            self.report.alert(f"{source}: missing ({reason})")
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        target = os.path.join(self.directory, os.path.basename(source))
+        os.replace(source, target)
+        self.report.quarantined_files.append(target)
+        self.report.alert(f"{source}: quarantined ({reason})")
+
+
+def _read_manifest(path: str) -> Optional[dict]:
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            obj = jsonutil.loads(fh.read())
+        if not isinstance(obj, dict):
+            raise StorageError("manifest is not a JSON object")
+        return obj
+    except SensorSafeError:
+        return {"__corrupt__": True}
+
+
+def _read_lines_tolerant(path: str, quarantine: _Quarantine) -> tuple:
+    """Returns ``(objects, had_corruption)``; bad lines go to quarantine."""
+    objects = []
+    had_corruption = False
+    if not os.path.exists(path):
+        return objects, had_corruption
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                objects.append(jsonutil.loads(line))
+            except SensorSafeError as exc:
+                quarantine.record(path, lineno, line, str(exc))
+                had_corruption = True
+    return objects, had_corruption
+
+
+def recover_service(service, directory: Optional[str] = None, *, obs=None) -> RecoveryReport:
+    """Restore a DataStoreService from disk, tolerating and reporting damage.
+
+    The strict counterpart is
+    :func:`repro.server.persistence.load_service_state`, which raises on
+    the first corrupt line; this function instead quarantines, replays the
+    WAL, and fails closed for rules per the module-docstring matrix.
+    """
+    from repro.rules.rulestore import RuleSetSnapshot
+    from repro.server.audit import AuditRecord
+    from repro.server.persistence import _path
+    from repro.util.geo import LabeledPlace
+
+    directory = directory or service.store.db.directory
+    if directory is None:
+        raise StorageError(
+            f"store {service.host!r} has no persistence directory configured"
+        )
+    host = service.host
+    report = RecoveryReport(host=host, directory=directory)
+    quarantine = _Quarantine(directory, report)
+    # Three untrust flags feed the fail-closed sweep at the end.  They are
+    # kept separate because the WAL-replay exemption (module docstring)
+    # needs to know *which* side is damaged: an intact WAL can vouch for a
+    # contributor against snapshot damage, but not the other way around.
+    rules_untrusted = False  # rules snapshot (or manifest) is suspect
+    places_untrusted = False  # places snapshot (or manifest) is suspect
+    wal_untrusted = False  # the WAL itself is corrupt or unreadable
+
+    # ------------------------------------------------------------------
+    # 1. Manifest: the generation marker written by the last checkpoint.
+    # ------------------------------------------------------------------
+    manifest = _read_manifest(manifest_path(directory, host))
+    checkpoint_lsn = 0
+    if manifest is not None and "__corrupt__" in manifest:
+        report.alert("checkpoint manifest is corrupt; treating snapshots as untrusted")
+        rules_untrusted = True
+        places_untrusted = True
+        manifest = None
+    if manifest is not None:
+        report.manifest_found = True
+        report.generation = int(manifest.get("Generation", 0))
+        checkpoint_lsn = int(manifest.get("CheckpointLsn", 0))
+        for name, expected in sorted(dict(manifest.get("Files", {})).items()):
+            path = os.path.join(directory, name)
+            actual = file_sha256(path)
+            if actual == expected:
+                continue
+            reason = "checksum mismatch vs manifest" if actual else "listed in manifest"
+            kind = name.rsplit(".", 2)[-2] if "." in name else name
+            if kind in ("rules", "places"):
+                # Feeds rule semantics: a JSON-parseable bit flip (a place
+                # boundary, a consumer name) is undetectable per line, so
+                # the whole file is untrusted and contributors fail closed
+                # unless the intact WAL replays their state below.
+                if kind == "rules":
+                    rules_untrusted = True
+                else:
+                    places_untrusted = True
+                quarantine.file(path, reason)
+            else:
+                # Data-plane damage cannot widen sharing; load what still
+                # parses (bad lines quarantine below, audit tampering is
+                # caught by the chain verification) and alert.
+                report.alert(f"{path}: {reason}")
+
+    # ------------------------------------------------------------------
+    # 2. Snapshot state, loaded tolerantly.
+    # ------------------------------------------------------------------
+    def on_corrupt_segment(table, path, lineno, line, exc):
+        quarantine.record(path, lineno, line, str(exc))
+        report.alert(f"segment record lost to corruption ({path}:{lineno})")
+
+    counts = {"segments": service.store.load(on_corrupt=on_corrupt_segment)}
+
+    rules_objs, bad = _read_lines_tolerant(_path(directory, host, "rules"), quarantine)
+    rules_untrusted = rules_untrusted or bad
+    counts["rules"] = 0
+    clean_rules: set = set()
+    for obj in rules_objs:
+        try:
+            snapshot = RuleSetSnapshot.from_json(obj)
+        except SensorSafeError as exc:
+            quarantine.record(_path(directory, host, "rules"), 0,
+                              jsonutil.canonical_dumps(obj), str(exc))
+            rules_untrusted = True
+            continue
+        service.rules.register(snapshot.contributor)
+        service.rules.restore(snapshot.contributor, snapshot.rules, snapshot.version)
+        clean_rules.add(snapshot.contributor)
+        counts["rules"] += len(snapshot.rules)
+
+    places_objs, bad = _read_lines_tolerant(_path(directory, host, "places"), quarantine)
+    places_untrusted = places_untrusted or bad  # places feed rule semantics
+    counts["places"] = 0
+    clean_places: set = set()
+    for obj in places_objs:
+        try:
+            places = {
+                place.label: place
+                for place in (LabeledPlace.from_json(p) for p in obj.get("Places", []))
+            }
+            service.places[str(obj["Contributor"])] = places
+        except (SensorSafeError, KeyError, TypeError) as exc:
+            quarantine.record(_path(directory, host, "places"), 0,
+                              jsonutil.canonical_dumps(obj), str(exc))
+            places_untrusted = True
+            continue
+        counts["places"] += len(places)
+
+    roles_objs, bad = _read_lines_tolerant(_path(directory, host, "roles"), quarantine)
+    if bad:
+        report.alert("roles snapshot had corrupt lines (quarantined)")
+    counts["roles"] = 0
+    for obj in roles_objs:
+        try:
+            service.roles[str(obj["Principal"])] = str(obj["Role"])
+        except (KeyError, TypeError) as exc:
+            quarantine.record(_path(directory, host, "roles"), 0,
+                              jsonutil.canonical_dumps(obj), str(exc))
+            continue
+        counts["roles"] += 1
+
+    audit_objs, bad = _read_lines_tolerant(_path(directory, host, "audit"), quarantine)
+    if bad:
+        report.alert("audit snapshot had corrupt lines (quarantined); trail has gaps")
+    audit_records = []
+    for obj in audit_objs:
+        try:
+            audit_records.append(AuditRecord.from_json(obj))
+        except (SensorSafeError, KeyError, TypeError, ValueError) as exc:
+            quarantine.record(_path(directory, host, "audit"), 0,
+                              jsonutil.canonical_dumps(obj), str(exc))
+    counts["audit"] = service.audit.restore(audit_records)
+    report.loaded = counts
+
+    # ------------------------------------------------------------------
+    # 3 + 4. WAL: repair, then replay past the checkpoint LSN.
+    # ------------------------------------------------------------------
+    scan = scan_wal(wal_path(directory, host))
+    report.wal_torn_bytes = scan.torn_bytes
+    if scan.corrupt:
+        report.wal_corrupt = True
+        report.wal_corrupt_reason = scan.corrupt_reason
+        wal_untrusted = True  # rule updates after the break are lost
+        report.alert(f"WAL corrupt at offset {scan.corrupt_offset}: {scan.corrupt_reason}")
+    qpath = repair_wal(scan, quarantine_dir=quarantine_dir(directory))
+    if qpath is not None:
+        report.quarantined_files.append(qpath)
+        report.quarantined_records += 1
+    for lsn, op, data in scan.records:
+        if lsn <= checkpoint_lsn:
+            report.wal_records_skipped += 1
+            continue
+        try:
+            _apply(service, op, data, clean_rules, clean_places)
+        except SensorSafeError as exc:
+            quarantine.record(wal_path(directory, host), lsn,
+                              jsonutil.canonical_dumps({"Op": op, "Data": data}),
+                              str(exc))
+            if op in (OP_RULES, OP_PLACES) or op not in KNOWN_OPS:
+                wal_untrusted = True
+            report.alert(f"WAL record lsn={lsn} op={op!r} failed to apply: {exc}")
+            continue
+        report.wal_records_replayed += 1
+
+    # ------------------------------------------------------------------
+    # 5. Audit chain verification.
+    # ------------------------------------------------------------------
+    for contributor in service.audit.contributors():
+        breaks = service.audit.verify_chain(contributor)
+        if breaks:
+            report.audit_chain_breaks[contributor] = breaks
+            report.alert(
+                f"audit trail for {contributor!r} breaks its checksum chain at "
+                f"seq {breaks} — records were lost or altered"
+            )
+
+    # ------------------------------------------------------------------
+    # 6. Fail closed for rules.
+    # ------------------------------------------------------------------
+    if rules_untrusted or places_untrusted or wal_untrusted:
+        for contributor in _known_contributors(service):
+            if (
+                not wal_untrusted
+                and (not rules_untrusted or contributor in clean_rules)
+                and (not places_untrusted or contributor in clean_places)
+            ):
+                # Their complete rule (and, where needed, place) state was
+                # replayed from the intact WAL — the snapshot damage is a
+                # crash-inside-checkpoint artifact, not lost semantics.
+                continue
+            version = service.rules.version_of(contributor)
+            service.rules.register(contributor)
+            service.rules.restore(contributor, [], version + 1)
+            report.fail_closed.append(contributor)
+        report.fail_closed.sort()
+        if report.fail_closed:
+            report.alert(
+                "rule state untrusted: denying by default for "
+                + ", ".join(report.fail_closed)
+                + " until rules are re-published"
+            )
+
+    if obs is not None and getattr(obs, "enabled", False):
+        m = obs.metrics
+        m.counter("recovery_runs_total").inc()
+        m.counter("recovery_replayed_total").inc(report.wal_records_replayed)
+        m.counter("records_quarantined_total").inc(report.quarantined_records)
+        m.counter("fail_closed_total").inc(len(report.fail_closed))
+        m.counter("recovery_torn_bytes_total").inc(report.wal_torn_bytes)
+    return report
+
+
+def _known_contributors(service) -> list:
+    """Every contributor this store has any trace of, from every source."""
+    names = set(service.rules.contributors())
+    names.update(service.places)
+    names.update(service.store.contributors())
+    names.update(service.audit.contributors())
+    names.update(
+        principal
+        for principal, role in service.roles.items()
+        if role == ROLE_CONTRIBUTOR
+    )
+    return sorted(names)
+
+
+def _apply(service, op: str, data: dict, clean_rules: set, clean_places: set) -> None:
+    """Apply one replayed WAL record to live service state."""
+    from repro.datastore.wavesegment import WaveSegment
+    from repro.rules.rulestore import RuleSetSnapshot
+    from repro.server.audit import AuditRecord
+    from repro.util.geo import LabeledPlace
+
+    if op == OP_SEGMENT:
+        service.store.restore_segment(WaveSegment.from_json(data))
+    elif op == OP_SEGMENT_DELETE:
+        service.store.remove_segment(str(data["SegmentId"]))
+    elif op == OP_RULES:
+        snapshot = RuleSetSnapshot.from_json(data)
+        service.rules.register(snapshot.contributor)
+        if snapshot.version >= service.rules.version_of(snapshot.contributor):
+            service.rules.restore(snapshot.contributor, snapshot.rules, snapshot.version)
+        clean_rules.add(snapshot.contributor)
+    elif op == OP_PLACES:
+        contributor = str(data["Contributor"])
+        service.places[contributor] = {
+            place.label: place
+            for place in (LabeledPlace.from_json(p) for p in data.get("Places", []))
+        }
+        clean_places.add(contributor)
+    elif op == OP_ROLE:
+        service.roles[str(data["Principal"])] = str(data["Role"])
+    elif op == OP_AUDIT:
+        service.audit.restore([AuditRecord.from_json(data)])
+    else:
+        raise StorageError(f"unknown WAL op {op!r} (written by a newer version?)")

@@ -1,0 +1,99 @@
+"""Broker/store convergence after a store crash (durability satellite).
+
+The dangerous window: the store durably commits a rule change (WAL
+fsync) and crashes before the eager push reaches the broker.  The two
+sides diverge — the broker's mirror would keep matching searches against
+rules the store has already superseded.  :meth:`BrokerService.
+reconcile_store` re-pairs with the restarted store and force-pulls every
+contributor on that host, so the mirror adopts the store's recovered
+state — including a fail-closed recovery's deny-by-default rules.
+"""
+
+import pytest
+
+from repro.exceptions import SimulatedCrashError
+from repro.net.transport import Network
+from repro.rules.model import ALLOW, DENY, Rule
+from repro.server.broker_service import BrokerService
+from repro.server.datastore_service import DataStoreService
+from repro.storage import StorageFaultPlan, wal_path
+
+HOST = "store-a"
+
+ALLOW_ECG = Rule(consumers=("bob",), sensors=("ECG",), action=ALLOW)
+DENY_GPS = Rule(consumers=("bob",), sensors=("GPS",), action=DENY)
+
+
+def paired_system(tmp_path):
+    """A broker and a durable store on one network, eagerly synced."""
+    network = Network()
+    broker = BrokerService(network)
+    store = DataStoreService(
+        HOST, network, directory=str(tmp_path), durable=True
+    )
+    broker.attach_store(store, eager_sync=True)
+    store.register_contributor("alice")
+    store.rules.replace_all("alice", [ALLOW_ECG])  # v1, eagerly pushed
+    assert broker.registry.get("alice").rules_version == 1
+    return network, broker, store
+
+
+def restart(network, tmp_path):
+    network.unregister_host(HOST)
+    return DataStoreService(HOST, network, directory=str(tmp_path), durable=True)
+
+
+class TestCrashBeforePush:
+    def test_divergence_heals_on_reconcile(self, tmp_path):
+        network, broker, store = paired_system(tmp_path)
+        # Crash right after the v2 journal entry is fsynced: the WAL
+        # listener runs before the broker-push listener, so the change is
+        # durably committed on the store but never reaches the broker.
+        plan = StorageFaultPlan(seed=0)
+        plan.add_crash("wal.append.post_fsync")
+        store.durability.wal.faults = plan
+        with pytest.raises(SimulatedCrashError):
+            store.rules.replace_all("alice", [ALLOW_ECG, DENY_GPS])  # v2
+        assert broker.registry.get("alice").rules_version == 1  # diverged
+
+        store2 = restart(network, tmp_path)
+        assert store2.recovery_report.clean
+        assert store2.rules.version_of("alice") == 2  # committed ⇒ recovered
+
+        out = broker.reconcile_store(store2)
+        assert out == {"pulled": 1, "applied": 1, "failed": 0}
+        record = broker.registry.get("alice")
+        assert record.rules_version == 2
+        assert len(record.rules) == 2
+
+    def test_reconciled_store_keeps_syncing_eagerly(self, tmp_path):
+        network, broker, store = paired_system(tmp_path)
+        store.durability.close()
+        store2 = restart(network, tmp_path)
+        broker.reconcile_store(store2)
+        # Re-pairing rewired the eager push with fresh keys on both sides.
+        store2.rules.replace_all("alice", [ALLOW_ECG, DENY_GPS])
+        assert broker.registry.get("alice").rules_version == 2
+
+
+class TestFailClosedConvergence:
+    def test_mirror_adopts_deny_by_default(self, tmp_path):
+        network, broker, store = paired_system(tmp_path)
+        store.checkpoint()  # roles and v1 rules land in the snapshot
+        store.rules.replace_all("alice", [ALLOW_ECG, DENY_GPS])  # v2 in WAL
+        assert broker.registry.get("alice").rules_version == 2
+        store.durability.close()
+        StorageFaultPlan(seed=7).corrupt_file(wal_path(str(tmp_path), HOST))
+
+        store2 = restart(network, tmp_path)
+        assert "alice" in store2.fail_closed
+        assert store2.rules.rules_of("alice") == ()
+        # The broker still mirrors the optimistic v2 rules...
+        assert len(broker.registry.get("alice").rules) == 2
+
+        broker.reconcile_store(store2)
+        # ...until the force-pull makes it adopt the store's deny state:
+        # a mirror shadowing rules the store no longer trusts would show
+        # consumers matches the store will deny.
+        record = broker.registry.get("alice")
+        assert record.rules == ()

@@ -166,3 +166,64 @@ class TestAuditThroughService:
             "https://alice-store/api/audit/list", {"Contributor": "alice"}, raw=True
         )
         assert response.status == 403
+
+
+class TestChecksumChain:
+    """The trail's integrity chain (durability PR): a torn or tampered
+    trail is detected instead of trusted as a shorter plausible one."""
+
+    def _log_with(self, n=3):
+        log = AuditLog()
+        for i in range(n):
+            log.record_access(
+                principal="bob", contributor="alice", query={"I": i},
+                raw_access=False, segments_scanned=1,
+            )
+        return log
+
+    def test_intact_chain_verifies(self):
+        assert self._log_with().verify_chain("alice") == []
+
+    def test_chain_survives_json_roundtrip(self):
+        records = self._log_with().trail_of("alice")
+        restored = AuditLog()
+        restored.restore([AuditRecord.from_json(r.to_json()) for r in records])
+        assert restored.verify_chain("alice") == []
+
+    def test_dropped_record_breaks_chain(self):
+        records = self._log_with().trail_of("alice")
+        restored = AuditLog()
+        restored.restore([records[0], records[2]])  # middle record gone
+        assert restored.verify_chain("alice") == [records[2].seq]
+
+    def test_tampered_content_breaks_chain(self):
+        from dataclasses import replace
+
+        records = self._log_with().trail_of("alice")
+        tampered = replace(records[1], raw_access=True)
+        restored = AuditLog()
+        restored.restore([records[0], tampered, records[2]])
+        assert restored.verify_chain("alice") == [records[1].seq]
+
+    def test_legacy_prefix_then_fresh_chain(self):
+        """Pre-chain records verify as legacy; the chain restarts after."""
+        from dataclasses import replace
+
+        legacy = [
+            replace(r, chain="") for r in self._log_with(2).trail_of("alice")
+        ]
+        log = AuditLog()
+        log.restore(legacy)
+        log.record_access(
+            principal="bob", contributor="alice", query={}, raw_access=False,
+            segments_scanned=0,
+        )
+        assert log.verify_chain("alice") == []
+
+    def test_restore_is_idempotent_per_seq(self):
+        """WAL replay over a snapshot that already holds the record must
+        not duplicate it (and a duplicate would break the chain)."""
+        log = self._log_with()
+        log.restore(list(log.trail_of("alice")))
+        assert len(log.trail_of("alice")) == 3
+        assert log.verify_chain("alice") == []

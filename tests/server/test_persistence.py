@@ -106,3 +106,58 @@ class TestRoundtrip:
         _, service, _ = build_service(tmp_path, register=False)
         counts = load_service_state(service)
         assert counts == {"segments": 0, "rules": 0, "places": 0, "roles": 0, "audit": 0}
+
+
+class TestAtomicSnapshots:
+    """Snapshot rewrites are atomic (durability PR): a crash mid-save
+    leaves the previous complete file, and the strict loader refuses —
+    rather than silently skips — a malformed line."""
+
+    def test_crash_before_rename_preserves_previous_snapshot(self, saved):
+        from repro.exceptions import SimulatedCrashError
+        from repro.storage import StorageFaultPlan
+
+        _, service, _ = build_service(saved, register=False)
+        load_service_state(service)
+        service.rules.add("alice", Rule(consumers=("eve",), action=ALLOW))
+        plan = StorageFaultPlan(seed=0)
+        plan.add_crash("snapshot.pre_rename")
+        with pytest.raises(SimulatedCrashError):
+            save_service_state(service, faults=plan)
+
+        _, fresh, _ = build_service(saved, register=False)
+        counts = load_service_state(fresh)
+        assert counts["rules"] == 2  # the pre-crash save, complete
+        assert fresh.rules.version_of("alice") == 2
+
+    def test_torn_rewrite_never_tears_the_live_file(self, saved):
+        from repro.exceptions import SimulatedCrashError
+        from repro.storage import StorageFaultPlan
+
+        _, service, _ = build_service(saved, register=False)
+        load_service_state(service)
+        plan = StorageFaultPlan(seed=3)
+        plan.add_torn_write("snapshot.write")
+        with pytest.raises(SimulatedCrashError):
+            save_service_state(service, faults=plan)
+        _, fresh, _ = build_service(saved, register=False)
+        assert load_service_state(fresh)["segments"] > 0
+
+    def test_malformed_rules_line_raises_not_skips(self, saved):
+        from repro.exceptions import CorruptRecordError
+
+        with open(saved / "store.rules.jsonl", "a", encoding="utf-8") as fh:
+            fh.write("{broken\n")
+        _, service, _ = build_service(saved, register=False)
+        with pytest.raises(CorruptRecordError) as exc:
+            load_service_state(service)
+        assert "rules" in str(exc.value)
+
+    def test_malformed_segment_line_raises_not_skips(self, saved):
+        from repro.exceptions import CorruptRecordError
+
+        with open(saved / "store.segments.jsonl", "a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+        _, service, _ = build_service(saved, register=False)
+        with pytest.raises(CorruptRecordError):
+            load_service_state(service)

@@ -1,0 +1,106 @@
+"""Unit tests for the storage fault injector and the atomic writer."""
+
+import os
+
+import pytest
+
+from repro.exceptions import SimulatedCrashError
+from repro.storage.atomic import atomic_write_bytes, atomic_write_jsonl, file_sha256
+from repro.storage.faults import CRASH_POINTS, StorageFaultPlan
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, tmp_path):
+        logs = []
+        for _ in range(2):
+            plan = StorageFaultPlan(seed=42)
+            plan.add_torn_write("snapshot.write")
+            path = str(tmp_path / "f.bin")
+            with pytest.raises(SimulatedCrashError):
+                atomic_write_bytes(path, b"x" * 1000, faults=plan)
+            logs.append(plan.schedule_bytes())
+            os.remove(path + ".tmp")
+        assert logs[0] == logs[1]
+
+    def test_different_seeds_differ(self, tmp_path):
+        sizes = set()
+        for seed in range(6):
+            plan = StorageFaultPlan(seed=seed)
+            plan.add_torn_write("snapshot.write")
+            path = str(tmp_path / f"f{seed}.bin")
+            with pytest.raises(SimulatedCrashError):
+                atomic_write_bytes(path, b"x" * 1000, faults=plan)
+            sizes.add(os.path.getsize(path + ".tmp"))
+        assert len(sizes) > 1  # the seed explores different tear offsets
+
+    def test_bit_flip_is_deterministic(self, tmp_path):
+        path = str(tmp_path / "f.bin")
+        flips = []
+        for _ in range(2):
+            with open(path, "wb") as fh:
+                fh.write(bytes(range(256)))
+            flips.append(StorageFaultPlan(seed=9).corrupt_file(path))
+        assert flips[0] == flips[1]
+        offset, bit = flips[0]
+        with open(path, "rb") as fh:
+            data = fh.read()
+        assert data[offset] == offset ^ (1 << bit)  # exactly one bit flipped
+
+
+class TestCrashRules:
+    def test_crash_fires_on_nth_hit(self):
+        plan = StorageFaultPlan(seed=0)
+        plan.add_crash("wal.append.pre_fsync", at_hit=2)
+        plan.at_point("wal.append.pre_fsync")
+        plan.at_point("wal.append.pre_fsync")
+        with pytest.raises(SimulatedCrashError) as exc:
+            plan.at_point("wal.append.pre_fsync")
+        assert exc.value.hit == 2
+
+    def test_prefix_matching(self):
+        plan = StorageFaultPlan(seed=0)
+        plan.add_crash("checkpoint.manifest")
+        plan.at_point("checkpoint.pre_snapshot")  # different prefix: no fire
+        with pytest.raises(SimulatedCrashError):
+            plan.at_point("checkpoint.manifest.pre_rename")
+
+    def test_every_listed_point_is_armable(self):
+        for point in CRASH_POINTS:
+            plan = StorageFaultPlan(seed=0)
+            plan.add_crash(point)
+            with pytest.raises(SimulatedCrashError):
+                plan.at_point(point)
+
+
+class TestAtomicWriter:
+    def test_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "snap.jsonl")
+        atomic_write_jsonl(path, [{"A": 1}])
+        atomic_write_jsonl(path, [{"A": 2}, {"B": 3}])
+        with open(path) as fh:
+            assert len(fh.readlines()) == 2
+        assert not os.path.exists(path + ".tmp")
+
+    def test_crash_before_rename_preserves_old_file(self, tmp_path):
+        path = str(tmp_path / "snap.jsonl")
+        atomic_write_jsonl(path, [{"A": 1}])
+        before = file_sha256(path)
+        plan = StorageFaultPlan(seed=0)
+        plan.add_crash("snapshot.pre_rename")
+        with pytest.raises(SimulatedCrashError):
+            atomic_write_jsonl(path, [{"A": 2}], faults=plan)
+        assert file_sha256(path) == before  # old complete file intact
+
+    def test_torn_write_never_tears_the_target(self, tmp_path):
+        path = str(tmp_path / "snap.jsonl")
+        atomic_write_jsonl(path, [{"A": 1}])
+        before = file_sha256(path)
+        plan = StorageFaultPlan(seed=5)
+        plan.add_torn_write("snapshot.write")
+        with pytest.raises(SimulatedCrashError):
+            atomic_write_jsonl(path, [{"A": 2}, {"B": 3}], faults=plan)
+        assert file_sha256(path) == before  # tear landed in the temp file
+        assert os.path.exists(path + ".tmp")
+
+    def test_file_sha256_missing_file(self, tmp_path):
+        assert file_sha256(str(tmp_path / "absent")) is None

@@ -1,0 +1,236 @@
+"""Service-level recovery tests: replay, quarantine, fail-closed, CLI."""
+
+import os
+
+import pytest
+
+from repro.datastore.query import DataQuery
+from repro.net.transport import Network
+from repro.rules.model import ALLOW, Rule
+from repro.server.datastore_service import DataStoreService
+from repro.storage import StorageFaultPlan, wal_path
+from repro.storage.cli import main as recover_main
+
+from tests.conftest import make_segment
+
+HOST = "st"
+
+
+def durable_service(tmp_path, **kwargs):
+    return DataStoreService(
+        HOST, Network(), directory=str(tmp_path), durable=True, **kwargs
+    )
+
+
+def populated(tmp_path):
+    """A durable store with a contributor, rules, data, and an audit entry."""
+    service = durable_service(tmp_path)
+    service.register_contributor("alice")
+    service.register_consumer("bob")
+    service.rules.add("alice", Rule(consumers=("bob",), action=ALLOW))
+    service.store.add_segment(make_segment(channels=("ECG",), n=16))
+    service.store.flush()
+    service._wal_commit()
+    bob_key = service.keys.key_of("bob")
+    service.network.request(
+        "POST",
+        f"https://{HOST}/api/query",
+        {"Contributor": "alice", "Query": {}, "ApiKey": bob_key},
+    )
+    return service
+
+
+class TestReplay:
+    def test_wal_only_restart_recovers_everything(self, tmp_path):
+        populated(tmp_path)
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.clean and report.wal_records_replayed > 0
+        assert service2.rules.version_of("alice") == 1
+        assert len(service2.rules.rules_of("alice")) == 1
+        assert service2.roles == {"alice": "contributor", "bob": "consumer"}
+        result = service2.store.query("alice", DataQuery(channels=("ECG",)))
+        assert result.n_samples == 16
+        assert len(service2.audit.trail_of("alice")) == 1
+        assert service2.audit.verify_chain("alice") == []
+
+    def test_checkpoint_then_restart_skips_replay(self, tmp_path):
+        service = populated(tmp_path)
+        service.checkpoint()
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.clean
+        assert report.wal_records_replayed == 0  # WAL was reset
+        assert report.manifest_found and report.generation == 1
+        assert service2.rules.version_of("alice") == 1
+        assert service2.store.query("alice", DataQuery()).n_samples == 16
+
+    def test_replay_is_idempotent_over_checkpoint(self, tmp_path):
+        """Crash between manifest commit and WAL reset: the snapshot already
+        holds the records, and the CheckpointLsn makes replay skip them."""
+        service = populated(tmp_path)
+        plan = StorageFaultPlan(seed=1)
+        plan.add_crash("checkpoint.pre_wal_reset")
+        service.durability.faults = plan
+        from repro.exceptions import SimulatedCrashError
+
+        with pytest.raises(SimulatedCrashError):
+            service.checkpoint()
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.wal_records_replayed == 0
+        assert report.wal_records_skipped > 0  # records at/below CheckpointLsn
+        assert service2.rules.version_of("alice") == 1
+        assert service2.store.query("alice", DataQuery()).n_samples == 16
+
+    def test_deletion_survives_restart(self, tmp_path):
+        service = populated(tmp_path)
+        assert service.store.delete("alice", DataQuery(channels=("ECG",))) == 1
+        service._wal_commit()
+        service2 = durable_service(tmp_path)
+        assert service2.store.query("alice", DataQuery()).n_samples == 0
+
+    def test_places_survive_restart(self, tmp_path):
+        from repro.util.geo import BoundingBox, LabeledPlace
+
+        service = populated(tmp_path)
+        service.set_places(
+            "alice", {"home": LabeledPlace("home", BoundingBox(0, 0, 1, 1))}
+        )
+        service2 = durable_service(tmp_path)
+        assert "home" in service2.places["alice"]
+
+
+class TestFailClosed:
+    def test_wal_bit_flip_fails_closed_for_all(self, tmp_path):
+        service = populated(tmp_path)
+        service.durability.close()
+        StorageFaultPlan(seed=7).corrupt_file(wal_path(str(tmp_path), HOST))
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.wal_corrupt
+        assert "alice" in report.fail_closed and "alice" in service2.fail_closed
+        assert service2.rules.rules_of("alice") == ()  # deny-by-default
+        assert report.quarantined_files  # suspect bytes preserved
+        assert report.alerts
+        # The engine releases nothing for a fail-closed contributor.
+        released = service2._engine_for("alice").evaluate(
+            "bob", [make_segment(channels=("ECG",), n=4)]
+        )
+        assert all(r.segment is None and not r.context_labels for r in released)
+
+    def test_rules_snapshot_flip_fails_closed(self, tmp_path):
+        service = populated(tmp_path)
+        service.checkpoint()
+        service.durability.close()
+        StorageFaultPlan(seed=3).corrupt_file(
+            str(tmp_path / f"{HOST}.rules.jsonl")
+        )
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.fail_closed == ["alice"]
+        assert service2.rules.rules_of("alice") == ()
+        # The untrusted file was moved aside, not silently dropped.
+        assert any("rules" in os.path.basename(f) for f in report.quarantined_files)
+
+    def test_republishing_rules_lifts_fail_closed(self, tmp_path):
+        service = populated(tmp_path)
+        service.durability.close()
+        StorageFaultPlan(seed=7).corrupt_file(wal_path(str(tmp_path), HOST))
+        service2 = durable_service(tmp_path)
+        assert "alice" in service2.fail_closed
+        version = service2.rules.version_of("alice")
+        service2.rules.replace_all(
+            "alice", [Rule(consumers=("bob",), action=ALLOW)]
+        )
+        assert "alice" not in service2.fail_closed
+        assert service2.rules.version_of("alice") == version + 1
+
+    def test_fail_closed_state_survives_a_second_crash(self, tmp_path):
+        """The deny state is itself journaled: restarting again without
+        repair does not resurrect the corrupt optimism."""
+        service = populated(tmp_path)
+        service.durability.close()
+        StorageFaultPlan(seed=7).corrupt_file(wal_path(str(tmp_path), HOST))
+        service2 = durable_service(tmp_path)
+        assert "alice" in service2.fail_closed
+        service2.durability.close()
+        service3 = durable_service(tmp_path)
+        assert service3.rules.rules_of("alice") == ()
+
+    def test_segment_corruption_quarantines_without_fail_closed(self, tmp_path):
+        service = populated(tmp_path)
+        service.checkpoint()
+        service.durability.close()
+        path = str(tmp_path / f"{HOST}.segments.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json at all\n")
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.quarantined_records == 1
+        assert report.fail_closed == []  # data damage cannot widen sharing
+        assert service2.rules.version_of("alice") == 1
+        # The parseable segments still loaded despite the checksum alert.
+        assert service2.store.query("alice", DataQuery()).n_samples == 16
+
+
+class TestAuditChain:
+    def test_chain_break_is_detected_and_reported(self, tmp_path):
+        service = populated(tmp_path)
+        service.checkpoint()
+        service.durability.close()
+        # Tamper: drop the audit record, leaving a plausible empty trail.
+        path = str(tmp_path / f"{HOST}.audit.jsonl")
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        # Replace the record's withheld payload — content no longer matches
+        # its chain value.
+        tampered = lines[0].replace('"RawAccess":false', '"RawAccess":true')
+        assert tampered != lines[0]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(tampered)
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert "alice" in report.audit_chain_breaks
+        assert any("audit trail" in alert for alert in report.alerts)
+
+
+class TestRecoveryApi:
+    def test_recovery_endpoint_reports_state(self, tmp_path):
+        populated(tmp_path)
+        service2 = durable_service(tmp_path)
+        key = service2.register_consumer("carol")
+        body = service2.network.request(
+            "POST", f"https://{HOST}/api/recovery", {"ApiKey": key}
+        ).body
+        assert body["Durable"] is True
+        assert body["Recovery"]["Clean"] is True
+        assert body["FailClosed"] == []
+
+
+class TestCli:
+    def test_recover_cli_clean(self, tmp_path, capsys):
+        populated(tmp_path)
+        code = recover_main(["--dir", str(tmp_path), "--host", HOST, "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_recover_cli_strict_fails_on_damage(self, tmp_path, capsys):
+        service = populated(tmp_path)
+        service.durability.close()
+        StorageFaultPlan(seed=7).corrupt_file(wal_path(str(tmp_path), HOST))
+        code = recover_main(["--dir", str(tmp_path), "--host", HOST, "--strict"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL-CLOSED" in out
+
+    def test_recover_cli_json_and_checkpoint(self, tmp_path, capsys):
+        populated(tmp_path)
+        code = recover_main(
+            ["--dir", str(tmp_path), "--host", HOST, "--json", "--checkpoint"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"Checkpointed":true' in out
+        assert os.path.exists(str(tmp_path / f"{HOST}.manifest.json"))

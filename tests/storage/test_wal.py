@@ -1,0 +1,196 @@
+"""Unit tests for the write-ahead log: framing, scanning, damage taxonomy."""
+
+import os
+
+import pytest
+
+from repro.exceptions import CorruptRecordError, StorageError
+from repro.storage.wal import (
+    GROUP_COMMIT_APPENDS,
+    HEADER_SIZE,
+    SYNC_GROUP,
+    SYNC_NEVER,
+    WriteAheadLog,
+    repair_wal,
+    scan_wal,
+)
+
+
+def wal_with(tmp_path, records, **kwargs):
+    path = str(tmp_path / "test.wal")
+    wal = WriteAheadLog(path, **kwargs)
+    for op, data in records:
+        wal.append(op, data)
+    wal.close()
+    return path
+
+
+class TestRoundtrip:
+    def test_append_scan_roundtrip(self, tmp_path):
+        path = wal_with(
+            tmp_path,
+            [("rules", {"Contributor": "alice", "Version": 1}), ("segment", {"Id": "s1"})],
+        )
+        scan = scan_wal(path)
+        assert not scan.torn and not scan.corrupt
+        assert [(lsn, op) for lsn, op, _ in scan.records] == [(1, "rules"), (2, "segment")]
+        assert scan.records[0][2] == {"Contributor": "alice", "Version": 1}
+        assert scan.good_bytes == os.path.getsize(path)
+
+    def test_scan_missing_file_is_empty(self, tmp_path):
+        scan = scan_wal(str(tmp_path / "absent.wal"))
+        assert scan.records == [] and not scan.torn and not scan.corrupt
+
+    def test_lsn_continues_across_reopen(self, tmp_path):
+        path = wal_with(tmp_path, [("a", {})])
+        wal = WriteAheadLog(path)
+        assert wal.append("b", {}) == 2
+        wal.close()
+        assert [lsn for lsn, _, _ in scan_wal(path).records] == [1, 2]
+
+    def test_lsn_continues_across_reset(self, tmp_path):
+        path = str(tmp_path / "test.wal")
+        wal = WriteAheadLog(path)
+        wal.append("a", {})
+        wal.append("b", {})
+        wal.reset()
+        assert wal.append("c", {}) == 3  # LSN never reused
+        wal.close()
+        scan = scan_wal(path)
+        assert [(lsn, op) for lsn, op, _ in scan.records] == [(3, "c")]
+
+
+class TestTornTail:
+    """Every prefix truncation of the final frame reads as *torn*, never
+    corrupt — a crash mid-append must not trigger fail-closed."""
+
+    def test_all_tear_offsets_classify_as_torn(self, tmp_path):
+        path = wal_with(tmp_path, [("a", {"K": 1}), ("b", {"K": 2})])
+        with open(path, "rb") as fh:
+            data = fh.read()
+        first_length = int.from_bytes(data[0:4], "little")
+        second_start = HEADER_SIZE + first_length
+        # Cut the file at every byte inside the second frame.
+        for cut in range(second_start, len(data)):
+            scan = scan_truncated(path, tmp_path, data, cut)
+            assert not scan.corrupt, f"cut at {cut} misread as corruption"
+            assert scan.torn == (cut > second_start)
+            assert len(scan.records) == 1  # first frame always intact
+
+    def test_repair_truncates_torn_tail(self, tmp_path):
+        path = wal_with(tmp_path, [("a", {"K": 1}), ("b", {"K": 2})])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 3)
+        scan = scan_wal(path)
+        assert scan.torn and not scan.corrupt
+        assert repair_wal(scan) is None  # benign: nothing to quarantine
+        healed = scan_wal(path)
+        assert not healed.torn and len(healed.records) == 1
+        # Appending after repair continues cleanly.
+        wal = WriteAheadLog(path)
+        wal.append("c", {})
+        wal.close()
+        assert len(scan_wal(path).records) == 2
+
+
+class TestCorruption:
+    def test_payload_flip_is_corrupt_not_torn(self, tmp_path):
+        path = wal_with(tmp_path, [("a", {"K": 1}), ("b", {"K": 2})])
+        with open(path, "r+b") as fh:
+            fh.seek(HEADER_SIZE + 2)  # inside the first payload
+            byte = fh.read(1)
+            fh.seek(HEADER_SIZE + 2)
+            fh.write(bytes([byte[0] ^ 0x40]))
+        scan = scan_wal(path)
+        assert scan.corrupt and scan.corrupt_offset == 0
+        assert scan.records == []  # everything after the break is suspect
+
+    def test_header_flip_is_corrupt(self, tmp_path):
+        """A bit-flip in the final frame's length field must not masquerade
+        as a benign torn tail — the header CRC catches it."""
+        path = wal_with(tmp_path, [("a", {"K": 1})])
+        with open(path, "r+b") as fh:
+            fh.seek(0)  # length field of the only frame
+            byte = fh.read(1)
+            fh.seek(0)
+            fh.write(bytes([byte[0] ^ 0x01]))
+        scan = scan_wal(path)
+        assert scan.corrupt and "header" in scan.corrupt_reason
+
+    def test_deleted_middle_frame_breaks_chain(self, tmp_path):
+        path = wal_with(tmp_path, [("a", {"K": 1}), ("b", {"K": 2}), ("c", {"K": 3})])
+        scan = scan_wal(path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        frame_ends = []
+        offset = 0
+        for _ in scan.records:
+            length = int.from_bytes(data[offset : offset + 4], "little")
+            offset += HEADER_SIZE + length
+            frame_ends.append(offset)
+        # Splice out the middle frame: a shorter, well-formed-looking log.
+        spliced = data[: frame_ends[0]] + data[frame_ends[1] :]
+        with open(path, "wb") as fh:
+            fh.write(spliced)
+        shorter = scan_wal(path)
+        assert shorter.corrupt and "chain" in shorter.corrupt_reason
+        assert len(shorter.records) == 1
+
+    def test_repair_quarantines_corrupt_bytes(self, tmp_path):
+        path = wal_with(tmp_path, [("a", {"K": 1}), ("b", {"K": 2})])
+        with open(path, "r+b") as fh:
+            fh.seek(HEADER_SIZE + 1)
+            fh.write(b"\xff")
+        scan = scan_wal(path)
+        qdir = str(tmp_path / "quarantine")
+        qpath = repair_wal(scan, quarantine_dir=qdir)
+        assert qpath is not None and os.path.getsize(qpath) > 0
+        assert os.path.getsize(path) == scan.good_bytes == 0
+
+    def test_open_refuses_damaged_log(self, tmp_path):
+        path = wal_with(tmp_path, [("a", {"K": 1})])
+        with open(path, "r+b") as fh:
+            fh.write(b"\xff")
+        with pytest.raises(CorruptRecordError):
+            WriteAheadLog(path)
+
+
+class TestSyncPolicies:
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            WriteAheadLog(str(tmp_path / "w.wal"), sync="sometimes")
+
+    def test_group_commit_syncs_on_threshold_and_commit(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w.wal"), sync=SYNC_GROUP)
+        for _ in range(GROUP_COMMIT_APPENDS - 1):
+            wal.append("seg", {})
+        assert wal._unsynced == GROUP_COMMIT_APPENDS - 1
+        wal.append("seg", {})
+        assert wal._unsynced == 0  # threshold fsync
+        wal.append("seg", {})
+        wal.commit()
+        assert wal._unsynced == 0  # commit barrier fsync
+        wal.close()
+
+    def test_force_sync_overrides_group_policy(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w.wal"), sync=SYNC_GROUP)
+        wal.append("seg", {})
+        assert wal._unsynced == 1
+        wal.append("rules", {}, force_sync=True)  # control plane
+        assert wal._unsynced == 0
+        wal.close()
+
+    def test_never_policy_skips_fsync_but_data_lands(self, tmp_path):
+        path = str(tmp_path / "w.wal")
+        wal = WriteAheadLog(path, sync=SYNC_NEVER)
+        wal.append("a", {})
+        wal.close()
+        assert len(scan_wal(path).records) == 1
+
+
+def scan_truncated(path, tmp_path, data, cut):
+    trunc = str(tmp_path / "trunc.wal")
+    with open(trunc, "wb") as fh:
+        fh.write(data[:cut])
+    return scan_wal(trunc)
