@@ -19,7 +19,6 @@ persisted before chaining existed verify as "legacy" rather than broken.
 from __future__ import annotations
 
 import hashlib
-import itertools
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Optional
 
@@ -96,7 +95,7 @@ class AuditLog:
 
     def __init__(self) -> None:
         self._records: dict[str, list] = {}
-        self._seq = itertools.count(1)
+        self._next_seq = 1
         #: Durability hooks fired with each freshly appended record (the
         #: write-ahead log journals the trail through these); restores do
         #: not fire them.
@@ -126,7 +125,8 @@ class AuditLog:
             samples += item.n_samples
             labels.update(item.context_labels)
             withheld.update(item.withheld)
-        seq = next(self._seq)
+        seq = self._next_seq
+        self._next_seq += 1
         record = AuditRecord(
             seq=seq,
             at_ms=seq,  # logical clock; wall time is not simulated
@@ -156,6 +156,13 @@ class AuditLog:
         records over a snapshot that may already contain them (a crash
         between snapshot rotation and the manifest commit), and a
         duplicate trail entry would falsely break the checksum chain.
+
+        The counter only ever ratchets upward: recovery calls this once
+        for the snapshot trail and then once per replayed WAL record, and
+        a replayed *older* record (e.g. after a torn WAL tail cut the
+        newest frames) must not regress the counter into seq numbers the
+        trail already holds — reused (contributor, seq) keys would make a
+        later restore silently drop legitimate records as duplicates.
         """
         count = 0
         max_seq = 0
@@ -166,8 +173,7 @@ class AuditLog:
                 continue
             trail.append(record)
             count += 1
-        if max_seq:
-            self._seq = itertools.count(max_seq + 1)
+        self._next_seq = max(self._next_seq, max_seq + 1)
         return count
 
     def verify_chain(self, contributor: str) -> list:

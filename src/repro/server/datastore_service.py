@@ -115,7 +115,6 @@ class DataStoreService:
         self.recovery_report = None
         self.router = Router()
         self._mount_routes()
-        network.register_host(host, self.router)
         if durable:
             from repro.storage.durability import Durability
 
@@ -124,6 +123,11 @@ class DataStoreService:
             )
             self.recovery_report = self.durability.open()
             self.fail_closed = set(self.recovery_report.fail_closed)
+        # Join the network only once recovery has succeeded: a failed
+        # open() must leave no half-constructed host registered, or the
+        # constructor retry dies on "host name already registered" instead
+        # of the real storage error.
+        network.register_host(host, self.router)
         # Registered after durability: a rule change is journaled (write-
         # ahead, force-synced) before the eager broker push propagates it,
         # so a crash between the two leaves the *store* ahead — which the

@@ -28,7 +28,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptRecordError, StorageError
 from repro.storage.atomic import atomic_write_bytes, file_sha256
 from repro.storage.recovery import (
     OP_AUDIT,
@@ -42,7 +42,7 @@ from repro.storage.recovery import (
     recover_service,
     wal_path,
 )
-from repro.storage.wal import SYNC_GROUP, WriteAheadLog
+from repro.storage.wal import SYNC_GROUP, WriteAheadLog, scan_wal
 from repro.util import jsonutil
 
 
@@ -102,11 +102,24 @@ class Durability:
         self.generation = report.generation
         self.recovery_report = report
         os.makedirs(self.directory, exist_ok=True)
-        # recover_service repaired the log, so a fresh scan is clean.
+        # recover_service repaired the log, so a fresh scan is clean — but
+        # after a checkpoint reset it the file alone says next_lsn=1.  Seed
+        # the LSN from the manifest too, or every post-restart mutation
+        # would be numbered at or below CheckpointLsn and silently skipped
+        # by the replay filter on the *next* recovery (a committed rule
+        # change lost without any corruption signal).
+        scan = scan_wal(wal_path(self.directory, self.service.host))
+        if scan.corrupt or scan.torn:
+            raise CorruptRecordError(
+                f"WAL {scan.path!r} still damaged after recovery "
+                f"({scan.corrupt_reason or 'torn tail'})"
+            )
+        scan.next_lsn = max(scan.next_lsn, report.checkpoint_lsn + 1)
         self.wal = WriteAheadLog(
             wal_path(self.directory, self.service.host),
             sync=self.sync,
             faults=self.faults,
+            resume=scan,
         )
         # Journal the fail-closed deny state itself: a second crash before
         # the next checkpoint must recover to *deny*, not to the damage.

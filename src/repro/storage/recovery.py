@@ -94,6 +94,10 @@ class RecoveryReport:
     directory: str
     generation: int = 0
     manifest_found: bool = False
+    #: LSN the checkpoint manifest covers; the reopened WAL must continue
+    #: numbering *above* this, or post-restart appends would replay-filter
+    #: as already-checkpointed (see :meth:`Durability.open`).
+    checkpoint_lsn: int = 0
     #: snapshot rows loaded per kind (segments/rules/places/roles/audit)
     loaded: dict = field(default_factory=dict)
     wal_records_replayed: int = 0
@@ -127,6 +131,7 @@ class RecoveryReport:
             "Directory": self.directory,
             "Generation": self.generation,
             "ManifestFound": self.manifest_found,
+            "CheckpointLsn": self.checkpoint_lsn,
             "Loaded": dict(self.loaded),
             "WalReplayed": self.wal_records_replayed,
             "WalSkipped": self.wal_records_skipped,
@@ -145,7 +150,8 @@ class RecoveryReport:
         lines = [
             f"recovery of {self.host!r} from {self.directory}",
             f"  generation {self.generation} "
-            f"(manifest {'found' if self.manifest_found else 'absent'})",
+            f"(manifest {'found' if self.manifest_found else 'absent'}, "
+            f"checkpoint lsn {self.checkpoint_lsn})",
             "  loaded: "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.loaded.items())),
             f"  wal: {self.wal_records_replayed} replayed, "
@@ -273,6 +279,7 @@ def recover_service(service, directory: Optional[str] = None, *, obs=None) -> Re
         report.manifest_found = True
         report.generation = int(manifest.get("Generation", 0))
         checkpoint_lsn = int(manifest.get("CheckpointLsn", 0))
+        report.checkpoint_lsn = checkpoint_lsn
         for name, expected in sorted(dict(manifest.get("Files", {})).items()):
             path = os.path.join(directory, name)
             actual = file_sha256(path)
@@ -308,7 +315,6 @@ def recover_service(service, directory: Optional[str] = None, *, obs=None) -> Re
     rules_objs, bad = _read_lines_tolerant(_path(directory, host, "rules"), quarantine)
     rules_untrusted = rules_untrusted or bad
     counts["rules"] = 0
-    clean_rules: set = set()
     for obj in rules_objs:
         try:
             snapshot = RuleSetSnapshot.from_json(obj)
@@ -319,13 +325,11 @@ def recover_service(service, directory: Optional[str] = None, *, obs=None) -> Re
             continue
         service.rules.register(snapshot.contributor)
         service.rules.restore(snapshot.contributor, snapshot.rules, snapshot.version)
-        clean_rules.add(snapshot.contributor)
         counts["rules"] += len(snapshot.rules)
 
     places_objs, bad = _read_lines_tolerant(_path(directory, host, "places"), quarantine)
     places_untrusted = places_untrusted or bad  # places feed rule semantics
     counts["places"] = 0
-    clean_places: set = set()
     for obj in places_objs:
         try:
             places = {
@@ -339,6 +343,14 @@ def recover_service(service, directory: Optional[str] = None, *, obs=None) -> Re
             places_untrusted = True
             continue
         counts["places"] += len(places)
+
+    # The fail-closed exemption (module docstring) is granted ONLY by WAL
+    # replay: a contributor lands in these sets when the intact log carries
+    # their complete state.  Snapshot loads never populate them — a
+    # checksum-unverifiable snapshot (corrupt or absent manifest) can parse
+    # cleanly yet carry a flipped bit that widens sharing.
+    wal_clean_rules: set = set()
+    wal_clean_places: set = set()
 
     roles_objs, bad = _read_lines_tolerant(_path(directory, host, "roles"), quarantine)
     if bad:
@@ -385,7 +397,14 @@ def recover_service(service, directory: Optional[str] = None, *, obs=None) -> Re
             report.wal_records_skipped += 1
             continue
         try:
-            _apply(service, op, data, clean_rules, clean_places)
+            _apply(
+                service,
+                op,
+                data,
+                wal_clean_rules,
+                wal_clean_places,
+                rules_trusted=not rules_untrusted,
+            )
         except SensorSafeError as exc:
             quarantine.record(wal_path(directory, host), lsn,
                               jsonutil.canonical_dumps({"Op": op, "Data": data}),
@@ -415,8 +434,8 @@ def recover_service(service, directory: Optional[str] = None, *, obs=None) -> Re
         for contributor in _known_contributors(service):
             if (
                 not wal_untrusted
-                and (not rules_untrusted or contributor in clean_rules)
-                and (not places_untrusted or contributor in clean_places)
+                and (not rules_untrusted or contributor in wal_clean_rules)
+                and (not places_untrusted or contributor in wal_clean_places)
             ):
                 # Their complete rule (and, where needed, place) state was
                 # replayed from the intact WAL — the snapshot damage is a
@@ -458,8 +477,23 @@ def _known_contributors(service) -> list:
     return sorted(names)
 
 
-def _apply(service, op: str, data: dict, clean_rules: set, clean_places: set) -> None:
-    """Apply one replayed WAL record to live service state."""
+def _apply(
+    service,
+    op: str,
+    data: dict,
+    clean_rules: set,
+    clean_places: set,
+    *,
+    rules_trusted: bool = True,
+) -> None:
+    """Apply one replayed WAL record to live service state.
+
+    ``rules_trusted=False`` means the rules snapshot could not be
+    verified; its version numbers are then as suspect as its rules, so a
+    replayed rule record overwrites unconditionally (WAL records carry
+    complete state and replay in LSN order, so the last one wins) instead
+    of letting a possibly bit-flipped snapshot version win the comparison.
+    """
     from repro.datastore.wavesegment import WaveSegment
     from repro.rules.rulestore import RuleSetSnapshot
     from repro.server.audit import AuditRecord
@@ -472,7 +506,10 @@ def _apply(service, op: str, data: dict, clean_rules: set, clean_places: set) ->
     elif op == OP_RULES:
         snapshot = RuleSetSnapshot.from_json(data)
         service.rules.register(snapshot.contributor)
-        if snapshot.version >= service.rules.version_of(snapshot.contributor):
+        if (
+            not rules_trusted
+            or snapshot.version >= service.rules.version_of(snapshot.contributor)
+        ):
             service.rules.restore(snapshot.contributor, snapshot.rules, snapshot.version)
         clean_rules.add(snapshot.contributor)
     elif op == OP_PLACES:

@@ -227,3 +227,19 @@ class TestChecksumChain:
         log.restore(list(log.trail_of("alice")))
         assert len(log.trail_of("alice")) == 3
         assert log.verify_chain("alice") == []
+
+    def test_restore_never_regresses_the_seq_counter(self):
+        """Recovery restores the snapshot trail in one call, then replays
+        WAL records one call each; a replayed *older* record (newest WAL
+        frames torn away) must not drop the counter below the snapshot
+        max, or fresh appends would reuse live (contributor, seq) keys."""
+        snapshot = self._log_with().trail_of("alice")
+        log = AuditLog()
+        log.restore(snapshot)  # counter -> 4
+        log.restore([snapshot[0]])  # older replay: duplicate, skipped
+        fresh = log.record_access(
+            principal="bob", contributor="alice", query={}, raw_access=False,
+            segments_scanned=0,
+        )
+        assert fresh.seq == snapshot[-1].seq + 1
+        assert len({r.seq for r in log.trail_of("alice")}) == 4

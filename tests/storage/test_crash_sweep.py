@@ -202,3 +202,72 @@ class TestBitFlips:
                 int(t),
             )
             assert not decision.releases
+
+
+class TestRestartMutateCrash:
+    """Second-lifetime sweep: a store that *starts* from a checkpointed
+    on-disk state, publishes new rule versions, then crashes mid-append.
+    Guards LSN continuity across restarts — post-restart appends must be
+    numbered above the manifest's CheckpointLsn, or the next replay
+    silently skips acknowledged rule changes as already-checkpointed."""
+
+    V4 = Rule(consumers=("carol",), sensors=("GPS",), action=DENY)
+    V5 = Rule(consumers=("dave",), sensors=("ECG",), action=ALLOW)
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            "wal.append.pre_write",
+            "wal.append.write",
+            "wal.append.pre_fsync",
+            "wal.append.post_fsync",
+        ],
+    )
+    def test_acked_rule_change_survives_second_lifetime_crash(self, point, tmp_path):
+        # Lifetime 1: the full checkpointed workload, then a final
+        # checkpoint and clean shutdown (v3) — the WAL is *empty* on
+        # restart, so only the manifest knows how high LSNs already went.
+        tracker = Tracker()
+        service = DataStoreService(
+            HOST, Network(), directory=str(tmp_path), durable=True
+        )
+        run_workload(service, tracker)
+        service.checkpoint()
+        service.durability.close()
+
+        # Lifetime 2: restart over the checkpoint, ack version 4, then
+        # crash during the version-5 append (hit 1 of each point).
+        plan = StorageFaultPlan(seed=2)
+        if point.endswith(".write"):
+            plan.add_torn_write(point, at_hit=1)
+        else:
+            plan.add_crash(point, at_hit=1)
+        service2 = DataStoreService(
+            HOST, Network(), directory=str(tmp_path), durable=True,
+            storage_faults=plan,
+        )
+        service2.rules.add("alice", self.V4)  # acked: force-synced append
+        with pytest.raises(SimulatedCrashError):
+            service2.rules.add("alice", self.V5)
+        try:
+            service2.durability.wal._fh.close()
+        except OSError:
+            pass
+
+        # Lifetime 3: nothing acknowledged may be missing.
+        service3 = DataStoreService(
+            HOST, Network(), directory=str(tmp_path), durable=True
+        )
+        report = service3.recovery_report
+        assert report.fail_closed == [], report.summary()
+        assert not report.wal_corrupt, report.summary()
+        version = service3.rules.version_of("alice")
+        assert version >= 4, "an acknowledged post-restart rule change was lost"
+        possible = {
+            4: POSSIBLE[3] + [self.V4],
+            5: POSSIBLE[3] + [self.V4, self.V5],
+        }
+        assert rules_to_json(service3.rules.rules_of("alice")) == rules_to_json(
+            possible[version]
+        )
+        service3.durability.close()

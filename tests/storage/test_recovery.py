@@ -234,3 +234,102 @@ class TestCli:
         out = capsys.readouterr().out
         assert '"Checkpointed":true' in out
         assert os.path.exists(str(tmp_path / f"{HOST}.manifest.json"))
+
+
+class TestLsnContinuity:
+    def test_rule_change_after_checkpointed_restart_survives_crash(self, tmp_path):
+        """restart -> mutate -> crash: the reopened WAL must number appends
+        above the manifest's CheckpointLsn.  An empty post-checkpoint WAL
+        file alone says next_lsn=1, and a rule change journaled at lsn <=
+        CheckpointLsn would be silently skipped by the next replay."""
+        service = populated(tmp_path)
+        service.checkpoint()
+        service.durability.close()
+
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.checkpoint_lsn > 0
+        assert service2.durability.wal.last_lsn >= report.checkpoint_lsn
+        service2.rules.replace_all(
+            "alice", [Rule(consumers=("bob",), sensors=("ECG",), action=ALLOW)]
+        )
+        # Crash without a checkpoint: the rule append was force-synced, so
+        # closing the handle is all a real crash would leave behind.
+        service2.durability.close()
+
+        service3 = durable_service(tmp_path)
+        report3 = service3.recovery_report
+        assert report3.wal_records_skipped == 0, report3.summary()
+        assert report3.wal_records_replayed > 0
+        assert service3.rules.version_of("alice") == 2
+        assert len(service3.rules.rules_of("alice")) == 1
+
+    def test_checkpoint_after_restart_keeps_lsn_monotonic(self, tmp_path):
+        """A checkpoint taken by the restarted process must not record a
+        CheckpointLsn below the previous manifest's."""
+        service = populated(tmp_path)
+        first = service.checkpoint()
+        service.durability.close()
+        service2 = durable_service(tmp_path)
+        service2.rules.replace_all(
+            "alice", [Rule(consumers=("bob",), action=ALLOW)]
+        )
+        second = service2.checkpoint()
+        assert second["CheckpointLsn"] > first["CheckpointLsn"]
+
+
+class TestManifestCorruption:
+    def test_corrupt_manifest_distrusts_parseable_snapshots(self, tmp_path):
+        """A corrupt manifest leaves the rules snapshot checksum-unverifiable;
+        a JSON-parseable bit flip in it must not be trusted, so without an
+        intact-WAL replay of their state, contributors fail closed."""
+        service = populated(tmp_path)
+        service.checkpoint()  # WAL reset: the snapshot is the only copy
+        service.durability.close()
+        with open(str(tmp_path / f"{HOST}.manifest.json"), "w", encoding="utf-8") as fh:
+            fh.write("{not json at all\n")
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.fail_closed == ["alice"], report.summary()
+        assert "alice" in service2.fail_closed
+        assert service2.rules.rules_of("alice") == ()  # deny-by-default
+
+    def test_corrupt_manifest_with_intact_wal_keeps_exemption(self, tmp_path):
+        """Crash-inside-checkpoint lookalike: when the not-yet-reset WAL
+        still carries a contributor's complete state, snapshot distrust is
+        benign and the WAL replay vouches for them."""
+        from repro.util.geo import BoundingBox, LabeledPlace
+
+        service = populated(tmp_path)  # no checkpoint: everything in the WAL
+        # The corrupt manifest distrusts the places snapshot too, so the
+        # exemption needs the WAL to carry alice's places as well.
+        service.set_places(
+            "alice", {"home": LabeledPlace("home", BoundingBox(0, 0, 1, 1))}
+        )
+        service.durability.close()
+        with open(str(tmp_path / f"{HOST}.manifest.json"), "w", encoding="utf-8") as fh:
+            fh.write("{not json at all\n")
+        service2 = durable_service(tmp_path)
+        report = service2.recovery_report
+        assert report.fail_closed == [], report.summary()
+        assert service2.rules.version_of("alice") == 1
+        assert len(service2.rules.rules_of("alice")) == 1
+
+
+class TestFailedOpen:
+    def test_failed_recovery_leaves_host_unregistered(self, tmp_path):
+        """If recovery raises, the constructor must not leave the host on
+        the network — a retry would die on 'host name already registered'
+        instead of the real storage error."""
+        from repro.net.transport import Network as Net
+
+        net = Net()
+        wal_dir = tmp_path / f"{HOST}.wal"
+        wal_dir.mkdir()  # unreadable WAL: scanning it raises
+        with pytest.raises(Exception):
+            DataStoreService(HOST, net, directory=str(tmp_path), durable=True)
+        wal_dir.rmdir()
+        # The retry succeeds on the same network under the same name.
+        service = DataStoreService(HOST, net, directory=str(tmp_path), durable=True)
+        assert service.recovery_report is not None
+        service.durability.close()
