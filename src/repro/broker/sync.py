@@ -15,6 +15,15 @@ Two composable modes:
 
 The C5 ablation compares the two on staleness vs. sync traffic.  Profile
 versions make the modes idempotent and safely concurrent.
+
+Cache interaction: sync only ever copies rule state *out of* a store —
+the broker's mirror is read-only search state, and nothing here writes
+back into a store's :class:`~repro.rules.rulestore.RuleStore`.  Every
+path that *does* change store-side rules (owner edits via API or web UI,
+and recovery's :meth:`~repro.rules.rulestore.RuleStore.restore`) advances
+the store-wide ``rules_version`` epoch, so the release cache
+(:mod:`repro.datastore.cache`) never needs a hook in the sync protocol:
+any state a push or pull can observe was already keyed to a fresh epoch.
 """
 
 from __future__ import annotations

@@ -40,10 +40,12 @@ class AggregateSpec:
             raise QueryError(f"aggregate window must be positive: {self.window_ms}")
 
     def to_json(self) -> dict:
+        """JSON wire form of this spec."""
         return {"Function": self.function, "WindowMs": self.window_ms}
 
     @classmethod
     def from_json(cls, obj: dict) -> "AggregateSpec":
+        """Parse a spec from its JSON wire form."""
         if not isinstance(obj, dict):
             raise QueryError("aggregate spec must be a JSON object")
         try:
@@ -62,6 +64,7 @@ class AggregateRow:
     count: int
 
     def to_json(self) -> dict:
+        """JSON wire form of this row."""
         return {
             "Channel": self.channel,
             "WindowStart": self.window_start_ms,
@@ -71,6 +74,7 @@ class AggregateRow:
 
     @classmethod
     def from_json(cls, obj: dict) -> "AggregateRow":
+        """Parse a row from its JSON wire form."""
         return cls(
             channel=str(obj["Channel"]),
             window_start_ms=int(obj["WindowStart"]),

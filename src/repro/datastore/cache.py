@@ -1,0 +1,216 @@
+"""Versioned rule-decision cache for the consumer-query hot path.
+
+Every ``/api/query`` and ``/api/aggregate`` re-runs the full rule
+pipeline — candidate matching, time-piecing, abstraction, dependency
+closure — over every candidate segment, even though privacy rules change
+orders of magnitude less often than queries arrive.  This module caches
+the *outcome* of that pipeline: the exact :class:`~repro.rules.engine.ReleasedSegment`
+tuple (and its serialized JSON) one consumer receives for one query
+against one contributor's data under one rule state.
+
+A stale grant here is a privacy leak, so the cache is **versioned, not
+timed**: entries can never be served stale because everything a release
+depends on is folded into the key —
+
+* ``consumer`` and the consumer's group membership (rules match on
+  groups, and the broker can change membership without touching rules);
+* the store-wide :attr:`~repro.rules.rulestore.RuleStore.rules_version`
+  epoch, which moves on *every* rule mutation anywhere in the store and
+  on every post-recovery restore;
+* the contributor's **content fingerprint** — an XOR accumulator over
+  per-segment content hashes maintained incrementally by
+  :class:`~repro.datastore.segment_store.SegmentStore`, so any persist,
+  delete, compaction, or WAL-replayed mutation moves the key;
+* the contributor's fail-closed flag (recovery can deny a contributor
+  without a rule mutation);
+* the canonical **query shape** (channels, time range, region, limit).
+
+Events that change release semantics *without* moving any key component
+(labeled-places edits, recovery itself) call :meth:`ReleaseCache.invalidate_all`
+instead — correctness never depends on an entry "aging out".
+
+The cache is a bounded LRU with byte-size accounting; hits, misses,
+evictions, invalidations, resident bytes, and entry count are exported
+through the shared metrics registry (``cache_*``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datastore.query import DataQuery
+from repro.datastore.wavesegment import WaveSegment
+from repro.util import jsonutil
+
+
+def segment_content_hash(segment: WaveSegment) -> int:
+    """A 128-bit content hash of one stored wave segment.
+
+    Unlike :attr:`WaveSegment.segment_id` (derived from contributor,
+    channels, start time, and sample *count* only), this digests the
+    actual sample values, location, and context, so two segments that
+    would collide on id but differ in content hash differently.  Returned
+    as an ``int`` so fingerprints can be XOR-combined cheaply.
+    """
+    h = hashlib.sha256()
+    h.update(segment.contributor.encode("utf-8"))
+    h.update("\x1f".join(segment.channels).encode("utf-8"))
+    h.update(str(segment.start_ms).encode("ascii"))
+    h.update(str(segment.interval_ms).encode("ascii"))
+    h.update(segment.values.tobytes())
+    if segment.location is not None:
+        h.update(repr(segment.location.to_json()).encode("utf-8"))
+    if segment.context:
+        h.update(jsonutil.canonical_dumps(dict(segment.context)).encode("utf-8"))
+    return int.from_bytes(h.digest()[:16], "big")
+
+
+def query_shape(query: DataQuery) -> str:
+    """Canonical string identity of a query (its JSON, canonically dumped).
+
+    Two queries with the same shape select the same data: channels, time
+    range, region, and segment limit are all part of
+    :meth:`DataQuery.to_json`, which rejects unknown keys on the way in.
+    """
+    return jsonutil.canonical_dumps(query.to_json())
+
+
+@dataclass
+class CacheEntry:
+    """One cached release: everything the query handler needs on a hit."""
+
+    #: the (possibly merged) segments the store served to the engine —
+    #: release guards receive these so conformance containment checks run
+    #: identically on hits and misses.
+    segments: tuple
+    #: the exact ReleasedSegment tuple the engine produced.
+    released: tuple
+    #: ``[r.to_json() for r in released]``, precomputed once; the handler
+    #: returns a shallow copy so the response is byte-identical to a
+    #: fresh evaluation without re-serializing per hit.
+    payload: list
+    #: segments-scanned count of the original store query (audited on hits).
+    scanned: int
+    #: approximate resident size, charged against the byte budget.
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.nbytes:
+            size = 512  # key + bookkeeping overhead
+            for segment in self.segments:
+                size += segment.storage_bytes()
+            for item in self.released:
+                segment = getattr(item, "segment", None)
+                size += segment.storage_bytes() if segment is not None else 64
+            self.nbytes = size
+
+
+class ReleaseCache:
+    """Bounded LRU of released query results, keyed by full decision state.
+
+    ``capacity`` bounds the entry count and ``max_bytes`` the resident
+    byte estimate; whichever is exceeded first evicts from the LRU tail.
+    A ``capacity`` (or ``max_bytes``) of zero disables insertion, which
+    the service uses as its cache-off switch.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        max_bytes: int = 32 << 20,
+        *,
+        obs=None,
+        store: str = "store",
+    ):
+        self.capacity = int(capacity)
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self.obs = obs if obs is not None and obs.enabled else None
+        if self.obs is not None:
+            m = self.obs.metrics
+            self._c_hits = m.counter("cache_hits_total", store=store)
+            self._c_misses = m.counter("cache_misses_total", store=store)
+            self._c_evictions = m.counter("cache_evictions_total", store=store)
+            self._c_invalidations = m.counter("cache_invalidations_total", store=store)
+            # Force-rebind the callbacks: gauge() is get-or-create, and a
+            # restarted service must not leave the gauge reading a dead
+            # cache instance.
+            g = m.gauge("cache_bytes", store=store)
+            g.callback = lambda: self._bytes
+            g = m.gauge("cache_entries", store=store)
+            g.callback = lambda: len(self._entries)
+        else:
+            self._c_hits = None
+            self._c_misses = None
+            self._c_evictions = None
+            self._c_invalidations = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Current byte-size estimate of all cached entries."""
+        return self._bytes
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple) -> Optional[CacheEntry]:
+        """Return the cached entry for ``key`` (marking it recently used)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            if self._c_misses is not None:
+                self._c_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        if self._c_hits is not None:
+            self._c_hits.inc()
+        return entry
+
+    def put(self, key: tuple, entry: CacheEntry) -> None:
+        """Insert (or refresh) one entry, evicting LRU tails over budget."""
+        if self.capacity <= 0 or self.max_bytes <= 0:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        if entry.nbytes > self.max_bytes:
+            return  # a single oversized release would evict everything
+        self._entries[key] = entry
+        self._bytes += entry.nbytes
+        while self._entries and (
+            len(self._entries) > self.capacity or self._bytes > self.max_bytes
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            if self._c_evictions is not None:
+                self._c_evictions.inc()
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate_all(self, reason: str = "") -> int:
+        """Drop every entry; returns how many were dropped.
+
+        Used for events that change release semantics without moving any
+        key component: labeled-places edits, membership changes, and —
+        fail-closed — WAL recovery, where the rule state on disk cannot
+        be trusted to match what any cached decision was made under.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._bytes = 0
+        if dropped and self._c_invalidations is not None:
+            self._c_invalidations.inc(dropped)
+        return dropped

@@ -39,6 +39,7 @@ class CodecStats:
         self.decode_seconds = 0.0
 
     def reset(self) -> None:
+        """Zero every counter (benchmarks call this between runs)."""
         self.decode_calls = 0
         self.decode_seconds = 0.0
 

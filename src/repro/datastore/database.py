@@ -85,6 +85,7 @@ class Table:
 
     @property
     def name(self) -> str:
+        """The table's name, from its schema."""
         return self.schema.name
 
     def __len__(self) -> int:
@@ -111,6 +112,7 @@ class Table:
         return self.insert(record)
 
     def get(self, pk: Any) -> Any:
+        """The record stored under ``pk``; raises MissingRecordError if absent."""
         try:
             return self._records[pk]
         except KeyError:
@@ -121,6 +123,7 @@ class Table:
         return self._records.get(pk)
 
     def delete(self, pk: Any) -> Any:
+        """Remove and return the record stored under ``pk``."""
         record = self.get(pk)
         del self._records[pk]
         for index in self._indexes.values():
@@ -132,6 +135,7 @@ class Table:
         return iter(list(self._records.values()))
 
     def keys(self) -> list:
+        """Every stored primary key, in insertion order."""
         return list(self._records.keys())
 
     def range(self, index_name: str, lo: Any = None, hi: Any = None) -> Iterator[Any]:
@@ -148,6 +152,7 @@ class Table:
         return [r for r in self._records.values() if predicate(r)]
 
     def clear(self) -> None:
+        """Drop every record and rebuild empty secondary indexes."""
         self._records.clear()
         for name, fn in self.schema.indexes.items():
             self._indexes[name] = _SortedIndex(name, fn)
@@ -170,6 +175,7 @@ class Database:
         serialize: Optional[Callable[[Any], dict]] = None,
         deserialize: Optional[Callable[[dict], Any]] = None,
     ) -> Table:
+        """Create and register a table from key/serialize/deserialize functions."""
         if name in self._tables:
             raise StorageError(f"table {name!r} already exists in {self.name!r}")
         schema = TableSchema(
@@ -184,12 +190,14 @@ class Database:
         return table
 
     def table(self, name: str) -> Table:
+        """Look up a registered table by name; raises StorageError if absent."""
         try:
             return self._tables[name]
         except KeyError:
             raise StorageError(f"no table named {name!r} in {self.name!r}") from None
 
     def tables(self) -> list:
+        """Every registered table, in creation order."""
         return list(self._tables.values())
 
     # ------------------------------------------------------------------

@@ -42,12 +42,14 @@ class IntervalIndex:
         return len(self._entries)
 
     def add(self, interval: Interval, item_id: Any) -> None:
+        """Index one item id over a time interval."""
         entry = (interval.start, interval.end, item_id)
         pos = bisect.bisect_left(self._entries, entry)
         self._entries.insert(pos, entry)
         self._rebuild_prefix(from_pos=pos)
 
     def remove(self, interval: Interval, item_id: Any) -> None:
+        """Remove one (interval, item id) pair from the index."""
         entry = (interval.start, interval.end, item_id)
         pos = bisect.bisect_left(self._entries, entry)
         if pos >= len(self._entries) or self._entries[pos] != entry:
@@ -105,12 +107,14 @@ class GridIndex:
         )
 
     def add(self, point: LatLon, item_id: Any) -> None:
+        """Index one item id at a geographic point."""
         if item_id in self._locations:
             raise StorageError(f"grid index: duplicate item id {item_id!r}")
         self._cells.setdefault(self._cell_of(point), set()).add(item_id)
         self._locations[item_id] = point
 
     def remove(self, item_id: Any) -> None:
+        """Remove one item id from the grid, wherever it was added."""
         point = self._locations.pop(item_id, None)
         if point is None:
             raise StorageError(f"grid index: item id {item_id!r} not found")
@@ -138,4 +142,5 @@ class GridIndex:
                     yield item_id
 
     def location_of(self, item_id: Any) -> Optional[LatLon]:
+        """The point an item id was indexed at, or None when absent."""
         return self._locations.get(item_id)

@@ -53,6 +53,7 @@ class DataQuery:
         return tuple(out)
 
     def to_json(self) -> dict:
+        """JSON wire form; unset filters are omitted."""
         obj: dict = {}
         if self.channels:
             obj["Channels"] = list(self.channels)
@@ -68,6 +69,7 @@ class DataQuery:
 
     @classmethod
     def from_json(cls, obj: dict) -> "DataQuery":
+        """Parse a query from JSON, rejecting unknown keys."""
         if not isinstance(obj, dict):
             raise QueryError(f"query must be a JSON object, got {type(obj).__name__}")
         unknown = set(obj) - cls._JSON_KEYS
@@ -96,13 +98,16 @@ class QueryResult:
 
     @property
     def n_segments(self) -> int:
+        """Number of matching segments."""
         return len(self.segments)
 
     @property
     def n_samples(self) -> int:
+        """Total sample count across matching segments."""
         return sum(s.n_samples for s in self.segments)
 
     def channels(self) -> tuple[str, ...]:
+        """Channels present across matching segments, first-seen order."""
         seen: list[str] = []
         for segment in self.segments:
             for ch in segment.channels:
@@ -111,6 +116,7 @@ class QueryResult:
         return tuple(seen)
 
     def to_json(self) -> dict:
+        """JSON wire form of the result."""
         return {
             "Segments": [s.to_json() for s in self.segments],
             "ScannedSegments": self.scanned_segments,
@@ -119,6 +125,7 @@ class QueryResult:
 
     @classmethod
     def from_json(cls, obj: dict) -> "QueryResult":
+        """Parse a result from its JSON wire form."""
         from repro.datastore.wavesegment import WaveSegment
 
         return cls(

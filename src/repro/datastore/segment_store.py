@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.datastore.cache import segment_content_hash
 from repro.datastore.database import Database
 from repro.datastore.index import GridIndex, IntervalIndex
 from repro.datastore.optimizer import MergePolicy, SegmentOptimizer
@@ -76,6 +77,20 @@ class SegmentStore:
         # contributor -> GridIndex of segment ids
         self._grid_index: dict[str, GridIndex] = {}
         self._grid_cell_degrees = grid_cell_degrees
+        # contributor -> set of segment ids (segments_of used to linear-scan
+        # the whole table for this — an institutional store hosting many
+        # participants paid O(total segments) per owner page view)
+        self._by_contributor: dict[str, set] = {}
+        # Content-fingerprint accumulator.  Each segment's 128-bit content
+        # hash is XORed into its contributor's fingerprint; XOR is
+        # order-independent and self-inverse, so persist/unpersist in any
+        # interleaving (ingest, delete, compaction, WAL replay, disk load)
+        # leaves the fingerprint a pure function of the stored content.
+        # Hashing is deferred to the first fingerprint read so ingest never
+        # pays for it (the C10 in-path budget stays untouched).
+        self._seg_hash: dict[str, int] = {}  # segment id -> content hash
+        self._fingerprints: dict[str, int] = {}  # contributor -> XOR accum
+        self._pending_hash: dict[str, set] = {}  # contributor -> unhashed ids
         self.stats = StoreStats()
         #: Durability hooks: fired with the segment after every persist /
         #: unpersist so a write-ahead log can journal mutations.  Replay
@@ -105,8 +120,8 @@ class SegmentStore:
             self._persist(final)
         return finalized
 
-    def _persist(self, segment: WaveSegment, *, notify: bool = True) -> None:
-        self._segments.insert(segment)
+    def _index_segment(self, segment: WaveSegment) -> None:
+        """Add one (already-tabled) segment to every in-memory index."""
         per_contrib = self._time_index.setdefault(segment.contributor, {})
         for channel_name in segment.channels:
             per_contrib.setdefault(channel_name, IntervalIndex()).add(
@@ -117,23 +132,51 @@ class SegmentStore:
                 segment.contributor, GridIndex(self._grid_cell_degrees)
             )
             grid.add(segment.location, segment.segment_id)
+        self._by_contributor.setdefault(segment.contributor, set()).add(
+            segment.segment_id
+        )
+        self._pending_hash.setdefault(segment.contributor, set()).add(
+            segment.segment_id
+        )
         self.stats.n_segments += 1
         self.stats.n_samples += segment.n_samples
         self.stats.storage_bytes += segment.storage_bytes()
-        if notify:
-            for hook in self.on_persist:
-                hook(segment)
 
-    def _unpersist(self, segment: WaveSegment, *, notify: bool = True) -> None:
-        self._segments.delete(segment.segment_id)
+    def _deindex_segment(self, segment: WaveSegment) -> None:
+        """Remove one segment from every in-memory index (table untouched)."""
         per_contrib = self._time_index.get(segment.contributor, {})
         for channel_name in segment.channels:
             per_contrib[channel_name].remove(segment.interval, segment.segment_id)
         if segment.location is not None:
             self._grid_index[segment.contributor].remove(segment.segment_id)
+        self._by_contributor.get(segment.contributor, set()).discard(
+            segment.segment_id
+        )
+        cached_hash = self._seg_hash.pop(segment.segment_id, None)
+        if cached_hash is not None:
+            self._fingerprints[segment.contributor] = (
+                self._fingerprints.get(segment.contributor, 0) ^ cached_hash
+            )
+        else:
+            self._pending_hash.get(segment.contributor, set()).discard(
+                segment.segment_id
+            )
         self.stats.n_segments -= 1
         self.stats.n_samples -= segment.n_samples
         self.stats.storage_bytes -= segment.storage_bytes()
+
+    def _persist(self, segment: WaveSegment, *, notify: bool = True) -> None:
+        """Insert one finalized segment into the table and every index."""
+        self._segments.insert(segment)
+        self._index_segment(segment)
+        if notify:
+            for hook in self.on_persist:
+                hook(segment)
+
+    def _unpersist(self, segment: WaveSegment, *, notify: bool = True) -> None:
+        """Remove one stored segment from the table and every index."""
+        self._segments.delete(segment.segment_id)
+        self._deindex_segment(segment)
         if notify:
             for hook in self.on_unpersist:
                 hook(segment)
@@ -178,13 +221,44 @@ class SegmentStore:
     # ------------------------------------------------------------------
 
     def contributors(self) -> list:
+        """Every contributor with at least one indexed channel, sorted."""
         return sorted(self._time_index)
 
     def segments_of(self, contributor: str) -> list:
-        """All stored segments for one contributor, start-time order."""
-        out = [s for s in self._segments.scan() if s.contributor == contributor]
+        """All stored segments for one contributor, start-time order.
+
+        Served from the per-contributor id index — O(own segments), where
+        it used to scan the whole table (every other participant's data on
+        an institutional store).  The segments actually touched are counted
+        against ``store_segments_scanned_total`` so the regression is
+        visible in telemetry.
+        """
+        ids = self._by_contributor.get(contributor, ())
+        out = [self._segments.get(segment_id) for segment_id in ids]
         out.sort(key=lambda s: (s.start_ms, s.channels))
+        if self._c_scanned is not None:
+            self._c_scanned.inc(len(out))
         return out
+
+    def content_fingerprint(self, contributor: str) -> int:
+        """XOR of the content hashes of one contributor's stored segments.
+
+        O(1) when nothing changed since the last call; newly persisted
+        segments are hashed on demand.  Any persist, delete, compaction,
+        or replayed mutation moves this value, which is what lets the
+        release cache key decisions by store content without wiring an
+        invalidation event to every mutation path.
+        """
+        pending = self._pending_hash.get(contributor)
+        if pending:
+            fingerprint = self._fingerprints.get(contributor, 0)
+            for segment_id in pending:
+                content_hash = segment_content_hash(self._segments.get(segment_id))
+                self._seg_hash[segment_id] = content_hash
+                fingerprint ^= content_hash
+            pending.clear()
+            self._fingerprints[contributor] = fingerprint
+        return self._fingerprints.get(contributor, 0)
 
     def query(self, contributor: str, query: DataQuery) -> QueryResult:
         """Execute a query against one contributor's data.
@@ -299,20 +373,14 @@ class SegmentStore:
         count = self.db.load(on_corrupt=on_corrupt)
         self._time_index.clear()
         self._grid_index.clear()
+        self._by_contributor.clear()
+        self._seg_hash.clear()
+        self._fingerprints.clear()
+        self._pending_hash.clear()
         self.stats = StoreStats()
-        # Re-persist indexes/stats without reinserting into the table.
+        # Rebuild indexes/stats without reinserting into the table; loaded
+        # segments land in the pending-hash set like any other persist, so
+        # fingerprints reflect disk content on the next read.
         for segment in self._segments.scan():
-            per_contrib = self._time_index.setdefault(segment.contributor, {})
-            for channel_name in segment.channels:
-                per_contrib.setdefault(channel_name, IntervalIndex()).add(
-                    segment.interval, segment.segment_id
-                )
-            if segment.location is not None:
-                grid = self._grid_index.setdefault(
-                    segment.contributor, GridIndex(self._grid_cell_degrees)
-                )
-                grid.add(segment.location, segment.segment_id)
-            self.stats.n_segments += 1
-            self.stats.n_samples += segment.n_samples
-            self.stats.storage_bytes += segment.storage_bytes()
+            self._index_segment(segment)
         return count

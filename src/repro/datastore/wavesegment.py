@@ -92,6 +92,7 @@ class WaveSegment:
 
     @property
     def n_samples(self) -> int:
+        """Number of samples (rows) per channel."""
         return int(self.values.shape[0])
 
     @property
@@ -106,10 +107,12 @@ class WaveSegment:
 
     @property
     def interval(self) -> Interval:
+        """The covered time interval, start-inclusive."""
         return Interval(self.start_ms, self.end_ms)
 
     @property
     def is_uniform(self) -> bool:
+        """True when samples are uniformly spaced (interval_ms set)."""
         return self.interval_ms is not None
 
     def sample_times(self) -> np.ndarray:
@@ -247,6 +250,7 @@ class WaveSegment:
         )
 
     def drop_location(self) -> "WaveSegment":
+        """A copy of this segment with the location removed."""
         return replace(self, location=None, segment_id="")
 
     # ------------------------------------------------------------------
@@ -254,6 +258,7 @@ class WaveSegment:
     # ------------------------------------------------------------------
 
     def to_json(self, encoding: str = ENCODING_B64) -> dict:
+        """JSON wire form; sample values are codec-encoded."""
         obj = {
             "SegmentId": self.segment_id,
             "Contributor": self.contributor,
@@ -269,6 +274,7 @@ class WaveSegment:
 
     @classmethod
     def from_json(cls, obj: dict) -> "WaveSegment":
+        """Parse a segment from its JSON wire form."""
         from repro.util.jsonutil import require_keys
 
         require_keys(

@@ -89,6 +89,7 @@ class EffectiveSharing:
         return frozenset(self.context_levels) - self.raw_contexts()
 
     def location_is_raw(self) -> bool:
+        """True when location leaves the store as raw coordinates."""
         return self.location_level == LOCATION_LEVELS[0]
 
     def shares_nothing(self) -> bool:

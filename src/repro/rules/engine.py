@@ -79,15 +79,19 @@ class ReleasedSegment:
 
     @property
     def n_samples(self) -> int:
+        """Samples in the released piece; 0 when data is withheld."""
         return self.segment.n_samples if self.segment is not None else 0
 
     def channels(self) -> tuple:
+        """Channels of the released piece; empty when data is withheld."""
         return self.segment.channels if self.segment is not None else ()
 
     def is_empty(self) -> bool:
+        """True when no data, context, or location is actually released."""
         return self.segment is None and not self.context_labels and self.location is None
 
     def to_json(self) -> dict:
+        """Deterministic JSON wire form (what the query API returns)."""
         return {
             "Contributor": self.contributor,
             "Timestamp": self.timestamp,
@@ -101,6 +105,7 @@ class ReleasedSegment:
 
     @classmethod
     def from_json(cls, obj: dict) -> "ReleasedSegment":
+        """Parse a released piece from its JSON wire form."""
         seg = obj.get("Segment")
         segment = WaveSegment.from_json(seg) if seg else None
         if segment is not None:
@@ -122,7 +127,21 @@ class ReleasedSegment:
 
 
 class RuleEngine:
-    """Evaluates one contributor's rules against outgoing segments."""
+    """Evaluates one contributor's rules against outgoing segments.
+
+    Determinism contract: for fixed inputs — rules, places, the
+    membership function's answers, the dependency graph, and the segments
+    themselves — evaluation is a pure function producing byte-identical
+    :meth:`ReleasedSegment.to_json` output.  The release cache
+    (:mod:`repro.datastore.cache`) leans on exactly this: its key folds
+    in every one of those inputs (rules via the store-wide epoch,
+    membership directly, places via wholesale invalidation, segments via
+    the content fingerprint), so replaying a cached decision is
+    indistinguishable from re-running the engine.  Anything that would
+    make evaluation nondeterministic (wall-clock reads, unordered
+    iteration over rule sets) must not be introduced here without
+    revisiting the cache key.
+    """
 
     def __init__(
         self,
@@ -166,15 +185,18 @@ class RuleEngine:
 
     @property
     def rules(self) -> tuple:
+        """The engine's current rules, as a tuple."""
         return tuple(self._all_rules)
 
     def set_rules(self, rules: Iterable[Rule]) -> None:
+        """Replace the engine's rule set."""
         self._all_rules = []
         self._buckets = {None: []}
         for rule in rules:
             self.add_rule(rule)
 
     def add_rule(self, rule: Rule) -> None:
+        """Append one rule to the engine's rule set."""
         self._all_rules.append(rule)
         if not rule.consumers:
             self._buckets[None].append(rule)
@@ -214,6 +236,7 @@ class RuleEngine:
         return out
 
     def evaluate_segment(self, consumer: str, segment: WaveSegment) -> list:
+        """Evaluate one segment for one consumer; returns released pieces."""
         if self._h_eval is None:
             return self._evaluate_segment(consumer, segment)
         started = time.perf_counter()

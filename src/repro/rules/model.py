@@ -94,14 +94,17 @@ class Action:
 
     @property
     def is_allow(self) -> bool:
+        """True for allow actions."""
         return self.kind == ACTION_ALLOW
 
     @property
     def is_deny(self) -> bool:
+        """True for deny actions."""
         return self.kind == ACTION_DENY
 
     @property
     def is_abstraction(self) -> bool:
+        """True for abstraction (reduced-fidelity sharing) actions."""
         return self.kind == ACTION_ABSTRACTION
 
 

@@ -133,4 +133,5 @@ def rules_from_json(objs: Iterable[dict]) -> list:
 
 
 def rules_to_json(rules: Iterable[Rule]) -> list:
+    """Serialize an iterable of rules to their JSON wire forms."""
     return [rule_to_json(r) for r in rules]

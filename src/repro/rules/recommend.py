@@ -59,6 +59,7 @@ class RuleSuggestion:
     confidence: float  # fraction of relevant segments matching the pattern
 
     def to_json(self) -> dict:
+        """JSON form of the suggestion (what the web UI renders)."""
         from repro.rules.parser import rule_to_json
 
         return {

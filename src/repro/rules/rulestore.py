@@ -27,6 +27,7 @@ class RuleSetSnapshot:
     rules: tuple
 
     def to_json(self) -> dict:
+        """JSON wire form of the snapshot (the sync payload)."""
         return {
             "Contributor": self.contributor,
             "Version": self.version,
@@ -35,6 +36,7 @@ class RuleSetSnapshot:
 
     @classmethod
     def from_json(cls, obj: dict) -> "RuleSetSnapshot":
+        """Parse a snapshot from its JSON wire form."""
         return cls(
             contributor=str(obj["Contributor"]),
             version=int(obj["Version"]),
@@ -49,6 +51,14 @@ class RuleStore:
         self._rules: dict[str, list] = {}
         self._versions: dict[str, int] = {}
         self._listeners: list[Callable[[RuleSetSnapshot], None]] = []
+        #: Store-wide monotonic epoch: moves on *every* rule mutation for
+        #: *any* contributor, and on every :meth:`restore` (reload or WAL
+        #: replay installs state this process has never evaluated under).
+        #: The release cache keys decisions by this epoch, so "bump the
+        #: epoch" is the one invariant that keeps cached grants fresh —
+        #: per-contributor versions exist for broker sync and cannot serve
+        #: that role because ``restore`` rewinds them.
+        self.rules_version = 0
 
     def on_change(self, listener: Callable[[RuleSetSnapshot], None]) -> None:
         """Register a callback fired after every rule mutation.
@@ -74,6 +84,7 @@ class RuleStore:
         self._versions.setdefault(contributor, 0)
 
     def add(self, contributor: str, rule: Rule) -> Rule:
+        """Add one rule for a contributor; duplicate rule ids are rejected."""
         rules = self._rules.setdefault(contributor, [])
         if any(r.rule_id == rule.rule_id for r in rules):
             raise RuleError(f"duplicate rule id {rule.rule_id!r} for {contributor!r}")
@@ -82,6 +93,7 @@ class RuleStore:
         return rule
 
     def remove(self, contributor: str, rule_id: str) -> Rule:
+        """Remove one rule by id; raises MissingRecordError when absent."""
         rules = self._rules.get(contributor, [])
         for i, rule in enumerate(rules):
             if rule.rule_id == rule_id:
@@ -91,20 +103,28 @@ class RuleStore:
         raise MissingRecordError(f"no rule {rule_id!r} for contributor {contributor!r}")
 
     def replace_all(self, contributor: str, rules: Iterable[Rule]) -> None:
+        """Replace a contributor's entire rule set in one mutation."""
         self._rules[contributor] = list(rules)
         self._bump(contributor)
 
     def restore(self, contributor: str, rules: Iterable[Rule], version: int) -> None:
-        """Install persisted state without bumping or notifying.
+        """Install persisted state without notifying sync listeners.
 
-        Used when reloading a store from disk: the broker already has this
-        state, so firing sync listeners would be redundant traffic.
+        Used when reloading a store from disk (snapshot load and WAL
+        replay): the broker already has this state, so firing sync
+        listeners would be redundant traffic.  The store-wide
+        :attr:`rules_version` epoch still advances — restored state was
+        never evaluated by *this* process, so any cached decision keyed to
+        an earlier epoch must become unreachable.
         """
         self._rules[contributor] = list(rules)
         self._versions[contributor] = version
+        self.rules_version += 1
 
     def _bump(self, contributor: str) -> None:
+        """Advance both version counters, then fire change listeners."""
         self._versions[contributor] = self._versions.get(contributor, 0) + 1
+        self.rules_version += 1
         self._notify(contributor)
 
     # ------------------------------------------------------------------
@@ -112,15 +132,19 @@ class RuleStore:
     # ------------------------------------------------------------------
 
     def contributors(self) -> list:
+        """Every contributor with a (possibly empty) rule set, sorted."""
         return sorted(self._rules)
 
     def rules_of(self, contributor: str) -> tuple:
+        """One contributor's current rules, as a tuple."""
         return tuple(self._rules.get(contributor, ()))
 
     def version_of(self, contributor: str) -> int:
+        """One contributor's per-contributor sync version (0 when unknown)."""
         return self._versions.get(contributor, 0)
 
     def snapshot(self, contributor: str) -> RuleSetSnapshot:
+        """A versioned copy of one contributor's rules (the sync unit)."""
         return RuleSetSnapshot(
             contributor=contributor,
             version=self.version_of(contributor),
@@ -128,6 +152,7 @@ class RuleStore:
         )
 
     def get(self, contributor: str, rule_id: str) -> Rule:
+        """Look up one rule by id; raises MissingRecordError when absent."""
         for rule in self._rules.get(contributor, ()):
             if rule.rule_id == rule_id:
                 return rule

@@ -147,4 +147,9 @@ def load_service_state(service, directory: Optional[str] = None) -> dict:
         AuditRecord.from_json(obj)
         for obj in _read_lines(_path(directory, service.host, "audit"))
     )
+    # Restored places/rules replace live state wholesale; decisions cached
+    # against the pre-load state must not survive it.
+    release_cache = getattr(service, "release_cache", None)
+    if release_cache is not None:
+        release_cache.invalidate_all("restore")
     return counts

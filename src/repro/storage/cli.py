@@ -17,6 +17,7 @@ from repro.util import jsonutil
 
 
 def main(argv: list) -> int:
+    """Entry point for ``python -m repro recover``; returns an exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro recover",
         description="Recover a data store's durable state from disk.",

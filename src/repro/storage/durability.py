@@ -150,6 +150,7 @@ class Durability:
         )
 
     def close(self) -> None:
+        """Close the WAL; journaling stops until open() runs again."""
         if self.wal is not None:
             self.wal.close()
             self.wal = None

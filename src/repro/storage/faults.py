@@ -70,6 +70,7 @@ class StorageFaultRule:
     hits: int = 0
 
     def matches(self, point: str) -> bool:
+        """Whether this rule fires at the named fault point."""
         return point.startswith(self.point)
 
 
@@ -84,6 +85,7 @@ class StorageFaultEvent:
     outcome: str  # "crash" | "torn:<bytes>/<total>" | "flip:<offset>.<bit>" | "pass"
 
     def line(self) -> str:
+        """One-line human-readable description of the event."""
         return f"{self.seq}\t{self.point}\t{self.path}\t{self.kind}\t{self.outcome}"
 
 
@@ -110,6 +112,7 @@ class StorageFaultPlan:
     # ------------------------------------------------------------------
 
     def add_rule(self, rule: StorageFaultRule) -> StorageFaultRule:
+        """Install one fault rule; returns it for chaining."""
         self.rules.append(rule)
         return rule
 

@@ -75,14 +75,17 @@ ROLE_CONTRIBUTOR = "contributor"
 
 
 def wal_path(directory: str, host: str) -> str:
+    """Path of one host's write-ahead log inside a store directory."""
     return os.path.join(directory, f"{host}.wal")
 
 
 def manifest_path(directory: str, host: str) -> str:
+    """Path of one host's checkpoint manifest inside a store directory."""
     return os.path.join(directory, f"{host}.manifest.json")
 
 
 def quarantine_dir(directory: str) -> str:
+    """Directory where recovery preserves corrupt records and files."""
     return os.path.join(directory, "quarantine")
 
 
@@ -113,6 +116,7 @@ class RecoveryReport:
 
     @property
     def clean(self) -> bool:
+        """True when recovery found no damage of any kind."""
         return (
             not self.wal_corrupt
             and self.quarantined_records == 0
@@ -123,9 +127,11 @@ class RecoveryReport:
         )
 
     def alert(self, message: str) -> None:
+        """Record one human-readable recovery warning."""
         self.alerts.append(message)
 
     def to_json(self) -> dict:
+        """JSON form of the report, for the CLI and tests."""
         return {
             "Host": self.host,
             "Directory": self.directory,
@@ -147,6 +153,7 @@ class RecoveryReport:
         }
 
     def summary(self) -> str:
+        """Multi-line human summary (the ``repro recover`` CLI output)."""
         lines = [
             f"recovery of {self.host!r} from {self.directory}",
             f"  generation {self.generation} "
@@ -452,6 +459,15 @@ def recover_service(service, directory: Optional[str] = None, *, obs=None) -> Re
                 + ", ".join(report.fail_closed)
                 + " until rules are re-published"
             )
+
+    # Fail closed on the cache too: every decision cached before this
+    # recovery was made under a rule/data state this process can no longer
+    # vouch for.  The rules-version epoch already moved (restore bumps it),
+    # but recovery also rewrites places and fail-closed state directly, so
+    # the cache is emptied wholesale rather than reasoned about.
+    release_cache = getattr(service, "release_cache", None)
+    if release_cache is not None:
+        release_cache.invalidate_all("recovery")
 
     if obs is not None and getattr(obs, "enabled", False):
         m = obs.metrics

@@ -91,10 +91,12 @@ class WalScan:
 
     @property
     def torn(self) -> bool:
+        """True when the file ends in a half-written (torn) record."""
         return self.torn_bytes > 0
 
     @property
     def corrupt(self) -> bool:
+        """True when a checksum, header, or chain mismatch was found."""
         return self.corrupt_offset is not None
 
 
@@ -234,13 +236,16 @@ class WriteAheadLog:
 
     @property
     def chain(self) -> int:
+        """The running CRC chain value binding the next record to history."""
         return self._chain
 
     @property
     def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 when empty)."""
         return self._last_lsn
 
     def size_bytes(self) -> int:
+        """Current on-disk size of the log file in bytes."""
         return os.fstat(self._fh.fileno()).st_size
 
     # ------------------------------------------------------------------
@@ -318,6 +323,7 @@ class WriteAheadLog:
         self._unsynced = 0
 
     def close(self) -> None:
+        """Close the underlying file handle."""
         try:
             self.commit()
         finally:

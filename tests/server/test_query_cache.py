@@ -1,0 +1,205 @@
+"""Service-level tests for the versioned release cache on the query path.
+
+Every test here asserts the same core property from two sides: a cache
+hit must be byte-identical to a fresh evaluation, and any event that can
+change what a fresh evaluation would release must make the warm entry
+unreachable (key moves) or gone (wholesale invalidation).
+"""
+
+import pytest
+
+from repro.net.transport import Network
+from repro.rules.model import ALLOW, DENY, Rule
+from repro.server.datastore_service import DataStoreService
+from repro.util import jsonutil
+
+from tests.conftest import MONDAY, make_segment
+
+HOST = "qc-store"
+
+
+def make_service(**kwargs):
+    """A fresh store with alice (contributor), bob (consumer), data, and
+    an allow-everything rule for bob.  Returns (service, bob_key)."""
+    service = DataStoreService(HOST, Network(), seed=0, **kwargs)
+    service.register_contributor("alice")
+    bob_key = service.register_consumer("bob")
+    service.rules.add("alice", Rule(consumers=("bob",), action=ALLOW, rule_id="r-allow"))
+    for i in range(4):
+        service.store.add_segment(make_segment(n=8, start_ms=MONDAY + i * 3_600_000))
+    service.store.flush()
+    return service, bob_key
+
+
+def query(service, key, body=None):
+    """POST /api/query as the holder of ``key``; returns the body dict."""
+    return service.network.request(
+        "POST",
+        f"https://{service.host}/api/query",
+        {"Contributor": "alice", "Query": body or {}, "ApiKey": key},
+    ).body
+
+
+def canonical(body) -> str:
+    return jsonutil.canonical_dumps(body)
+
+
+def cache_counters(service):
+    m = service.network.obs.metrics
+    return {
+        "hits": m.counter_value("cache_hits_total", store=service.host),
+        "misses": m.counter_value("cache_misses_total", store=service.host),
+        "scanned": m.counter_value("store_segments_scanned_total", store=service.host),
+    }
+
+
+class TestHitPath:
+    def test_repeat_query_hits_and_is_byte_identical(self):
+        service, bob_key = make_service()
+        first = query(service, bob_key)
+        mid = cache_counters(service)
+        second = query(service, bob_key)
+        after = cache_counters(service)
+        assert canonical(first) == canonical(second)
+        assert first["Released"], "fixture should release data"
+        assert after["hits"] == mid["hits"] + 1
+        # The hit must not rescan the store.
+        assert after["scanned"] == mid["scanned"]
+
+    def test_hit_still_audited_and_guarded(self):
+        service, bob_key = make_service()
+        events = []
+        service.release_guards.append(events.append)
+        query(service, bob_key)
+        query(service, bob_key)
+        assert len(events) == 2
+        assert events[0].segments == events[1].segments
+        assert events[0].released == events[1].released
+        assert len(service.audit.accesses_by("alice", "bob")) == 2
+
+    def test_distinct_query_shapes_cached_separately(self):
+        service, bob_key = make_service()
+        a1 = query(service, bob_key, {"Channels": ["ECG"]})
+        b1 = query(service, bob_key, {"Channels": ["ECG"], "Limit": 1})
+        a2 = query(service, bob_key, {"Channels": ["ECG"]})
+        b2 = query(service, bob_key, {"Channels": ["ECG"], "Limit": 1})
+        assert canonical(a1) == canonical(a2)
+        assert canonical(b1) == canonical(b2)
+        assert len(b1["Released"]) <= len(a1["Released"])
+        assert cache_counters(service)["hits"] == 2
+
+    def test_aggregate_shares_the_release_cache(self):
+        service, bob_key = make_service()
+        body = {
+            "Contributor": "alice",
+            "Query": {},
+            "Aggregate": {"Function": "mean", "WindowMs": 3_600_000},
+            "ApiKey": bob_key,
+        }
+        url = f"https://{service.host}/api/aggregate"
+        first = service.network.request("POST", url, dict(body)).body
+        second = service.network.request("POST", url, dict(body)).body
+        assert canonical(first) == canonical(second)
+        assert cache_counters(service)["hits"] == 1
+
+
+class TestInvalidation:
+    def test_rule_mutation_misses_and_changes_the_release(self):
+        service, bob_key = make_service()
+        before = query(service, bob_key)
+        assert before["Released"]
+        service.rules.add("alice", Rule(consumers=("bob",), action=DENY, rule_id="r-deny"))
+        after = query(service, bob_key)
+        assert after["Released"] == []
+        assert cache_counters(service)["hits"] == 0
+
+    def test_rule_removal_restores_the_old_bytes_via_a_fresh_entry(self):
+        service, bob_key = make_service()
+        before = query(service, bob_key)
+        service.rules.add("alice", Rule(consumers=("bob",), action=DENY, rule_id="r-deny"))
+        query(service, bob_key)
+        service.rules.remove("alice", "r-deny")
+        again = query(service, bob_key)
+        # rules_version moved forward, so this is a miss — but the fresh
+        # evaluation must reproduce the original bytes exactly.
+        assert canonical(again) == canonical(before)
+        assert cache_counters(service)["hits"] == 0
+
+    def test_upload_moves_the_content_fingerprint(self):
+        service, bob_key = make_service()
+        before = query(service, bob_key)
+        service.store.add_segment(make_segment(n=8, start_ms=MONDAY + 10 * 3_600_000))
+        service.store.flush()
+        after = query(service, bob_key)
+        assert cache_counters(service)["hits"] == 0
+        assert len(after["Released"]) > len(before["Released"])
+
+    def test_delete_moves_the_content_fingerprint(self):
+        service, bob_key = make_service()
+        alice_key = service.keys.key_of("alice")
+        before = query(service, bob_key)
+        service.network.request(
+            "POST",
+            f"https://{service.host}/api/delete",
+            {"Contributor": "alice", "Query": {}, "ApiKey": alice_key},
+        )
+        after = query(service, bob_key)
+        assert before["Released"] and after["Released"] == []
+        assert cache_counters(service)["hits"] == 0
+
+    def test_membership_keyed_not_invalidated(self):
+        service, bob_key = make_service()
+        service.rules.replace_all(
+            "alice", [Rule(consumers=("study-x",), action=ALLOW, rule_id="r-grp")]
+        )
+        service.memberships["bob"] = frozenset({"study-x"})
+        granted = query(service, bob_key)
+        assert granted["Released"]
+        service.memberships["bob"] = frozenset()
+        denied = query(service, bob_key)
+        assert denied["Released"] == []
+        # Reverting membership restores the original decision inputs, so
+        # the original entry is legitimately served again.
+        service.memberships["bob"] = frozenset({"study-x"})
+        resurrected = query(service, bob_key)
+        assert canonical(resurrected) == canonical(granted)
+        assert cache_counters(service)["hits"] == 1
+
+    def test_places_edit_invalidates_wholesale(self):
+        service, bob_key = make_service()
+        query(service, bob_key)
+        assert len(service.release_cache) == 1
+        service.set_places("alice", {})
+        assert len(service.release_cache) == 0
+
+    def test_fail_closed_flag_is_part_of_the_key(self):
+        service, bob_key = make_service()
+        warm = query(service, bob_key)
+        assert warm["Released"]
+        service.fail_closed.add("alice")
+        denied = query(service, bob_key)
+        assert denied["Released"] == []
+        assert cache_counters(service)["hits"] == 0
+
+
+class TestCacheOffParity:
+    def test_disabled_cache_serves_identical_bytes(self):
+        cached, key_a = make_service()
+        plain, key_b = make_service(cache_capacity=0)
+        assert plain.release_cache is None
+        bodies = []
+        for service, key in ((cached, key_a), (plain, key_b)):
+            per_service = []
+            for _ in range(3):
+                per_service.append(canonical(query(service, key)))
+            service.rules.add(
+                "alice", Rule(consumers=("bob",), action=DENY, rule_id="r-deny")
+            )
+            per_service.append(canonical(query(service, key)))
+            bodies.append(per_service)
+        assert bodies[0] == bodies[1]
+
+    def test_zero_byte_budget_also_disables(self):
+        service, bob_key = make_service(cache_max_bytes=0)
+        assert service.release_cache is None
+        assert query(service, bob_key)["Released"]

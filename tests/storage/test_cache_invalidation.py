@@ -1,0 +1,126 @@
+"""Crash cases for the release cache: recovery must leave no warm grant.
+
+The dangerous failure mode is a store that crashes, fails closed for a
+contributor (their persisted rules can no longer be trusted), and then
+serves a consumer from a cache entry recorded back when the rules still
+allowed the release.  These tests pin down the two defenses: recovery
+wholesale-invalidates the cache, and the fail-closed flag is part of
+every cache key, so even a re-populated entry denies.
+"""
+
+from repro.datastore.query import DataQuery
+from repro.net.transport import Network
+from repro.rules.model import ALLOW, Rule
+from repro.rules.parser import rule_to_json
+from repro.server.datastore_service import DataStoreService
+from repro.storage import StorageFaultPlan, wal_path
+from repro.util import jsonutil
+
+from tests.conftest import make_segment
+
+HOST = "st"
+
+
+def durable_service(tmp_path, **kwargs):
+    return DataStoreService(
+        HOST, Network(), directory=str(tmp_path), durable=True, **kwargs
+    )
+
+
+def warm(tmp_path):
+    """A durable store with an allow rule and a consumer query in cache."""
+    service = durable_service(tmp_path)
+    service.register_contributor("alice")
+    service.register_consumer("bob")
+    service.rules.add("alice", Rule(consumers=("bob",), action=ALLOW))
+    service.store.add_segment(make_segment(channels=("ECG",), n=16))
+    service.store.flush()
+    service._wal_commit()
+    body = query_as_bob(service)
+    assert body["Released"], "warm-up query should release data"
+    assert len(service.release_cache) == 1
+    return service, body
+
+
+def query_as_bob(service):
+    # Keys are session state: a restarted service restores bob's *role*
+    # but not his key, so re-issue on demand.
+    bob_key = service.keys.key_of("bob") or service.keys.issue("bob")
+    return service.network.request(
+        "POST",
+        f"https://{HOST}/api/query",
+        {"Contributor": "alice", "Query": {}, "ApiKey": bob_key},
+    ).body
+
+
+class TestRecoveryInvalidation:
+    def test_clean_restart_starts_with_an_empty_cache(self, tmp_path):
+        service, before = warm(tmp_path)
+        service.durability.close()
+        service2 = durable_service(tmp_path)
+        assert service2.recovery_report.clean
+        assert len(service2.release_cache) == 0
+        # A clean recovery re-derives the same bytes — via a fresh
+        # evaluation, not a surviving entry.
+        after = query_as_bob(service2)
+        assert jsonutil.canonical_dumps(after) == jsonutil.canonical_dumps(before)
+        m = service2.network.obs.metrics
+        assert m.counter_value("cache_hits_total", store=HOST) == 0
+        assert m.counter_value("cache_misses_total", store=HOST) == 1
+
+    def test_fail_closed_recovery_serves_no_stale_grant(self, tmp_path):
+        service, before = warm(tmp_path)
+        service.durability.close()
+        StorageFaultPlan(seed=7).corrupt_file(wal_path(str(tmp_path), HOST))
+        service2 = durable_service(tmp_path)
+        assert "alice" in service2.fail_closed
+        assert len(service2.release_cache) == 0
+        # bob held an allow-everything grant before the crash; post-crash
+        # the store cannot trust alice's rules and must release nothing.
+        after = query_as_bob(service2)
+        assert before["Released"] and after["Released"] == []
+
+    def test_republished_rules_repopulate_the_cache_freshly(self, tmp_path):
+        # Corrupt only the rules snapshot (after a checkpoint) so the
+        # data survives while the rules fail closed.
+        service, before = warm(tmp_path)
+        service.checkpoint()
+        service.durability.close()
+        StorageFaultPlan(seed=3).corrupt_file(str(tmp_path / f"{HOST}.rules.jsonl"))
+        service2 = durable_service(tmp_path)
+        assert "alice" in service2.fail_closed
+        assert query_as_bob(service2)["Released"] == []
+        # The owner re-publishes the same rule set: fail-closed lifts,
+        # the epoch moves, and the original bytes come back via a miss.
+        alice_key = service2.keys.issue("alice")
+        body = service2.network.request(
+            "POST",
+            f"https://{HOST}/api/rules/replace",
+            {
+                "Contributor": "alice",
+                "Rules": [rule_to_json(Rule(consumers=("bob",), action=ALLOW))],
+                "ApiKey": alice_key,
+            },
+        ).body
+        assert "Error" not in body, body
+        assert "alice" not in service2.fail_closed
+        restored = query_as_bob(service2)
+        assert restored["Released"] == before["Released"]
+        # And the denied response never poisoned the allow path: repeat
+        # query is a pure hit with identical bytes.
+        again = query_as_bob(service2)
+        assert jsonutil.canonical_dumps(again) == jsonutil.canonical_dumps(restored)
+        m = service2.network.obs.metrics
+        assert m.counter_value("cache_hits_total", store=HOST) == 1
+
+    def test_invalidation_counter_records_the_recovery_drop(self, tmp_path):
+        # Re-running recovery on a *live* service (the in-process repair
+        # path) must drop the warm cache and say so in telemetry.
+        from repro.storage.recovery import recover_service
+
+        service, _ = warm(tmp_path)
+        m = service.network.obs.metrics
+        before = m.counter_value("cache_invalidations_total", store=HOST)
+        recover_service(service)
+        assert len(service.release_cache) == 0
+        assert m.counter_value("cache_invalidations_total", store=HOST) == before + 1

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public surface of ``src/repro/``.
+
+Every public module, class, and function (no leading underscore) must
+carry a docstring.  Gaps that predate the gate are grandfathered in
+``tools/docstring_allowlist.txt`` — one dotted name per line, ``#``
+comments allowed — and the gate fails if the allowlist contains entries
+that are no longer missing, so the list can only shrink.
+
+Usage::
+
+    python tools/check_docstrings.py            # gate (exit 1 on failure)
+    python tools/check_docstrings.py --list     # print every gap
+    python tools/check_docstrings.py --stats    # per-package coverage table
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+ALLOWLIST_PATH = os.path.join(REPO_ROOT, "tools", "docstring_allowlist.txt")
+
+
+def iter_source_files(root: str):
+    """Yield every ``.py`` file under ``root``, sorted for determinism."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def module_name(path: str) -> str:
+    """Dotted module name of one source file (``repro.datastore.cache``)."""
+    rel = os.path.relpath(path, os.path.join(REPO_ROOT, "src"))
+    rel = rel[: -len(".py")]
+    if rel.endswith(os.sep + "__init__"):
+        rel = rel[: -len(os.sep + "__init__")]
+    return rel.replace(os.sep, ".")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def missing_docstrings(path: str) -> list:
+    """Dotted names of public defs/classes in ``path`` lacking docstrings.
+
+    Nested functions (defs inside function bodies) and methods of
+    private (underscore-named) classes are implementation detail and
+    exempt; methods of public classes are checked.  Property setters and
+    ``@overload`` stubs share their getter/implementation docstring and
+    are exempt too.
+    """
+    with open(path, encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    base = module_name(path)
+    gaps: list = []
+    if ast.get_docstring(tree) is None:
+        gaps.append(base)
+
+    def decorated_exempt(node) -> bool:
+        for dec in getattr(node, "decorator_list", ()):
+            text = ast.unparse(dec)
+            if text == "overload" or text.endswith(".setter") or text.endswith(".deleter"):
+                return True
+        return False
+
+    def walk(node, prefix: str, *, inside_function: bool, private_scope: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{child.name}"
+                if (
+                    _is_public(child.name)
+                    and not inside_function
+                    and not private_scope
+                    and not decorated_exempt(child)
+                    and ast.get_docstring(child) is None
+                ):
+                    gaps.append(qualname)
+                walk(
+                    child,
+                    qualname,
+                    inside_function=True,
+                    private_scope=private_scope,
+                )
+            elif isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}.{child.name}"
+                nested_private = private_scope or not _is_public(child.name)
+                if not nested_private and ast.get_docstring(child) is None:
+                    gaps.append(qualname)
+                walk(
+                    child,
+                    qualname,
+                    inside_function=inside_function,
+                    private_scope=nested_private,
+                )
+            else:
+                walk(child, prefix, inside_function=inside_function,
+                     private_scope=private_scope)
+
+    walk(tree, base, inside_function=False, private_scope=False)
+    return gaps
+
+
+def read_allowlist(path: str) -> list:
+    """Parse the allowlist file; missing file means an empty allowlist."""
+    if not os.path.exists(path):
+        return []
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                out.append(line)
+    return out
+
+
+def collect(src_root: str) -> dict:
+    """Map each source file's module to its list of docstring gaps."""
+    return {
+        module_name(path): missing_docstrings(path)
+        for path in iter_source_files(src_root)
+    }
+
+
+def coverage_stats(gaps_by_module: dict) -> dict:
+    """Per-top-level-package (module_count, gap_count) pairs."""
+    stats: dict = {}
+    for module, gaps in gaps_by_module.items():
+        parts = module.split(".")
+        package = parts[1] if len(parts) > 1 else "(root)"
+        mods, missing = stats.get(package, (0, 0))
+        stats[package] = (mods + 1, missing + len(gaps))
+    return stats
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true", help="print every gap")
+    parser.add_argument("--stats", action="store_true", help="coverage table")
+    args = parser.parse_args(argv)
+
+    gaps_by_module = collect(SRC_ROOT)
+    all_gaps = sorted(g for gaps in gaps_by_module.values() for g in gaps)
+    allowlist = read_allowlist(ALLOWLIST_PATH)
+
+    if args.stats:
+        print(f"{'package':<14} {'modules':>8} {'gaps':>6}")
+        for package, (mods, missing) in sorted(coverage_stats(gaps_by_module).items()):
+            print(f"{package:<14} {mods:>8} {missing:>6}")
+        print(f"{'total':<14} {len(gaps_by_module):>8} {len(all_gaps):>6}")
+    if args.list:
+        for gap in all_gaps:
+            print(gap)
+
+    gap_set = set(all_gaps)
+    new_gaps = sorted(gap_set - set(allowlist))
+    stale = sorted(set(allowlist) - gap_set)
+    failed = False
+    if new_gaps:
+        failed = True
+        print(f"\n{len(new_gaps)} public name(s) missing docstrings:", file=sys.stderr)
+        for gap in new_gaps:
+            print(f"  {gap}", file=sys.stderr)
+        print(
+            "\nAdd docstrings (preferred), or append to "
+            "tools/docstring_allowlist.txt with justification.",
+            file=sys.stderr,
+        )
+    if stale:
+        failed = True
+        print(
+            f"\n{len(stale)} stale allowlist entries (docstring now present "
+            "or name gone) — delete them so the list only shrinks:",
+            file=sys.stderr,
+        )
+        for name in stale:
+            print(f"  {name}", file=sys.stderr)
+    if not failed and not (args.list or args.stats):
+        print(
+            f"docstring gate OK: {len(gaps_by_module)} modules, "
+            f"{len(all_gaps)} grandfathered gaps, 0 new"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
