@@ -15,6 +15,11 @@ printed (and optionally dumped as JSON); see :mod:`repro.obs.report`.
 store's durable state offline — replays the write-ahead log over the
 last good snapshot, reports torn/quarantined/fail-closed outcomes, and
 can write a fresh checkpoint; see :mod:`repro.storage.cli`.
+
+``python -m repro replicas [--drill ...]`` builds a replicated store
+set, prints its topology and shipping status, and (with ``--drill``)
+kills the primary to verify broker-driven failover, zero committed-write
+loss, and fail-closed rules fencing; see :mod:`repro.broker.replicas_cli`.
 """
 
 from __future__ import annotations
@@ -104,9 +109,14 @@ def dispatch(argv: list) -> int:
         from repro.storage.cli import main as recover_main
 
         return recover_main(argv[1:])
+    if argv and argv[0] == "replicas":
+        from repro.broker.replicas_cli import main as replicas_main
+
+        return replicas_main(argv[1:])
     if argv:
         print(
-            f"unknown subcommand {argv[0]!r}; known: conformance, obs, recover",
+            f"unknown subcommand {argv[0]!r}; known: conformance, obs, recover, "
+            "replicas",
             file=sys.stderr,
         )
         return 2

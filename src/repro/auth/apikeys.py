@@ -86,3 +86,11 @@ class KeyEscrow:
             self._rings.pop(consumer, None)
         else:
             self._rings.get(consumer, {}).pop(host, None)
+
+    def consumers_for(self, host: str) -> list:
+        """Consumers holding an escrowed key at ``host``, sorted.
+
+        Failover uses this to find who must be re-registered at a newly
+        promoted store: everyone who could reach the old primary.
+        """
+        return sorted(c for c, ring in self._rings.items() if host in ring)

@@ -1,0 +1,406 @@
+"""Broker-driven failure detection, promotion, and epoch fencing.
+
+The broker is the natural failure detector and directory for replicated
+stores: it already holds a key at every store, mirrors every
+contributor's rule version, and answers "which host serves contributor
+X" for consumers.  This module adds the missing control loop:
+
+* :meth:`FailoverManager.register_set` pairs a primary with its replicas
+  and wires WAL shipping (:mod:`repro.storage.replication`);
+* :meth:`FailoverManager.heartbeat` probes every member's ``/api/health``
+  over the real (simulated, faultable) network and pumps the primary's
+  shipper — the broker tick is the replication tick;
+* after ``miss_threshold`` consecutive failed probes of a primary,
+  :meth:`FailoverManager.failover` promotes the most-caught-up reachable
+  replica at a **bumped store epoch**, best-effort demotes the old
+  primary, re-homes the contributor directory, force-pulls the promoted
+  store's profiles, and re-registers escrowed consumers there.
+
+Safety properties, in order of precedence:
+
+1. **Fencing** — the epoch only moves forward.  A demoted primary that
+   missed the news has its WAL ships answered with 409 and demotes
+   itself; its clients' writes bounce with
+   :class:`~repro.exceptions.NotPrimaryError` and re-resolve here.
+2. **Fail closed** — promotion passes the broker's mirrored rule
+   versions to the new primary; any contributor whose replicated rules
+   lag that mirror is denied by default until their owner re-publishes
+   (same contract as crash recovery).  If no replica is reachable there
+   is *no* promotion: the set stays down rather than serving stale.
+3. **Progress** — among reachable replicas the one with the highest
+   applied LSN wins (ties break on host name for determinism), which
+   under semi-sync shipping makes committed-write loss zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.auth.accounts import ROLE_CONSUMER
+from repro.exceptions import SensorSafeError, TransportError
+from repro.net.client import HttpClient
+
+#: Consecutive missed health probes before a primary is declared dead.
+DEFAULT_MISS_THRESHOLD = 2
+
+
+@dataclass
+class ReplicaSet:
+    """One replicated store group, from the broker's point of view."""
+
+    name: str
+    primary: str
+    replicas: list = field(default_factory=list)
+    #: host -> in-process DataStoreService handle.  The broker is the
+    #: deployment's directory; in the simulation it also holds the
+    #: service handles it uses to wire shipping links at setup time.
+    services: dict = field(default_factory=dict)
+    mode: str = "async"
+    min_acks: int = 1
+    epoch: int = 1
+    missed: dict = field(default_factory=dict)  # host -> consecutive misses
+    demoted: list = field(default_factory=list)  # fenced ex-primaries
+    failovers: int = 0
+
+    def members(self) -> list:
+        """Every live member of the set, primary first."""
+        return [self.primary] + list(self.replicas)
+
+
+class FailoverManager:
+    """Health checking and primary election for the broker's replica sets."""
+
+    def __init__(self, broker, *, miss_threshold: int = DEFAULT_MISS_THRESHOLD):
+        self.broker = broker
+        self.miss_threshold = max(1, int(miss_threshold))
+        self.sets: dict[str, ReplicaSet] = {}
+        #: probe client: no retry policy and no breakers, so detection
+        #: latency is one probe and circuit state never masks a probe.
+        self._probe = HttpClient(broker.network, name=broker.host)
+        obs = broker.network.obs
+        self.obs = obs if obs is not None and obs.enabled else None
+        if self.obs is not None:
+            m = self.obs.metrics
+            self._c_heartbeats = m.counter("failover_heartbeats_total")
+            self._c_failovers = m.counter("failover_promotions_total")
+            self._c_noquorum = m.counter("failover_no_candidate_total")
+        else:
+            self._c_heartbeats = None
+            self._c_failovers = None
+            self._c_noquorum = None
+
+    # ------------------------------------------------------------------
+    # Set construction
+    # ------------------------------------------------------------------
+
+    def register_set(
+        self,
+        primary,
+        replicas,
+        *,
+        name: Optional[str] = None,
+        mode: str = "async",
+        min_acks: int = 1,
+    ) -> ReplicaSet:
+        """Pair a primary with its replicas and start WAL shipping.
+
+        Every member is broker-paired (the broker needs keys everywhere:
+        health probes, promotion/demotion authority, post-failover
+        profile pulls), replicas are demoted, and the primary's shipper
+        gets one authenticated link per replica.  The initial pump ships
+        the backfilled generation so replicas converge immediately.
+        """
+        set_name = name or primary.host
+        if set_name in self.sets:
+            raise SensorSafeError(f"replica set already registered: {set_name!r}")
+        group = ReplicaSet(
+            name=set_name,
+            primary=primary.host,
+            mode=mode,
+            min_acks=min_acks,
+            epoch=primary.epoch,
+        )
+        group.services[primary.host] = primary
+        if primary.host not in self.broker.store_keys:
+            self.broker.attach_store(primary)
+        shipper = primary.enable_replication(mode, min_acks=min_acks)
+        for replica in replicas:
+            group.services[replica.host] = replica
+            group.replicas.append(replica.host)
+            if replica.host not in self.broker.store_keys:
+                self.broker.attach_store(replica)
+            replica.demote(group.epoch)
+            self._link(shipper, primary.host, replica)
+        for host in group.members():
+            group.missed[host] = 0
+        shipper.pump()
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "replica_set_epoch",
+                callback=lambda g=group: g.epoch,
+                set=set_name,
+            )
+        self.sets[set_name] = group
+        return group
+
+    def _link(self, shipper, primary_host: str, replica) -> None:
+        """Wire one authenticated shipping link primary -> replica."""
+        ship_key = replica.pair_primary()
+        client = HttpClient(
+            self.broker.network, name=primary_host, api_key=ship_key
+        )
+        shipper.attach(replica.host, client)
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+
+    def _health(self, host: str) -> Optional[dict]:
+        """One ``/api/health`` probe; None when the host missed it."""
+        key = self.broker.store_keys.get(host)
+        try:
+            return self._probe.with_key(key).post(f"https://{host}/api/health", {})
+        except (TransportError, SensorSafeError):
+            # Unreachable, erroring, or re-keyed after a restart: all
+            # count as a miss — a primary we cannot authoritatively probe
+            # is a primary we cannot vouch for.
+            return None
+
+    def heartbeat(self) -> dict:
+        """Probe every member of every set; fail over dead primaries.
+
+        Returns a per-set report.  The primary's shipper is pumped only
+        when its probe *succeeded*: the broker never drives I/O on behalf
+        of a store it just observed to be dead or unreachable.
+        """
+        if self._c_heartbeats is not None:
+            self._c_heartbeats.inc()
+        report = {}
+        for name, group in sorted(self.sets.items()):
+            health = {}
+            for host in group.members():
+                probe = self._health(host)
+                if probe is None:
+                    group.missed[host] = group.missed.get(host, 0) + 1
+                else:
+                    group.missed[host] = 0
+                health[host] = {
+                    "Alive": probe is not None,
+                    "Missed": group.missed[host],
+                    "AppliedLsn": (probe or {}).get("AppliedLsn", 0),
+                }
+            primary_svc = group.services.get(group.primary)
+            failed_over = None
+            if group.missed.get(group.primary, 0) >= self.miss_threshold:
+                failed_over = self.failover(name)
+            elif (
+                health[group.primary]["Alive"]
+                and primary_svc is not None
+                and primary_svc.replication is not None
+                and primary_svc.is_primary
+            ):
+                primary_svc.replication.pump()
+            report[name] = {
+                "Primary": group.primary,
+                "Epoch": group.epoch,
+                "Health": health,
+                "FailedOver": failed_over,
+            }
+        return report
+
+    # ------------------------------------------------------------------
+    # Promotion
+    # ------------------------------------------------------------------
+
+    def _replication_status(self, host: str) -> Optional[dict]:
+        key = self.broker.store_keys.get(host)
+        try:
+            return self._probe.with_key(key).post(
+                f"https://{host}/api/replicate/status", {}
+            )
+        except (TransportError, SensorSafeError):
+            return None
+
+    def failover(self, name: str) -> dict:
+        """Promote the most-caught-up reachable replica of one set.
+
+        Returns a report; when no replica answers, nothing is promoted
+        and the directory is left untouched (requests keep failing until
+        a member returns — unavailability is the fail-closed outcome).
+        """
+        group = self.sets[name]
+        old_primary = group.primary
+        candidates = []
+        highest_epoch = group.epoch
+        for host in group.replicas:
+            status = self._replication_status(host)
+            if status is None:
+                continue
+            highest_epoch = max(highest_epoch, int(status.get("Epoch", 0)))
+            applier = status.get("Applier") or {}
+            candidates.append((int(applier.get("AppliedLsn", 0)), host))
+        if not candidates:
+            if self._c_noquorum is not None:
+                self._c_noquorum.inc()
+            return {"Promoted": None, "Reason": "no reachable replica"}
+        # Highest applied LSN wins; ties break on host name so two
+        # brokers (or two runs) elect identically.
+        candidates.sort(key=lambda c: (-c[0], c[1]))
+        new_epoch = highest_epoch + 1
+        versions = {
+            record.name: record.rules_version
+            for record in self.broker.registry.on_host(old_primary)
+        }
+        promoted = None
+        promotion = None
+        for _lsn, host in candidates:
+            key = self.broker.store_keys.get(host)
+            try:
+                promotion = self._probe.with_key(key).post(
+                    f"https://{host}/api/promote",
+                    {"Epoch": new_epoch, "RuleVersions": versions},
+                )
+            except (TransportError, SensorSafeError):
+                continue  # candidate died between probe and promote: next
+            promoted = host
+            break
+        if promoted is None:
+            if self._c_noquorum is not None:
+                self._c_noquorum.inc()
+            return {"Promoted": None, "Reason": "every candidate refused promotion"}
+        # Fence the old primary if it still answers; if not, its next WAL
+        # ship is rejected at the new epoch and it demotes itself.
+        old_key = self.broker.store_keys.get(old_primary)
+        try:
+            self._probe.with_key(old_key).post(
+                f"https://{old_primary}/api/demote", {"Epoch": new_epoch}
+            )
+        except (TransportError, SensorSafeError):
+            pass
+        group.epoch = new_epoch
+        group.primary = promoted
+        group.replicas = [h for h in group.replicas if h != promoted]
+        group.demoted.append(old_primary)
+        group.missed[promoted] = 0
+        group.failovers += 1
+        self._rewire(group)
+        moved = self.broker.registry.repoint_host(old_primary, promoted)
+        # Converge the mirror with the promoted store: fencing denies
+        # carry bumped versions and must win; force-pull makes the store
+        # the authority exactly as restart reconciliation does.
+        self.broker.sync.reconcile_host(
+            self.broker.client, promoted, self.broker.store_keys
+        )
+        reregistered = self._reregister_consumers(old_primary, promoted)
+        if self._c_failovers is not None:
+            self._c_failovers.inc()
+        return {
+            "Promoted": promoted,
+            "OldPrimary": old_primary,
+            "Epoch": new_epoch,
+            "Repointed": moved,
+            "ConsumersReRegistered": reregistered,
+            "FailClosed": list((promotion or {}).get("FailClosed", [])),
+        }
+
+    def _rewire(self, group: ReplicaSet) -> None:
+        """Point surviving replicas' shipping links at the new primary.
+
+        With no surviving replica the new primary ships to nobody — and
+        deliberately does *not* enable semi-sync shipping, which with
+        zero reachable replicas would reject every write.
+        """
+        primary = group.services.get(group.primary)
+        if primary is None or primary.durability is None or not group.replicas:
+            return
+        shipper = primary.enable_replication(group.mode, min_acks=group.min_acks)
+        shipper.fenced = False
+        shipper.backfill()
+        for host in group.replicas:
+            replica = group.services.get(host)
+            if replica is None:
+                continue
+            if host not in shipper.links:
+                self._link(shipper, group.primary, replica)
+        shipper.pump()
+
+    def _reregister_consumers(self, old_host: str, new_host: str) -> int:
+        """Escrowed consumers of the old primary get keys at the new one.
+
+        Membership (study groups) is re-pushed too, so group-based
+        Consumer conditions evaluate identically after the handover.
+        Unreachable-at-the-moment registrations are skipped; the consumer
+        client re-resolves and re-registers lazily on first use.
+        """
+        broker = self.broker
+        count = 0
+        for consumer in broker.escrow.consumers_for(old_host):
+            if broker.escrow.key_for(consumer, new_host) is not None:
+                continue
+            groups = sorted(broker._membership(consumer) - {consumer})
+            try:
+                body = broker.client.post(
+                    f"https://{new_host}/api/register",
+                    {"Username": consumer, "Role": ROLE_CONSUMER},
+                )
+                broker.escrow.store_key(consumer, new_host, str(body["ApiKey"]))
+                broker_key = broker.store_keys.get(new_host)
+                if broker_key is not None and groups:
+                    broker.client.with_key(broker_key).post(
+                        f"https://{new_host}/api/membership/set",
+                        {"Consumer": consumer, "Groups": groups},
+                    )
+                count += 1
+            except (TransportError, SensorSafeError):
+                continue
+        return count
+
+    # ------------------------------------------------------------------
+    # Rejoin (a fenced ex-primary or repaired replica returns)
+    # ------------------------------------------------------------------
+
+    def rejoin(self, name: str, service) -> dict:
+        """Bring a returned store back into a set as a replica.
+
+        The store is re-paired (a restart rotated its keys), demoted at
+        the current epoch, and linked into the current primary's shipper
+        with resync semantics — its divergent, fenced history is replaced
+        by an idempotent replay of the primary's generation.
+        """
+        group = self.sets[name]
+        self.broker.attach_store(service)
+        service.demote(group.epoch)
+        group.services[service.host] = service
+        if service.host in group.demoted:
+            group.demoted.remove(service.host)
+        if service.host not in group.replicas and service.host != group.primary:
+            group.replicas.append(service.host)
+        group.missed[service.host] = 0
+        primary = group.services.get(group.primary)
+        if primary is not None and primary.durability is not None:
+            shipper = primary.enable_replication(group.mode, min_acks=group.min_acks)
+            shipper.detach(service.host)  # drop any stale link/key
+            self._link(shipper, group.primary, service)
+            shipper.pump()
+        return {"Rejoined": service.host, "Epoch": group.epoch, "Set": name}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        """Every set's topology and health, for the CLI and the API."""
+        return {
+            name: {
+                "Primary": group.primary,
+                "Replicas": sorted(group.replicas),
+                "Demoted": sorted(group.demoted),
+                "Mode": group.mode,
+                "MinAcks": group.min_acks,
+                "Epoch": group.epoch,
+                "Failovers": group.failovers,
+                "Missed": dict(sorted(group.missed.items())),
+            }
+            for name, group in sorted(self.sets.items())
+        }

@@ -93,6 +93,24 @@ class ContributorRegistry:
             record.institution = institution
         return True
 
+    def on_host(self, host: str) -> list:
+        """Records of every contributor whose store is ``host``, sorted."""
+        return [r for r in self.all() if r.host == host]
+
+    def repoint_host(self, old_host: str, new_host: str) -> int:
+        """Re-home every contributor from one store host to another.
+
+        The failover path: after a replica is promoted, the directory must
+        answer searches and key requests with the new primary.  Returns
+        the number of records moved.
+        """
+        moved = 0
+        for record in self._records.values():
+            if record.host == old_host:
+                record.host = new_host
+                moved += 1
+        return moved
+
 
 class StudyRegistry:
     """Named studies: coordinator consumers and participant contributors."""

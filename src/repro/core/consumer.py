@@ -97,6 +97,37 @@ class Consumer:
             key = self._key_ring.get(host) if host else None
         return host, key
 
+    def _post_store(self, contributor: str, path: str, body: dict) -> dict:
+        """POST to a contributor's store, re-resolving once on failover.
+
+        A store that answers :class:`~repro.exceptions.NotPrimaryError`
+        was demoted — the broker has (or will have) promoted a replica
+        and re-pointed the directory.  An unreachable host may be a dead
+        primary mid-failover.  Either way the cure is the same: forget
+        the cached host, re-ask the broker, refresh the key ring, and
+        retry exactly once against the new primary.
+        """
+        from repro.exceptions import AuthorizationError, NotPrimaryError, TransportError
+
+        host, key = self._store_client(contributor)
+        if host is None or key is None:
+            raise AuthorizationError(
+                f"{self.name!r} has no access to {contributor!r}; "
+                "call add_contributors first"
+            )
+        try:
+            return self.client.with_key(key).post(f"https://{host}{path}", dict(body))
+        except (NotPrimaryError, TransportError):
+            self._hosts.pop(contributor, None)
+            self.list_contributors()
+            self.refresh_keys()
+            new_host, new_key = self._store_client(contributor)
+            if new_host is None or new_key is None or (new_host, new_key) == (host, key):
+                raise  # nothing changed: the original failure stands
+            return self.client.with_key(new_key).post(
+                f"https://{new_host}{path}", dict(body)
+            )
+
     def fetch(
         self, contributor: str, query: Optional[DataQuery] = None
     ) -> list:
@@ -105,16 +136,9 @@ class Consumer:
         Returns :class:`ReleasedSegment` items — whatever the owner's
         privacy rules let through for this consumer.
         """
-        host, key = self._store_client(contributor)
-        if host is None or key is None:
-            from repro.exceptions import AuthorizationError
-
-            raise AuthorizationError(
-                f"{self.name!r} has no access to {contributor!r}; "
-                "call add_contributors first"
-            )
-        body = self.client.with_key(key).post(
-            f"https://{host}/api/query",
+        body = self._post_store(
+            contributor,
+            "/api/query",
             {"Contributor": contributor, "Query": (query or DataQuery()).to_json()},
         )
         return [ReleasedSegment.from_json(r) for r in body.get("Released", [])]
@@ -131,16 +155,10 @@ class Consumer:
         returns :class:`~repro.datastore.aggregate.AggregateRow` items.
         """
         from repro.datastore.aggregate import AggregateRow
-        from repro.exceptions import AuthorizationError
 
-        host, key = self._store_client(contributor)
-        if host is None or key is None:
-            raise AuthorizationError(
-                f"{self.name!r} has no access to {contributor!r}; "
-                "call add_contributors first"
-            )
-        body = self.client.with_key(key).post(
-            f"https://{host}/api/aggregate",
+        body = self._post_store(
+            contributor,
+            "/api/aggregate",
             {
                 "Contributor": contributor,
                 "Query": (query or DataQuery()).to_json(),

@@ -89,6 +89,65 @@ class SensorSafeSystem:
         self.broker.attach_store(store, eager_sync=self.eager_sync)
         return store
 
+    def create_replicated_store(
+        self,
+        host: str,
+        *,
+        directory: str,
+        n_replicas: int = 1,
+        institution: str = "self-hosted",
+        mode: str = "async",
+        min_acks: int = 1,
+        wal_sync: str = "group",
+        storage_faults=None,
+        merge_policy: Optional[MergePolicy] = None,
+    ) -> DataStoreService:
+        """Create a durable primary plus WAL-shipping replicas.
+
+        Members live in per-host subdirectories of ``directory``; replica
+        hosts are ``{host}-r1 … -rN``.  The broker pairs with every
+        member, wires shipping links, and owns failure detection —
+        :meth:`BrokerService.failover` heartbeats promote the
+        most-caught-up replica when the primary dies.  Returns the
+        primary service; the set is ``system.broker.failover.sets[host]``.
+        """
+        import os
+
+        if host in self.stores:
+            raise ConflictError(f"store host already exists: {host!r}")
+        primary = DataStoreService(
+            host,
+            self.network,
+            institution=institution,
+            merge_policy=merge_policy,
+            directory=os.path.join(directory, host),
+            seed=self.seed,
+            durable=True,
+            wal_sync=wal_sync,
+            storage_faults=storage_faults,
+        )
+        self.stores[host] = primary
+        self.broker.attach_store(primary, eager_sync=self.eager_sync)
+        replicas = []
+        for i in range(1, max(0, int(n_replicas)) + 1):
+            replica_host = f"{host}-r{i}"
+            replica = DataStoreService(
+                replica_host,
+                self.network,
+                institution=institution,
+                merge_policy=merge_policy,
+                directory=os.path.join(directory, replica_host),
+                seed=self.seed,
+                durable=True,
+                wal_sync=wal_sync,
+            )
+            self.stores[replica_host] = replica
+            replicas.append(replica)
+        self.broker.attach_replica_set(
+            primary, replicas, name=host, mode=mode, min_acks=min_acks
+        )
+        return primary
+
     def add_contributor(
         self,
         name: str,
@@ -112,6 +171,37 @@ class SensorSafeSystem:
         )
         contributor = Contributor(name, store.host, client)
         self.contributors[name] = contributor
+        return contributor
+
+    def repoint_contributor(self, name: str, password: str = "pw") -> Contributor:
+        """Re-home a contributor's phone after a broker-driven failover.
+
+        Consumers re-resolve transparently (the broker escrows their
+        keys), but a contributor authenticates with a key issued by their
+        own store — which just died.  The recovery step the runbook
+        prescribes: ask the broker's directory for the current host and,
+        if it moved, register there for a fresh key.  Replicated rules
+        and data survive untouched (:meth:`RuleStore.register` is a
+        no-op for a known contributor); only the account/key material,
+        which is deliberately never replicated, is re-issued.
+        """
+        from repro.auth.accounts import ROLE_CONTRIBUTOR
+
+        contributor = self.contributors[name]
+        record = self.broker.registry.get(name)
+        if record.host == contributor.store_host:
+            return contributor  # directory agrees: nothing to do
+        body = HttpClient(self.network, name=f"{name}-phone").post(
+            f"https://{record.host}/api/register",
+            {"Username": name, "Role": ROLE_CONTRIBUTOR, "Password": password},
+        )
+        contributor.store_host = record.host
+        contributor.client = HttpClient(
+            self.network,
+            name=f"{name}-phone",
+            api_key=str(body["ApiKey"]),
+            retry=self.retry,
+        )
         return contributor
 
     def add_consumer(self, name: str, password: str = "pw") -> Consumer:

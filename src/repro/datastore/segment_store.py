@@ -55,6 +55,7 @@ class SegmentStore:
 
             m = self.obs.metrics
             self._c_scanned = m.counter("store_segments_scanned_total", store=name)
+            self._c_duplicates = m.counter("store_duplicate_uploads_total", store=name)
             self._h_query = m.histogram("store_query_us", store=name)
             m.gauge("codec_decode_calls", callback=lambda: DECODE_STATS.decode_calls)
             m.gauge(
@@ -63,6 +64,7 @@ class SegmentStore:
             )
         else:
             self._c_scanned = None
+            self._c_duplicates = None
             self._h_query = None
         self.db = Database(name, directory=directory)
         self._segments = self.db.create_table(
@@ -97,6 +99,12 @@ class SegmentStore:
         #: and disk loads bypass them (no WAL echo of the WAL).
         self.on_persist: list = []
         self.on_unpersist: list = []
+        # Segment ids ever offered through add_segment, for upload dedupe:
+        # a retried POST whose first attempt committed but whose response
+        # was lost must not double-ingest (the merged copy in the table can
+        # carry a different id, so the table alone cannot answer this).
+        self._ingested_ids: set = set()
+        self.duplicate_uploads = 0
 
     # ------------------------------------------------------------------
     # Ingest
@@ -107,7 +115,18 @@ class SegmentStore:
         return self.add_segment(segment_from_packet(contributor, packet))
 
     def add_segment(self, segment: WaveSegment) -> list:
-        """Offer a segment to the optimizer and persist what finalizes."""
+        """Offer a segment to the optimizer and persist what finalizes.
+
+        Idempotent per segment id: re-offering an id this store has
+        already ingested is counted and dropped, so a client retrying an
+        upload whose response was lost in transit cannot double-insert.
+        """
+        if segment.segment_id in self._ingested_ids:
+            self.duplicate_uploads += 1
+            if self._c_duplicates is not None:
+                self._c_duplicates.inc()
+            return []
+        self._ingested_ids.add(segment.segment_id)
         finalized = self.optimizer.add(segment)
         for final in finalized:
             self._persist(final)
@@ -191,6 +210,11 @@ class SegmentStore:
         if existing is not None:
             self._unpersist(existing, notify=False)
         self._persist(segment, notify=False)
+        # A restored id counts as ingested: after a restart (or on a
+        # replica) the device may re-send segments the journal already
+        # delivered, and those must dedupe rather than re-enter the
+        # optimizer alongside their persisted copies.
+        self._ingested_ids.add(segment.segment_id)
 
     def remove_segment(self, segment_id: str) -> bool:
         """Replay a journaled deletion; False when already absent."""

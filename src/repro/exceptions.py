@@ -152,5 +152,46 @@ class CircuitOpenError(NetworkUnavailableError):
     """
 
 
+class DeadlineExceededError(TransportError):
+    """A request's total time budget ran out before an attempt succeeded.
+
+    Raised client-side by :class:`~repro.net.client.HttpClient` when
+    ``deadline_ms`` elapses on the simulated clock across retry attempts
+    (backoff included).  Deliberately *not* a
+    :class:`NetworkUnavailableError`: an enclosing retry loop must not
+    resurrect a call whose budget is spent.
+    """
+
+
+class ReplicationError(ServiceError):
+    """A replicated write could not be acknowledged by enough replicas.
+
+    Raised on the primary in ``semi-sync`` mode when fewer than the
+    required number of replicas acknowledged the shipped WAL frames: the
+    write is rejected rather than acknowledged un-replicated, which is the
+    trade that makes committed-write loss zero across a failover.
+    """
+
+    status = 503
+
+
+class NotPrimaryError(ConflictError):
+    """The store is a replica (or a fenced ex-primary) and refused the call.
+
+    Writes and consumer reads are only served by the current primary of a
+    replica set; a 409 (never retried blindly) tells the client to
+    re-resolve the contributor's routing entry at the broker.
+    """
+
+
+class StaleEpochError(ConflictError):
+    """A replication or write request carried an out-of-date store epoch.
+
+    The fencing mechanism: after a failover the broker bumps the replica
+    set's epoch, so a demoted primary that never heard the news has its
+    WAL ships and writes rejected instead of silently forking history.
+    """
+
+
 class CollectionError(SensorSafeError):
     """The smartphone collection agent hit an unrecoverable condition."""

@@ -23,9 +23,13 @@ from repro.exceptions import (
     BadRequestError,
     CircuitOpenError,
     ConflictError,
+    DeadlineExceededError,
     NetworkUnavailableError,
     NotFoundError,
+    NotPrimaryError,
+    ReplicationError,
     ServiceError,
+    StaleEpochError,
 )
 from repro.net.http import Response
 from repro.net.resilience import CircuitBreaker, RetryPolicy
@@ -37,6 +41,15 @@ _STATUS_ERRORS = {
     403: AuthorizationError,
     404: NotFoundError,
     409: ConflictError,
+}
+
+#: Error kinds (see Router.dispatch) that reconstruct as their concrete
+#: class client-side — callers must distinguish "talk to the broker and
+#: re-resolve the primary" from an ordinary conflict or server error.
+_KIND_ERRORS = {
+    "NotPrimaryError": NotPrimaryError,
+    "StaleEpochError": StaleEpochError,
+    "ReplicationError": ReplicationError,
 }
 
 
@@ -51,11 +64,16 @@ class HttpClient:
         *,
         retry: Optional[RetryPolicy] = None,
         breakers: Optional[dict] = None,
+        deadline_ms: Optional[int] = None,
     ):
         self.network = network
         self.name = name
         self.api_key = api_key
         self.retry = retry
+        #: total time budget per call, across every retry attempt and its
+        #: backoff, on the simulated clock.  ``None`` means unbounded (the
+        #: pre-existing behavior: ``max_attempts`` is the only cap).
+        self.deadline_ms = deadline_ms
         #: per-host circuit breakers, shared across with_key() copies so
         #: circuit state follows the principal, not the key in hand.
         self.breakers: dict[str, CircuitBreaker] = breakers if breakers is not None else {}
@@ -63,7 +81,12 @@ class HttpClient:
     def with_key(self, api_key: str) -> "HttpClient":
         """A copy of this client authenticating with a different key."""
         return HttpClient(
-            self.network, self.name, api_key, retry=self.retry, breakers=self.breakers
+            self.network,
+            self.name,
+            api_key,
+            retry=self.retry,
+            breakers=self.breakers,
+            deadline_ms=self.deadline_ms,
         )
 
     def post(
@@ -73,26 +96,33 @@ class HttpClient:
         *,
         raw: bool = False,
         retry: Optional[RetryPolicy] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Union[dict, Response]:
         """POST with the API key injected; returns the response body.
 
         With ``raw=True`` the full :class:`Response` is returned and error
         statuses are not raised — used by tests asserting on status codes.
-        ``retry`` overrides the client's default policy for this call.
+        ``retry`` and ``deadline_ms`` override the client's defaults for
+        this call.
         """
         body = dict(body or {})
         if self.api_key is not None and "ApiKey" not in body:
             body["ApiKey"] = self.api_key
-        response = self._send("POST", url, body, retry=retry)
+        response = self._send("POST", url, body, retry=retry, deadline_ms=deadline_ms)
         if raw:
             return response
         return self._unwrap(response)
 
     def get(
-        self, url: str, *, raw: bool = False, retry: Optional[RetryPolicy] = None
+        self,
+        url: str,
+        *,
+        raw: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Union[dict, Response]:
         """GET (no API key; used for public web pages)."""
-        response = self._send("GET", url, None, retry=retry)
+        response = self._send("GET", url, None, retry=retry, deadline_ms=deadline_ms)
         if raw:
             return response
         return self._unwrap(response)
@@ -122,26 +152,56 @@ class HttpClient:
         )
 
     def _send(
-        self, method: str, url: str, body: Optional[dict], *, retry: Optional[RetryPolicy]
+        self,
+        method: str,
+        url: str,
+        body: Optional[dict],
+        *,
+        retry: Optional[RetryPolicy],
+        deadline_ms: Optional[int] = None,
     ) -> Response:
         policy = retry if retry is not None else self.retry
+        deadline = deadline_ms if deadline_ms is not None else self.deadline_ms
         _, host, path = Network.parse_url(url)
         obs = self.network.obs
+        clock = self.network.clock
+        #: absolute cutoff on the simulated clock; enforced at every retry
+        #: boundary so a slow-host fault schedule (latency + drops across
+        #: many attempts, each with backoff) cannot stall a caller past its
+        #: budget.  A send already in flight cannot be interrupted — the
+        #: check runs before each sleep and before each re-send.
+        deadline_at = None if deadline is None else clock.now_ms() + deadline
+
+        def out_of_budget(extra_ms: int = 0) -> bool:
+            return deadline_at is not None and clock.now_ms() + extra_ms >= deadline_at
+
+        def budget_spent() -> DeadlineExceededError:
+            obs.metrics.counter("client_deadline_exceeded_total", host=host).inc()
+            return DeadlineExceededError(
+                f"deadline of {deadline}ms exhausted calling {host!r}{path}"
+            )
+
         with obs.tracer.start_span(
             "client.send", method=method, host=host, peer=self.name
         ) as span:
             if policy is None:
+                if out_of_budget():
+                    raise budget_spent()
                 response = self._request(method, url, body)
                 span.set_attribute("status", response.status)
                 return response
             breaker = self._breaker_for(host)
-            clock = self.network.clock
             last_error: Optional[NetworkUnavailableError] = None
             last_response: Optional[Response] = None
             for attempt in range(policy.max_attempts):
                 if attempt:
+                    delay = policy.delay_ms(attempt, key=f"{self.name}|{host}{path}")
+                    if out_of_budget(delay):
+                        raise budget_spent()
                     obs.metrics.counter("client_retry_attempts_total", host=host).inc()
-                    clock.sleep(policy.delay_ms(attempt, key=f"{self.name}|{host}{path}"))
+                    clock.sleep(delay)
+                elif out_of_budget():
+                    raise budget_spent()
                 if not breaker.allow(clock.now_ms()):
                     obs.metrics.counter("breaker_calls_shed_total", host=host).inc()
                     raise CircuitOpenError(
@@ -177,5 +237,7 @@ class HttpClient:
         if response.ok:
             return response.body
         error = response.body.get("Error", f"status {response.status}")
-        exc_type = _STATUS_ERRORS.get(response.status, ServiceError)
+        exc_type = _KIND_ERRORS.get(str(response.body.get("ErrorKind", ""))) or (
+            _STATUS_ERRORS.get(response.status, ServiceError)
+        )
         raise exc_type(error, status=response.status)

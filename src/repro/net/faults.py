@@ -61,6 +61,11 @@ DROP = "drop"
 ERROR = "error"
 LATENCY = "latency"
 FLAKY = "flaky"
+#: Post-dispatch fault: the handler RAN (server-side effects committed)
+#: but the response is replaced with an error — the ack was lost in
+#: transit.  This is the fault class that turns naive client retries into
+#: duplicate uploads, which the store-boundary dedupe must absorb.
+RESPONSE_ERROR = "response_error"
 
 
 @dataclass
@@ -183,6 +188,34 @@ class FaultPlan:
             FaultRule(DROP, host, from_ms=start_ms, until_ms=start_ms + duration_ms)
         )
 
+    def add_response_error(
+        self,
+        host: str = "*",
+        *,
+        path: str = "",
+        method: Optional[str] = None,
+        status: int = 503,
+        fail_first: int = 0,
+        rate: float = 1.0,
+    ) -> FaultRule:
+        """The handler runs, but the client receives an error instead.
+
+        With ``fail_first`` > 0 the rule acts flaky: the first N matching
+        responses are lost, then delivery recovers.  Otherwise ``rate``
+        governs each response independently.
+        """
+        return self.add_rule(
+            FaultRule(
+                RESPONSE_ERROR,
+                host,
+                path,
+                method,
+                rate=rate,
+                status=status,
+                fail_first=fail_first,
+            )
+        )
+
     def add_partition(self, name: str, side_a, side_b) -> None:
         """Endpoints in ``side_a`` cannot reach ``side_b`` (nor vice versa).
 
@@ -232,6 +265,8 @@ class FaultPlan:
                     f"partition {name!r} separates {client!r} from {host!r}"
                 )
         for index, rule in enumerate(self.rules):
+            if rule.kind == RESPONSE_ERROR:
+                continue  # post-dispatch rules are consulted by apply_response
             if not rule.matches(method, host, path, now):
                 continue
             hit = rule.hits
@@ -265,6 +300,39 @@ class FaultPlan:
                 return json_response(
                     {"Error": f"injected fault ({rule.status})"}, status=rule.status
                 )
+        return None
+
+    def apply_response(
+        self, method: str, host: str, path: str, client: str, clock: SimClock
+    ) -> Optional[Response]:
+        """Decide a *response's* fate, after the handler has already run.
+
+        Returns an injected error :class:`Response` that replaces the real
+        one (the server committed; the client never learns it), or ``None``
+        to deliver the genuine response.
+        """
+        now = clock.now_ms()
+        for index, rule in enumerate(self.rules):
+            if rule.kind != RESPONSE_ERROR:
+                continue
+            if not rule.matches(method, host, path, now):
+                continue
+            hit = rule.hits
+            rule.hits += 1
+            if rule.fail_first:
+                if hit >= rule.fail_first:
+                    self._record(now, client, method, host, path, rule.kind, "pass")
+                    continue
+            elif self._roll(index, hit) >= rule.rate:
+                self._record(now, client, method, host, path, rule.kind, "pass")
+                continue
+            self._record(
+                now, client, method, host, path, rule.kind, f"error:{rule.status}"
+            )
+            return json_response(
+                {"Error": f"response lost in transit ({rule.status})"},
+                status=rule.status,
+            )
         return None
 
     # ------------------------------------------------------------------

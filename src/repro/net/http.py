@@ -128,7 +128,13 @@ class Router:
         try:
             result = handler(request, **params)
         except ServiceError as exc:
-            return json_response({"Error": str(exc)}, status=exc.status)
+            # ErrorKind lets clients react to the *specific* failure — a
+            # NotPrimaryError must trigger re-resolution at the broker,
+            # which a status code alone (409) cannot express.
+            return json_response(
+                {"Error": str(exc), "ErrorKind": type(exc).__name__},
+                status=exc.status,
+            )
         except SensorSafeError as exc:
             # Domain errors raised below the service layer are bad requests.
             return json_response({"Error": str(exc)}, status=400)

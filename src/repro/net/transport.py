@@ -224,6 +224,15 @@ class Network:
                     headers=headers,
                 )
                 response = router.dispatch(request)
+                if self.faults is not None:
+                    # Post-dispatch faults: the handler committed, but the
+                    # ack can still be lost on the way back to the caller.
+                    lost = self.faults.apply_response(
+                        method, host, path, client, self.clock
+                    )
+                    if lost is not None:
+                        response = lost
+                        span.set_attribute("fault_injected", True)
             metrics._bytes_out.inc(len(jsonutil.canonical_dumps(response.body)))
             status_class = f"{response.status // 100}xx"
             counter = metrics._status.get(status_class)

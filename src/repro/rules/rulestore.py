@@ -84,10 +84,21 @@ class RuleStore:
         self._versions.setdefault(contributor, 0)
 
     def add(self, contributor: str, rule: Rule) -> Rule:
-        """Add one rule for a contributor; duplicate rule ids are rejected."""
+        """Add one rule for a contributor; duplicate rule ids are rejected.
+
+        Re-adding a rule *identical* to the one already stored under its
+        id is an idempotent no-op: a semi-sync replication rejection (503)
+        leaves the rule applied locally, and the client's retry of the
+        same request must converge instead of faulting on its own success.
+        """
         rules = self._rules.setdefault(contributor, [])
-        if any(r.rule_id == rule.rule_id for r in rules):
-            raise RuleError(f"duplicate rule id {rule.rule_id!r} for {contributor!r}")
+        for existing in rules:
+            if existing.rule_id == rule.rule_id:
+                if existing == rule:
+                    return existing
+                raise RuleError(
+                    f"duplicate rule id {rule.rule_id!r} for {contributor!r}"
+                )
         rules.append(rule)
         self._bump(contributor)
         return rule

@@ -21,6 +21,7 @@ import time
 
 from repro.auth.accounts import AccountRegistry, ROLE_CONSUMER
 from repro.auth.apikeys import ApiKeyRegistry, KeyEscrow
+from repro.broker.failover import FailoverManager
 from repro.broker.registry import ContributorRegistry, StudyRegistry
 from repro.broker.search import ContributorSearch, SearchCriteria
 from repro.broker.sync import SyncManager
@@ -57,6 +58,8 @@ class BrokerService:
         self.client = HttpClient(network, name=host, retry=RetryPolicy())
         #: broker's own API keys at each store host (for profile pulls).
         self.store_keys: dict[str, str] = {}
+        #: replicated-store failure detection and promotion (PR 6).
+        self.failover = FailoverManager(self)
         #: per-consumer saved contributor lists, keyed by list name.
         self.saved_lists: dict[str, dict] = {}
         self.router = Router()
@@ -116,6 +119,14 @@ class BrokerService:
         return self.sync.reconcile_host(
             self.client, store_service.host, self.store_keys
         )
+
+    def attach_replica_set(self, primary, replicas, **kwargs):
+        """Pair a primary and its replicas, wiring WAL shipping + failover.
+
+        Convenience over :meth:`FailoverManager.register_set`; see
+        :mod:`repro.broker.failover` for the promotion/fencing contract.
+        """
+        return self.failover.register_set(primary, replicas, **kwargs)
 
     # ------------------------------------------------------------------
     # Consumer-side helpers
@@ -190,6 +201,7 @@ class BrokerService:
         add("POST", "/api/studies/create", self._h_studies_create)
         add("POST", "/api/studies/join", self._h_studies_join)
         add("POST", "/api/sync", self._h_sync)
+        add("POST", "/api/replicas/status", self._h_replicas_status)
         add("POST", "/api/data", self._h_data_proxy)
         add("GET", "/api/metrics", self._h_metrics)
 
@@ -277,6 +289,11 @@ class BrokerService:
         study = str(request.body.get("Study", ""))
         self.studies.add_coordinator(study, consumer)
         return {"Study": study, "Joined": consumer}
+
+    def _h_replicas_status(self, request: Request) -> dict:
+        """Replica-set topology: who is primary, at which epoch, who lags."""
+        self._authenticate(request)
+        return {"Sets": self.failover.status()}
 
     def _h_sync(self, request: Request) -> dict:
         """Rule-sync push endpoint for remote data stores."""

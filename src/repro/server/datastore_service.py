@@ -34,6 +34,7 @@ from repro.exceptions import (
     AuthorizationError,
     BadRequestError,
     NotFoundError,
+    NotPrimaryError,
 )
 from repro.net.http import Request, Router
 from repro.net.transport import Network
@@ -47,6 +48,10 @@ from repro.util.geo import LabeledPlace
 from repro.util.idgen import DeterministicRng
 
 BROKER_PRINCIPAL = "__broker__"
+PRIMARY_PRINCIPAL = "__primary__"
+
+ROLE_PRIMARY = "primary"
+ROLE_REPLICA = "replica"
 
 
 @dataclass(frozen=True)
@@ -90,10 +95,22 @@ class DataStoreService:
         storage_faults=None,
         cache_capacity: int = 1024,
         cache_max_bytes: int = 32 << 20,
+        role: str = ROLE_PRIMARY,
     ):
         self.host = host
         self.network = network
         self.institution = institution
+        #: "primary" serves reads and writes; "replica" only applies
+        #: shipped WAL frames until the broker promotes it.  The store
+        #: epoch is the fencing token: it only ever moves forward, and the
+        #: broker bumps it at every promotion so a demoted primary's
+        #: requests date themselves.
+        self.role = role
+        self.epoch = 1
+        #: :class:`~repro.storage.replication.WalShipper` when this store
+        #: replicates its WAL (see :meth:`enable_replication`).
+        self.replication = None
+        self._applier = None
         rng = DeterministicRng(seed).fork(f"store:{host}")
         self.store = SegmentStore(
             host, merge_policy=merge_policy, directory=directory, obs=network.obs
@@ -177,6 +194,125 @@ class DataStoreService:
             "Rules": rules_to_json(snapshot.rules),
             "Places": [p.to_json() for p in self.places.get(contributor, {}).values()],
         }
+
+    # ------------------------------------------------------------------
+    # Replication & failover
+    # ------------------------------------------------------------------
+
+    @property
+    def is_primary(self) -> bool:
+        """True when this store currently serves reads and writes."""
+        return self.role != ROLE_REPLICA
+
+    @property
+    def applier(self):
+        """This store's frame applier, created on first use.
+
+        Every store can receive shipped frames — a primary only ever gets
+        them after it was demoted and re-pointed — but the applier (and
+        its gauges) exist only on stores that actually replicate.
+        """
+        if self._applier is None:
+            from repro.storage.replication import ReplicaApplier
+
+            self._applier = ReplicaApplier(self)
+        return self._applier
+
+    def enable_replication(self, mode: str = "async", *, min_acks: int = 1):
+        """Start shipping this store's WAL to replicas; returns the shipper.
+
+        The shipper immediately backfills the current on-disk WAL
+        generation, so state written before replication was wired (roles,
+        early rules) still reaches replicas attached afterwards.
+        """
+        if self.replication is None:
+            from repro.storage.replication import WalShipper
+
+            self.replication = WalShipper(self, mode=mode, min_acks=min_acks)
+            self.replication.backfill()
+        return self.replication
+
+    def pair_primary(self) -> str:
+        """Issue the API key a primary uses to ship WAL frames here."""
+        self.roles[PRIMARY_PRINCIPAL] = "primary"
+        return self.keys.issue(PRIMARY_PRINCIPAL)
+
+    def promote(self, epoch: int, rule_versions: Optional[dict] = None) -> dict:
+        """Become the primary at ``epoch`` (broker-driven failover).
+
+        ``rule_versions`` is the broker's mirror of per-contributor rule
+        versions at its last successful sync.  Privacy stays fail-closed
+        across the handover: any contributor whose applied rules are
+        *older* than what the broker last saw — or entirely unknown here —
+        is denied by default until their owner re-publishes rules, exactly
+        like PR 4's unverifiable-rules recovery path.  A promotion may
+        deny; it must never widen access.
+        """
+        self.epoch = max(self.epoch, int(epoch))
+        self.role = ROLE_PRIMARY
+        fenced = []
+        for contributor, version in sorted((rule_versions or {}).items()):
+            if self.rules.version_of(contributor) < int(version):
+                # Same shape as recovery's fail-closed sweep: an empty
+                # rule set (default deny) with a version *above* the
+                # broker's, so the deny state wins the next sync instead
+                # of the broker's stale-but-newer-looking mirror.
+                self.rules.register(contributor)
+                self.rules.restore(contributor, [], int(version) + 1)
+                self.fail_closed.add(contributor)
+                fenced.append(contributor)
+                if self.durability is not None:
+                    # Journal the deny itself (restore() fires no hooks):
+                    # a crash right after promotion must recover to deny,
+                    # not to the stale rules this fencing rejected.
+                    from repro.storage.recovery import OP_RULES
+
+                    self.durability._append(
+                        OP_RULES,
+                        self.rules.snapshot(contributor).to_json(),
+                        control=True,
+                    )
+        if self.replication is not None:
+            # Our stream is the authoritative one now; stop honoring any
+            # fencing verdict aimed at the *old* primary's stream.
+            self.replication.fenced = False
+        if self.release_cache is not None:
+            self.release_cache.invalidate_all("promotion")
+        return {
+            "Host": self.host,
+            "Epoch": self.epoch,
+            "FailClosed": fenced,
+            "AppliedLsn": self._applier.applied_lsn if self._applier else 0,
+        }
+
+    def demote(self, epoch: Optional[int] = None) -> dict:
+        """Step down to replica (fenced, or administratively demoted)."""
+        self.role = ROLE_REPLICA
+        if epoch is not None:
+            self.epoch = max(self.epoch, int(epoch))
+        return {"Host": self.host, "Epoch": self.epoch, "Role": self.role}
+
+    def _require_writable(self) -> None:
+        if not self.is_primary:
+            raise NotPrimaryError(
+                f"store {self.host!r} is a replica (epoch {self.epoch}); "
+                "re-resolve the contributor's primary at the broker"
+            )
+
+    def _require_primary_peer(self, request: Request) -> None:
+        principal = self._authenticate(request)
+        if self.roles.get(principal) != "primary":
+            raise AuthorizationError("endpoint restricted to the paired primary")
+
+    def _replication_barrier(self) -> None:
+        """Ship WAL frames produced by the request that just mutated state.
+
+        In ``semi-sync`` mode this is the commit acknowledgement barrier:
+        the request fails (503, retryable) unless enough replicas hold the
+        frames.  In ``async`` mode it is a best-effort pump.
+        """
+        if self.replication is not None and self.is_primary:
+            self.replication.after_write()
 
     # ------------------------------------------------------------------
     # Registration helpers (used directly by the system facade too)
@@ -396,7 +532,58 @@ class DataStoreService:
         add("POST", "/api/audit/summary", self._h_audit_summary)
         add("POST", "/api/aggregate", self._h_aggregate)
         add("POST", "/api/delete", self._h_delete)
+        add("POST", "/api/replicate/append", self._h_replicate_append)
+        add("POST", "/api/replicate/status", self._h_replicate_status)
+        add("POST", "/api/health", self._h_health)
+        add("POST", "/api/promote", self._h_promote)
+        add("POST", "/api/demote", self._h_demote)
         add("GET", "/api/metrics", self._h_metrics)
+
+    def _h_replicate_append(self, request: Request) -> dict:
+        """Primary-only: verify and apply one batch of shipped WAL frames."""
+        self._require_primary_peer(request)
+        return self.applier.apply_batch(request.body)
+
+    def _h_replicate_status(self, request: Request) -> dict:
+        """Replication progress from both sides of this store."""
+        self._authenticate(request)
+        return {
+            "Host": self.host,
+            "Role": self.role,
+            "Epoch": self.epoch,
+            "Shipper": self.replication.status() if self.replication else None,
+            "Applier": self._applier.status() if self._applier else None,
+        }
+
+    def _h_health(self, request: Request) -> dict:
+        """Liveness + progress probe for the broker's failure detector."""
+        self._authenticate(request)
+        return {
+            "Host": self.host,
+            "Role": self.role,
+            "Epoch": self.epoch,
+            "AppliedLsn": self._applier.applied_lsn if self._applier else 0,
+            "LastLsn": (
+                self.durability.wal.last_lsn
+                if self.durability is not None and self.durability.wal is not None
+                else 0
+            ),
+            "FailClosed": sorted(self.fail_closed),
+        }
+
+    def _h_promote(self, request: Request) -> dict:
+        """Broker-only: become primary at the given epoch, fenced fail-closed."""
+        self._require_broker(request)
+        return self.promote(
+            int(request.body.get("Epoch", self.epoch + 1)),
+            dict(request.body.get("RuleVersions", {})),
+        )
+
+    def _h_demote(self, request: Request) -> dict:
+        """Broker-only: step down to replica at the given epoch."""
+        self._require_broker(request)
+        epoch = request.body.get("Epoch")
+        return self.demote(int(epoch) if epoch is not None else None)
 
     def _h_recovery(self, request: Request) -> dict:
         """What the last restart found on disk, and who is denied for it."""
@@ -420,6 +607,7 @@ class DataStoreService:
         paper: "the registration process is automatically handled by the
         broker"); contributors register once at store setup.
         """
+        self._require_writable()
         body = request.body
         name = body.get("Username")
         role = body.get("Role")
@@ -433,18 +621,24 @@ class DataStoreService:
         return {"ApiKey": key, "Host": self.host}
 
     def _h_upload(self, request: Request) -> dict:
+        self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
         segments = request.body.get("Segments", [])
         stored = 0
+        duplicates = 0
         for obj in segments:
             segment = WaveSegment.from_json(obj)
             if segment.contributor != contributor:
                 raise AuthorizationError("cannot upload segments owned by someone else")
+            before = self.store.duplicate_uploads
             stored += len(self.store.add_segment(segment))
-        return {"Accepted": len(segments), "Finalized": stored}
+            duplicates += self.store.duplicate_uploads - before
+        self._replication_barrier()
+        return {"Accepted": len(segments), "Finalized": stored, "Duplicates": duplicates}
 
     def _h_upload_packets(self, request: Request) -> dict:
+        self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
         packets = request.body.get("Packets", [])
@@ -452,13 +646,16 @@ class DataStoreService:
         for obj in packets:
             packet = SensorPacket.from_json(obj)
             stored += len(self.store.add_packet(contributor, packet))
+        self._replication_barrier()
         return {"Accepted": len(packets), "Finalized": stored}
 
     def _h_flush(self, request: Request) -> dict:
+        self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
         finalized = len(self.store.flush())
         self._wal_commit()
+        self._replication_barrier()
         return {"Finalized": finalized}
 
     def _h_query(self, request: Request) -> dict:
@@ -467,6 +664,7 @@ class DataStoreService:
         The owner reading their own data bypasses the engine — the paper's
         web UI lets contributors "view their own data" unfiltered.
         """
+        self._require_writable()  # replicas serve no reads either
         principal = self._authenticate(request)
         contributor = str(request.body.get("Contributor", ""))
         if not contributor:
@@ -512,24 +710,30 @@ class DataStoreService:
         return {"Version": snapshot.version, "Rules": rules_to_json(snapshot.rules)}
 
     def _h_rules_add(self, request: Request) -> dict:
+        self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
         rule = rule_from_json(request.body.get("Rule", {}))
         self.rules.add(contributor, rule)
+        self._replication_barrier()
         return {"RuleId": rule.rule_id, "Version": self.rules.version_of(contributor)}
 
     def _h_rules_remove(self, request: Request) -> dict:
+        self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
         rule_id = str(request.body.get("RuleId", ""))
         self.rules.remove(contributor, rule_id)
+        self._replication_barrier()
         return {"Removed": rule_id, "Version": self.rules.version_of(contributor)}
 
     def _h_rules_replace(self, request: Request) -> dict:
+        self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
         rules = rules_from_json(request.body.get("Rules", []))
         self.rules.replace_all(contributor, rules)
+        self._replication_barrier()
         return {"Count": len(rules), "Version": self.rules.version_of(contributor)}
 
     def _h_rules_download(self, request: Request) -> dict:
@@ -544,6 +748,7 @@ class DataStoreService:
         }
 
     def _h_places_set(self, request: Request) -> dict:
+        self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
         places = {}
@@ -551,6 +756,7 @@ class DataStoreService:
             place = LabeledPlace.from_json(obj)
             places[place.label] = place
         self.set_places(contributor, places)
+        self._replication_barrier()
         return {"Count": len(places)}
 
     def _h_places_list(self, request: Request) -> dict:
@@ -586,6 +792,7 @@ class DataStoreService:
             aggregate_segments,
         )
 
+        self._require_writable()  # replicas serve no reads either
         principal = self._authenticate(request)
         contributor = str(request.body.get("Contributor", ""))
         if contributor not in self.rules.contributors():
@@ -622,11 +829,13 @@ class DataStoreService:
         data; that includes destroying it.  Only the owner may delete, and
         deletions are recorded in the audit trail.
         """
+        self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
         query = DataQuery.from_json(request.body.get("Query", {}))
         removed = self.store.delete(contributor, query)
         self._wal_commit()
+        self._replication_barrier()
         self.audit.record_access(
             principal=contributor,
             contributor=contributor,

@@ -75,6 +75,41 @@ def encode_frame(lsn: int, chain_prev: int, payload: bytes) -> tuple:
     return header + payload, chain
 
 
+def chain_crc(payload: bytes, prev: int) -> int:
+    """The chain value one payload produces on top of ``prev`` (public form)."""
+    return _chain(payload, prev)
+
+
+def decode_frame(frame: bytes, *, chain_prev: Optional[int] = None) -> tuple:
+    """Verify one framed record and return ``(lsn, chain, payload)``.
+
+    The exact-length inverse of :func:`encode_frame`, used by replication
+    to validate frames shipped over the network with the same rigor the
+    on-disk scanner applies: header CRC, plausible length, payload CRC —
+    and, when ``chain_prev`` is given, that the frame's chain value binds
+    the payload to that history.  Raises
+    :class:`~repro.exceptions.CorruptRecordError` on any mismatch; a frame
+    that does not verify must never be applied.
+    """
+    if len(frame) < HEADER_SIZE:
+        raise CorruptRecordError(f"frame shorter than its header ({len(frame)} bytes)")
+    length, lsn, chain, payload_crc, header_crc = _HEADER.unpack_from(frame, 0)
+    if zlib.crc32(frame[:16]) & 0xFFFFFFFF != header_crc:
+        raise CorruptRecordError("frame header checksum mismatch")
+    if length > MAX_FRAME_BYTES:
+        raise CorruptRecordError(f"implausible frame length {length}")
+    if len(frame) != HEADER_SIZE + length:
+        raise CorruptRecordError(
+            f"frame length mismatch: header says {length}, got {len(frame) - HEADER_SIZE}"
+        )
+    payload = frame[HEADER_SIZE:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != payload_crc:
+        raise CorruptRecordError("frame payload checksum mismatch")
+    if chain_prev is not None and chain != _chain(payload, chain_prev):
+        raise CorruptRecordError("frame chain mismatch (frames missing or reordered)")
+    return lsn, chain, payload
+
+
 @dataclass
 class WalScan:
     """Result of reading a WAL file back: records plus damage assessment."""
@@ -222,6 +257,16 @@ class WriteAheadLog:
         self._last_lsn = resume.next_lsn - 1
         self._unsynced = 0
         self.appended = 0  # appends through this handle (not the file total)
+        #: Observers fired after every successful append with
+        #: ``(lsn, frame_bytes, chain_prev)`` — the exact framed bytes that
+        #: landed on disk plus the chain value they extend.  Replication
+        #: (:mod:`repro.storage.replication`) tails the log through this
+        #: hook; replay and recovery never fire it.
+        self.on_append: list = []
+        #: Observers fired after :meth:`reset` (checkpoint): the chain
+        #: restarts at zero for the new log generation, and anyone shipping
+        #: frames downstream must mark the generation boundary.
+        self.on_reset: list = []
         #: Wall-clock seconds spent inside append()/commit() — the journal's
         #: entire cost on the request path (serialize, frame, write, fsync).
         #: Benchmark C10 gates on this share of ingest time: accounting
@@ -262,7 +307,8 @@ class WriteAheadLog:
         """
         started = time.perf_counter()
         payload = jsonutil.canonical_dumps({"Op": op, "Data": data}).encode("utf-8")
-        frame, chain = encode_frame(self._next_lsn, self._chain, payload)
+        chain_prev = self._chain
+        frame, chain = encode_frame(self._next_lsn, chain_prev, payload)
         if self.faults is not None:
             self.faults.at_point("wal.append.pre_write", path=self.path)
             self.faults.write("wal.append.write", self._fh, frame, path=self.path)
@@ -283,6 +329,8 @@ class WriteAheadLog:
         self._next_lsn += 1
         self.appended += 1
         self.io_seconds += time.perf_counter() - started
+        for hook in self.on_append:
+            hook(lsn, frame, chain_prev)
         return lsn
 
     def _should_sync(self, force: bool) -> bool:
@@ -321,6 +369,8 @@ class WriteAheadLog:
         self._fh.seek(0)
         self._chain = 0
         self._unsynced = 0
+        for hook in self.on_reset:
+            hook()
 
     def close(self) -> None:
         """Close the underlying file handle."""

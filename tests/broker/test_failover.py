@@ -1,0 +1,214 @@
+"""Broker-driven failover: detection, promotion, fencing, re-homing.
+
+The PR 6 tentpole end-to-end: a replicated store loses its primary, the
+broker's heartbeat loop notices, promotes the most-caught-up replica at a
+bumped epoch, re-points the directory, and privacy stays fail-closed
+throughout — a promoted replica whose rules lag the broker's mirror
+denies by default until the owner re-publishes.
+"""
+
+import pytest
+
+from tests.conftest import MONDAY, make_segment
+from repro.conformance.generators import Trial
+from repro.conformance.invariants import check_release
+from repro.core.system import SensorSafeSystem
+from repro.exceptions import TransportError
+from repro.net.faults import FaultPlan
+from repro.rules.model import ALLOW, Rule
+from repro.server.datastore_service import ROLE_REPLICA
+
+ALLOW_BOB = Rule(consumers=("bob",), action=ALLOW)
+
+
+def replicated_system(tmp_path, *, n_replicas=1, mode="semi-sync"):
+    """System + replicated alice-store + contributor alice + consumer bob."""
+    system = SensorSafeSystem(seed=7)
+    primary = system.create_replicated_store(
+        "alice-store", directory=str(tmp_path), n_replicas=n_replicas, mode=mode
+    )
+    alice = system.add_contributor("alice", store=primary)
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    alice.add_rule(ALLOW_BOB)
+    return system, alice, bob
+
+
+def kill(system, host):
+    system.network.unregister_host(host)
+
+
+def detect_and_fail_over(system, set_name="alice-store"):
+    """Heartbeat until the dead primary crosses the miss threshold."""
+    report = None
+    for _ in range(system.broker.failover.miss_threshold):
+        report = system.broker.failover.heartbeat()
+    return report[set_name]["FailedOver"]
+
+
+class TestDetectionAndPromotion:
+    def test_heartbeat_promotes_after_miss_threshold(self, tmp_path):
+        system, alice, bob = replicated_system(tmp_path)
+        alice.upload_segments([make_segment()])
+        alice.flush()
+        kill(system, "alice-store")
+        # One miss is not death: no promotion yet.
+        first = system.broker.failover.heartbeat()
+        assert first["alice-store"]["FailedOver"] is None
+        second = system.broker.failover.heartbeat()
+        result = second["alice-store"]["FailedOver"]
+        assert result["Promoted"] == "alice-store-r1"
+        assert result["Epoch"] == 2
+        assert system.broker.registry.get("alice").host == "alice-store-r1"
+        assert system.stores["alice-store-r1"].is_primary
+
+    def test_most_caught_up_replica_wins(self, tmp_path):
+        system, alice, bob = replicated_system(tmp_path, n_replicas=2, mode="async")
+        alice.upload_segments([make_segment()])
+        alice.flush()
+        system.broker.failover.heartbeat()  # both replicas converge
+        # r2 falls behind: the primary cannot ship to it any more.
+        plan = FaultPlan(seed=7)
+        plan.add_partition("lag-r2", {"alice-store"}, {"alice-store-r2"})
+        system.install_faults(plan)
+        alice.upload_segments([make_segment(start_ms=MONDAY + 3_600_000)])
+        alice.flush()
+        r1, r2 = system.stores["alice-store-r1"], system.stores["alice-store-r2"]
+        assert r1.applier.applied_lsn > r2.applier.applied_lsn  # r2 lags
+        kill(system, "alice-store")
+        result = detect_and_fail_over(system)
+        assert result["Promoted"] == "alice-store-r1"
+        # Promotion re-wires shipping, so the laggard catches up *from r1*
+        # (the heartbeat tick is the replication tick).
+        system.broker.failover.heartbeat()
+        assert r2.applier.applied_lsn == r1.durability.wal.last_lsn
+
+    def test_no_reachable_replica_means_no_promotion(self, tmp_path):
+        system, alice, bob = replicated_system(tmp_path)
+        alice.upload_segments([make_segment()])
+        alice.flush()
+        kill(system, "alice-store")
+        kill(system, "alice-store-r1")
+        result = detect_and_fail_over(system)
+        assert result["Promoted"] is None
+        # Fail-closed: the directory still points at the dead primary and
+        # data requests keep failing rather than being served stale.
+        assert system.broker.registry.get("alice").host == "alice-store"
+        with pytest.raises(TransportError):
+            bob.fetch("alice")
+
+
+class TestZeroCommittedWriteLoss:
+    def test_semi_sync_failover_loses_nothing_acknowledged(self, tmp_path):
+        system, alice, bob = replicated_system(tmp_path, mode="semi-sync")
+        for i in range(3):
+            alice.upload_segments([make_segment(start_ms=MONDAY + i * 3_600_000)])
+            alice.flush()  # semi-sync: the ack means a replica holds it
+        before = bob.fetch("alice")
+        samples_before = sum(len(r.segment.sample_times()) for r in before)
+        assert samples_before > 0
+        kill(system, "alice-store")
+        result = detect_and_fail_over(system)
+        assert result["Promoted"] == "alice-store-r1"
+        # Same consumer handle, zero reconfiguration: re-resolves via the
+        # broker and reads everything that was ever acknowledged.
+        after = bob.fetch("alice")
+        samples_after = sum(len(r.segment.sample_times()) for r in after)
+        assert samples_after == samples_before
+
+    def test_releases_stay_conformant_after_promotion(self, tmp_path):
+        system, alice, bob = replicated_system(tmp_path, mode="semi-sync")
+        segment = make_segment(n=50)
+        alice.upload_segments([segment])
+        alice.flush()
+        kill(system, "alice-store")
+        detect_and_fail_over(system)
+        pieces = bob.fetch("alice")
+        assert pieces  # rules survived: the allow still releases
+        trial = Trial(seed="failover", rules=[ALLOW_BOB], segments=[segment])
+        assert check_release(trial, segment, pieces) == []
+
+
+class TestRevocationFencing:
+    def test_stale_replica_promotion_fails_closed(self, tmp_path):
+        """THE fencing test: a revocation the replica never saw must win.
+
+        Alice revokes Bob's access; the revocation reaches the broker's
+        mirror but — thanks to a partition — never the replica.  The
+        primary then dies.  If promotion simply trusted the replica's
+        replicated rules, Bob would read under the *revoked* allow rule.
+        The fail-closed contract instead denies Alice's data entirely
+        until she re-publishes.  Removing the deny in
+        :meth:`DataStoreService.promote` makes this test fail.
+        """
+        system, alice, bob = replicated_system(tmp_path, mode="async")
+        alice.upload_segments([make_segment()])
+        alice.flush()
+        system.broker.failover.heartbeat()
+        replica = system.stores["alice-store-r1"]
+        assert replica.rules.version_of("alice") == 1  # allow is replicated
+        # Replica stops hearing from the primary...
+        plan = FaultPlan(seed=7)
+        plan.add_partition("ship-lost", {"alice-store"}, {"alice-store-r1"})
+        system.install_faults(plan)
+        # ...then alice revokes: v2 reaches the broker mirror (eager
+        # push), but never the replica.
+        alice.replace_rules([])
+        assert system.broker.registry.get("alice").rules_version == 2
+        assert replica.rules.version_of("alice") == 1  # stale allow
+        kill(system, "alice-store")
+        system.install_faults(None)
+        result = detect_and_fail_over(system)
+        assert result["Promoted"] == "alice-store-r1"
+        assert "alice" in result["FailClosed"]
+        # The promoted store denies by default: no data for bob, even
+        # though its replicated rules still contain the old allow.
+        assert bob.fetch("alice") == []
+        # The owner re-publishes at the new primary and sharing resumes
+        # under the *new* rules — the only path out of fail-closed.
+        alice = system.repoint_contributor("alice")
+        assert alice.store_host == "alice-store-r1"
+        alice.replace_rules([ALLOW_BOB])
+        assert len(bob.fetch("alice")) > 0
+
+    def test_fenced_ex_primary_rejoins_as_replica(self, tmp_path):
+        system, alice, bob = replicated_system(tmp_path, mode="semi-sync")
+        alice.upload_segments([make_segment()])
+        alice.flush()
+        old_primary = system.stores["alice-store"]
+        kill(system, "alice-store")
+        detect_and_fail_over(system)
+        # The machine comes back with its old (epoch-1) state and rejoins.
+        system.network.register_host("alice-store", old_primary.router)
+        report = system.broker.failover.rejoin("alice-store", old_primary)
+        assert report == {"Rejoined": "alice-store", "Epoch": 2, "Set": "alice-store"}
+        assert old_primary.role == ROLE_REPLICA
+        assert not old_primary.is_primary
+        # New writes at the promoted primary now replicate to it.
+        alice = system.repoint_contributor("alice")
+        alice.upload_segments([make_segment(start_ms=MONDAY + 7_200_000)])
+        alice.flush()
+        new_primary = system.stores["alice-store-r1"]
+        assert (
+            old_primary.applier.applied_lsn
+            == new_primary.durability.wal.last_lsn
+        )
+        assert old_primary.store.stats.n_segments == new_primary.store.stats.n_segments
+
+
+class TestStatusSurface:
+    def test_broker_api_reports_set_topology(self, tmp_path):
+        system, alice, bob = replicated_system(tmp_path)
+        body = system.broker.client.with_key(
+            system.broker.register_consumer("ops")
+        ).post("https://broker/api/replicas/status", {})
+        sets = body["Sets"]
+        assert sets["alice-store"]["Primary"] == "alice-store"
+        assert sets["alice-store"]["Replicas"] == ["alice-store-r1"]
+        assert sets["alice-store"]["Epoch"] == 1
+        kill(system, "alice-store")
+        detect_and_fail_over(system)
+        status = system.broker.failover.status()["alice-store"]
+        assert status["Primary"] == "alice-store-r1"
+        assert status["Demoted"] == ["alice-store"]
+        assert status["Failovers"] == 1

@@ -97,3 +97,54 @@ class TestFailClosedConvergence:
         # consumers matches the store will deny.
         record = broker.registry.get("alice")
         assert record.rules == ()
+
+
+class TestReconcileUnderPartition:
+    """PR 6 satellite: reconcile_store must complete or change nothing."""
+
+    def test_registry_untouched_while_partitioned(self, tmp_path):
+        from repro.net.faults import FaultPlan
+
+        network, broker, store = paired_system(tmp_path)
+        store2 = restart(network, tmp_path)
+        plan = FaultPlan(seed=0)
+        plan.add_partition("net-split", {broker.host}, {HOST})
+        network.install_faults(plan)
+        before = broker.registry.get("alice")
+        before_state = (before.rules_version, before.rules)
+        out = broker.reconcile_store(store2)
+        assert out == {"pulled": 0, "applied": 0, "failed": 1}
+        # The mirror is exactly what it was — no half-applied profile —
+        # and the miss is remembered for recovery, not forgotten.
+        record = broker.registry.get("alice")
+        assert (record.rules_version, record.rules) == before_state
+        assert "alice" in broker.sync._stale
+        # Partition heals: the same call now converges and clears the mark.
+        network.install_faults(None)
+        out2 = broker.reconcile_store(store2)
+        assert out2["failed"] == 0 and out2["pulled"] == 1
+        assert "alice" not in broker.sync._stale
+
+    def test_partial_failure_never_half_applies(self, tmp_path):
+        from repro.net.faults import FaultPlan
+
+        network, broker, store = paired_system(tmp_path)
+        store.register_contributor("carol")
+        store.rules.replace_all("carol", [ALLOW_ECG])
+        assert broker.registry.get("carol").rules_version == 1
+        store2 = restart(network, tmp_path)
+        # The first profile pull of the reconcile dies — including every
+        # retry the broker's policy fires (4 attempts) — and the second
+        # gets through.  Pulls run in sorted contributor order, so alice
+        # fails and carol lands.
+        plan = FaultPlan(seed=0)
+        plan.add_flaky(HOST, fail_first=4, path="/api/profile")
+        network.install_faults(plan)
+        out = broker.reconcile_store(store2)
+        assert out["failed"] == 1 and out["pulled"] == 1
+        alice, carol = broker.registry.get("alice"), broker.registry.get("carol")
+        # alice's mirror: bit-identical to before the attempt, and stale.
+        assert alice.rules_version == 1 and len(alice.rules) == 1
+        assert "alice" in broker.sync._stale
+        assert "carol" not in broker.sync._stale
+        assert carol.rules_version == 1

@@ -1,0 +1,175 @@
+"""Chaos suite: storage crashes × network faults across failover (PR 6).
+
+Composes the PR 1 network fault plan with the PR 4 storage fault
+injector over a live replicated deployment.  The properties under test
+are the replication contract, not any particular failure:
+
+* **zero committed-write loss** — anything a semi-sync store ever
+  acknowledged is readable after the primary dies at *any* WAL or
+  checkpoint crash point;
+* **convergence** — a partition during shipment never duplicates or
+  forks replica state once healed;
+* **promotion is all-or-nothing** — a candidate that crashes mid-promote
+  is skipped; the directory only ever points at a store that completed
+  promotion, and fail-closed denies survive the detour.
+"""
+
+import pytest
+
+from tests.conftest import MONDAY, make_segment
+from repro.conformance.generators import Trial
+from repro.conformance.invariants import check_release
+from repro.core.system import SensorSafeSystem
+from repro.exceptions import SensorSafeError
+from repro.net.faults import FaultPlan
+from repro.rules.model import ALLOW, Rule
+from repro.storage import CRASH_POINTS, StorageFaultPlan
+
+ALLOW_BOB = Rule(consumers=("bob",), action=ALLOW)
+HOUR = 3_600_000
+
+
+def sample_count(pieces):
+    return sum(len(p.segment.sample_times()) for p in pieces if p.segment is not None)
+
+
+def build(tmp_path, *, mode="semi-sync", n_replicas=1, seed=11):
+    system = SensorSafeSystem(seed=seed)
+    primary = system.create_replicated_store(
+        "alice-store", directory=str(tmp_path), n_replicas=n_replicas, mode=mode
+    )
+    alice = system.add_contributor("alice", store=primary)
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    alice.add_rule(ALLOW_BOB)
+    alice.upload_segments([make_segment()])
+    alice.flush()
+    return system, alice, bob
+
+
+def fail_over(system, set_name="alice-store"):
+    report = None
+    for _ in range(system.broker.failover.miss_threshold):
+        report = system.broker.failover.heartbeat()
+    return report[set_name]["FailedOver"]
+
+
+class TestCrashPointSweep:
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_primary_dies_at_every_point_without_committed_loss(
+        self, tmp_path, point
+    ):
+        system, alice, bob = build(tmp_path, mode="semi-sync")
+        committed = sample_count(bob.fetch("alice"))
+        assert committed > 0
+        primary = system.stores["alice-store"]
+        plan = StorageFaultPlan(seed=5)
+        if point.endswith(".write"):
+            plan.add_torn_write(point)  # the ".write" points tear, then die
+        else:
+            plan.add_crash(point)
+        primary.durability.faults = plan
+        primary.durability.wal.faults = plan
+        # Drive a write burst, a force-synced rules append, and a
+        # checkpoint so every armed point — WAL append, append/commit
+        # fsync, snapshot, manifest, WAL reset — is hit.
+        crashed = False
+        try:
+            alice.upload_segments([make_segment(start_ms=MONDAY + HOUR)])
+            alice.flush()  # a returned ack ⇒ a replica holds the frames
+            committed += 16
+            alice.add_rule(Rule(consumers=("carol",), action=ALLOW))
+            primary.checkpoint()
+        except SensorSafeError:
+            crashed = True
+        assert crashed, f"crash point {point!r} never fired"
+        system.network.unregister_host("alice-store")
+        result = fail_over(system)
+        assert result["Promoted"] == "alice-store-r1"
+        after = bob.fetch("alice")
+        # Every acknowledged sample is still readable; nothing appears
+        # twice (the promoted store holds at most the two real segments).
+        assert sample_count(after) >= committed
+        assert sample_count(after) <= 32
+        promoted = system.stores["alice-store-r1"]
+        assert promoted.store.stats.n_segments <= 2
+        # Releases from the promoted store still conform to the oracle's
+        # invariants for the segment that predates the chaos.
+        seg1 = make_segment()
+        pieces1 = [p for p in after if p.interval.start < MONDAY + HOUR]
+        trial = Trial(seed=f"chaos-{point}", rules=[ALLOW_BOB], segments=[seg1])
+        assert check_release(trial, seg1, pieces1) == []
+
+
+class TestPartitionDuringShipment:
+    def test_healed_partition_converges_without_duplicates(self, tmp_path):
+        system, alice, bob = build(tmp_path, mode="async")
+        system.broker.failover.heartbeat()
+        primary = system.stores["alice-store"]
+        replica = system.stores["alice-store-r1"]
+        plan = FaultPlan(seed=11)
+        plan.add_partition("mid-ship", {"alice-store"}, {"alice-store-r1"})
+        system.install_faults(plan)
+        # Writes keep landing on the async primary while ships bounce.
+        for i in range(1, 4):
+            alice.upload_segments([make_segment(start_ms=MONDAY + i * HOUR)])
+            alice.flush()
+        assert replica.store.stats.n_segments == 1  # stuck at pre-partition
+        plan.heal("mid-ship")
+        system.broker.failover.heartbeat()  # the tick pumps the shipper
+        assert replica.applier.applied_lsn == primary.durability.wal.last_lsn
+        assert replica.store.stats.n_segments == primary.store.stats.n_segments
+        # A second resync-free pump ships nothing new and changes nothing.
+        skipped_before = replica.applier.frames_skipped
+        primary.replication.pump()
+        assert replica.store.stats.n_segments == primary.store.stats.n_segments
+        assert replica.applier.frames_skipped == skipped_before
+
+    def test_flaky_ship_link_retries_idempotently(self, tmp_path):
+        system, alice, bob = build(tmp_path, mode="async")
+        plan = FaultPlan(seed=11)
+        # The replica answers, but its first few acks are lost: the
+        # shipper must re-send and the applier must skip what it holds.
+        plan.add_response_error(
+            "alice-store-r1", path="/api/replicate/append", fail_first=2
+        )
+        system.install_faults(plan)
+        alice.upload_segments([make_segment(start_ms=MONDAY + HOUR)])
+        alice.flush()
+        for _ in range(4):
+            system.broker.failover.heartbeat()
+        replica = system.stores["alice-store-r1"]
+        primary = system.stores["alice-store"]
+        assert replica.applier.applied_lsn == primary.durability.wal.last_lsn
+        assert replica.store.stats.n_segments == primary.store.stats.n_segments
+
+
+class TestCrashDuringPromotion:
+    def test_crashing_candidate_is_skipped_and_fencing_survives(self, tmp_path):
+        system, alice, bob = build(tmp_path, mode="async", n_replicas=2)
+        system.broker.failover.heartbeat()
+        # A revocation the replicas never see: it reaches the broker's
+        # mirror, then the primary dies.
+        plan = FaultPlan(seed=11)
+        plan.add_partition(
+            "ship-lost", {"alice-store"}, {"alice-store-r1", "alice-store-r2"}
+        )
+        system.install_faults(plan)
+        alice.replace_rules([])
+        assert system.broker.registry.get("alice").rules_version == 2
+        system.network.unregister_host("alice-store")
+        system.install_faults(None)
+        # The preferred candidate (r1, by tie-break) crashes while
+        # journaling its promotion; the broker must move on to r2.
+        r1 = system.stores["alice-store-r1"]
+        crash = StorageFaultPlan(seed=5)
+        crash.add_crash("wal.append")
+        r1.durability.faults = crash
+        r1.durability.wal.faults = crash
+        result = fail_over(system)
+        assert result["Promoted"] == "alice-store-r2"
+        assert "alice" in result["FailClosed"]
+        assert system.broker.registry.get("alice").host == "alice-store-r2"
+        # Fail-closed held across the detour: the revoked allow rule the
+        # replicas still carry releases nothing.
+        assert bob.fetch("alice") == []

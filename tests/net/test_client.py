@@ -74,3 +74,78 @@ class TestErrorMapping:
     def test_get(self, network):
         client = HttpClient(network)
         assert client.get("https://store/web/page") == {"page": 1}
+
+
+class TestDeadline:
+    """Total per-call time budget across retries and backoff (PR 6)."""
+
+    def make_flaky_network(self, fail_first=10):
+        from repro.net.faults import FaultPlan, SimClock
+
+        clock = SimClock()
+        plan = FaultPlan(seed=1)
+        plan.add_flaky("store", fail_first=fail_first)
+        network = Network(clock=clock, fault_plan=plan)
+        router = Router()
+        router.add("POST", "/api/echo", lambda req: {"ok": True})
+        network.register_host("store", router)
+        return network, clock
+
+    def test_deadline_cuts_retry_loop(self):
+        from repro.exceptions import DeadlineExceededError
+        from repro.net.resilience import RetryPolicy
+
+        network, clock = self.make_flaky_network()
+        client = HttpClient(
+            network,
+            retry=RetryPolicy(max_attempts=50),
+            deadline_ms=500,
+        )
+        with pytest.raises(DeadlineExceededError, match="500ms"):
+            client.post("https://store/api/echo")
+        # The budget is enforced before each backoff sleep, never after
+        # an arbitrary overshoot.
+        assert clock.now_ms() <= 500
+        counter = network.obs.metrics.counter(
+            "client_deadline_exceeded_total", host="store"
+        )
+        assert counter.value == 1
+
+    def test_no_deadline_is_unbounded(self):
+        from repro.net.resilience import RetryPolicy
+
+        network, clock = self.make_flaky_network(fail_first=3)
+        client = HttpClient(network, retry=RetryPolicy(max_attempts=10))
+        assert client.post("https://store/api/echo") == {"ok": True}
+        assert clock.now_ms() > 500  # it kept retrying past any budget
+
+    def test_per_call_override_beats_client_default(self):
+        from repro.exceptions import DeadlineExceededError
+        from repro.net.resilience import RetryPolicy
+
+        network, _ = self.make_flaky_network(fail_first=4)
+        client = HttpClient(
+            network, retry=RetryPolicy(max_attempts=10), deadline_ms=100
+        )
+        with pytest.raises(DeadlineExceededError):
+            client.post("https://store/api/echo")
+        assert client.post("https://store/api/echo", deadline_ms=60_000) == {
+            "ok": True
+        }
+
+    def test_deadline_without_retry_policy(self):
+        from repro.exceptions import DeadlineExceededError
+        from repro.net.faults import SimClock
+
+        clock = SimClock()
+        network = Network(clock=clock)
+        router = Router()
+        router.add("POST", "/api/echo", lambda req: {"ok": True})
+        network.register_host("store", router)
+        client = HttpClient(network, deadline_ms=100)
+        assert client.post("https://store/api/echo") == {"ok": True}
+        clock.advance(1_000)  # a budget is an absolute cutoff, not a rate:
+        # the first send inside the window still went through; a call
+        # issued with no remaining budget must not.
+        with pytest.raises(DeadlineExceededError):
+            client.post("https://store/api/echo", deadline_ms=0)

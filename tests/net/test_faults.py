@@ -163,3 +163,44 @@ class TestScheduleLog:
         assert len(plan.log) == 1
         event = plan.log[0]
         assert (event.host, event.path, event.outcome) == ("store", "/api/echo", "drop")
+
+
+class TestResponseError:
+    """Post-dispatch loss: the handler ran, the ack never arrived (PR 6)."""
+
+    def make_counting_network(self, plan):
+        network = Network(fault_plan=plan)
+        router = Router()
+        hits = []
+        router.add("POST", "/api/write", lambda req: {"n": hits.append(1) or len(hits)})
+        router.add("POST", "/api/other", lambda req: {"ok": True})
+        network.register_host("store", router)
+        return network, hits
+
+    def test_handler_ran_but_client_sees_error(self):
+        plan = FaultPlan()
+        plan.add_response_error("store", path="/api/write", status=503)
+        network, hits = self.make_counting_network(plan)
+        response = post(network, "/api/write")
+        assert response.status == 503
+        assert "lost in transit" in response.body["Error"]
+        assert hits == [1]  # the server-side effect committed anyway
+
+    def test_fail_first_then_ack_arrives(self):
+        plan = FaultPlan()
+        plan.add_response_error("store", path="/api/write", fail_first=2)
+        network, hits = self.make_counting_network(plan)
+        assert post(network, "/api/write").status == 503
+        assert post(network, "/api/write").status == 503
+        response = post(network, "/api/write")
+        assert response.ok
+        # Every attempt reached the handler: the classic duplicate-write
+        # hazard a retrying client creates.
+        assert response.body["n"] == 3
+
+    def test_path_scoped(self):
+        plan = FaultPlan()
+        plan.add_response_error("store", path="/api/write")
+        network, hits = self.make_counting_network(plan)
+        assert post(network, "/api/other").ok
+        assert post(network, "/api/write").status == 503

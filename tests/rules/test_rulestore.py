@@ -32,12 +32,23 @@ class TestVersions:
 
 
 class TestCrud:
-    def test_duplicate_rule_id_rejected(self):
+    def test_identical_readd_is_idempotent(self):
+        # A client retrying a write whose ack was lost (semi-sync 503,
+        # dropped response) re-sends the same rule; that must converge,
+        # not fault on its own success.
         store = RuleStore()
         rule = Rule(action=ALLOW)
         store.add("alice", rule)
+        version = store.version_of("alice")
+        assert store.add("alice", Rule(action=ALLOW)) == rule  # same content, same id
+        assert store.version_of("alice") == version  # no spurious bump
+        assert len(store.rules_of("alice")) == 1
+
+    def test_conflicting_rule_id_rejected(self):
+        store = RuleStore()
+        store.add("alice", Rule(action=ALLOW, rule_id="r1"))
         with pytest.raises(RuleError):
-            store.add("alice", Rule(action=ALLOW))  # same content, same id
+            store.add("alice", Rule(action=DENY, rule_id="r1"))
 
     def test_remove_missing_raises(self):
         store = RuleStore()

@@ -1,0 +1,66 @@
+"""Duplicate-upload regression: lost acks + client retries (PR 6 satellite).
+
+The bug class: a store accepts an upload, the 200 is lost in transit, the
+phone's retry policy re-sends, and the store ingests the same segment
+twice — double-counting the contributor's data and double-releasing it to
+consumers.  The fix dedupes on segment id at the store boundary; these
+tests drive the *whole* path (client retry loop, fault plan, HTTP
+handler) rather than the store method in isolation.
+"""
+
+from tests.conftest import MONDAY, make_segment
+from repro.core.system import SensorSafeSystem
+from repro.net.faults import FaultPlan
+from repro.rules.model import ALLOW, Rule
+
+
+def lossy_system(*, fail_first=1):
+    """A system whose store loses the first ``/api/upload`` ack."""
+    plan = FaultPlan(seed=3)
+    plan.add_response_error("alice-store", path="/api/upload", fail_first=fail_first)
+    system = SensorSafeSystem(seed=3, fault_plan=plan)
+    alice = system.add_contributor("alice")
+    return system, alice
+
+
+class TestUploadRetryDedupe:
+    def test_lost_ack_retry_does_not_double_store(self):
+        system, alice = lossy_system()
+        segment = make_segment()
+        # One call from the caller's point of view; two deliveries on the
+        # wire (the retry fires because the first ack came back 503).
+        alice.upload_segments([segment])
+        alice.flush()
+        store = system.stores["alice-store"]
+        assert store.store.stats.n_segments == 1
+        traffic = system.traffic()["alice-store"]
+        assert traffic.requests_in >= 2  # the duplicate really was sent
+
+    def test_duplicates_reported_not_stored(self):
+        system, alice = lossy_system()
+        segment = make_segment()
+        body = alice.client.post(
+            "https://alice-store/api/upload",
+            {"Contributor": "alice", "Segments": [segment.to_json()]},
+        )
+        assert body["Duplicates"] == 1  # Accepted counts receipt, not storage
+        assert body["Finalized"] == 0  # nothing newly finalized by the resend
+
+    def test_consumer_sees_each_sample_once(self):
+        system, alice = lossy_system()
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        segment = make_segment(n=20)
+        alice.upload_segments([segment])
+        alice.flush()
+        bob = system.add_consumer("bob")
+        bob.add_contributors(["alice"])
+        released = bob.fetch("alice")
+        total = sum(len(r.segment.sample_times()) for r in released)
+        assert total == 20
+
+    def test_distinct_segments_still_accepted(self):
+        system, alice = lossy_system(fail_first=2)
+        alice.upload_segments([make_segment()])
+        alice.upload_segments([make_segment(start_ms=MONDAY + 3_600_000)])
+        alice.flush()
+        assert system.stores["alice-store"].store.stats.n_segments == 2
