@@ -382,6 +382,11 @@ class FailoverManager:
             shipper = primary.enable_replication(group.mode, min_acks=group.min_acks)
             shipper.detach(service.host)  # drop any stale link/key
             self._link(shipper, group.primary, service)
+            # An existing shipper's buffer has been trimmed to what the
+            # surviving replicas still need; the rejoiner's resync must
+            # replay the whole generation, so re-seed it from the on-disk
+            # WAL first (exactly as _rewire does after a promotion).
+            shipper.backfill()
             shipper.pump()
         return {"Rejoined": service.host, "Epoch": group.epoch, "Set": name}
 

@@ -23,6 +23,11 @@ from repro.datastore.wavesegment import WaveSegment, segment_from_packet
 from repro.sensors.packets import SensorPacket
 from repro.util.timeutil import Interval
 
+#: Default bound on remembered upload ids (retry dedupe).  FIFO eviction:
+#: once a store has ingested this many *newer* segments, a retry of a
+#: very old upload is no longer recognized as a duplicate.
+DEDUPE_WINDOW_IDS = 65536
+
 
 @dataclass
 class StoreStats:
@@ -45,6 +50,7 @@ class SegmentStore:
         merge_policy: Optional[MergePolicy] = None,
         directory: Optional[str] = None,
         grid_cell_degrees: float = 0.01,
+        dedupe_window: int = DEDUPE_WINDOW_IDS,
         obs=None,
     ):
         self.name = name
@@ -99,11 +105,22 @@ class SegmentStore:
         #: and disk loads bypass them (no WAL echo of the WAL).
         self.on_persist: list = []
         self.on_unpersist: list = []
-        # Segment ids ever offered through add_segment, for upload dedupe:
-        # a retried POST whose first attempt committed but whose response
-        # was lost must not double-ingest (the merged copy in the table can
-        # carry a different id, so the table alone cannot answer this).
-        self._ingested_ids: set = set()
+        # Recently offered segment ids, for upload dedupe: a retried POST
+        # whose first attempt committed but whose response was lost must
+        # not double-ingest (the merged copy in the table can carry a
+        # different id, so the table alone cannot answer this).  The
+        # guarantee is deliberately best-effort and bounded:
+        #
+        # * insertion-ordered with FIFO eviction at ``dedupe_window`` ids,
+        #   so the memory cost per store is capped — a retry arriving
+        #   after that many newer ingests can double-insert;
+        # * deletions do NOT remove entries: a stale retry of a segment
+        #   the owner has since deleted must not resurrect their data;
+        # * across a restart, only ids of *finalized* (journaled) segments
+        #   are re-seeded by WAL replay — never-finalized ids are
+        #   memory-only, so their dedupe does not survive the restart.
+        self._ingested_ids: dict = {}
+        self.dedupe_window = dedupe_window
         self.duplicate_uploads = 0
 
     # ------------------------------------------------------------------
@@ -120,17 +137,26 @@ class SegmentStore:
         Idempotent per segment id: re-offering an id this store has
         already ingested is counted and dropped, so a client retrying an
         upload whose response was lost in transit cannot double-insert.
+        Dedupe is best-effort — ids are remembered in a bounded FIFO
+        window (``dedupe_window``) and, for never-finalized segments,
+        only in memory (see ``_ingested_ids`` for the exact contract).
         """
         if segment.segment_id in self._ingested_ids:
             self.duplicate_uploads += 1
             if self._c_duplicates is not None:
                 self._c_duplicates.inc()
             return []
-        self._ingested_ids.add(segment.segment_id)
+        self._note_ingested(segment.segment_id)
         finalized = self.optimizer.add(segment)
         for final in finalized:
             self._persist(final)
         return finalized
+
+    def _note_ingested(self, segment_id: str) -> None:
+        """Remember one offered id, evicting the oldest past the window."""
+        self._ingested_ids[segment_id] = None
+        while len(self._ingested_ids) > self.dedupe_window:
+            del self._ingested_ids[next(iter(self._ingested_ids))]
 
     def flush(self) -> list:
         """Persist all segments still buffered in the optimizer."""
@@ -214,7 +240,7 @@ class SegmentStore:
         # replica) the device may re-send segments the journal already
         # delivered, and those must dedupe rather than re-enter the
         # optimizer alongside their persisted copies.
-        self._ingested_ids.add(segment.segment_id)
+        self._note_ingested(segment.segment_id)
 
     def remove_segment(self, segment_id: str) -> bool:
         """Replay a journaled deletion; False when already absent."""

@@ -11,7 +11,7 @@ whose version is newer than the broker's copy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Optional
 
 from repro.exceptions import MissingRecordError, RuleError
 from repro.rules.model import Rule
@@ -103,15 +103,23 @@ class RuleStore:
         self._bump(contributor)
         return rule
 
-    def remove(self, contributor: str, rule_id: str) -> Rule:
-        """Remove one rule by id; raises MissingRecordError when absent."""
+    def remove(self, contributor: str, rule_id: str) -> Optional[Rule]:
+        """Remove one rule by id; an absent id is an idempotent no-op.
+
+        Returns the removed rule, or ``None`` when no such rule exists
+        (no version bump, no listener fire).  The no-op arm mirrors
+        :meth:`add`'s identical-rule tolerance: a semi-sync replication
+        rejection (503) leaves the rule already removed locally, and the
+        client's retry of the same request must converge instead of
+        faulting on its own success.
+        """
         rules = self._rules.get(contributor, [])
         for i, rule in enumerate(rules):
             if rule.rule_id == rule_id:
                 removed = rules.pop(i)
                 self._bump(contributor)
                 return removed
-        raise MissingRecordError(f"no rule {rule_id!r} for contributor {contributor!r}")
+        return None
 
     def replace_all(self, contributor: str, rules: Iterable[Rule]) -> None:
         """Replace a contributor's entire rule set in one mutation."""

@@ -13,9 +13,19 @@ stores over the ordinary :mod:`repro.net` transport:
 * :class:`ReplicaApplier` runs on each **replica**.  Every received frame
   is verified with the same rigor the on-disk scanner applies — header
   CRC, payload CRC, chain binding to the previous frame, strict LSN
-  continuity — and only then replayed through the *existing* recovery
-  path (:func:`repro.storage.recovery._apply`), so replication cannot
+  continuity (a stream with no applied history must start at lsn 1) —
+  and only then replayed through the *existing* recovery path
+  (:func:`repro.storage.recovery._apply`), so replication cannot
   apply anything a crash recovery would have refused.
+
+Checkpoints truncate the WAL, so once a primary has checkpointed its
+frames no longer reach back to lsn 1.  A resync then leads with a
+**snapshot bootstrap** (:func:`bootstrap_records`): the primary's full
+durable state as WAL-shaped ``(op, data)`` records, applied through the
+same recovery path, after which the applier resumes frame continuity at
+``BaseLsn + 1``.  A resync that names a base but carries no bootstrap is
+rejected — a joiner must never be marked caught-up with a silent hole in
+its history.
 
 Acknowledgement modes:
 
@@ -61,6 +71,11 @@ _MODES = (MODE_ASYNC, MODE_SEMI_SYNC)
 #: re-journals these with ``force_sync`` exactly like the primary did.
 _CONTROL_OPS = ("rules", "places", "role", "audit")
 
+#: Consecutive failed ships before a replica is declared *lagging*: it
+#: stops pinning the primary's in-memory frame buffer and is converged by
+#: a full resync (disk backfill + snapshot bootstrap) when it returns.
+LAGGING_AFTER_FAILURES = 3
+
 
 def read_wal_frames(path: str) -> list:
     """Extract ``(lsn, frame_bytes, chain_prev)`` for every intact frame.
@@ -93,6 +108,57 @@ def read_wal_frames(path: str) -> list:
     return frames
 
 
+def bootstrap_records(service) -> list:
+    """A primary's full durable state as ``(op, data)`` WAL-shaped records.
+
+    A replica that attaches — or returns — after the primary has
+    checkpointed cannot be converged from WAL frames alone: the checkpoint
+    truncated every earlier generation.  This dump carries everything the
+    checkpoint covers, shaped exactly like WAL payloads, so the replica
+    installs it through the same recovery apply path it uses for shipped
+    frames.  Every op is idempotent or last-wins (rule snapshots carry a
+    version and replay monotonically; audit restore dedupes per seq), so
+    replaying the current generation's frames *over* the bootstrap
+    converges on the primary's live state.
+
+    Integrity rides the authenticated transport: these records come from
+    live state, not disk, so the frame CRC machinery has nothing on disk
+    to vouch for — the same trust as any other broker- or primary-keyed
+    API call.
+    """
+    from repro.storage.recovery import (
+        OP_AUDIT,
+        OP_PLACES,
+        OP_ROLE,
+        OP_RULES,
+        OP_SEGMENT,
+    )
+
+    records = []
+    for principal, role in sorted(service.roles.items()):
+        records.append((OP_ROLE, {"Principal": principal, "Role": role}))
+    store = service.store
+    for contributor in store.contributors():
+        for segment in store.segments_of(contributor):
+            records.append((OP_SEGMENT, segment.to_json()))
+    for contributor in service.rules.contributors():
+        records.append((OP_RULES, service.rules.snapshot(contributor).to_json()))
+    for contributor, places in sorted(service.places.items()):
+        records.append(
+            (
+                OP_PLACES,
+                {
+                    "Contributor": contributor,
+                    "Places": [p.to_json() for p in places.values()],
+                },
+            )
+        )
+    for contributor in service.audit.contributors():
+        for record in service.audit.trail_of(contributor):
+            records.append((OP_AUDIT, record.to_json()))
+    return records
+
+
 @dataclass
 class ReplicaLink:
     """The primary's view of one replica: transport handle plus progress."""
@@ -104,6 +170,9 @@ class ReplicaLink:
     #: idempotently (new link, or a post-promotion stream change).
     resync: bool = True
     alive: bool = True
+    #: consecutive failed ships; at :data:`LAGGING_AFTER_FAILURES` the
+    #: link flips to resync-on-return and stops pinning the frame buffer.
+    fails: int = 0
     last_error: str = ""
 
 
@@ -140,7 +209,14 @@ class WalShipper:
         self.links: dict = {}
         self._buffer: list = []
         self.fenced = False  # a replica rejected our epoch: we were demoted
+        #: LSN the current WAL generation starts *above* (the last
+        #: checkpoint's LSN; 0 when the log has never been truncated).  A
+        #: resync can be served from frames alone only when they reach
+        #: back to ``_base_lsn + 1 == 1``; otherwise the ship leads with a
+        #: snapshot bootstrap covering everything at or below the base.
+        self._base_lsn = service.durability.checkpoint_lsn
         service.durability.wal.on_append.append(self._on_append)
+        service.durability.wal.on_reset.append(self._on_reset)
         obs = service.network.obs
         self.obs = obs if obs is not None and obs.enabled else None
         if self.obs is not None:
@@ -164,6 +240,27 @@ class WalShipper:
 
     def _on_append(self, lsn: int, frame: bytes, chain_prev: int) -> None:
         self._buffer.append(_BufferedFrame(lsn, frame, chain_prev))
+
+    def _on_reset(self) -> None:
+        # A checkpoint truncated the log: the generation now starts above
+        # the checkpoint LSN, so any later resync needs the snapshot
+        # bootstrap — frames alone no longer reach back to lsn 1.
+        self._base_lsn = self.service.durability.wal.last_lsn
+
+    def _cover_generation(self) -> None:
+        """Make the buffer span the whole current WAL generation.
+
+        A resyncing link replays from the generation start; after trims on
+        behalf of caught-up links (or a buffer cleared while every link
+        was down) those frames exist only on disk, so re-seed them via
+        :meth:`backfill` before building the resync batch.
+        """
+        wal = self.service.durability.wal
+        if wal.last_lsn <= self._base_lsn:
+            return  # generation is empty: nothing to cover
+        if self._buffer and self._buffer[0].lsn <= self._base_lsn + 1:
+            return  # already reaches the generation start
+        self.backfill()
 
     def backfill(self) -> int:
         """Seed the buffer from the on-disk WAL (frames predating us).
@@ -230,7 +327,16 @@ class WalShipper:
     # ------------------------------------------------------------------
 
     def _ship_to(self, link: ReplicaLink) -> bool:
-        pending = [bf for bf in self._buffer if bf.lsn > link.acked_lsn]
+        if link.resync:
+            # A resync replays the whole generation from its start (the
+            # applier resets continuity), plus a snapshot bootstrap when
+            # the generation itself starts above lsn 1 — without it a
+            # post-checkpoint joiner would silently lack all checkpointed
+            # state while staying promotion-eligible.
+            self._cover_generation()
+            pending = list(self._buffer)
+        else:
+            pending = [bf for bf in self._buffer if bf.lsn > link.acked_lsn]
         if not pending and not link.resync:
             return True
         body = {
@@ -239,6 +345,13 @@ class WalShipper:
             "Resync": link.resync,
             "Frames": [bf.to_json() for bf in pending],
         }
+        if link.resync:
+            body["BaseLsn"] = self._base_lsn
+            if self._base_lsn:
+                body["Bootstrap"] = [
+                    {"Op": op, "Data": data}
+                    for op, data in bootstrap_records(self.service)
+                ]
         try:
             reply = link.client.post(f"https://{link.host}/api/replicate/append", body)
         except ConflictError as exc:
@@ -251,11 +364,20 @@ class WalShipper:
             return False
         except (TransportError, ServiceError) as exc:
             link.alive = False
+            link.fails += 1
             link.last_error = str(exc)
+            if link.fails >= LAGGING_AFTER_FAILURES and not link.resync:
+                # Declared lagging: stop letting a dead replica pin the
+                # in-memory frame buffer.  Its acked position is void —
+                # when it returns, a full resync (disk backfill plus
+                # bootstrap) converges it instead of the buffer.
+                link.resync = True
+                link.acked_lsn = 0
             if self._c_failures is not None:
                 self._c_failures.inc()
             return False
         link.alive = True
+        link.fails = 0
         link.last_error = ""
         applied = int(reply.get("AppliedLsn", link.acked_lsn))
         rejected = reply.get("Rejected")
@@ -275,8 +397,6 @@ class WalShipper:
 
     def pump(self) -> int:
         """Ship pending frames to every replica; returns replicas caught up."""
-        if not self.links:
-            return 0
         caught_up = 0
         for link in list(self.links.values()):
             if self._ship_to(link):
@@ -287,12 +407,30 @@ class WalShipper:
         return caught_up
 
     def _trim(self) -> None:
-        if not self._buffer or not self.links:
+        """Drop buffered frames every link that still needs them has acked.
+
+        The buffer is an optimization, not the source of truth: every
+        frame is also in the on-disk WAL until the next checkpoint, and a
+        resync re-seeds from there (:meth:`_cover_generation`).  So the
+        only links that pin the buffer are live ones mid-stream; a link
+        declared lagging (dead past :data:`LAGGING_AFTER_FAILURES`) is
+        excluded — that is what keeps the buffer bounded while a replica
+        is down for a long time.
+        """
+        if not self._buffer:
             return
-        if any(link.resync for link in self.links.values()):
-            return  # a resyncing replica may need the whole generation
-        floor = min(link.acked_lsn for link in self.links.values())
-        self._buffer = [bf for bf in self._buffer if bf.lsn > floor]
+        floors = []
+        for link in self.links.values():
+            if link.resync and not link.alive:
+                continue  # lagging: converged by resync-on-return, not the buffer
+            floors.append(0 if link.resync else link.acked_lsn)
+        if not floors:
+            # Nobody (reachable) needs these frames; the WAL still has them.
+            self._buffer = []
+            return
+        floor = min(floors)
+        if floor:
+            self._buffer = [bf for bf in self._buffer if bf.lsn > floor]
 
     def after_write(self) -> None:
         """The service's per-request replication barrier.
@@ -328,6 +466,7 @@ class WalShipper:
             "Mode": self.mode,
             "MinAcks": self.min_acks,
             "LastLsn": self.last_lsn(),
+            "BaseLsn": self._base_lsn,
             "Fenced": self.fenced,
             "Replicas": {
                 host: {
@@ -335,6 +474,7 @@ class WalShipper:
                     "Lag": self.lag_of(host),
                     "Alive": link.alive,
                     "Resync": link.resync,
+                    "Fails": link.fails,
                     "LastError": link.last_error,
                 }
                 for host, link in sorted(self.links.items())
@@ -358,6 +498,7 @@ class ReplicaApplier:
         self.chain = 0
         self.frames_applied = 0
         self.frames_skipped = 0
+        self.bootstrap_applied = 0
         obs = service.network.obs
         self.obs = obs if obs is not None and obs.enabled else None
         if self.obs is not None:
@@ -400,6 +541,29 @@ class ReplicaApplier:
             self.applied_lsn = 0
             self.chain = 0
             self.primary = primary or self.primary
+            # When the primary has checkpointed, its generation starts
+            # above lsn 1 and frames alone cannot converge us: the batch
+            # must lead with a snapshot bootstrap covering everything at
+            # or below BaseLsn.  A base without a bootstrap is refused —
+            # accepting it would leave a silent hole below the first
+            # frame while this replica stays promotion-eligible.
+            base = int(body.get("BaseLsn", 0))
+            if base:
+                bootstrap = body.get("Bootstrap")
+                if bootstrap is None:
+                    return {
+                        "AppliedLsn": 0,
+                        "Rejected": (
+                            f"resync from base lsn {base} carries no "
+                            "state bootstrap"
+                        ),
+                    }
+                for record in bootstrap:
+                    self._apply_op(
+                        str(record.get("Op", "")), record.get("Data", {})
+                    )
+                    self.bootstrap_applied += 1
+                self.applied_lsn = base
         elif primary and self.primary is None:
             self.primary = primary
         for entry in body.get("Frames", []):
@@ -410,11 +574,20 @@ class ReplicaApplier:
                 }
         return {"AppliedLsn": self.applied_lsn}
 
-    def _apply_frame(self, entry: dict) -> bool:
-        """Verify + apply one frame; False on a continuity rejection."""
+    def _apply_op(self, op: str, data: dict) -> None:
+        """Apply one op through the recovery path and re-journal it."""
         from repro.storage.recovery import OP_PLACES, _apply
 
         service = self.service
+        _apply(service, op, data, set(), set())
+        if service.durability is not None and service.durability.wal is not None:
+            service.durability.wal.append(op, data, force_sync=op in _CONTROL_OPS)
+        if op == OP_PLACES and service.release_cache is not None:
+            # Places feed rule semantics but move no cache-key component.
+            service.release_cache.invalidate_all("replication")
+
+    def _apply_frame(self, entry: dict) -> bool:
+        """Verify + apply one frame; False on a continuity rejection."""
         try:
             lsn = int(entry["Lsn"])
             chain_prev = int(entry["ChainPrev"])
@@ -426,6 +599,12 @@ class ReplicaApplier:
             return True
         if self.applied_lsn and lsn != self.applied_lsn + 1:
             return False  # gap: frames were lost in shipping
+        if not self.applied_lsn and lsn != 1:
+            # A stream with no history here must start at its beginning
+            # (lsn 1, or a bootstrap that raised applied_lsn above zero).
+            # Silently adopting a mid-stream start would leave an
+            # undetectable hole below ``lsn`` on a promotion candidate.
+            return False
         # ChainPrev must extend our chain — or be zero, which marks the
         # primary's checkpoint reset (a new log generation).
         if self.applied_lsn and chain_prev not in (self.chain, 0):
@@ -436,19 +615,12 @@ class ReplicaApplier:
                 f"shipped frame lsn mismatch: envelope {lsn}, frame {frame_lsn}"
             )
         obj = jsonutil.loads(payload.decode("utf-8"))
-        op = str(obj["Op"])
-        data = obj.get("Data", {})
-        _apply(service, op, data, set(), set())
-        if service.durability is not None and service.durability.wal is not None:
-            service.durability.wal.append(op, data, force_sync=op in _CONTROL_OPS)
+        self._apply_op(str(obj["Op"]), obj.get("Data", {}))
         self.applied_lsn = lsn
         self.chain = chain
         self.frames_applied += 1
         if self._c_applied is not None:
             self._c_applied.inc()
-        if op == OP_PLACES and service.release_cache is not None:
-            # Places feed rule semantics but move no cache-key component.
-            service.release_cache.invalidate_all("replication")
         return True
 
     def status(self) -> dict:
@@ -460,6 +632,7 @@ class ReplicaApplier:
             "Chain": self.chain,
             "FramesApplied": self.frames_applied,
             "FramesSkipped": self.frames_skipped,
+            "BootstrapApplied": self.bootstrap_applied,
             "RuleVersions": {
                 name: self.service.rules.version_of(name)
                 for name in self.service.rules.contributors()

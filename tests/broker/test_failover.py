@@ -195,6 +195,48 @@ class TestRevocationFencing:
         )
         assert old_primary.store.stats.n_segments == new_primary.store.stats.n_segments
 
+    def test_rejoin_with_surviving_replica_receives_full_history(self, tmp_path):
+        # Regression: with a surviving replica the promoted primary's
+        # shipper already exists and its buffer has been trimmed to empty,
+        # so the rejoiner's resync used to ship zero frames — the rejoined
+        # store silently skipped the new primary's earlier history while
+        # staying promotion-eligible.  rejoin() must backfill, and the
+        # applier must refuse a mid-stream start.
+        system, alice, bob = replicated_system(
+            tmp_path, n_replicas=2, mode="semi-sync"
+        )
+        alice.upload_segments([make_segment()])
+        alice.flush()
+        old_primary = system.stores["alice-store"]
+        kill(system, "alice-store")
+        result = detect_and_fail_over(system)
+        assert result["Promoted"] == "alice-store-r1"
+        new_primary = system.stores["alice-store-r1"]
+        # Writes at the new primary land while the old one is still away;
+        # once r2 has acked them the shipper's buffer is trimmed.
+        alice = system.repoint_contributor("alice")
+        alice.upload_segments([make_segment(start_ms=MONDAY + 7_200_000)])
+        alice.flush()
+        system.broker.failover.heartbeat()
+        system.network.register_host("alice-store", old_primary.router)
+        system.broker.failover.rejoin("alice-store", old_primary)
+        # The rejoined store holds the new primary's WHOLE history, not
+        # just frames shipped after it returned.
+        assert (
+            old_primary.applier.applied_lsn
+            == new_primary.durability.wal.last_lsn
+        )
+        assert old_primary.store.stats.n_segments == new_primary.store.stats.n_segments
+        assert old_primary.store.stats.n_samples == new_primary.store.stats.n_samples
+        # And it is safe to promote again: a second failover must not
+        # shrink what bob can read.
+        before = sum(len(r.segment.sample_times()) for r in bob.fetch("alice"))
+        kill(system, "alice-store-r1")
+        second = detect_and_fail_over(system)
+        assert second["Promoted"] is not None
+        after = sum(len(r.segment.sample_times()) for r in bob.fetch("alice"))
+        assert after == before > 0
+
 
 class TestStatusSurface:
     def test_broker_api_reports_set_topology(self, tmp_path):

@@ -35,6 +35,29 @@ class TestIngest:
         store.flush()
         assert store.stats.storage_bytes > 128 * 8
 
+    def test_retry_dedupe_drops_reoffered_ids(self):
+        store = SegmentStore()
+        segment = make_segment()
+        assert store.add_segment(segment) is not None
+        assert store.add_segment(segment) == []  # lost-ack retry
+        assert store.duplicate_uploads == 1
+
+    def test_dedupe_window_is_bounded_fifo(self):
+        # The remembered-id set must not grow without bound; past the
+        # window, dedupe of very old retries is (documented) best-effort.
+        store = SegmentStore(
+            merge_policy=MergePolicy(enabled=False), dedupe_window=3
+        )
+        segments = [
+            make_segment(start_ms=MONDAY + i * 3_600_000) for i in range(5)
+        ]
+        for segment in segments:
+            store.add_segment(segment)
+        assert len(store._ingested_ids) == 3  # capped, oldest evicted
+        # Recent ids still dedupe; an evicted (ancient) id no longer does.
+        assert store.add_segment(segments[-1]) == []
+        assert segments[0].segment_id not in store._ingested_ids
+
     def test_contributors_listed(self):
         store = SegmentStore()
         ingest_run(store, contributor="alice", n=64)

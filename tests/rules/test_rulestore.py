@@ -50,11 +50,18 @@ class TestCrud:
         with pytest.raises(RuleError):
             store.add("alice", Rule(action=DENY, rule_id="r1"))
 
-    def test_remove_missing_raises(self):
+    def test_remove_missing_is_idempotent_noop(self):
+        # A semi-sync replication rejection (503) leaves the rule already
+        # removed locally; the client's retry of the same removal must
+        # converge — no error, no version bump, no listener fire.
         store = RuleStore()
         store.register("alice")
-        with pytest.raises(MissingRecordError):
-            store.remove("alice", "nope")
+        fired = []
+        store.on_change(fired.append)
+        version = store.version_of("alice")
+        assert store.remove("alice", "nope") is None
+        assert store.version_of("alice") == version
+        assert fired == []
 
     def test_get_by_id(self):
         store = RuleStore()

@@ -205,6 +205,36 @@ class TestSemiSync:
         assert len(primary.rules.rules_of("alice")) == 1
         assert len(replica.rules.rules_of("alice")) == 1
 
+    def test_rule_remove_retry_converges(self, tmp_path):
+        network, primary, (replica,) = make_pair(tmp_path, mode="semi-sync")
+        key = primary.register_contributor("alice")
+        client = HttpClient(network, name="alice-phone", api_key=key)
+        rule = Rule(consumers=("bob",), action=ALLOW)
+        from repro.rules.parser import rule_to_json
+
+        client.post(
+            "https://primary/api/rules/add",
+            {"Contributor": "alice", "Rule": rule_to_json(rule)},
+        )
+        network.unregister_host("replica-0")
+        # The 503 leaves the rule already removed locally; the client's
+        # retry of the SAME removal must converge, not 404 on its own
+        # success.
+        with pytest.raises(ReplicationError):
+            client.post(
+                "https://primary/api/rules/remove",
+                {"Contributor": "alice", "RuleId": rule.rule_id},
+            )
+        assert primary.rules.rules_of("alice") == ()
+        network.register_host("replica-0", replica.router)
+        body = client.post(
+            "https://primary/api/rules/remove",
+            {"Contributor": "alice", "RuleId": rule.rule_id},
+        )
+        assert body["Version"] == 2  # add + remove; the retry bumped nothing
+        assert primary.rules.rules_of("alice") == ()
+        assert replica.rules.rules_of("alice") == ()
+
 
 class TestFencing:
     def test_stale_epoch_fences_old_primary(self, tmp_path):
@@ -272,6 +302,102 @@ class TestFencing:
         replica.promote(5)
         with pytest.raises(StaleEpochError):
             replica.applier.apply_batch({"Primary": "primary", "Epoch": 1, "Frames": []})
+
+
+class TestResyncBootstrap:
+    """A joiner after a checkpoint converges via the snapshot bootstrap.
+
+    Checkpoints truncate the WAL, so frames alone reach back only to the
+    checkpoint LSN; the resync ship must lead with the primary's full
+    state or refuse to mark the link caught-up.
+    """
+
+    def test_attach_after_checkpoint_ships_full_state(self, tmp_path):
+        network = Network()
+        primary = DataStoreService(
+            "primary", network, directory=str(tmp_path / "p"), durable=True
+        )
+        primary.register_contributor("alice")
+        primary.rules.add("alice", Rule(consumers=("bob",), action=ALLOW))
+        primary.store.add_segment(make_segment())
+        primary.store.flush()
+        primary.durability.commit()
+        primary.checkpoint()  # WAL truncated: pre-checkpoint frames are gone
+        primary.store.add_segment(make_segment(start_ms=1297036800000 + 3_600_000))
+        primary.store.flush()
+        primary.durability.commit()
+        shipper = primary.enable_replication("async")
+        replica = DataStoreService(
+            "replica",
+            network,
+            directory=str(tmp_path / "r"),
+            durable=True,
+            role=ROLE_REPLICA,
+        )
+        key = replica.pair_primary()
+        shipper.attach("replica", HttpClient(network, name="primary", api_key=key))
+        shipper.pump()
+        # The replica holds the checkpointed state, not just the WAL tail.
+        assert replica.applier.bootstrap_applied > 0
+        assert replica.store.stats.n_segments == primary.store.stats.n_segments == 2
+        assert replica.rules.version_of("alice") == primary.rules.version_of("alice")
+        assert replica.roles.get("alice") == "contributor"
+        assert replica.applier.applied_lsn == primary.durability.wal.last_lsn
+        assert shipper.lag_of("replica") == 0
+
+    def test_resync_base_without_bootstrap_is_rejected(self, tmp_path):
+        _, primary, (replica,) = make_pair(tmp_path)
+        reply = replica.applier.apply_batch(
+            {"Primary": "primary", "Epoch": 1, "Resync": True,
+             "BaseLsn": 7, "Frames": []}
+        )
+        assert "Rejected" in reply
+        assert reply["AppliedLsn"] == 0
+
+    def test_mid_stream_first_frame_is_rejected(self, tmp_path):
+        # A replica with no applied history must never silently adopt a
+        # stream that starts above lsn 1 — that hole would be permanent.
+        _, primary, (replica,) = make_pair(tmp_path)
+        primary.register_contributor("alice")
+        primary.store.add_segment(make_segment())
+        primary.store.flush()
+        primary.durability.commit()
+        frames = [
+            {"Lsn": lsn, "ChainPrev": chain_prev, "Frame": frame.hex()}
+            for lsn, frame, chain_prev in read_wal_frames(primary.durability.wal.path)
+        ]
+        assert len(frames) >= 2
+        reply = replica.applier.apply_batch(
+            {"Primary": "primary", "Epoch": 1, "Resync": False,
+             "Frames": frames[1:]}
+        )
+        assert "Rejected" in reply
+        assert replica.applier.applied_lsn == 0
+
+
+class TestLaggingReplica:
+    def test_dead_replica_stops_pinning_the_buffer(self, tmp_path):
+        from repro.storage.replication import LAGGING_AFTER_FAILURES
+
+        network, primary, (replica,) = make_pair(tmp_path)
+        primary.register_contributor("alice")
+        primary.durability.commit()
+        primary.replication.pump()
+        network.unregister_host("replica-0")
+        for i in range(LAGGING_AFTER_FAILURES + 1):
+            primary.store.add_segment(make_segment(start_ms=1297036800000 + i * 60_000))
+            primary.store.flush()
+            primary.durability.commit()
+            primary.replication.pump()
+        link = primary.replication.links["replica-0"]
+        assert link.resync and not link.alive
+        # The buffer no longer accumulates on behalf of the dead replica.
+        assert primary.replication._buffer == []
+        # When it returns, a full resync (backfill from disk) converges it.
+        network.register_host("replica-0", replica.router)
+        primary.replication.pump()
+        assert replica.applier.applied_lsn == primary.durability.wal.last_lsn
+        assert replica.store.stats.n_segments == primary.store.stats.n_segments
 
 
 class TestReadWalFrames:
