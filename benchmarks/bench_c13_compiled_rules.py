@@ -1,0 +1,442 @@
+"""C13 — Compiled rule sets vs the interpreted engine at 1k-10k rules.
+
+Claim under test: a contributor's rule set changes orders of magnitude
+less often than it is evaluated, so compiling it once per
+``rules_version`` — consumer buckets, pre-merged time windows, a spatial
+grid over region conditions, and precomputed dependency bitmasks — makes
+the per-query decision path cheap even at paper-stretching rule counts.
+The gate is **decisions/sec at least 5× the interpreted engine at 1,000
+rules** under the store's engine-per-query pattern (a fresh
+:class:`RuleEngine` per request: the interpreted path re-buckets the
+whole rule set every time, the compiled path injects the cached
+artifact); the curve is reported up to 10,000 rules.  Correctness rides
+along as a hard failure: on the benchmark's own workload every
+(consumer, segment) decision is double-evaluated and **zero divergent
+canonical payloads** are tolerated.
+
+Reported alongside the gates: one-off compile seconds per rule count
+(the cost the cache amortizes) and the compiled engine's own telemetry
+(``rules_compile_*``, ``compiled_*`` counters) from a service-level run
+in the end-of-run metrics snapshot artifact.
+
+Run standalone for the CI smoke check (1,000-rule point only)::
+
+    PYTHONPATH=src python benchmarks/bench_c13_compiled_rules.py --smoke
+"""
+
+import gc
+import json
+import os
+import random
+import sys
+import time
+
+from repro.datastore.wavesegment import WaveSegment, segment_from_packet
+from repro.net.transport import Network
+from repro.rules.compiler import compile_rules
+from repro.rules.engine import RuleEngine
+from repro.rules.model import ALLOW, DENY, Rule, abstraction
+from repro.sensors.contexts import CONTEXTS
+from repro.server.datastore_service import DataStoreService
+from repro.util import jsonutil
+from repro.util.geo import BoundingBox, LabeledPlace, LatLon
+from repro.util.timeutil import Interval, RepeatedTime, TimeCondition
+
+from conftest import METRICS_OUT_DEFAULT, METRICS_OUT_ENV, format_table, report_table
+from helpers import MONDAY, ecg_packets, emit_obs_snapshot
+
+import numpy as np
+
+HOST = "bench"
+RULE_COUNTS = (1_000, 2_500, 5_000, 10_000)
+SMOKE_RULE_COUNTS = (1_000,)
+#: The gate applies at the smallest point; larger counts are reported so
+#: the curve (compiled should flatten, interpreted should not) is visible.
+GATED_RULES = 1_000
+MIN_SPEEDUP = 5.0
+#: Engine-per-query workload shape: distinct consumers asked in rotation,
+#: each query evaluating the full segment batch through a fresh engine.
+QUERIES = 30
+SEGMENTS = 24
+ROUNDS = 3
+
+SPEED_HEADERS = [
+    "rules",
+    "interpreted dec/s",
+    "compiled dec/s",
+    "speedup",
+    "compile s",
+]
+DIFF_HEADERS = ["rules", "consumers", "decisions", "divergences"]
+
+_UCLA = LatLon(34.0689, -118.4452)
+_DAY_MS = 86_400_000
+_WEEKDAYS = ("Mon", "Tue", "Wed", "Thu", "Fri")
+_CHANNEL_SCOPES = (("ECG",), ("Respiration",), ("GpsLat", "GpsLon"), ("MicAmplitude",))
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _places():
+    """A couple of labeled places near the segment cluster."""
+    return {
+        "home": LabeledPlace(
+            "home", BoundingBox(_UCLA.lat - 0.01, _UCLA.lon - 0.01, _UCLA.lat + 0.01, _UCLA.lon + 0.01)
+        ),
+        "work": LabeledPlace(
+            "work", BoundingBox(_UCLA.lat + 0.02, _UCLA.lon + 0.02, _UCLA.lat + 0.04, _UCLA.lon + 0.04)
+        ),
+    }
+
+
+def _profile_rules(n_rules, rng):
+    """``n_rules`` rules spread over many consumers, the way a deployed
+    contributor's set grows: each consumer gets a base grant plus a tail
+    of time-windowed denials, scoped denials, context abstractions, and
+    place/region conditions; a small wildcard residue applies to
+    everyone (and is what every query must still consider)."""
+    n_consumers = max(10, n_rules // 50)
+    consumers = [f"consumer-{i:04d}" for i in range(n_consumers)]
+    rules = []
+    for name in consumers:
+        rules.append(Rule(consumers=(name,), action=ALLOW, rule_id=f"allow-{name}"))
+    categories = list(CONTEXTS)
+    i = 0
+    while len(rules) < n_rules:
+        name = consumers[i % n_consumers]
+        kind = i % 10
+        rid = f"r-{i:05d}"
+        if kind < 4:  # short static deny window inside the benchmark day
+            start = MONDAY + rng.randrange(0, _DAY_MS - 3_600_000)
+            time_cond = TimeCondition(
+                intervals=(Interval(start, start + rng.randrange(60_000, 3_600_000)),)
+            )
+            rules.append(
+                Rule(consumers=(name,), time=time_cond, action=DENY, rule_id=rid)
+            )
+        elif kind < 6:  # repeated weekly window, deny scoped to channels
+            minute = rng.randrange(0, 1380)
+            time_cond = TimeCondition(
+                repeated=(
+                    RepeatedTime(
+                        frozenset(rng.sample(_WEEKDAYS, 2)), minute, minute + 45
+                    ),
+                )
+            )
+            rules.append(
+                Rule(
+                    consumers=(name,),
+                    time=time_cond,
+                    sensors=rng.choice(_CHANNEL_SCOPES),
+                    action=DENY,
+                    rule_id=rid,
+                )
+            )
+        elif kind < 8:  # context abstraction (coarsest-wins folding)
+            category = rng.choice(categories)
+            level = rng.choice(CONTEXTS[category].abstraction_levels[1:-1])
+            rules.append(
+                Rule(
+                    consumers=(name,),
+                    action=abstraction(**{category: level}),
+                    rule_id=rid,
+                )
+            )
+        elif kind < 9:  # place-conditioned location abstraction
+            rules.append(
+                Rule(
+                    consumers=(name,),
+                    location_labels=(rng.choice(("home", "work")),),
+                    action=abstraction(Location="zipcode"),
+                    rule_id=rid,
+                )
+            )
+        else:  # wildcard residue: applies to every consumer's candidates
+            start = MONDAY + rng.randrange(0, _DAY_MS - 3_600_000)
+            rules.append(
+                Rule(
+                    time=TimeCondition(
+                        intervals=(Interval(start, start + 600_000),)
+                    ),
+                    sensors=("MicAmplitude",),
+                    action=DENY,
+                    rule_id=rid,
+                )
+            )
+        i += 1
+    return rules, consumers
+
+
+def _segments(n, rng):
+    """The per-query batch: one day of mixed segments near the places."""
+    segments = []
+    for i in range(n):
+        start = MONDAY + (i * _DAY_MS) // n + rng.randrange(0, 60_000)
+        samples = rng.randrange(8, 32)
+        channels = ("ECG", "Respiration", "GpsLat", "GpsLon")
+        values = np.asarray(
+            [[rng.uniform(-5, 5) for _ in channels] for _ in range(samples)]
+        )
+        segments.append(
+            WaveSegment(
+                contributor="alice",
+                channels=channels,
+                start_ms=start,
+                interval_ms=1000,
+                values=values,
+                location=LatLon(
+                    _UCLA.lat + rng.uniform(-0.03, 0.03),
+                    _UCLA.lon + rng.uniform(-0.03, 0.03),
+                ),
+                context={
+                    "Activity": rng.choice(CONTEXTS["Activity"].labels),
+                    "Stress": rng.choice(CONTEXTS["Stress"].labels),
+                },
+            )
+        )
+    return segments
+
+
+def _query_consumers(consumers, rng):
+    """The rotation of consumers asked during the timed workload.
+
+    Two thirds hold grants (full release path); one third are consumers
+    with no rules at all — the default-deny decisions every store makes
+    constantly, and where consumer bucketing pays the most.
+    """
+    picked = rng.sample(consumers, min(10, len(consumers)))
+    picked += [f"stranger-{i}" for i in range(len(picked) // 2)]
+    return [picked[i % len(picked)] for i in range(QUERIES)]
+
+
+def _interpreted_queries(rules, places, queried, segments):
+    """The store's uncompiled engine-per-query pattern: every request
+    re-buckets the full rule set before evaluating the batch."""
+    for consumer in queried:
+        engine = RuleEngine(rules, places)
+        engine.evaluate(consumer, segments)
+
+
+def _compiled_queries(rules, places, artifact, queried, segments):
+    """The compiled engine-per-query pattern: the cached artifact is
+    injected, so per-request setup is a list copy."""
+    for consumer in queried:
+        engine = RuleEngine(rules, places, compiled=artifact)
+        engine.evaluate(consumer, segments)
+
+
+def _timed(fn, rounds=ROUNDS):
+    """Best-of-``rounds`` wall seconds for one full query rotation."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_throughput(rule_counts=RULE_COUNTS):
+    """Decisions/sec per engine at each rule count; one row per count."""
+    places = _places()
+    rows, results = [], []
+    for n_rules in rule_counts:
+        rng = random.Random(f"c13:{n_rules}")
+        rules, consumers = _profile_rules(n_rules, rng)
+        segments = _segments(SEGMENTS, rng)
+        queried = _query_consumers(consumers, rng)
+        decisions = len(queried) * len(segments)
+        compile_started = time.perf_counter()
+        artifact = compile_rules(rules, places)
+        compile_seconds = time.perf_counter() - compile_started
+        gc.collect()
+        gc.disable()
+        try:
+            interp_s = _timed(
+                lambda: _interpreted_queries(rules, places, queried, segments)
+            )
+            compiled_s = _timed(
+                lambda: _compiled_queries(rules, places, artifact, queried, segments)
+            )
+        finally:
+            gc.enable()
+        result = {
+            "rules": n_rules,
+            "decisions": decisions,
+            "interpreted_dps": decisions / interp_s,
+            "compiled_dps": decisions / compiled_s,
+            "speedup": interp_s / compiled_s,
+            "compile_seconds": compile_seconds,
+        }
+        results.append(result)
+        rows.append(
+            [
+                n_rules,
+                f"{result['interpreted_dps']:,.0f}",
+                f"{result['compiled_dps']:,.0f}",
+                f"{result['speedup']:.1f}x",
+                f"{compile_seconds:.3f}",
+            ]
+        )
+    return {"rows": rows, "results": results}
+
+
+def run_differential(rule_counts=RULE_COUNTS, consumers_per_count=12):
+    """Double-evaluate the workload; canonical payloads must agree."""
+    places = _places()
+    rows = []
+    total_divergences = 0
+    for n_rules in rule_counts:
+        rng = random.Random(f"c13-diff:{n_rules}")
+        rules, consumers = _profile_rules(n_rules, rng)
+        segments = _segments(SEGMENTS, rng)
+        artifact = compile_rules(rules, places)
+        sample = rng.sample(consumers, min(consumers_per_count, len(consumers)))
+        sample.append("never-registered")  # no-bucket consumer: default deny
+        divergences = 0
+        for consumer in sample:
+            interpreted = RuleEngine(rules, places)
+            compiled = RuleEngine(rules, places, compiled=artifact)
+            for segment in segments:
+                a = [p.to_json() for p in interpreted.evaluate_segment(consumer, segment)]
+                b = [p.to_json() for p in compiled.evaluate_segment(consumer, segment)]
+                if jsonutil.canonical_dumps(a) != jsonutil.canonical_dumps(b):
+                    divergences += 1
+        total_divergences += divergences
+        rows.append([n_rules, len(sample), len(sample) * len(segments), divergences])
+    return {"rows": rows, "divergences": total_divergences}
+
+
+def run_service_telemetry():
+    """A compiled-engine store answering real queries: the obs payload.
+
+    Exercises the full service wiring (``engine="compiled"`` knob, the
+    artifact cache keyed on ``rules_version``) and returns the hub so the
+    ``rules_compile_*``/``compiled_*`` counters land in the artifact.
+    ``cache_capacity=0`` keeps the release cache from absorbing repeats —
+    this run is about the compiled-artifact cache underneath it.
+    """
+    service = DataStoreService(
+        HOST, Network(), seed=0, engine="compiled", cache_capacity=0
+    )
+    service.register_contributor("alice")
+    rng = random.Random("c13-svc")
+    rules, consumers = _profile_rules(200, rng)
+    service.rules.replace_all("alice", rules)
+    for packet in ecg_packets(0.1):
+        service.store.add_segment(segment_from_packet("alice", packet))
+    service.store.flush()
+    keys = {name: service.register_consumer(name) for name in consumers[:3]}
+    for _ in range(3):
+        for name, key in keys.items():
+            body = service.network.request(
+                "POST",
+                f"https://{HOST}/api/query",
+                {"Contributor": "alice", "Query": {}, "ApiKey": key},
+            ).body
+            assert "Error" not in body, body
+    m = service.network.obs.metrics
+    return {
+        "obs": service.network.obs,
+        "compiles": m.counter_value("rules_compile_total", store=HOST),
+        "artifact_hits": m.counter_value("compiled_cache_hits_total", store=HOST),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_c13_compiled_speedup(benchmark):
+    throughput = run_throughput()
+    report_table(
+        f"C13 — Compiled vs interpreted decisions/sec ({QUERIES} queries x "
+        f"{SEGMENTS} segments, engine-per-query)",
+        SPEED_HEADERS,
+        throughput["rows"],
+        notes=f"Acceptance: compiled ≥ {MIN_SPEEDUP:.0f}x interpreted at "
+        f"{GATED_RULES:,} rules; larger counts reported for the curve.",
+    )
+    gated = next(r for r in throughput["results"] if r["rules"] == GATED_RULES)
+    assert gated["speedup"] >= MIN_SPEEDUP, (
+        f"compiled speedup {gated['speedup']:.1f}x below {MIN_SPEEDUP:.0f}x "
+        f"at {GATED_RULES:,} rules"
+    )
+
+    telemetry = run_service_telemetry()
+    assert telemetry["compiles"] >= 1
+    assert telemetry["artifact_hits"] >= 1
+    emit_obs_snapshot("c13_compiled_rules", telemetry["obs"])
+
+    rng = random.Random("c13-bench")
+    rules, consumers = _profile_rules(GATED_RULES, rng)
+    places = _places()
+    segments = _segments(SEGMENTS, rng)
+    queried = _query_consumers(consumers, rng)
+    artifact = compile_rules(rules, places)
+    benchmark(lambda: _compiled_queries(rules, places, artifact, queried, segments))
+    benchmark.extra_info["speedup_at_1k"] = round(gated["speedup"], 2)
+    benchmark.extra_info["compiled_dps_at_1k"] = round(gated["compiled_dps"])
+
+
+def test_c13_zero_divergences():
+    diff = run_differential()
+    report_table(
+        "C13 — Compiled vs interpreted differential (benchmark workload)",
+        DIFF_HEADERS,
+        diff["rows"],
+        notes="Acceptance: zero divergent canonical payloads at every "
+        "rule count, unknown consumers included.",
+    )
+    assert diff["divergences"] == 0, f"{diff['divergences']} divergent decisions"
+
+
+def main(argv) -> int:
+    """CI smoke mode: the gated 1,000-rule point plus the hard gates."""
+    if "--smoke" not in argv:
+        print(__doc__)
+        return 2
+    throughput = run_throughput(rule_counts=SMOKE_RULE_COUNTS)
+    print("C13 — Compiled vs interpreted decisions/sec (1,000-rule smoke)")
+    print(format_table(SPEED_HEADERS, [[str(c) for c in r] for r in throughput["rows"]]))
+    diff = run_differential(rule_counts=SMOKE_RULE_COUNTS)
+    decisions = sum(row[2] for row in diff["rows"])
+    print(f"\ndifferential: {decisions} decisions, {diff['divergences']} divergences")
+    telemetry = run_service_telemetry()
+    out_path = os.environ.get(METRICS_OUT_ENV, METRICS_OUT_DEFAULT)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"c13_compiled_rules": telemetry["obs"].metrics.snapshot()},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+    print(f"metrics snapshot written to {out_path}")
+    gated = throughput["results"][0]
+    if gated["speedup"] < MIN_SPEEDUP:
+        print(
+            f"COMPILED SMOKE FAILED: speedup {gated['speedup']:.1f}x < "
+            f"{MIN_SPEEDUP:.0f}x at {GATED_RULES:,} rules"
+        )
+        return 1
+    if diff["divergences"]:
+        print(f"COMPILED SMOKE FAILED: {diff['divergences']} divergent decisions")
+        return 1
+    if telemetry["compiles"] < 1 or telemetry["artifact_hits"] < 1:
+        print("COMPILED SMOKE FAILED: compile telemetry missing")
+        return 1
+    print(
+        f"compiled-rules smoke ok ({gated['speedup']:.1f}x at {GATED_RULES:,} "
+        f"rules, {diff['divergences']} divergences)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -133,12 +133,22 @@ class TrialGenerator:
                 context[name] = rng.choice(spec.labels)
         return context
 
-    def gen_segment(self, rng: random.Random) -> WaveSegment:
+    def gen_segment(self, rng: random.Random, anchors: tuple = ()) -> WaveSegment:
         names = list(channel_names())
         k = rng.randint(1, 4)
         channels = tuple(rng.sample(names, k))
         n = rng.randint(1, 24)
         start = BASE_MS + rng.randint(0, 7 * _DAY_MS - 1)
+        if anchors and rng.random() < 0.35:
+            # Start just before a rule's time-window boundary so the
+            # boundary falls *inside* the span: piece splitting, window
+            # clipping, and membership flips all get exercised.
+            anchor = rng.choice(anchors)
+            start = max(BASE_MS, anchor - rng.randint(0, 10 * 60_000))
+        elif rng.random() < 0.20:
+            # Minute-align the start so sample instants coincide with the
+            # minute/day-snapped rule windows (boundary coverage).
+            start = (start // 60_000) * 60_000
         location = self.gen_location(rng)
         context = self.gen_context(rng)
         if rng.random() < 0.15:
@@ -201,8 +211,21 @@ class TrialGenerator:
         if roll < 0.80:
             for _ in range(rng.randint(1, 2)):
                 start = BASE_MS + rng.randint(-_DAY_MS, 7 * _DAY_MS)
+                if rng.random() < 0.20:
+                    # Snap to a minute/day boundary: the compiled engine
+                    # pre-splits windows at exactly these points, so
+                    # boundary-coincident intervals probe its off-by-ones.
+                    grain = 60_000 if rng.random() < 0.5 else _DAY_MS
+                    start = (start // grain) * grain
                 if rng.random() < 0.08:
                     intervals.append(Interval(start, start))  # zero-length
+                elif rng.random() < 0.30:
+                    # Short window, comparable to a segment span: its end
+                    # then lands *inside* spans often enough to exercise
+                    # the piece-splitting boundary logic every sweep.
+                    intervals.append(
+                        Interval(start, start + rng.randint(1, 30 * 60_000))
+                    )
                 else:
                     intervals.append(Interval(start, start + rng.randint(1, 2 * _DAY_MS)))
         else:
@@ -272,7 +295,16 @@ class TrialGenerator:
         rng = self.rng_for(index)
         places = self.gen_places(rng)
         rules = [self.gen_rule(rng, places) for _ in range(rng.randint(0, 8))]
-        segments = [self.gen_segment(rng) for _ in range(rng.randint(1, 3))]
+        # Static time-window edges inside the segment date range become
+        # anchor instants some segments start near (boundary coverage).
+        anchors = tuple(
+            t
+            for rule in rules
+            for iv in rule.time.intervals
+            for t in (iv.start, iv.end)
+            if BASE_MS <= t < BASE_MS + 7 * _DAY_MS
+        )
+        segments = [self.gen_segment(rng, anchors) for _ in range(rng.randint(1, 3))]
         consumer = rng.choice(PERSONS)
         memberships: dict = {}
         groups = [g for g in GROUPS if rng.random() < 0.4]

@@ -26,6 +26,11 @@ from repro.rules.model import (
     Rule,
     abstraction,
 )
+from repro.rules.compiler import (
+    CompiledRuleCache,
+    CompiledRuleSet,
+    compile_rules,
+)
 from repro.rules.dependency import DependencyGraph, DEFAULT_DEPENDENCIES
 from repro.rules.engine import ReleasedSegment, RuleEngine
 from repro.rules.parser import rule_from_json, rule_to_json, rules_from_json, rules_to_json
@@ -39,6 +44,9 @@ __all__ = [
     "abstraction",
     "EffectiveSharing",
     "coarsen_context_label",
+    "CompiledRuleCache",
+    "CompiledRuleSet",
+    "compile_rules",
     "DependencyGraph",
     "DEFAULT_DEPENDENCIES",
     "ReleasedSegment",

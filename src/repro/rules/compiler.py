@@ -1,0 +1,972 @@
+"""Compiled rule evaluation: the interpreter's hot path, precomputed.
+
+The interpreted :class:`~repro.rules.engine.RuleEngine` re-derives
+everything per evaluation: it rebuilds consumer buckets, re-expands
+sensor groups, re-groups context labels, re-walks the networkx
+dependency graph, and re-splits time conditions with ``datetime``
+arithmetic — for every segment of every query.  This module compiles a
+contributor's rule set **once per rules-version epoch** into a
+:class:`CompiledRuleSet`:
+
+* **consumer buckets** — rule indices keyed by consumer name, with a
+  memo from resolved principal sets to the deduplicated candidate list
+  (the interpreter's ``candidate_rules`` order, frozen);
+* **interval structure** — each rule's static time ranges pre-coalesced
+  into disjoint sorted windows and its weekly windows pre-split per
+  weekday into millisecond offsets (midnight wrap resolved at compile
+  time), so piece membership is pointer-walking over sorted tuples;
+* **spatial grid** — location-conditioned rules indexed by the grid
+  cells their regions' bounding boxes cover, so a segment's capture
+  point prunes region tests to the rules that could possibly contain it;
+* **dependency-closure bitmasks** — one bit per channel and per context
+  category, with ``channels → revealable contexts`` and
+  ``context → revealing channels`` masks precomputed from
+  :class:`~repro.rules.dependency.DependencyGraph`, replacing per-piece
+  graph traversals with integer ANDs;
+* **deny-first short-circuit** — a piece's matching rules are scanned
+  for an unscoped Deny *before* any grant computation; deny dominance
+  (machine-checked by the C8 conformance oracle) makes the early return
+  output-equivalent to the interpreter's late one.
+
+Equivalence is the contract: for identical inputs the compiled and
+interpreted engines must produce byte-identical
+:meth:`~repro.rules.engine.ReleasedSegment.to_json` payloads.  The
+three-way conformance sweep (oracle vs interpreted vs compiled, see
+:mod:`repro.conformance.runner`) and benchmark C13 gate this on every
+change; the proof obligations that make precomputation safe (coalesce
+distributes over span intersection, piece membership reduces to a
+start-point test, deny dominance) are spelled out in
+docs/ARCHITECTURE.md.
+
+Artifacts are cached by :class:`CompiledRuleCache` keyed on the
+store-wide ``rules_version`` epoch — the same invariant the PR 5 release
+cache rides — so a stale artifact is unreachable by construction; places
+edits, recovery, and failover rules installs invalidate wholesale,
+exactly where the release cache does.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Mapping, Optional
+
+from repro.datastore.wavesegment import WaveSegment
+from repro.exceptions import RuleError
+from repro.rules.abstraction import coarsen_context_label
+from repro.rules.dependency import DEFAULT_DEPENDENCIES, DependencyGraph
+from repro.rules.engine import ReleasedSegment, RuleEngine, _GPS_CHANNELS
+from repro.rules.model import (
+    LOCATION_ASPECT,
+    LOCATION_LEVELS,
+    Rule,
+    TIME_ASPECT,
+    TIME_LEVELS,
+)
+from repro.sensors.channels import CHANNELS
+from repro.sensors.contexts import CONTEXTS, _LABEL_PREDICATES
+from repro.util.geo import LabeledPlace, LatLon, Region, abstract_location
+from repro.util.timeutil import (
+    Interval,
+    WEEKDAY_NAMES,
+    coalesce_intervals,
+    truncate_timestamp,
+)
+
+_MS_PER_MINUTE = 60_000
+_MS_PER_DAY = 86_400_000
+
+#: Spatial-grid cell edge in degrees (~5.5 km of latitude).  Regions are
+#: indexed by the cells their bounding boxes cover — a conservative
+#: superset, so grid pruning can never skip a region that contains the
+#: point; exact containment is still tested per candidate.
+GRID_DEGREES = 0.05
+
+#: A region whose bounding box covers more cells than this is kept in an
+#: unpruned side list instead of exploding the grid.
+GRID_MAX_CELLS = 512
+
+#: Upper bound on memoized principal sets (one query audience each).
+CANDIDATE_MEMO_MAX = 4096
+
+_NOTSHARE_LOC = len(LOCATION_LEVELS) - 1
+_NOTSHARE_TIME = len(TIME_LEVELS) - 1
+
+_KIND_ALLOW = 0
+_KIND_DENY = 1
+_KIND_ABSTRACTION = 2
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """One rule lowered to precomputed match/effect structures.
+
+    Attributes:
+        index: position in the contributor's rule list (grid/bucket key).
+        rule: the source :class:`~repro.rules.model.Rule` (ids, messages).
+        kind: 0 = allow, 1 = deny, 2 = abstraction (int compare is the
+            hottest branch in piece resolution).
+        scope_mask: channel bitmask of the sensor scope, or None for
+            "all channels of the segment".
+        ctx_req: ``((category, accepted_values), ...)`` — the context
+            condition compiled to per-category accepted-value frozensets
+            (AND across categories, OR within one).
+        has_location: True when the rule carries a location condition.
+        regions: resolved region geometries (labels looked up through the
+            contributor's places at compile time; an undefined label
+            contributes nothing, so ``regions == ()`` never matches).
+        grid_indexed: True when every region was small enough to index in
+            the spatial grid (pruning applies); False puts the rule on the
+            always-tested path.
+        time_unconstrained: True when the rule has no time condition.
+        static_windows: pre-coalesced, empties-dropped static time ranges
+            as sorted disjoint ``(start_ms, end_ms)`` tuples.
+        day_windows: per-weekday (Mon-first) merged clock windows as
+            ``(start_offset_ms, end_offset_ms)`` tuples, or None when the
+            rule has no repeated windows.
+        abs_location: Location ladder index of the abstraction action
+            (0 when the aspect is untouched).
+        abs_time: Time ladder index of the abstraction action.
+        abs_contexts: ``((category_position, ladder_index), ...)`` for the
+            context aspects the abstraction action names.
+    """
+
+    index: int
+    rule: Rule
+    kind: int
+    scope_mask: Optional[int]
+    ctx_req: tuple
+    has_location: bool
+    regions: tuple
+    grid_indexed: bool
+    time_unconstrained: bool
+    static_windows: tuple
+    day_windows: Optional[tuple]
+    abs_location: int
+    abs_time: int
+    abs_contexts: tuple
+
+
+def _compile_time(rule: Rule) -> tuple:
+    """Lower a rule's time condition to static + per-weekday windows.
+
+    Static intervals are filtered of zero-length entries (the runtime
+    ``Interval.intersect`` drops them unconditionally) and coalesced once:
+    union distributes over span intersection, so coalescing before the
+    span is known yields the same canonical disjoint list the interpreter
+    computes per segment.  Weekly windows are split at midnight exactly
+    as :meth:`~repro.util.timeutil.TimeCondition.matching_intervals` does
+    (wrap → ``[start, 1440)`` + ``[0, end)``; start == end → full day)
+    and merged per weekday.
+    """
+    tc = rule.time
+    if tc.is_unconstrained():
+        return True, (), None
+    statics = coalesce_intervals(iv for iv in tc.intervals if iv.start < iv.end)
+    static_windows = tuple((iv.start, iv.end) for iv in statics)
+    per_day: list = [[] for _ in WEEKDAY_NAMES]
+    for rt in tc.repeated:
+        if rt.start_minute < rt.end_minute:
+            windows = [(rt.start_minute, rt.end_minute)]
+        elif rt.start_minute == rt.end_minute:
+            windows = [(0, 1440)]
+        else:
+            windows = [(rt.start_minute, 1440), (0, rt.end_minute)]
+        windows = [(lo, hi) for lo, hi in windows if lo < hi]
+        for day in rt.days:
+            per_day[WEEKDAY_NAMES.index(day)].extend(
+                (lo * _MS_PER_MINUTE, hi * _MS_PER_MINUTE) for lo, hi in windows
+            )
+    day_windows: Optional[tuple] = None
+    if any(per_day):
+        day_windows = tuple(tuple(_merge_windows(w)) for w in per_day)
+    return False, static_windows, day_windows
+
+
+def _merge_windows(windows: list) -> list:
+    """Sort and merge overlapping/adjacent ``(start, end)`` tuples."""
+    merged: list = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1][1] = end
+        else:
+            merged.append([start, end])
+    return [(start, end) for start, end in merged]
+
+
+class CompiledRuleSet:
+    """One contributor's rules in compiled, batch-evaluable form.
+
+    The artifact is immutable once built (internal channel-table growth
+    for never-registered channel names aside) and is keyed externally by
+    the store-wide rules-version epoch; see :class:`CompiledRuleCache`.
+    Evaluation takes the already-resolved principal set — membership is a
+    query-time input, never baked into the artifact.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        places: Optional[Mapping[str, LabeledPlace]] = None,
+        *,
+        dependencies: Optional[DependencyGraph] = None,
+        enforce_closure: bool = True,
+        contributor: str = "",
+        obs=None,
+    ):
+        self.contributor = contributor
+        self.rules = tuple(rules)
+        self.places = dict(places or {})
+        self.dependencies = dependencies or DEFAULT_DEPENDENCIES
+        self.enforce_closure = enforce_closure
+
+        # --- category tables --------------------------------------------
+        # Sharing categories (those with an abstraction ladder) first, in
+        # registry order; graph-only categories after.  A graph-only
+        # category can never be shared raw, so any channel revealing one
+        # is always closure-blocked — mirroring the interpreter, whose
+        # raw_contexts() only ever contains registry categories.
+        self._sharing_cats = tuple(CONTEXTS)
+        extra = tuple(c for c in self.dependencies.contexts if c not in CONTEXTS)
+        self._cat_bit = {
+            name: i for i, name in enumerate(self._sharing_cats + extra)
+        }
+        self._sharing_cats_mask = (1 << len(self._sharing_cats)) - 1
+        self._sharing_pos = {name: i for i, name in enumerate(self._sharing_cats)}
+        self._ladders = tuple(
+            CONTEXTS[name].abstraction_levels for name in self._sharing_cats
+        )
+        self._ctx_zero = tuple(0 for _ in self._sharing_cats)
+        self._ctx_notshare = tuple(
+            ladder.index("NotShare") if "NotShare" in ladder else -1
+            for ladder in self._ladders
+        )
+
+        # --- channel tables ---------------------------------------------
+        # Registered channels get stable bits up front; segment channels
+        # the registry has never heard of get bits on first sight with a
+        # context mask straight from the dependency graph (usually zero).
+        self._channel_bits: dict = {}
+        self._bit_channels: list = []
+        self._channel_ctx_masks: list = []
+        for name in sorted(CHANNELS):
+            self._channel_bit(name)
+        for spec in self.dependencies.contexts.values():
+            for name in spec.source_channels:
+                self._channel_bit(name)
+        self._gps_mask = 0
+        for name in _GPS_CHANNELS:
+            self._gps_mask |= 1 << self._channel_bit(name)
+        # context category -> mask of channels that can reveal it (label
+        # eligibility: `channels_revealing(category) & granted`).
+        self._revealing = tuple(
+            (self._cat_bit[name], self._mask_of(self.dependencies.channels_revealing(name)))
+            for name in self.dependencies.contexts
+        )
+        self._seg_mask_memo: dict = {}
+
+        # --- per-rule lowering ------------------------------------------
+        compiled: list = []
+        for index, rule in enumerate(self.rules):
+            compiled.append(self._compile_rule(index, rule))
+        self.compiled: tuple = tuple(compiled)
+
+        # --- consumer buckets + memo ------------------------------------
+        self._buckets: dict = {None: []}
+        for cr in self.compiled:
+            if not cr.rule.consumers:
+                self._buckets[None].append(cr.index)
+            else:
+                for consumer in cr.rule.consumers:
+                    self._buckets.setdefault(consumer, []).append(cr.index)
+        self._candidate_memo: OrderedDict = OrderedDict()
+
+        # --- spatial grid ------------------------------------------------
+        self._grid: dict = {}
+        for cr in self.compiled:
+            if not cr.has_location or not cr.regions or not cr.grid_indexed:
+                continue
+            for cell in self._region_cells(cr.regions):
+                self._grid.setdefault(cell, set()).add(cr.index)
+        self._grid = {cell: frozenset(ids) for cell, ids in self._grid.items()}
+        self._empty_cell: frozenset = frozenset()
+
+        # --- observability ----------------------------------------------
+        self.obs = obs if obs is not None and getattr(obs, "enabled", False) else None
+        if self.obs is not None:
+            m = self.obs.metrics
+            self._c_batches = m.counter("compiled_eval_batches_total")
+            self._c_segments = m.counter("compiled_eval_segments_total")
+            self._c_bucket_skips = m.counter("compiled_bucket_skips_total")
+            self._c_grid_prunes = m.counter("compiled_grid_prunes_total")
+            self._c_full_deny = m.counter("compiled_full_deny_short_circuits_total")
+            self._c_default_deny = m.counter("compiled_default_deny_total")
+        else:
+            self._c_batches = None
+
+    # ------------------------------------------------------------------
+    # Compile-time lowering
+    # ------------------------------------------------------------------
+
+    def _channel_bit(self, name: str) -> int:
+        """Bit position of a channel name, assigning one on first sight."""
+        bit = self._channel_bits.get(name)
+        if bit is None:
+            bit = len(self._bit_channels)
+            self._channel_bits[name] = bit
+            self._bit_channels.append(name)
+            mask = 0
+            for category in self.dependencies.contexts_revealed_by(name):
+                mask |= 1 << self._cat_bit[category]
+            self._channel_ctx_masks.append(mask)
+        return bit
+
+    def _mask_of(self, names: Iterable[str]) -> int:
+        mask = 0
+        for name in names:
+            mask |= 1 << self._channel_bit(name)
+        return mask
+
+    def _compile_rule(self, index: int, rule: Rule) -> CompiledRule:
+        """Lower one rule (see :class:`CompiledRule` for field semantics)."""
+        scope = rule.sensor_channels()
+        scope_mask = None if scope is None else self._mask_of(scope)
+
+        grouped: dict = {}
+        for category, labels in rule.context_requirements().items():
+            accepted: set = set()
+            for label in labels:
+                accepted.update(_LABEL_PREDICATES[label][1])
+            grouped[category] = frozenset(accepted)
+        ctx_req = tuple(grouped.items())
+
+        has_location = bool(rule.location_labels or rule.location_regions)
+        regions: list = []
+        if has_location:
+            for label in rule.location_labels:
+                place = self.places.get(label)
+                if place is not None:
+                    regions.append(place.region)
+            regions.extend(rule.location_regions)
+        grid_indexed = bool(regions) and self._region_cells(tuple(regions)) is not None
+
+        time_unconstrained, static_windows, day_windows = _compile_time(rule)
+
+        abs_location = 0
+        abs_time = 0
+        abs_contexts: list = []
+        if rule.action.is_abstraction:
+            for aspect, level in rule.action.abstraction.items():
+                if aspect == LOCATION_ASPECT:
+                    abs_location = LOCATION_LEVELS.index(level)
+                elif aspect == TIME_ASPECT:
+                    abs_time = TIME_LEVELS.index(level)
+                else:
+                    pos = self._sharing_pos[aspect]
+                    abs_contexts.append((pos, self._ladders[pos].index(level)))
+        kind = (
+            _KIND_ALLOW
+            if rule.action.is_allow
+            else (_KIND_DENY if rule.action.is_deny else _KIND_ABSTRACTION)
+        )
+        return CompiledRule(
+            index=index,
+            rule=rule,
+            kind=kind,
+            scope_mask=scope_mask,
+            ctx_req=ctx_req,
+            has_location=has_location,
+            regions=tuple(regions),
+            grid_indexed=grid_indexed,
+            time_unconstrained=time_unconstrained,
+            static_windows=static_windows,
+            day_windows=day_windows,
+            abs_location=abs_location,
+            abs_time=abs_time,
+            abs_contexts=tuple(abs_contexts),
+        )
+
+    def _region_cells(self, regions: tuple) -> Optional[frozenset]:
+        """Grid cells the regions' bounding boxes cover, or None if too many."""
+        cells: set = set()
+        for region in regions:
+            bbox = region.bounding_box()
+            row0 = math.floor((bbox.south + 90.0) / GRID_DEGREES)
+            row1 = math.floor((bbox.north + 90.0) / GRID_DEGREES)
+            col0 = math.floor((bbox.west + 180.0) / GRID_DEGREES)
+            col1 = math.floor((bbox.east + 180.0) / GRID_DEGREES)
+            if (row1 - row0 + 1) * (col1 - col0 + 1) > GRID_MAX_CELLS:
+                return None
+            for row in range(row0, row1 + 1):
+                for col in range(col0, col1 + 1):
+                    cells.add((row, col))
+            if len(cells) > GRID_MAX_CELLS:
+                return None
+        return frozenset(cells)
+
+    # ------------------------------------------------------------------
+    # Mutation hook (conformance harness only)
+    # ------------------------------------------------------------------
+
+    @property
+    def known_channel_mask(self) -> int:
+        """Mask covering every channel the artifact has assigned a bit."""
+        return (1 << len(self._bit_channels)) - 1
+
+    def mutated_copy(self, *, compiled=None, zero_dependency_masks=False):
+        """Return a copy with substituted internals — a deliberate-bug hook.
+
+        The conformance mutation smokes (:mod:`repro.conformance.runner`)
+        use this to build *broken* artifacts — off-by-one interval
+        boundaries, zeroed dependency bitmasks — that the three-way
+        differential sweep must catch.  Candidate memos are reset so the
+        substituted rules are actually consulted.  Never used on the
+        serving path.
+        """
+        import copy
+
+        clone = copy.copy(self)
+        clone._candidate_memo = OrderedDict()
+        clone._seg_mask_memo = dict(self._seg_mask_memo)
+        if compiled is not None:
+            clone.compiled = tuple(compiled)
+        if zero_dependency_masks:
+            clone._channel_ctx_masks = [0] * len(self._channel_ctx_masks)
+            clone._revealing = tuple((bit, 0) for bit, _ in self._revealing)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _candidates(self, principals: FrozenSet[str]) -> tuple:
+        """Deduplicated candidate rules in the interpreter's bucket order.
+
+        Returns ``(candidates, scope_filters)`` where ``scope_filters``
+        is the entry's per-channel-tuple filter memo consumed by
+        :meth:`_scope_filtered`.
+        """
+        memo = self._candidate_memo
+        cached = memo.get(principals)
+        if cached is not None:
+            return cached
+        seen: set = set()
+        out: list = []
+        compiled = self.compiled
+        for key in [None, *sorted(principals)]:
+            for index in self._buckets.get(key, ()):
+                cr = compiled[index]
+                rid = cr.rule.rule_id
+                if rid not in seen:
+                    seen.add(rid)
+                    out.append(cr)
+        result = (tuple(out), {})
+        if len(memo) >= CANDIDATE_MEMO_MAX:
+            memo.popitem(last=False)
+        memo[principals] = result
+        return result
+
+    def _scope_filtered(self, entry: tuple, channels: tuple) -> tuple:
+        """Candidates that could apply to a segment with these channels.
+
+        A rule with a sensor scope that shares no channel with the
+        segment can never apply, whatever the segment's time, location,
+        or context — so the filtered tuple depends only on the channel
+        tuple and is memoized per candidate entry.  Sample windows from
+        one device repeat a handful of channel tuples, so batch
+        evaluation walks only the rules that could matter.
+        """
+        base, filters = entry
+        cached = filters.get(channels)
+        if cached is None:
+            seg_mask = self._segment_mask(channels)
+            cached = tuple(
+                cr
+                for cr in base
+                if cr.scope_mask is None or (cr.scope_mask & seg_mask)
+            )
+            if len(filters) >= 64:
+                filters.clear()  # bound per-entry growth; rebuilt on demand
+            filters[channels] = cached
+        return cached
+
+    def _segment_mask(self, channels: tuple) -> int:
+        """Bitmask of a segment's channel tuple (memoized per tuple)."""
+        mask = self._seg_mask_memo.get(channels)
+        if mask is None:
+            mask = 0
+            for name in channels:
+                mask |= 1 << self._channel_bit(name)
+            self._seg_mask_memo[channels] = mask
+        return mask
+
+    def evaluate_batch(
+        self, principals: FrozenSet[str], segments: Iterable[WaveSegment]
+    ) -> list:
+        """Evaluate a whole window of segments for one principal set.
+
+        Candidate resolution (bucket walk + dedup) happens once for the
+        batch; per-segment work starts at the piece-invariant match.
+        Returns released pieces in segment order, exactly as the
+        interpreter's ``evaluate`` loop would.
+        """
+        entry = self._candidates(principals)
+        bucketed_out = len(self.compiled) - len(entry[0])
+        out: list = []
+        n = 0
+        for segment in segments:
+            n += 1
+            out.extend(
+                self._evaluate_segment(
+                    self._scope_filtered(entry, segment.channels), segment
+                )
+            )
+        if self._c_batches is not None:
+            self._c_batches.inc()
+            self._c_segments.inc(n)
+            self._c_bucket_skips.inc(bucketed_out * n)
+        return out
+
+    def evaluate_segment(
+        self, principals: FrozenSet[str], segment: WaveSegment
+    ) -> list:
+        """Evaluate one segment for one principal set; released pieces."""
+        entry = self._candidates(principals)
+        released = self._evaluate_segment(
+            self._scope_filtered(entry, segment.channels), segment
+        )
+        if self._c_batches is not None:
+            self._c_segments.inc()
+            self._c_bucket_skips.inc(len(self.compiled) - len(entry[0]))
+        return released
+
+    def _evaluate_segment(self, candidates: tuple, segment: WaveSegment) -> list:
+        seg_mask = self._segment_mask(segment.channels)
+        location = segment.location
+        context = segment.context
+        grid_allowed: Optional[frozenset] = None
+        if location is not None and self._grid:
+            cell = (
+                math.floor((location.lat + 90.0) / GRID_DEGREES),
+                math.floor((location.lon + 180.0) / GRID_DEGREES),
+            )
+            grid_allowed = self._grid.get(cell, self._empty_cell)
+
+        applicable: list = []
+        has_allow = False
+        grid_pruned = 0
+        for cr in candidates:
+            if cr.has_location:
+                if location is None or not cr.regions:
+                    continue
+                if (
+                    cr.grid_indexed
+                    and grid_allowed is not None
+                    and cr.index not in grid_allowed
+                ):
+                    grid_pruned += 1
+                    continue
+                if not any(region.contains(location) for region in cr.regions):
+                    continue
+            if cr.ctx_req:
+                matched = True
+                for category, accepted in cr.ctx_req:
+                    value = context.get(category)
+                    if value is None or value not in accepted:
+                        matched = False
+                        break
+                if not matched:
+                    continue
+            if cr.scope_mask is not None and not (cr.scope_mask & seg_mask):
+                continue
+            applicable.append(cr)
+            if cr.kind == _KIND_ALLOW:
+                has_allow = True
+
+        if self._c_batches is not None and grid_pruned:
+            self._c_grid_prunes.inc(grid_pruned)
+        if not has_allow:
+            if self._c_batches is not None:
+                self._c_default_deny.inc()
+            return []  # default deny: nothing grants access
+
+        released: list = []
+        for piece, piece_rules in self._time_pieces(segment, applicable):
+            item = self._release_piece(segment, piece, piece_rules, seg_mask)
+            if item is not None and not item.is_empty():
+                released.append(item)
+        return released
+
+    def _matching_windows(self, cr: CompiledRule, start: int, end: int) -> list:
+        """The rule's matching sub-windows of ``[start, end)``, coalesced.
+
+        Equivalent to ``rule.time.matching_intervals(span)`` but over the
+        precompiled structures: static windows are already disjoint and
+        sorted, weekly windows expand from per-weekday ms offsets with
+        weekday-by-arithmetic instead of ``datetime``, and the final merge
+        produces the same canonical disjoint list ``coalesce_intervals``
+        would (both compute the canonical decomposition of the same
+        union, and neither side carries zero-length windows).
+        """
+        out: list = []
+        for ws, we in cr.static_windows:
+            if we <= start:
+                continue
+            if ws >= end:
+                break
+            out.append((ws if ws > start else start, we if we < end else end))
+        day_windows = cr.day_windows
+        if day_windows is not None:
+            day = (start // _MS_PER_DAY) * _MS_PER_DAY
+            while day < end:
+                for lo, hi in day_windows[(day // _MS_PER_DAY + 3) % 7]:
+                    ws = day + lo
+                    we = day + hi
+                    if we > start and ws < end:
+                        out.append((ws if ws > start else start, we if we < end else end))
+                day += _MS_PER_DAY
+            out.sort()
+        merged: list = []
+        for ws, we in out:
+            if merged and ws <= merged[-1][1]:
+                if we > merged[-1][1]:
+                    merged[-1][1] = we
+            else:
+                merged.append([ws, we])
+        return merged
+
+    def _time_pieces(self, segment: WaveSegment, applicable: list) -> list:
+        """Split the segment span where time-condition matching flips.
+
+        Mirrors the interpreter's ``_time_pieces``: every timed rule's
+        matching windows contribute boundary points, and a piece belongs
+        to a timed rule iff some window contains it — which, because all
+        window boundaries are piece boundaries, reduces to a start-point
+        test walked with a per-rule pointer over the sorted windows.
+        """
+        span = segment.interval
+        timed = [cr for cr in applicable if not cr.time_unconstrained]
+        if not timed:
+            return [(span, applicable)]
+        boundaries = {span.start, span.end}
+        windows: dict = {}
+        for cr in timed:
+            ivs = self._matching_windows(cr, span.start, span.end)
+            windows[cr.index] = [ivs, 0]
+            for ws, we in ivs:
+                boundaries.add(ws)
+                boundaries.add(we)
+        points = sorted(boundaries)
+        pieces: list = []
+        for lo, hi in zip(points, points[1:]):
+            piece_rules: list = []
+            for cr in applicable:
+                if cr.time_unconstrained:
+                    piece_rules.append(cr)
+                    continue
+                entry = windows[cr.index]
+                ivs, pos = entry
+                while pos < len(ivs) and ivs[pos][1] <= lo:
+                    pos += 1
+                entry[1] = pos
+                if pos < len(ivs) and ivs[pos][0] <= lo:
+                    piece_rules.append(cr)
+            pieces.append((Interval(lo, hi), piece_rules))
+        return pieces
+
+    def _bit_names(self, mask: int) -> list:
+        """Sorted channel names of a mask's set bits."""
+        names = self._bit_channels
+        out: list = []
+        bit = 0
+        while mask:
+            if mask & 1:
+                out.append(names[bit])
+            mask >>= 1
+            bit += 1
+        out.sort()
+        return out
+
+    def _release_piece(
+        self,
+        segment: WaveSegment,
+        piece: Interval,
+        rules: list,
+        seg_mask: int,
+    ) -> Optional[ReleasedSegment]:
+        # Deny-first short-circuit: a matching unscoped Deny suppresses
+        # the whole piece no matter what else matches (deny dominance —
+        # invariant C8), so check it before computing any grant.
+        has_allow = False
+        for cr in rules:
+            if cr.kind == _KIND_DENY and cr.scope_mask is None:
+                if self._c_batches is not None:
+                    self._c_full_deny.inc()
+                return None
+            if cr.kind == _KIND_ALLOW:
+                has_allow = True
+        if not has_allow:
+            return None  # this window grants nothing
+
+        granted = 0
+        for cr in rules:
+            if cr.kind == _KIND_ALLOW:
+                granted |= seg_mask if cr.scope_mask is None else cr.scope_mask & seg_mask
+
+        withheld: dict = {}
+        for cr in rules:
+            if cr.kind != _KIND_DENY:
+                continue
+            blocked = cr.scope_mask & seg_mask
+            hit = blocked & granted
+            if hit:
+                reason = f"denied by rule {cr.rule.rule_id}"
+                for name in self._bit_names(hit):
+                    withheld[name] = reason
+                granted &= ~blocked
+
+        # Label eligibility, judged on the post-deny grant (before the
+        # closure): which categories could the granted channels reveal?
+        eligible = 0
+        for cat_bit, revealing_mask in self._revealing:
+            if revealing_mask & granted:
+                eligible |= 1 << cat_bit
+
+        # Coarsest-wins abstraction folding, as ladder-index maxima.
+        loc_idx = 0
+        time_idx = 0
+        ctx_idx: Optional[list] = None
+        for cr in rules:
+            if cr.kind != _KIND_ABSTRACTION:
+                continue
+            if cr.abs_location > loc_idx:
+                loc_idx = cr.abs_location
+            if cr.abs_time > time_idx:
+                time_idx = cr.abs_time
+            for pos, level in cr.abs_contexts:
+                if ctx_idx is None:
+                    ctx_idx = list(self._ctx_zero)
+                if level > ctx_idx[pos]:
+                    ctx_idx[pos] = level
+        levels = self._ctx_zero if ctx_idx is None else ctx_idx
+        if (
+            loc_idx == _NOTSHARE_LOC
+            and time_idx == _NOTSHARE_TIME
+            and all(
+                levels[i] == self._ctx_notshare[i] for i in range(len(levels))
+            )
+        ):
+            return None  # every aspect at NotShare — equivalent to deny
+
+        # Dependency closure via bitmasks: a raw channel flows only if
+        # every context it could reveal is itself shared raw.  Graph-only
+        # categories never appear in raw_mask, so revealing one always
+        # blocks — matching the interpreter's raw_contexts() ⊆ registry.
+        if self.enforce_closure:
+            raw_mask = 0
+            for i, level in enumerate(levels):
+                if level == 0:
+                    raw_mask |= 1 << i
+            restricted_mask = self._sharing_cats_mask & ~raw_mask
+            closed = 0
+            probe = granted
+            bit = 0
+            masks = self._channel_ctx_masks
+            while probe:
+                if probe & 1 and masks[bit] & ~raw_mask:
+                    closed |= 1 << bit
+                probe >>= 1
+                bit += 1
+            if closed:
+                names = self._bit_channels
+                cats = self._sharing_cats
+                b = 0
+                rest = closed
+                while rest:
+                    if rest & 1:
+                        revealed = sorted(
+                            cats[i]
+                            for i in range(len(cats))
+                            if (masks[b] & restricted_mask) >> i & 1
+                        )
+                        withheld[names[b]] = (
+                            "withheld: could reveal restricted context(s) "
+                            f"{', '.join(revealed)}"
+                        )
+                    rest >>= 1
+                    b += 1
+                granted &= ~closed
+
+        # Location coarser than raw coordinates forbids raw GPS channels.
+        if loc_idx != 0:
+            gps_hit = granted & self._gps_mask
+            if gps_hit:
+                reason = (
+                    f"withheld: location abstracted to {LOCATION_LEVELS[loc_idx]}"
+                )
+                for name in self._bit_names(gps_hit):
+                    withheld[name] = reason
+            granted &= ~self._gps_mask
+
+        # Shape the surviving data — shared mechanics with the
+        # interpreter (slicing, channel selection, timestamp re-anchor).
+        sliced = segment.slice_time(piece)
+        out_segment: Optional[WaveSegment] = None
+        if sliced is not None and granted:
+            out_segment = sliced.select_channels(self._bit_names(granted))
+
+        time_level = TIME_LEVELS[time_idx]
+        timestamp: Optional[int] = None
+        if time_idx != _NOTSHARE_TIME:
+            timestamp = truncate_timestamp(piece.start, time_level)
+        if out_segment is not None:
+            out_segment = RuleEngine._shape_timestamps(out_segment, time_level, timestamp)
+            out_segment = out_segment.drop_location()
+
+        location_level = LOCATION_LEVELS[loc_idx]
+        location = None
+        if segment.location is not None and loc_idx != _NOTSHARE_LOC:
+            location = abstract_location(segment.location, location_level)
+
+        labels: dict = {}
+        for category, fine_label in segment.context.items():
+            pos = self._sharing_pos.get(category)
+            if pos is None or not (eligible >> self._cat_bit[category]) & 1:
+                continue
+            label = coarsen_context_label(
+                category, fine_label, self._ladders[pos][levels[pos]]
+            )
+            if label is not None:
+                labels[category] = label
+
+        if out_segment is None and not labels:
+            return None  # bare location/timestamp metadata would leak
+
+        return ReleasedSegment(
+            contributor=segment.contributor,
+            interval=piece,
+            segment=out_segment,
+            timestamp=timestamp,
+            time_level=time_level,
+            location=location,
+            location_level=location_level,
+            context_labels=labels,
+            withheld=withheld,
+        )
+
+
+def compile_rules(
+    rules: Iterable[Rule] = (),
+    places: Optional[Mapping[str, LabeledPlace]] = None,
+    *,
+    dependencies: Optional[DependencyGraph] = None,
+    enforce_closure: bool = True,
+    contributor: str = "",
+    obs=None,
+) -> CompiledRuleSet:
+    """Compile one contributor's rules into a :class:`CompiledRuleSet`."""
+    return CompiledRuleSet(
+        rules,
+        places,
+        dependencies=dependencies,
+        enforce_closure=enforce_closure,
+        contributor=contributor,
+        obs=obs,
+    )
+
+
+class CompiledRuleCache:
+    """Epoch-keyed LRU of compiled artifacts, beside the release cache.
+
+    A stale compiled artifact is a privacy leak of exactly the same shape
+    as a stale cached decision, so the key copies the PR 5 argument: it
+    folds in the **store-wide rules-version epoch**, which moves on every
+    rule mutation for any contributor and on every post-recovery/failover
+    ``restore`` — a rule state this process has never evaluated under can
+    never hit an old entry.  Places edits move no version counter, so
+    every site that wholesale-invalidates the release cache (places
+    edits, recovery, replication places-apply, promotion) calls
+    :meth:`invalidate_all` here too.
+
+    Compile telemetry (``rules_compile_total``, ``rules_compile_seconds``,
+    hits, invalidations) is exported through the shared metrics registry.
+    """
+
+    def __init__(self, capacity: int = 64, *, obs=None, store: str = ""):
+        if capacity <= 0:
+            raise RuleError(f"compiled-rule cache capacity must be positive: {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict = OrderedDict()
+        self._obs = obs if obs is not None and getattr(obs, "enabled", False) else None
+        if self._obs is not None:
+            m = self._obs.metrics
+            labels = {"store": store} if store else {}
+            self._c_compiles = m.counter("rules_compile_total", **labels)
+            self._h_compile_s = m.histogram("rules_compile_seconds", **labels)
+            self._c_hits = m.counter("compiled_cache_hits_total", **labels)
+            self._c_invalidations = m.counter(
+                "compiled_cache_invalidations_total", **labels
+            )
+        else:
+            self._c_compiles = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def artifact_for(
+        self,
+        contributor: str,
+        *,
+        epoch: int,
+        fail_closed: bool,
+        rules: Iterable[Rule],
+        places: Optional[Mapping[str, LabeledPlace]] = None,
+        dependencies: Optional[DependencyGraph] = None,
+        enforce_closure: bool = True,
+    ) -> CompiledRuleSet:
+        """The compiled artifact for one contributor at one rule epoch.
+
+        ``rules`` must already reflect ``fail_closed`` (the service passes
+        an empty tuple for a fail-closed contributor); the flag still
+        rides the key so lifting fail-closed without an epoch move could
+        never resurrect a deny-everything artifact.
+        """
+        key = (contributor, int(epoch), bool(fail_closed), bool(enforce_closure))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            if self._c_compiles is not None:
+                self._c_hits.inc()
+            return entry
+        started = _time.perf_counter()
+        artifact = CompiledRuleSet(
+            rules,
+            places,
+            dependencies=dependencies,
+            enforce_closure=enforce_closure,
+            contributor=contributor,
+            obs=self._obs,
+        )
+        if self._c_compiles is not None:
+            self._c_compiles.inc()
+            self._h_compile_s.observe(_time.perf_counter() - started)
+        self._entries[key] = artifact
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return artifact
+
+    def invalidate_all(self, reason: str = "") -> int:
+        """Drop every artifact (places edits, recovery, promotion).
+
+        Returns the number of entries dropped; ``reason`` is for logs and
+        symmetry with :meth:`ReleaseCache.invalidate_all`.
+        """
+        del reason
+        dropped = len(self._entries)
+        self._entries.clear()
+        if self._c_compiles is not None and dropped:
+            self._c_invalidations.inc(dropped)
+        return dropped

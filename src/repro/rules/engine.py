@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, FrozenSet, Iterable, Mapping, Optional
 
 from repro.datastore.wavesegment import WaveSegment
+from repro.exceptions import RuleError
 from repro.rules.abstraction import EffectiveSharing
 from repro.rules.conditions import rule_applies
 from repro.rules.dependency import DEFAULT_DEPENDENCIES, DependencyGraph
@@ -151,15 +152,29 @@ class RuleEngine:
         membership: Optional[Callable[[str], FrozenSet[str]]] = None,
         dependencies: Optional[DependencyGraph] = None,
         enforce_closure: bool = True,
+        engine: str = "interpreted",
+        compiled=None,
         obs=None,
     ):
+        if engine not in ("interpreted", "compiled"):
+            raise RuleError(f"unknown engine mode {engine!r}")
         self.places = dict(places or {})
         self.membership = membership or _self_membership
         self.dependencies = dependencies or DEFAULT_DEPENDENCIES
         self.enforce_closure = enforce_closure
+        #: "interpreted" walks rules per evaluation; "compiled" evaluates
+        #: through a :class:`~repro.rules.compiler.CompiledRuleSet` —
+        #: either one injected via ``compiled=`` (the service's cached
+        #: artifact) or one compiled lazily on first use.  Passing
+        #: ``compiled=`` implies compiled mode.
+        self.engine_mode = "compiled" if (engine == "compiled" or compiled is not None) else "interpreted"
         self._all_rules: list[Rule] = []
         # consumer name -> rules naming it; None key holds wildcard rules.
-        self._buckets: dict = {None: []}
+        # None (the whole dict) means "not built yet": the injected-artifact
+        # fast path skips bucket construction entirely, since the artifact
+        # carries its own buckets; candidate_rules() rebuilds on demand.
+        self._buckets: Optional[dict] = {None: []}
+        self._compiled = None
         # Observability (repro.obs.Observability): instruments are bound
         # once here so the per-segment cost is one None-check plus integer
         # adds; with obs=None instrumentation costs nothing.
@@ -177,7 +192,16 @@ class RuleEngine:
             self._c_abstractions = None
             self._c_closure = None
             self._h_eval = None
-        self.set_rules(rules)
+        if compiled is not None:
+            # Cached-artifact injection: take the rule list as-is and keep
+            # the artifact; skip per-construction bucketing (the artifact
+            # owns the buckets), which is part of the compiled speedup for
+            # the service's engine-per-query pattern.
+            self._all_rules = list(rules)
+            self._buckets = None
+            self._compiled = compiled
+        else:
+            self.set_rules(rules)
 
     # ------------------------------------------------------------------
     # Rule management
@@ -192,20 +216,38 @@ class RuleEngine:
         """Replace the engine's rule set."""
         self._all_rules = []
         self._buckets = {None: []}
+        self._compiled = None
         for rule in rules:
             self.add_rule(rule)
 
     def add_rule(self, rule: Rule) -> None:
         """Append one rule to the engine's rule set."""
+        self._compiled = None  # any mutation invalidates the lazy artifact
         self._all_rules.append(rule)
+        if self._buckets is None:
+            self._rebuild_buckets()
+            return
         if not rule.consumers:
             self._buckets[None].append(rule)
         else:
             for consumer in rule.consumers:
                 self._buckets.setdefault(consumer, []).append(rule)
 
+    def _rebuild_buckets(self) -> None:
+        """(Re)build consumer buckets from the full rule list."""
+        buckets: dict = {None: []}
+        for rule in self._all_rules:
+            if not rule.consumers:
+                buckets[None].append(rule)
+            else:
+                for consumer in rule.consumers:
+                    buckets.setdefault(consumer, []).append(rule)
+        self._buckets = buckets
+
     def candidate_rules(self, principals: FrozenSet[str]) -> list:
         """Rules whose consumer condition could cover these principals."""
+        if self._buckets is None:
+            self._rebuild_buckets()
         seen: set = set()
         out: list[Rule] = []
         for key in [None, *sorted(principals)]:
@@ -215,14 +257,47 @@ class RuleEngine:
                     out.append(rule)
         return out
 
+    def compiled_artifact(self):
+        """The engine's compiled form, compiling lazily on first use.
+
+        Returns the injected artifact when one was passed at
+        construction; otherwise compiles the current rule set (and caches
+        it until the next rule mutation).  Import is deferred because the
+        compiler module imports this one.
+        """
+        if self._compiled is None:
+            from repro.rules.compiler import compile_rules
+
+            self._compiled = compile_rules(
+                self._all_rules,
+                self.places,
+                dependencies=self.dependencies,
+                enforce_closure=self.enforce_closure,
+                obs=self.obs,
+            )
+        return self._compiled
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
 
     def evaluate(self, consumer: str, segments: Iterable[WaveSegment]) -> list:
         """Evaluate many segments; returns the released pieces in order."""
+        if self.engine_mode == "compiled":
+            artifact = self.compiled_artifact()
+            principals = self.membership(consumer)
+            if self.obs is None:
+                return artifact.evaluate_batch(principals, segments)
+            with self.obs.tracer.start_span(
+                "rules.evaluate", consumer=consumer
+            ) as span:
+                segments = list(segments)
+                out = artifact.evaluate_batch(principals, segments)
+                self._c_evals.inc(len(segments))
+                span.set_attributes(segments_in=len(segments), pieces_out=len(out))
+            return out
         if self.obs is None:
-            out: list[ReleasedSegment] = []
+            out = []
             for segment in segments:
                 out.extend(self.evaluate_segment(consumer, segment))
             return out
@@ -238,12 +313,20 @@ class RuleEngine:
     def evaluate_segment(self, consumer: str, segment: WaveSegment) -> list:
         """Evaluate one segment for one consumer; returns released pieces."""
         if self._h_eval is None:
-            return self._evaluate_segment(consumer, segment)
+            return self._dispatch_segment(consumer, segment)
         started = time.perf_counter()
-        released = self._evaluate_segment(consumer, segment)
+        released = self._dispatch_segment(consumer, segment)
         self._h_eval.observe((time.perf_counter() - started) * 1e6)
         self._c_evals.inc()
         return released
+
+    def _dispatch_segment(self, consumer: str, segment: WaveSegment) -> list:
+        """Route one segment to the compiled or interpreted pipeline."""
+        if self.engine_mode == "compiled":
+            return self.compiled_artifact().evaluate_segment(
+                self.membership(consumer), segment
+            )
+        return self._evaluate_segment(consumer, segment)
 
     def _evaluate_segment(self, consumer: str, segment: WaveSegment) -> list:
         principals = self.membership(consumer)

@@ -38,6 +38,7 @@ from repro.exceptions import (
 )
 from repro.net.http import Request, Router
 from repro.net.transport import Network
+from repro.rules.compiler import CompiledRuleCache
 from repro.rules.engine import RuleEngine
 from repro.rules.model import Rule
 from repro.rules.parser import rule_from_json, rules_from_json, rules_to_json
@@ -96,8 +97,15 @@ class DataStoreService:
         cache_capacity: int = 1024,
         cache_max_bytes: int = 32 << 20,
         role: str = ROLE_PRIMARY,
+        engine: str = "interpreted",
     ):
+        if engine not in ("interpreted", "compiled"):
+            raise ValueError(f"unknown engine mode {engine!r}")
         self.host = host
+        #: Rule-evaluation strategy: "interpreted" walks rules per query;
+        #: "compiled" evaluates through per-contributor compiled artifacts
+        #: cached by rules-version epoch (see repro.rules.compiler).
+        self.engine = engine
         self.network = network
         self.institution = institution
         #: "primary" serves reads and writes; "replica" only applies
@@ -140,6 +148,14 @@ class DataStoreService:
             self.release_cache = ReleaseCache(
                 cache_capacity, cache_max_bytes, obs=network.obs, store=host
             )
+        #: Per-contributor compiled rule artifacts, keyed by the same
+        #: store-wide rules-version epoch as the release cache and
+        #: invalidated at the same sites (places edits, recovery,
+        #: replication places-apply, promotion).  Created before
+        #: durability opens so recovery's sweep has a target.
+        self.compiled_rules: Optional[CompiledRuleCache] = None
+        if engine == "compiled":
+            self.compiled_rules = CompiledRuleCache(obs=network.obs, store=host)
         self.durability = None
         self.recovery_report = None
         self.router = Router()
@@ -278,6 +294,8 @@ class DataStoreService:
             self.replication.fenced = False
         if self.release_cache is not None:
             self.release_cache.invalidate_all("promotion")
+        if self.compiled_rules is not None:
+            self.compiled_rules.invalidate_all("promotion")
         return {
             "Host": self.host,
             "Epoch": self.epoch,
@@ -341,6 +359,8 @@ class DataStoreService:
         # so cached decisions cannot be keyed around them — drop them all.
         if self.release_cache is not None:
             self.release_cache.invalidate_all("places")
+        if self.compiled_rules is not None:
+            self.compiled_rules.invalidate_all("places")
         if self.durability is not None:
             self.durability.log_places(contributor)
         # Places affect rule semantics; nudge a sync so the broker's
@@ -406,6 +426,23 @@ class DataStoreService:
         # Belt and braces: recovery already emptied a fail-closed
         # contributor's rules, and an empty rule set is default-deny.
         rules = () if contributor in self.fail_closed else self.rules.rules_of(contributor)
+        if self.compiled_rules is not None:
+            artifact = self.compiled_rules.artifact_for(
+                contributor,
+                epoch=self.rules.rules_version,
+                fail_closed=contributor in self.fail_closed,
+                rules=rules,
+                places=self.places.get(contributor, {}),
+                enforce_closure=self.enforce_closure,
+            )
+            return RuleEngine(
+                rules,
+                self.places.get(contributor, {}),
+                membership=self._membership,
+                enforce_closure=self.enforce_closure,
+                compiled=artifact,
+                obs=self.network.obs,
+            )
         return RuleEngine(
             rules,
             self.places.get(contributor, {}),

@@ -468,6 +468,11 @@ def recover_service(service, directory: Optional[str] = None, *, obs=None) -> Re
     release_cache = getattr(service, "release_cache", None)
     if release_cache is not None:
         release_cache.invalidate_all("recovery")
+    # Same argument for compiled rule artifacts: recovery rewrote places
+    # and fail-closed state out from under any cached compilation.
+    compiled_rules = getattr(service, "compiled_rules", None)
+    if compiled_rules is not None:
+        compiled_rules.invalidate_all("recovery")
 
     if obs is not None and getattr(obs, "enabled", False):
         m = obs.metrics

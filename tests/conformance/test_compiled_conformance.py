@@ -1,0 +1,96 @@
+"""Three-way differential sweep: oracle vs interpreted vs compiled.
+
+The tier-1 sweep runs a few hundred seeded trials through both engines
+and the oracle; any compiled-vs-interpreted payload difference, or any
+engine-vs-oracle divergence, fails.  The compiled mutation smokes prove
+the harness would actually notice a broken *compiler*: each entry in
+``COMPILED_MUTATIONS`` re-introduces a plausible compilation bug
+(dropped deny short-circuit, off-by-one window boundaries, zeroed
+dependency bitmasks, a stale artifact surviving a rule edit), and the
+sweep must catch and shrink every one.  The slow sweep pushes past 2,000
+trials across several seeds for the nightly acceptance gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.generators import TrialGenerator, trial_from_json
+from repro.conformance.runner import (
+    COMPILED_MUTATIONS,
+    run_conformance,
+    run_trial,
+)
+
+TRIALS = 120
+SEED = 7
+#: Off-by-one window extensions only bite when a boundary lands inside a
+#: span next to a second Allow — rarer than the other mutants, so its
+#: smoke gets a bigger trial budget (seed 7 catches well within this).
+MUTATION_TRIALS = {"compiled-interval-off-by-one": 300}
+
+
+def test_three_way_sweep_is_clean():
+    summary = run_conformance(TRIALS, SEED, end_to_end_every=40)
+    assert summary.ok, summary.to_json()
+    assert summary.end_to_end_runs >= 3
+
+
+def test_three_way_sweep_is_clean_on_second_seed():
+    summary = run_conformance(60, 23, end_to_end_every=0)
+    assert summary.ok, summary.to_json()
+
+
+@pytest.mark.parametrize("mutation", sorted(COMPILED_MUTATIONS))
+def test_compiled_mutation_is_caught_and_shrunk(mutation):
+    trials = MUTATION_TRIALS.get(mutation, TRIALS)
+    summary = run_conformance(
+        trials, SEED, mutation=mutation, end_to_end_every=0, max_shrink_checks=300
+    )
+    assert not summary.ok, f"harness missed the {mutation} compiler mutation"
+    assert summary.repro is not None
+    repro = summary.repro
+    # The shrunken repro is small...
+    assert len(repro["Trial"]["Rules"]) <= 3
+    assert len(repro["Trial"]["Segments"]) == 1
+    # ...still failing when replayed from its JSON against the mutant...
+    replayed = run_trial(
+        trial_from_json(repro["Trial"]),
+        compiled_factory=COMPILED_MUTATIONS[mutation],
+    )
+    assert not replayed.ok
+    assert [d.to_json() for d in replayed.divergences] == repro["Divergences"]
+    assert [v.to_json() for v in replayed.violations] == repro["Violations"]
+    # ...and clean against the real compiled engine (the bug is the
+    # mutation, not the trial).
+    assert run_trial(trial_from_json(repro["Trial"])).ok
+
+
+@pytest.mark.parametrize("mutation", sorted(COMPILED_MUTATIONS))
+def test_compiled_mutation_detection_is_deterministic(mutation):
+    trials = MUTATION_TRIALS.get(mutation, TRIALS)
+    first = run_conformance(trials, SEED, mutation=mutation, end_to_end_every=0)
+    second = run_conformance(trials, SEED, mutation=mutation, end_to_end_every=0)
+    assert first.failed_index == second.failed_index
+    assert first.to_json() == second.to_json()
+
+
+def test_compiled_engine_handles_every_generated_trial():
+    """Direct batch-evaluation pass (no oracle): no crashes, pure output."""
+    from repro.rules.compiler import compile_rules
+
+    generator = TrialGenerator(SEED)
+    for index in range(40):
+        trial = generator.trial(index)
+        artifact = compile_rules(trial.rules, trial.places)
+        batch = artifact.evaluate_batch(trial.principals(), trial.segments)
+        for piece in batch:
+            piece.to_json()  # must serialize cleanly
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 7, 11, 42])
+def test_three_way_sweep_at_scale(seed):
+    """≥2,000 trials across seeds (8 × 260): the acceptance-gate sweep."""
+    summary = run_conformance(260, seed, end_to_end_every=65)
+    assert summary.ok, summary.to_json()

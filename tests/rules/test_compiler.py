@@ -1,0 +1,480 @@
+"""Compiled rule evaluation: boundaries + compile/invalidation lifecycle.
+
+Two layers of coverage for :mod:`repro.rules.compiler`:
+
+* **Boundary units** — time windows touching span edges and wrapping
+  midnight, locations exactly on spatial-grid cell borders, empty and
+  one-rule contributors, and consumers with no bucket.  Each case runs
+  the compiled and interpreted engines side by side and asserts
+  byte-identical payloads (the equivalence contract, at its corners).
+
+* **Lifecycle properties** — twin ``engine="compiled"`` and
+  ``engine="interpreted"`` stores driven through random interleavings of
+  rule publish/remove, places edits, and membership flips, plus a
+  crash/recovery boundary and a promotion: the compiled twin must never
+  serve from a stale artifact.  This mirrors the release-cache epoch
+  argument: the artifact key folds in the store-wide ``rules_version``,
+  which moves on every mutation and every restore, and everything the
+  epoch cannot see (places, promotion, recovery's fail-closed rewrite)
+  invalidates wholesale.
+"""
+
+import random
+
+import pytest
+
+from repro.conformance.generators import TrialGenerator
+from repro.datastore.query import DataQuery
+from repro.datastore.wavesegment import WaveSegment
+from repro.net.transport import Network
+from repro.rules.compiler import (
+    GRID_DEGREES,
+    CompiledRuleCache,
+    CompiledRuleSet,
+    compile_rules,
+)
+from repro.rules.engine import RuleEngine
+from repro.rules.model import Action, Rule
+from repro.server.datastore_service import DataStoreService
+from repro.util import jsonutil
+from repro.util.geo import BoundingBox, LatLon, PolygonRegion
+from repro.util.timeutil import Interval, RepeatedTime, TimeCondition
+
+HOST = "compiled-twin"
+
+_MINUTE = 60_000
+_DAY = 86_400_000
+# Monday 2011-02-07 00:00:00 UTC — the conformance corpus epoch.
+BASE_MS = 1_297_036_800_000
+
+
+def _segment(start, n=10, interval=1000, channels=("Respiration", "ECG"),
+             location=None, context=None):
+    import numpy as np
+
+    values = np.arange(n * len(channels), dtype=np.float64).reshape(n, len(channels))
+    return WaveSegment(
+        contributor="alice",
+        channels=tuple(channels),
+        start_ms=start,
+        interval_ms=interval,
+        values=values,
+        location=location,
+        context=dict(context or {}),
+    )
+
+
+def _payload(engine, consumer, segment):
+    return jsonutil.canonical_dumps(
+        [p.to_json() for p in engine.evaluate_segment(consumer, segment)]
+    )
+
+
+def assert_equivalent(rules, segment, *, places=None, consumer="bob"):
+    """Compiled and interpreted engines agree byte-for-byte."""
+    interpreted = RuleEngine(rules, places)
+    compiled = RuleEngine(rules, places, engine="compiled")
+    a = _payload(interpreted, consumer, segment)
+    b = _payload(compiled, consumer, segment)
+    assert a == b, f"interpreted:\n{a}\nvs compiled:\n{b}"
+    return a
+
+
+# ----------------------------------------------------------------------
+# Boundary units: time
+# ----------------------------------------------------------------------
+
+
+def test_window_exactly_covering_span():
+    seg = _segment(BASE_MS, n=10, interval=1000)
+    rules = [
+        Rule(time=TimeCondition((Interval(BASE_MS, BASE_MS + 10_000),)),
+             action=Action("allow"))
+    ]
+    released = assert_equivalent(rules, seg)
+    assert released != "[]"  # the full span flows
+
+
+@pytest.mark.parametrize("offset", [-1, 0, 1])
+def test_window_end_touching_span_edges(offset):
+    # Window ends one ms before, exactly at, and one ms past the span end.
+    seg = _segment(BASE_MS, n=10, interval=1000)
+    end = BASE_MS + 10_000 + offset
+    rules = [
+        Rule(time=TimeCondition((Interval(BASE_MS - 5_000, end),)),
+             action=Action("allow"))
+    ]
+    assert_equivalent(rules, seg)
+
+
+def test_window_boundary_exactly_on_sample_instant():
+    # The window ends exactly on the 5th sample: the sample belongs to
+    # the piece *after* the boundary (half-open), which has no Allow.
+    seg = _segment(BASE_MS, n=10, interval=1000)
+    rules = [
+        Rule(time=TimeCondition((Interval(BASE_MS, BASE_MS + 5_000),)),
+             action=Action("allow"))
+    ]
+    assert_equivalent(rules, seg)
+
+
+def test_zero_length_window_matches_nothing():
+    seg = _segment(BASE_MS, n=4, interval=1000)
+    degenerate = Interval(BASE_MS + 2_000, BASE_MS + 2_000)
+    rules = [Rule(time=TimeCondition((degenerate,)), action=Action("allow"))]
+    assert assert_equivalent(rules, seg) == "[]"
+    art = compile_rules(rules)
+    assert art.compiled[0].static_windows == ()  # dropped at compile time
+
+
+def test_midnight_wrap_repeated_window():
+    # 23:50 → 00:10 wraps midnight; a span straddling midnight Mon→Tue
+    # splits exactly at the wrap edges.
+    seg = _segment(BASE_MS + _DAY - 15 * _MINUTE, n=24, interval=_MINUTE)
+    rules = [
+        Rule(
+            time=TimeCondition(
+                repeated=(RepeatedTime(frozenset({"Mon", "Tue"}), 23 * 60 + 50, 10),)
+            ),
+            action=Action("allow"),
+        )
+    ]
+    assert_equivalent(rules, seg)
+
+
+def test_degenerate_equal_minutes_is_full_day():
+    seg = _segment(BASE_MS + 3 * 60 * _MINUTE, n=8, interval=1000)
+    rules = [
+        Rule(
+            time=TimeCondition(repeated=(RepeatedTime(frozenset({"Mon"}), 300, 300),)),
+            action=Action("allow"),
+        )
+    ]
+    released = assert_equivalent(rules, seg)
+    assert released != "[]"  # equal minutes = the whole matching day
+
+
+def test_weekday_windows_only_fire_on_their_day():
+    # Tuesday-only window, Monday segment: nothing flows either way.
+    seg = _segment(BASE_MS + 10 * _MINUTE, n=5, interval=1000)
+    rules = [
+        Rule(
+            time=TimeCondition(repeated=(RepeatedTime(frozenset({"Tue"}), 0, 60),)),
+            action=Action("allow"),
+        )
+    ]
+    assert assert_equivalent(rules, seg) == "[]"
+
+
+# ----------------------------------------------------------------------
+# Boundary units: spatial grid
+# ----------------------------------------------------------------------
+
+
+def _cell_border_box():
+    """A bbox region whose edges sit exactly on grid-cell borders."""
+    south = -90.0 + 680 * GRID_DEGREES
+    west = -180.0 + 1230 * GRID_DEGREES
+    box = BoundingBox(south, west, south + 2 * GRID_DEGREES, west + 2 * GRID_DEGREES)
+    return PolygonRegion(
+        (
+            LatLon(box.south, box.west),
+            LatLon(box.south, box.east),
+            LatLon(box.north, box.east),
+            LatLon(box.north, box.west),
+        )
+    )
+
+
+@pytest.mark.parametrize("corner", ["south-west", "north-east", "center"])
+def test_location_exactly_on_grid_cell_border(corner):
+    region = _cell_border_box()
+    box = region.bounding_box()
+    point = {
+        "south-west": LatLon(box.south, box.west),
+        "north-east": LatLon(box.north, box.east),
+        "center": LatLon((box.south + box.north) / 2, (box.west + box.east) / 2),
+    }[corner]
+    seg = _segment(BASE_MS, n=5, location=point)
+    rules = [Rule(location_regions=(region,), action=Action("allow"))]
+    released = assert_equivalent(rules, seg)
+    # The ray-cast includes the south-west edges and excludes north-east
+    # ones; either way the *grid* must agree with the exact region test —
+    # equivalence above is the load-bearing assertion.
+    if corner in ("south-west", "center"):
+        assert released != "[]"
+
+
+def test_location_just_outside_grid_indexed_region():
+    region = _cell_border_box()
+    box = region.bounding_box()
+    outside = LatLon(box.north + 1e-9, box.east + 1e-9)
+    seg = _segment(BASE_MS, n=5, location=outside)
+    rules = [Rule(location_regions=(region,), action=Action("allow"))]
+    assert assert_equivalent(rules, seg) == "[]"
+
+
+def test_oversized_region_skips_the_grid_but_still_matches():
+    # A near-hemisphere bbox blows the cell cap: the rule must fall back
+    # to the always-tested path, not vanish from the index.
+    region = PolygonRegion(
+        (LatLon(-60, -170), LatLon(-60, 170), LatLon(60, 170), LatLon(60, -170))
+    )
+    seg = _segment(BASE_MS, n=5, location=LatLon(10.0, 10.0))
+    rules = [Rule(location_regions=(region,), action=Action("allow"))]
+    art = compile_rules(rules)
+    assert not art.compiled[0].grid_indexed
+    assert assert_equivalent(rules, seg) != "[]"
+
+
+def test_location_condition_with_no_location_never_matches():
+    region = _cell_border_box()
+    seg = _segment(BASE_MS, n=5, location=None)
+    rules = [Rule(location_regions=(region,), action=Action("allow"))]
+    assert assert_equivalent(rules, seg) == "[]"
+
+
+# ----------------------------------------------------------------------
+# Boundary units: buckets and contributors
+# ----------------------------------------------------------------------
+
+
+def test_empty_contributor_is_default_deny():
+    seg = _segment(BASE_MS, n=3)
+    assert assert_equivalent([], seg) == "[]"
+    art = compile_rules(())
+    assert art.evaluate_segment(frozenset({"bob"}), seg) == []
+
+
+def test_one_rule_contributor():
+    seg = _segment(BASE_MS, n=3)
+    assert assert_equivalent([Rule(action=Action("allow"))], seg) != "[]"
+
+
+def test_consumer_with_no_bucket_is_default_deny():
+    seg = _segment(BASE_MS, n=3)
+    rules = [Rule(consumers=("carol",), action=Action("allow"))]
+    assert assert_equivalent(rules, seg, consumer="bob") == "[]"
+    assert assert_equivalent(rules, seg, consumer="carol") != "[]"
+
+
+def test_batch_evaluation_matches_per_segment():
+    gen = TrialGenerator(17)
+    trial = gen.trial(4)
+    art = compile_rules(trial.rules, trial.places)
+    principals = trial.principals()
+    batch = art.evaluate_batch(principals, trial.segments)
+    singles = [
+        piece
+        for segment in trial.segments
+        for piece in art.evaluate_segment(principals, segment)
+    ]
+    assert [p.to_json() for p in batch] == [p.to_json() for p in singles]
+
+
+# ----------------------------------------------------------------------
+# Artifact cache: the epoch key
+# ----------------------------------------------------------------------
+
+
+def test_cache_recompiles_on_epoch_move():
+    cache = CompiledRuleCache()
+    rules = (Rule(action=Action("allow")),)
+    a = cache.artifact_for("alice", epoch=1, fail_closed=False, rules=rules)
+    b = cache.artifact_for("alice", epoch=1, fail_closed=False, rules=rules)
+    assert a is b  # hit on the same epoch
+    c = cache.artifact_for("alice", epoch=2, fail_closed=False, rules=rules)
+    assert c is not a  # epoch move forces a recompile
+
+
+def test_cache_keys_on_fail_closed_flag():
+    cache = CompiledRuleCache()
+    rules = (Rule(action=Action("allow")),)
+    open_ = cache.artifact_for("alice", epoch=1, fail_closed=False, rules=rules)
+    closed = cache.artifact_for("alice", epoch=1, fail_closed=True, rules=())
+    assert closed is not open_
+    assert closed.compiled == ()
+
+
+def test_cache_invalidate_all_drops_everything():
+    cache = CompiledRuleCache()
+    cache.artifact_for("alice", epoch=1, fail_closed=False, rules=())
+    cache.artifact_for("carol", epoch=1, fail_closed=False, rules=())
+    assert len(cache) == 2
+    assert cache.invalidate_all("places") == 2
+    assert len(cache) == 0
+
+
+def test_cache_capacity_evicts_lru():
+    cache = CompiledRuleCache(capacity=2)
+    for name in ("a", "b", "c"):
+        cache.artifact_for(name, epoch=1, fail_closed=False, rules=())
+    assert len(cache) == 2
+
+
+def test_lazy_engine_artifact_invalidated_by_rule_mutation():
+    engine = RuleEngine((Rule(action=Action("allow")),), engine="compiled")
+    first = engine.compiled_artifact()
+    assert engine.compiled_artifact() is first  # cached until a mutation
+    engine.add_rule(Rule(consumers=("carol",), action=Action("deny")))
+    assert engine.compiled_artifact() is not first
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: twin stores under random interleavings
+# ----------------------------------------------------------------------
+
+
+def _load(service, trial):
+    service.register_contributor(trial.contributor)
+    key = service.register_consumer(trial.consumer)
+    for name, groups in trial.memberships.items():
+        service.memberships[name] = frozenset(groups)
+    service.set_places(trial.contributor, trial.places)
+    service.rules.replace_all(trial.contributor, trial.rules)
+    for segment in trial.segments:
+        service.store.add_segment(segment)
+    service.store.flush()
+    return key
+
+
+def _query(service, key, trial, query):
+    body = service.network.request(
+        "POST",
+        f"https://{service.host}/api/query",
+        {"Contributor": trial.contributor, "Query": query.to_json(), "ApiKey": key},
+    ).body
+    assert "Error" not in body, body
+    return jsonutil.canonical_dumps(body)
+
+
+def test_twin_stores_agree_under_random_interleavings():
+    """Publish/remove/places/membership churn: compiled == interpreted."""
+    generator = TrialGenerator(6021)
+    gen = TrialGenerator(88)
+    comparisons = 0
+    for index in range(12):
+        trial = generator.trial(index)
+        rng = random.Random(f"compiled-lifecycle:{index}")
+        services, keys = [], []
+        for engine in ("compiled", "interpreted"):
+            service = DataStoreService(HOST, Network(), seed=0, engine=engine)
+            services.append(service)
+            keys.append(_load(service, trial))
+        current_rules = list(trial.rules)
+        current_places = dict(trial.places)
+        query = DataQuery()
+        for _ in range(6):
+            got = [_query(s, k, trial, query) for s, k in zip(services, keys)]
+            assert got[0] == got[1], f"trial {index} diverged"
+            comparisons += 1
+            kind = rng.choice(("add_rule", "drop_rule", "places", "membership"))
+            if kind == "add_rule":
+                current_rules = current_rules + [gen.gen_rule(rng, current_places)]
+                for s in services:
+                    s.rules.replace_all(trial.contributor, current_rules)
+            elif kind == "drop_rule" and current_rules:
+                current_rules = list(current_rules)
+                current_rules.pop(rng.randrange(len(current_rules)))
+                for s in services:
+                    s.rules.replace_all(trial.contributor, current_rules)
+            elif kind == "places":
+                if current_places and rng.random() < 0.5:
+                    current_places = dict(current_places)
+                    current_places.pop(rng.choice(sorted(current_places)))
+                for s in services:
+                    s.set_places(trial.contributor, current_places)
+            elif kind == "membership":
+                groups = set(services[0].memberships.get(trial.consumer, frozenset()))
+                groups.symmetric_difference_update({rng.choice(("study-x", "labmates"))})
+                for s in services:
+                    s.memberships[trial.consumer] = frozenset(groups)
+        got = [_query(s, k, trial, query) for s, k in zip(services, keys)]
+        assert got[0] == got[1]
+        comparisons += 1
+    assert comparisons >= 80
+    # The sweep proves staleness-freedom only if artifacts were reused
+    # between mutations *and* recompiled after them.
+    compiles = services[0].network.obs.metrics.counter_value(
+        "rules_compile_total", store=HOST
+    )
+    assert compiles >= 1
+
+
+def test_compiled_cache_hits_between_mutations():
+    # Release cache off, so every query reaches _engine_for and the
+    # compiled-artifact cache is what absorbs the repeats.
+    trial = TrialGenerator(6022).trial(1)
+    service = DataStoreService(
+        HOST, Network(), seed=0, engine="compiled", cache_capacity=0
+    )
+    key = _load(service, trial)
+    query = DataQuery()
+    for _ in range(4):
+        _query(service, key, trial, query)
+    metrics = service.network.obs.metrics
+    assert metrics.counter_value("compiled_cache_hits_total", store=HOST) >= 1
+    compiled_before = metrics.counter_value("rules_compile_total", store=HOST)
+    # A rule publish moves the epoch: the next query must recompile.
+    service.rules.add(trial.contributor, Rule(action=Action("deny")))
+    _query(service, key, trial, query)
+    assert metrics.counter_value("rules_compile_total", store=HOST) > compiled_before
+
+
+def test_recovery_invalidates_compiled_artifacts(tmp_path):
+    """Crash + recovery: nothing compiled pre-crash may survive."""
+    trial = TrialGenerator(6023).trial(2)
+    directory = str(tmp_path / "compiled-recovery")
+    service = DataStoreService(
+        HOST, Network(), seed=0, engine="compiled", directory=directory, durable=True
+    )
+    key = _load(service, trial)
+    interpreted = DataStoreService("plain-" + HOST, Network(), seed=0)
+    _load(interpreted, trial)
+    query = DataQuery()
+    _query(service, key, trial, query)
+    assert len(service.compiled_rules) >= 1
+    service._wal_commit()
+
+    restarted = DataStoreService(
+        HOST, Network(), seed=0, engine="compiled", directory=directory, durable=True
+    )
+    # Recovery's sweep emptied the cache; the epoch also moved (restore).
+    assert len(restarted.compiled_rules) == 0
+    for name, groups in trial.memberships.items():
+        restarted.memberships[name] = frozenset(groups)
+    key2 = restarted.keys.issue(trial.consumer)
+    ikey = interpreted.keys.issue(trial.consumer)
+    assert _query(restarted, key2, trial, query) == _query(
+        interpreted, ikey, trial, query
+    )
+
+
+def test_promotion_invalidates_compiled_artifacts():
+    trial = TrialGenerator(6024).trial(0)
+    service = DataStoreService(HOST, Network(), seed=0, engine="compiled")
+    key = _load(service, trial)
+    _query(service, key, trial, DataQuery())
+    assert len(service.compiled_rules) >= 1
+    service.promote(service.epoch + 1)
+    assert len(service.compiled_rules) == 0
+
+
+def test_fail_closed_contributor_compiles_to_default_deny():
+    trial = TrialGenerator(6025).trial(1)
+    service = DataStoreService(HOST, Network(), seed=0, engine="compiled")
+    key = _load(service, trial)
+    service.fail_closed.add(trial.contributor)
+    body = service.network.request(
+        "POST",
+        f"https://{service.host}/api/query",
+        {
+            "Contributor": trial.contributor,
+            "Query": DataQuery().to_json(),
+            "ApiKey": key,
+        },
+    ).body
+    released = body.get("Released")
+    assert released == []
+    engine = service._engine_for(trial.contributor)
+    assert engine.compiled_artifact().compiled == ()
