@@ -19,8 +19,10 @@ _TABLES: list = []
 _METRICS: dict = {}
 
 #: Where the end-of-run metrics snapshot JSON lands (CI archives it).
+#: Defaults into the untracked ``artifacts/`` directory so bench runs
+#: never leave stray JSON at the repo root.
 METRICS_OUT_ENV = "SENSORSAFE_METRICS_OUT"
-METRICS_OUT_DEFAULT = "obs-metrics-snapshot.json"
+METRICS_OUT_DEFAULT = os.path.join("artifacts", "obs-metrics-snapshot.json")
 
 
 def report_table(title: str, headers, rows, notes: str = "") -> None:
@@ -34,7 +36,8 @@ def report_metrics(name: str, snapshot: dict) -> None:
     ``snapshot`` is a :meth:`MetricsRegistry.snapshot` dump (all labels
     already passed the redaction boundary at instrument creation).  The
     terminal-summary hook writes every registered snapshot to one JSON
-    file — ``$SENSORSAFE_METRICS_OUT`` or ``obs-metrics-snapshot.json``.
+    file — ``$SENSORSAFE_METRICS_OUT`` or
+    ``artifacts/obs-metrics-snapshot.json``.
     """
     _METRICS[str(name)] = snapshot
 
@@ -65,6 +68,9 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     _TABLES.clear()
     if _METRICS:
         path = os.environ.get(METRICS_OUT_ENV, METRICS_OUT_DEFAULT)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(_METRICS, handle, indent=2, sort_keys=True)
         tr.write_line("")

@@ -11,6 +11,11 @@ harness (see :mod:`repro.conformance.runner`) instead.
 end-to-end scenario whose metrics snapshot and query trace tree are
 printed (and optionally dumped as JSON); see :mod:`repro.obs.report`.
 
+``python -m repro obs fleet [--drill ...]`` runs a replicated deployment,
+scrapes every host through the broker's fleet aggregator, and renders the
+cluster-wide telemetry report: per-host health, fleet totals, privacy-SLO
+burn status, and the slow-query log; see :mod:`repro.obs.fleet`.
+
 ``python -m repro recover --dir DIR --host HOST [...]`` recovers a
 store's durable state offline — replays the write-ahead log over the
 last good snapshot, reports torn/quarantined/fail-closed outcomes, and

@@ -78,6 +78,10 @@ class FailoverManager:
         #: probe client: no retry policy and no breakers, so detection
         #: latency is one probe and circuit state never masks a probe.
         self._probe = HttpClient(broker.network, name=broker.host)
+        #: Trace-stamped promotion/rejoin audit records, newest last.
+        #: Surfaced via /api/replicas/status and the fleet snapshot so an
+        #: operator can jump from "who promoted when" to the exact trace.
+        self.events: list = []
         obs = broker.network.obs
         self.obs = obs if obs is not None and obs.enabled else None
         if self.obs is not None:
@@ -176,6 +180,7 @@ class FailoverManager:
         """
         if self._c_heartbeats is not None:
             self._c_heartbeats.inc()
+        slo = self.broker.network.obs.slo
         report = {}
         for name, group in sorted(self.sets.items()):
             health = {}
@@ -183,8 +188,13 @@ class FailoverManager:
                 probe = self._health(host)
                 if probe is None:
                     group.missed[host] = group.missed.get(host, 0) + 1
+                    if host == group.primary:
+                        # First miss anchors the failover-detection SLO.
+                        slo.primary_missed(name)
                 else:
                     group.missed[host] = 0
+                    if host == group.primary:
+                        slo.primary_alive(name)
                 health[host] = {
                     "Alive": probe is not None,
                     "Missed": group.missed[host],
@@ -207,6 +217,11 @@ class FailoverManager:
                 "Health": health,
                 "FailedOver": failed_over,
             }
+        # The broker tick is also the fleet-telemetry tick: scrape every
+        # fleet.interval_ms of simulated time (no-op between intervals).
+        fleet = getattr(self.broker, "fleet", None)
+        if fleet is not None:
+            fleet.maybe_scrape()
         return report
 
     # ------------------------------------------------------------------
@@ -222,13 +237,36 @@ class FailoverManager:
         except (TransportError, SensorSafeError):
             return None
 
+    def _record_event(self, event: str, name: str, host, epoch: int,
+                      trace_id: str, **extra) -> dict:
+        """Append one trace-stamped failover audit record."""
+        record = {
+            "Event": event,
+            "Set": name,
+            "Host": host,
+            "Epoch": int(epoch),
+            "AtMs": int(self.broker.network.clock.now_ms()),
+            "TraceId": trace_id,
+            **extra,
+        }
+        self.events.append(record)
+        return record
+
     def failover(self, name: str) -> dict:
         """Promote the most-caught-up reachable replica of one set.
 
         Returns a report; when no replica answers, nothing is promoted
         and the directory is left untouched (requests keep failing until
         a member returns — unavailability is the fail-closed outcome).
+        The whole election runs inside a ``failover.promote`` span, and
+        the returned report (and audit record) carries its trace id.
         """
+        tracer = self.broker.network.obs.tracer
+        with tracer.start_span("failover.promote", set=name) as span:
+            report = self._failover(name, span)
+        return report
+
+    def _failover(self, name: str, span) -> dict:
         group = self.sets[name]
         old_primary = group.primary
         candidates = []
@@ -243,6 +281,8 @@ class FailoverManager:
         if not candidates:
             if self._c_noquorum is not None:
                 self._c_noquorum.inc()
+            self._record_event("no-candidate", name, None, group.epoch,
+                               span.trace_id, OldPrimary=old_primary)
             return {"Promoted": None, "Reason": "no reachable replica"}
         # Highest applied LSN wins; ties break on host name so two
         # brokers (or two runs) elect identically.
@@ -268,6 +308,8 @@ class FailoverManager:
         if promoted is None:
             if self._c_noquorum is not None:
                 self._c_noquorum.inc()
+            self._record_event("no-candidate", name, None, group.epoch,
+                               span.trace_id, OldPrimary=old_primary)
             return {"Promoted": None, "Reason": "every candidate refused promotion"}
         # Fence the old primary if it still answers; if not, its next WAL
         # ship is rejected at the new epoch and it demotes itself.
@@ -295,6 +337,11 @@ class FailoverManager:
         reregistered = self._reregister_consumers(old_primary, promoted)
         if self._c_failovers is not None:
             self._c_failovers.inc()
+        detection_ms = self.broker.network.obs.slo.failover_completed(name)
+        span.set_attributes(promoted=promoted, old_primary=old_primary,
+                            epoch=new_epoch)
+        self._record_event("promote", name, promoted, new_epoch, span.trace_id,
+                           OldPrimary=old_primary, DetectionMs=detection_ms)
         return {
             "Promoted": promoted,
             "OldPrimary": old_primary,
@@ -302,6 +349,8 @@ class FailoverManager:
             "Repointed": moved,
             "ConsumersReRegistered": reregistered,
             "FailClosed": list((promotion or {}).get("FailClosed", [])),
+            "TraceId": span.trace_id,
+            "DetectionMs": detection_ms,
         }
 
     def _rewire(self, group: ReplicaSet) -> None:
@@ -368,6 +417,12 @@ class FailoverManager:
         with resync semantics — its divergent, fenced history is replaced
         by an idempotent replay of the primary's generation.
         """
+        tracer = self.broker.network.obs.tracer
+        with tracer.start_span("failover.rejoin", set=name,
+                               host=service.host) as span:
+            return self._rejoin(name, service, span)
+
+    def _rejoin(self, name: str, service, span) -> dict:
         group = self.sets[name]
         self.broker.attach_store(service)
         service.demote(group.epoch)
@@ -388,7 +443,10 @@ class FailoverManager:
             # WAL first (exactly as _rewire does after a promotion).
             shipper.backfill()
             shipper.pump()
-        return {"Rejoined": service.host, "Epoch": group.epoch, "Set": name}
+        self._record_event("rejoin", name, service.host, group.epoch,
+                           span.trace_id)
+        return {"Rejoined": service.host, "Epoch": group.epoch, "Set": name,
+                "TraceId": span.trace_id}
 
     # ------------------------------------------------------------------
     # Introspection

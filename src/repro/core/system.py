@@ -12,6 +12,7 @@ from repro.net.client import HttpClient
 from repro.net.faults import FaultPlan, SimClock
 from repro.net.resilience import RetryPolicy
 from repro.net.transport import Network
+from repro.obs import Observability
 from repro.server.broker_service import BrokerService
 from repro.server.datastore_service import DataStoreService
 
@@ -35,11 +36,17 @@ class SensorSafeSystem:
         eager_sync: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        telemetry: bool = True,
     ):
         self.seed = seed
         self.eager_sync = eager_sync
         self.clock = SimClock()
-        self.network = Network(clock=self.clock, fault_plan=fault_plan)
+        #: ``telemetry=False`` builds the deployment with observability
+        #: disabled end to end — no metrics, no spans, no SLO tracking,
+        #: no fleet scrapes.  Benchmark C15 uses this as the baseline to
+        #: price full-fleet telemetry.
+        obs = None if telemetry else Observability(clock=self.clock, enabled=False)
+        self.network = Network(clock=self.clock, fault_plan=fault_plan, obs=obs)
         #: deployment-wide observability hub (metrics registry + tracer);
         #: every host, client, and phone on this network shares it.
         self.obs = self.network.obs

@@ -28,7 +28,7 @@ class CodecStats:
     """Process-wide decode accounting (codec functions have no instance).
 
     The observability layer surfaces these through gauge callbacks
-    (``codec_decode_calls`` / ``codec_decode_us_total``); they count only
+    (``codec_decode_calls`` / ``codec_decode_seconds``); they count only
     calls and time — never the decoded values themselves.
     """
 

@@ -65,8 +65,8 @@ class SegmentStore:
             self._h_query = m.histogram("store_query_us", store=name)
             m.gauge("codec_decode_calls", callback=lambda: DECODE_STATS.decode_calls)
             m.gauge(
-                "codec_decode_us_total",
-                callback=lambda: DECODE_STATS.decode_seconds * 1e6,
+                "codec_decode_seconds",
+                callback=lambda: DECODE_STATS.decode_seconds,
             )
         else:
             self._c_scanned = None

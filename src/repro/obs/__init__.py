@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.costs import CostRecord, QueryCostLog
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.redaction import (
     REDACTED,
@@ -22,16 +23,19 @@ from repro.obs.redaction import (
     redact_attribute,
     redact_attributes,
 )
+from repro.obs.slo import SloThresholds, SloTracker
 from repro.obs.tracing import TRACEPARENT, Span, Tracer
 
 
 class Observability:
-    """Metrics + tracing for one deployment."""
+    """Metrics + tracing + privacy SLOs + query costs for one deployment."""
 
     def __init__(self, clock=None, *, enabled: bool = True):
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock, enabled=enabled)
+        self.slo = SloTracker(self, clock)
+        self.costs = QueryCostLog(self, clock)
 
     def snapshot(self) -> dict:
         """JSON-serializable metrics dump (traces via ``tracer.export_json``)."""
@@ -40,6 +44,8 @@ class Observability:
     def reset(self) -> None:
         self.metrics.reset()
         self.tracer.reset()
+        self.slo.reset()
+        self.costs.reset()
 
 
 def noop_observability() -> Observability:
@@ -55,6 +61,10 @@ def noop_observability() -> Observability:
 __all__ = [
     "Observability",
     "noop_observability",
+    "CostRecord",
+    "QueryCostLog",
+    "SloThresholds",
+    "SloTracker",
     "MetricsRegistry",
     "Counter",
     "Gauge",

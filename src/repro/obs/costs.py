@@ -1,0 +1,262 @@
+"""Per-query cost attribution and the bounded slow-query log.
+
+Every ``/api/query`` and ``/api/aggregate`` accumulates one
+:class:`CostRecord` — segments scanned, rules evaluated, decision-cache
+and compiled-cache hit/miss, WAL io seconds, bytes released — attached to
+the request's trace id.  The numbers come from *counter deltas* around
+the handler body (the engine, caches, and WAL already maintain registry
+counters), so attribution costs two dict reads per counter instead of new
+plumbing through every layer; the simulated network is synchronous, so a
+delta can only contain the one in-flight request's work.
+
+Records land in two bounded structures:
+
+* a ring buffer of the most recent records (operator tail), and
+* a top-K **slow-query log** ordered by wall microseconds; entries keep
+  their trace id and materialize the exemplar trace *tree* lazily at
+  export time, so a slow query ships with the spans that explain it.
+
+Exported JSON passes the redaction boundary
+(:func:`~repro.obs.redaction.redact_attributes`) like every other
+telemetry surface: names, counts, and timings only.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.redaction import redact_attributes
+
+
+@dataclass
+class CostRecord:
+    """The cost of answering one consumer request."""
+
+    trace_id: str
+    store: str
+    endpoint: str
+    consumer: str
+    contributor: str
+    segments_scanned: int = 0
+    segments_released: int = 0
+    rules_evaluated: int = 0
+    decision_cache_hit: bool = False
+    compiled_cache_hit: bool = False
+    wal_io_seconds: float = 0.0
+    released_bytes: int = 0
+    duration_us: float = 0.0
+    at_sim_ms: int = 0
+    seq: int = 0
+
+    def to_json(self) -> dict:
+        """Redacted, JSON-serializable form of the record."""
+        return redact_attributes({
+            "TraceId": self.trace_id,
+            "Store": self.store,
+            "Endpoint": self.endpoint,
+            "Consumer": self.consumer,
+            "Contributor": self.contributor,
+            "SegmentsScanned": self.segments_scanned,
+            "SegmentsReleased": self.segments_released,
+            "RulesEvaluated": self.rules_evaluated,
+            "DecisionCacheHit": self.decision_cache_hit,
+            "CompiledCacheHit": self.compiled_cache_hit,
+            "WalIoSeconds": round(self.wal_io_seconds, 6),
+            "ReleasedBytes": self.released_bytes,
+            "DurationUs": round(self.duration_us, 3),
+            "AtSimMs": self.at_sim_ms,
+            "Seq": self.seq,
+        })
+
+
+@dataclass
+class _CostToken:
+    """Baseline captured at handler entry; closed by ``finish``."""
+
+    store: str
+    start_pc: float
+    at_sim_ms: int
+    trace_id: str
+    baseline: tuple = ()
+
+
+class QueryCostLog:
+    """Bounded cost-record store for one deployment's shared hub.
+
+    Lives on :class:`~repro.obs.Observability` as ``obs.costs``.
+    ``start``/``finish`` bracket a handler body; both no-op (token
+    ``None``) when the hub is disabled so the hot path stays branch-cheap
+    with telemetry off.
+    """
+
+    def __init__(self, obs, clock=None, *, slow_k: int = 16, ring_capacity: int = 256):
+        self._obs = obs
+        self._clock = clock
+        self.slow_k = int(slow_k)
+        self._recent: deque = deque(maxlen=int(ring_capacity))
+        #: ascending (duration_us, seq) keys parallel to ``_slow`` entries.
+        self._slow_keys: list = []
+        self._slow: list = []
+        self._seq = 0
+        #: per-store bound instruments for the delta snapshot; binding once
+        #: turns each baseline into seven attribute reads instead of seven
+        #: registry lookups (this brackets every query).
+        self._bound: dict = {}
+
+    # -- plumbing --------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the owning hub records telemetry."""
+        return bool(self._obs.enabled)
+
+    def _now_ms(self) -> int:
+        return int(self._clock.now_ms()) if self._clock is not None else 0
+
+    def _counters(self, store: str) -> tuple:
+        """Snapshot of the delta counters, as a positional tuple.
+
+        Order: rule evals, cache hits, cache misses, compiled hits,
+        compiles, segments scanned, WAL io seconds.  Get-or-create binding
+        is fine here: every one of these instruments is created by the
+        layer it meters on first use anyway, so the series existed (or was
+        about to) before the first query could bracket it.
+        """
+        bound = self._bound.get(store)
+        if bound is None:
+            m = self._obs.metrics
+            bound = self._bound[store] = (
+                m.counter("rule_evaluations_total"),
+                m.counter("cache_hits_total", store=store),
+                m.counter("cache_misses_total", store=store),
+                m.counter("compiled_cache_hits_total", store=store),
+                m.counter("rules_compile_total", store=store),
+                m.counter("store_segments_scanned_total", store=store),
+                m.gauge("wal_io_seconds", store=store),
+            )
+        return (bound[0].value, bound[1].value, bound[2].value,
+                bound[3].value, bound[4].value, bound[5].value,
+                bound[6].value)
+
+    # -- record lifecycle ------------------------------------------------
+
+    def start(self, store: str) -> Optional[_CostToken]:
+        """Open a cost bracket for one request handled by ``store``."""
+        if not self.enabled:
+            return None
+        return _CostToken(
+            store=store,
+            start_pc=time.perf_counter(),
+            at_sim_ms=self._now_ms(),
+            trace_id=self._obs.tracer.current_trace_id(),
+            baseline=self._counters(store),
+        )
+
+    def finish(self, token: Optional[_CostToken], *, endpoint: str,
+               consumer: str = "", contributor: str = "",
+               segments_released: int = 0,
+               released_bytes: int = 0) -> Optional[CostRecord]:
+        """Close a bracket: build, store, and return the cost record."""
+        if token is None:
+            return None
+        duration_us = (time.perf_counter() - token.start_pc) * 1e6
+        now = self._counters(token.store)
+        base = token.baseline
+        self._seq += 1
+        record = CostRecord(
+            trace_id=token.trace_id or self._obs.tracer.current_trace_id(),
+            store=token.store,
+            endpoint=endpoint,
+            consumer=consumer,
+            contributor=contributor,
+            segments_scanned=now[5] - base[5],
+            segments_released=int(segments_released),
+            rules_evaluated=now[0] - base[0],
+            decision_cache_hit=(now[1] > base[1] and now[2] == base[2]),
+            compiled_cache_hit=(now[3] > base[3] and now[4] == base[4]),
+            wal_io_seconds=max(0.0, now[6] - base[6]),
+            released_bytes=int(released_bytes),
+            duration_us=duration_us,
+            at_sim_ms=token.at_sim_ms,
+            seq=self._seq,
+        )
+        self._record(record)
+        span = self._obs.tracer.current_span()
+        if span is not None:
+            span.set_attributes(
+                cost_segments_scanned=record.segments_scanned,
+                cost_rules_evaluated=record.rules_evaluated,
+                cost_cache_hit=record.decision_cache_hit,
+                cost_released_bytes=record.released_bytes,
+            )
+        return record
+
+    def _record(self, record: CostRecord) -> None:
+        self._recent.append(record)
+        m = self._obs.metrics
+        m.counter("query_cost_records_total", store=record.store).inc()
+        m.histogram("query_cost_us", store=record.store).observe(record.duration_us)
+        m.histogram("query_released_bytes", store=record.store).observe(record.released_bytes)
+        # Top-K by duration: keep the parallel key list sorted ascending so
+        # the eviction victim is always index 0.
+        key = (record.duration_us, record.seq)
+        if len(self._slow) >= self.slow_k:
+            if key <= self._slow_keys[0]:
+                return
+            self._slow_keys.pop(0)
+            self._slow.pop(0)
+        pos = bisect.bisect(self._slow_keys, key)
+        self._slow_keys.insert(pos, key)
+        self._slow.insert(pos, record)
+
+    # -- export ----------------------------------------------------------
+
+    def recent(self, limit: int = 50) -> list:
+        """The newest ``limit`` cost records, newest last."""
+        items = list(self._recent)
+        return [r.to_json() for r in items[-limit:]]
+
+    def _trace_tree(self, trace_id: str) -> list:
+        if not trace_id:
+            return []
+        tracer = self._obs.tracer
+        return [
+            {"Depth": depth, **span.to_json()}
+            for depth, span in tracer.trace_tree(trace_id)
+        ]
+
+    def slow_queries(self, limit: Optional[int] = None,
+                     with_traces: bool = True) -> list:
+        """Slowest queries (desc), each with its exemplar trace tree.
+
+        Trees materialize lazily from the tracer's finished-span store; a
+        tree comes back empty when the tracer was reset since the record
+        was taken (the cost numbers themselves are retained).
+        """
+        records = list(reversed(self._slow))
+        if limit is not None:
+            records = records[: int(limit)]
+        out = []
+        for record in records:
+            entry = record.to_json()
+            if with_traces:
+                entry["TraceTree"] = self._trace_tree(record.trace_id)
+            out.append(entry)
+        return out
+
+    def to_json(self, *, slow_limit: Optional[int] = None) -> dict:
+        """The cost section of the fleet snapshot."""
+        return {
+            "SlowQueries": self.slow_queries(limit=slow_limit),
+            "Recent": self.recent(limit=20),
+        }
+
+    def reset(self) -> None:
+        """Drop every retained record."""
+        self._recent.clear()
+        self._slow_keys.clear()
+        self._slow.clear()

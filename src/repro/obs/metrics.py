@@ -110,13 +110,16 @@ class Histogram:
         if len(self._samples) < self._max_samples:
             self._samples.append(value)
 
+    @staticmethod
+    def _rank(ordered: list, q: float) -> float:
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile (q in [0, 100]) over the sample buffer."""
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[int(rank)]
+        return self._rank(sorted(self._samples), q)
 
     @property
     def mean(self) -> float:
@@ -130,6 +133,10 @@ class Histogram:
         self._samples = []
 
     def to_json(self) -> dict:
+        # One sort serves all three percentiles: snapshots are taken per
+        # fleet scrape, and re-sorting a 4096-sample buffer three times
+        # per histogram made scrape cost grow with workload age.
+        ordered = sorted(self._samples)
         return {
             "Labels": dict(self.labels),
             "Count": self.count,
@@ -137,9 +144,9 @@ class Histogram:
             "Min": self.min if self.count else 0.0,
             "Max": self.max if self.count else 0.0,
             "Mean": self.mean,
-            "P50": self.percentile(50),
-            "P95": self.percentile(95),
-            "P99": self.percentile(99),
+            "P50": self._rank(ordered, 50) if ordered else 0.0,
+            "P95": self._rank(ordered, 95) if ordered else 0.0,
+            "P99": self._rank(ordered, 99) if ordered else 0.0,
         }
 
 
@@ -150,6 +157,12 @@ class MetricsRegistry:
         self._counters: dict[tuple, Counter] = {}
         self._gauges: dict[tuple, Gauge] = {}
         self._histograms: dict[tuple, Histogram] = {}
+        # Call-signature memo: (kind, name, raw label items) -> instrument.
+        # Label validation (check_label) and the sorted series key are paid
+        # once per unique call signature instead of on every increment —
+        # the hot path is then two dict hits.  Kept separate from the
+        # instrument tables so snapshots never see alias entries.
+        self._lookup: dict[tuple, object] = {}
 
     # -- instrument factories (get-or-create) ---------------------------
 
@@ -157,38 +170,77 @@ class MetricsRegistry:
     def _clean_labels(labels: dict) -> dict:
         return {str(k): check_label(str(k), v) for k, v in labels.items()}
 
+    def _memo_get(self, kind: str, name: str, labels: dict):
+        # Most instruments carry zero or one label; only multi-label
+        # signatures need the canonicalizing sort.
+        if len(labels) < 2:
+            memo_key = (kind, name) + tuple(labels.items())
+        else:
+            memo_key = (kind, name) + tuple(sorted(labels.items()))
+        try:
+            return memo_key, self._lookup.get(memo_key)
+        except TypeError:
+            # Unhashable label value: let the slow path raise the proper
+            # SensorSafeError from check_label.
+            return None, None
+
     def counter(self, name: str, **labels) -> Counter:
-        clean = self._clean_labels(labels)
-        key = _series_key(name, clean)
-        instrument = self._counters.get(key)
+        memo_key, instrument = self._memo_get("c", name, labels)
         if instrument is None:
-            instrument = self._counters[key] = Counter(name, clean)
+            clean = self._clean_labels(labels)
+            key = _series_key(name, clean)
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter(name, clean)
+            if memo_key is not None:
+                self._lookup[memo_key] = instrument
         return instrument
 
     def gauge(self, name: str, callback: Optional[Callable] = None, **labels) -> Gauge:
-        clean = self._clean_labels(labels)
-        key = _series_key(name, clean)
-        instrument = self._gauges.get(key)
+        memo_key, instrument = self._memo_get("g", name, labels)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge(name, clean, callback)
-        elif callback is not None and instrument.callback is None:
+            clean = self._clean_labels(labels)
+            key = _series_key(name, clean)
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(name, clean, callback)
+            if memo_key is not None:
+                self._lookup[memo_key] = instrument
+        if callback is not None and instrument.callback is None:
             instrument.callback = callback
         return instrument
 
     def histogram(self, name: str, **labels) -> Histogram:
-        clean = self._clean_labels(labels)
-        key = _series_key(name, clean)
-        instrument = self._histograms.get(key)
+        memo_key, instrument = self._memo_get("h", name, labels)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(name, clean)
+            clean = self._clean_labels(labels)
+            key = _series_key(name, clean)
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(name, clean)
+            if memo_key is not None:
+                self._lookup[memo_key] = instrument
         return instrument
 
     # -- reads ----------------------------------------------------------
 
     def counter_value(self, name: str, **labels) -> int:
         """Current value, 0 if the series was never created."""
-        instrument = self._counters.get(_series_key(name, self._clean_labels(labels)))
+        memo_key, instrument = self._memo_get("c", name, labels)
+        if instrument is None:
+            instrument = self._counters.get(_series_key(name, self._clean_labels(labels)))
+            if instrument is not None and memo_key is not None:
+                self._lookup[memo_key] = instrument
         return instrument.value if instrument is not None else 0
+
+    def gauge_value(self, name: str, **labels) -> float:
+        """Current gauge value (callback honored), 0.0 if never created."""
+        memo_key, instrument = self._memo_get("g", name, labels)
+        if instrument is None:
+            instrument = self._gauges.get(_series_key(name, self._clean_labels(labels)))
+            if instrument is not None and memo_key is not None:
+                self._lookup[memo_key] = instrument
+        return instrument.value if instrument is not None else 0.0
 
     def sum_counter(self, name: str, **labels) -> int:
         """Sum over every series of ``name`` whose labels contain ``labels``."""

@@ -89,7 +89,16 @@ def _key_denied(key: str) -> bool:
     return any(tok in lowered for tok in _DENY_KEY_TOKENS)
 
 
+#: First characters a float literal can start with (ASCII digits, sign,
+#: point, inf/nan spellings, leading whitespace).  Anything else cannot
+#: parse as a number, which lets the common case — route, host, and rule
+#: names — skip the exception-heavy ``float()`` probe entirely.
+_NUMERIC_LEAD = frozenset("0123456789+-.iInN \t\n\r\f\v")
+
+
 def _numeric_string(text: str) -> bool:
+    if not text or (text[0] not in _NUMERIC_LEAD and not text[0].isdigit()):
+        return False  # .isdigit() still catches non-ASCII decimal digits
     try:
         float(text)
     except (TypeError, ValueError):
@@ -101,8 +110,9 @@ def redact_attribute(key: str, value: object) -> object:
     """The choke point: one attribute in, a telemetry-safe attribute out.
 
     Returns the value unchanged when it is safe to export, or
-    :data:`REDACTED` when it is not.  Every path that attaches data to a
-    span calls this; export re-applies it for defense in depth.
+    :data:`REDACTED` when it is not.  Every telemetry export surface —
+    span JSON dumps, the CLI trace render, cost-record exports, scraped
+    fleet series — calls this before data leaves the process.
     """
     if _key_denied(str(key)):
         return REDACTED

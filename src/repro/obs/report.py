@@ -10,12 +10,18 @@ JSON for machines (CI archives the metrics snapshot as an artifact).
 
 The renderers are plain functions over the snapshot/tracer shapes, so
 benchmarks and the C7 fault smoke reuse them on their own systems.
+
+``python -m repro obs fleet`` (dispatched from here to
+:mod:`repro.obs.fleet`) is the cluster-wide sibling: one report over
+every host's scraped metrics plus the privacy-SLO and slow-query state.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+
+from repro.obs.redaction import redact_attributes
 
 
 def _fmt_labels(labels: dict) -> str:
@@ -71,8 +77,11 @@ def render_trace(tracer, trace_id: str) -> str:
         return f"  (no spans for {trace_id!r})"
     lines = [f"  trace {trace_id}"]
     for depth, span in rows:
+        # The render is an export surface: scrub attributes exactly like
+        # the JSON dump does (spans store them raw for hot-path speed).
         attrs = ", ".join(
-            f"{k}={v}" for k, v in sorted(span.attributes.items())
+            f"{k}={v}"
+            for k, v in sorted(redact_attributes(span.attributes).items())
         )
         flag = "" if span.status == "ok" else " [ERROR]"
         lines.append(
@@ -132,6 +141,10 @@ def main(argv) -> int:
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    if argv and argv[0] == "fleet":
+        from repro.obs.fleet import main as fleet_main
+
+        return fleet_main(argv[1:])
     if argv and argv[0] == "report":
         argv = argv[1:]  # `obs report` and bare `obs` both work
 

@@ -1,0 +1,283 @@
+"""Privacy SLO tracker: revocation latency, dwell time, lag, detection.
+
+The paper's privacy guarantees are *designed in*; this module makes them
+*operationally demonstrable*.  Four quantities become first-class tracked
+SLOs with configurable burn-rate thresholds:
+
+* **Revocation latency** — rule-mutation timestamp → the last release
+  evaluated under the old rule version.  Tracked per contributor against
+  the broker-synced per-contributor version
+  (:meth:`~repro.rules.rulestore.RuleStore.version_of`), *not* the
+  store-wide ``rules_version`` epoch: per-store epochs are incomparable
+  across failover, while the per-contributor version is monotonic
+  fleet-wide (promotion fencing bumps it, so a fenced deny settles the
+  revocation too).  A release observed at a version older than a pending
+  mutation is a *stale release* and extends the measured latency; the
+  first release at (or past) the mutated version settles it.
+* **Fail-closed dwell time** — how long a contributor sits in a store's
+  fail-closed set (recovery doubt or promotion fencing) before the owner
+  re-publishes rules.  Long dwell is safe but unavailable; the SLO makes
+  the trade-off visible.
+* **Replication lag** — read from the existing per-replica
+  ``replication_lag_frames`` gauges at report time.
+* **Failover detection time** — first missed primary heartbeat →
+  promotion completed, fed by :class:`~repro.broker.failover.FailoverManager`.
+
+Timestamps are simulated-clock milliseconds, so measured latencies are
+deterministic per seed and include injected outages/backoff — exactly the
+quantity an operator cares about ("how long was stale data *observable*"),
+not wall time spent in python.
+
+Burn rate follows the error-budget idiom: with budget ``b`` (fraction of
+observations allowed to breach their threshold), ``burn = breach_fraction
+/ b``; ``burn <= 1`` is within budget, above it the SLO is burning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SloThresholds:
+    """Breach thresholds and the shared error budget for every privacy SLO.
+
+    Defaults suit the simulated deployments in this repo (2 s heartbeats,
+    miss threshold 2): tune per fleet via
+    ``Observability.slo.thresholds = SloThresholds(...)``.
+    """
+
+    #: Max simulated ms a stale release may trail a rule mutation.
+    revocation_latency_ms: int = 10_000
+    #: Max simulated ms a contributor may dwell fail-closed.
+    fail_closed_dwell_ms: int = 120_000
+    #: Max frames a replica may lag its primary at report time.
+    replication_lag_frames: int = 64
+    #: Max simulated ms from first missed heartbeat to promotion.
+    failover_detection_ms: int = 10_000
+    #: Error budget: fraction of observations allowed past threshold.
+    budget: float = 0.01
+
+    def to_json(self) -> dict:
+        """JSON-serializable dump (dataclass fields, CamelCase-free)."""
+        return asdict(self)
+
+
+class _OpenRevocation:
+    """Bookkeeping for one rule mutation awaiting its settling release."""
+
+    __slots__ = ("version", "started_ms", "last_stale_ms", "stale_releases", "store")
+
+    def __init__(self, version: int, started_ms: int, store: str):
+        self.version = version
+        self.started_ms = started_ms
+        self.last_stale_ms: Optional[int] = None
+        self.stale_releases = 0
+        self.store = store
+
+
+class SloTracker:
+    """Tracks the privacy SLOs for one deployment's shared hub.
+
+    Lives on :class:`~repro.obs.Observability` as ``obs.slo``.  Every
+    method no-ops when the hub is disabled, so instrumentation sites never
+    null-check.  Instruments are created lazily on first observation to
+    keep the registry clean for deployments that never exercise an SLO.
+    """
+
+    def __init__(self, obs, clock=None, thresholds: Optional[SloThresholds] = None):
+        self._obs = obs
+        self._clock = clock
+        self.thresholds = thresholds or SloThresholds()
+        #: contributor -> open revocation (pending settling release).
+        self._revocations: dict[str, _OpenRevocation] = {}
+        #: (store, contributor) -> sim ms the fail-closed dwell started.
+        self._fail_closed_since: dict[tuple, int] = {}
+        #: replica-set name -> sim ms of the first missed primary heartbeat.
+        self._first_miss: dict[str, int] = {}
+
+    # -- plumbing --------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the owning hub records telemetry."""
+        return bool(self._obs.enabled)
+
+    def _now(self, at_ms: Optional[int]) -> int:
+        if at_ms is not None:
+            return int(at_ms)
+        return int(self._clock.now_ms()) if self._clock is not None else 0
+
+    def _hist(self, name: str):
+        return self._obs.metrics.histogram(name)
+
+    def _ctr(self, name: str, **labels):
+        return self._obs.metrics.counter(name, **labels)
+
+    # -- revocation latency ---------------------------------------------
+
+    def rule_mutated(self, contributor: str, version: int, *,
+                     store: str = "", at_ms: Optional[int] = None) -> None:
+        """A contributor's rules changed: open (or restart) a revocation.
+
+        ``version`` is the per-contributor sync version the mutation
+        produced; releases at lower versions are stale from now on.
+        """
+        if not self.enabled:
+            return
+        self._revocations[contributor] = _OpenRevocation(
+            int(version), self._now(at_ms), store
+        )
+        self._ctr("slo_rule_mutations_total").inc()
+
+    def release_observed(self, contributor: str, version: int, *,
+                         store: str = "", at_ms: Optional[int] = None) -> None:
+        """A release was evaluated for ``contributor`` at rule ``version``.
+
+        Stale (version < pending mutation) extends the open revocation's
+        measured latency; fresh settles it into the
+        ``slo_revocation_latency_ms`` histogram.
+        """
+        if not self.enabled:
+            return
+        rev = self._revocations.get(contributor)
+        if rev is None:
+            return
+        now = self._now(at_ms)
+        if int(version) < rev.version:
+            rev.last_stale_ms = now
+            rev.stale_releases += 1
+            self._ctr("slo_stale_releases_total").inc()
+            return
+        # Settled: latency is mutation -> *last* stale release (0 when no
+        # stale release was ever observed — the revocation was instant).
+        latency = 0 if rev.last_stale_ms is None else max(0, rev.last_stale_ms - rev.started_ms)
+        self._hist("slo_revocation_latency_ms").observe(latency)
+        self._ctr("slo_revocations_settled_total").inc()
+        if latency > self.thresholds.revocation_latency_ms:
+            self._ctr("slo_revocation_breaches_total").inc()
+        del self._revocations[contributor]
+
+    # -- fail-closed dwell ----------------------------------------------
+
+    def fail_closed_entered(self, store: str, contributor: str,
+                            at_ms: Optional[int] = None) -> None:
+        """``contributor`` entered ``store``'s fail-closed set."""
+        if not self.enabled:
+            return
+        self._fail_closed_since.setdefault((store, contributor), self._now(at_ms))
+        self._ctr("slo_fail_closed_entries_total", store=store).inc()
+
+    def fail_closed_cleared(self, store: str, contributor: str,
+                            at_ms: Optional[int] = None) -> None:
+        """``contributor`` left fail-closed (owner re-published rules)."""
+        if not self.enabled:
+            return
+        since = self._fail_closed_since.pop((store, contributor), None)
+        if since is None:
+            return
+        dwell = max(0, self._now(at_ms) - since)
+        self._hist("slo_fail_closed_dwell_ms").observe(dwell)
+        if dwell > self.thresholds.fail_closed_dwell_ms:
+            self._ctr("slo_fail_closed_breaches_total").inc()
+
+    # -- failover detection ----------------------------------------------
+
+    def primary_missed(self, set_name: str, at_ms: Optional[int] = None) -> None:
+        """A primary heartbeat probe failed; remembers the *first* miss."""
+        if not self.enabled:
+            return
+        self._first_miss.setdefault(set_name, self._now(at_ms))
+
+    def primary_alive(self, set_name: str) -> None:
+        """A primary heartbeat probe succeeded; clears the miss window."""
+        self._first_miss.pop(set_name, None)
+
+    def failover_completed(self, set_name: str,
+                           at_ms: Optional[int] = None) -> Optional[int]:
+        """Promotion finished; returns detection ms (first miss → now)."""
+        if not self.enabled:
+            return None
+        first = self._first_miss.pop(set_name, None)
+        if first is None:
+            return None
+        detection = max(0, self._now(at_ms) - first)
+        self._hist("slo_failover_detection_ms").observe(detection)
+        if detection > self.thresholds.failover_detection_ms:
+            self._ctr("slo_failover_detection_breaches_total").inc()
+        return detection
+
+    # -- reporting -------------------------------------------------------
+
+    def _summary(self, hist_name: str, breach_counter: str, threshold) -> dict:
+        hist = self._hist(hist_name)
+        breaches = self._obs.metrics.counter_value(breach_counter)
+        fraction = (breaches / hist.count) if hist.count else 0.0
+        budget = self.thresholds.budget or 1.0
+        burn = fraction / budget
+        return {
+            "Count": hist.count,
+            "P50": hist.percentile(50),
+            "P95": hist.percentile(95),
+            "P99": hist.percentile(99),
+            "Max": hist.max if hist.count else 0,
+            "Threshold": threshold,
+            "Breaches": breaches,
+            "BreachFraction": round(fraction, 6),
+            "BurnRate": round(burn, 4),
+            "Status": "burning" if burn > 1.0 else "ok",
+        }
+
+    def _replication_lag(self) -> dict:
+        threshold = self.thresholds.replication_lag_frames
+        series = []
+        worst = 0
+        for gauge in self._obs.metrics.series("replication_lag_frames"):
+            lag = int(gauge.value)
+            worst = max(worst, lag)
+            series.append({"Labels": dict(gauge.labels), "LagFrames": lag,
+                           "Breaching": lag > threshold})
+        breaching = [s for s in series if s["Breaching"]]
+        return {
+            "Worst": worst,
+            "Threshold": threshold,
+            "Series": series,
+            "Breaching": len(breaching),
+            "Status": "burning" if breaching else "ok",
+        }
+
+    def report(self, at_ms: Optional[int] = None) -> dict:
+        """The SLO section of the fleet snapshot (JSON-serializable)."""
+        now = self._now(at_ms)
+        return {
+            "Thresholds": self.thresholds.to_json(),
+            "RevocationLatencyMs": self._summary(
+                "slo_revocation_latency_ms", "slo_revocation_breaches_total",
+                self.thresholds.revocation_latency_ms),
+            "FailClosedDwellMs": self._summary(
+                "slo_fail_closed_dwell_ms", "slo_fail_closed_breaches_total",
+                self.thresholds.fail_closed_dwell_ms),
+            "FailoverDetectionMs": self._summary(
+                "slo_failover_detection_ms", "slo_failover_detection_breaches_total",
+                self.thresholds.failover_detection_ms),
+            "ReplicationLagFrames": self._replication_lag(),
+            "StaleReleases": self._obs.metrics.counter_value("slo_stale_releases_total"),
+            "OpenRevocations": [
+                {"Contributor": c, "Store": rev.store, "SinceVersion": rev.version,
+                 "AgeMs": max(0, now - rev.started_ms),
+                 "StaleReleases": rev.stale_releases}
+                for c, rev in sorted(self._revocations.items())
+            ],
+            "OpenFailClosed": [
+                {"Store": store, "Contributor": contributor,
+                 "DwellMs": max(0, now - since)}
+                for (store, contributor), since in sorted(self._fail_closed_since.items())
+            ],
+        }
+
+    def reset(self) -> None:
+        """Drop open tracking state (instrument values reset via registry)."""
+        self._revocations.clear()
+        self._fail_closed_since.clear()
+        self._first_miss.clear()

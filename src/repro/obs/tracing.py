@@ -9,9 +9,11 @@ synchronous, "current span" is a plain stack — the same shape a
 contextvar would give an async runtime.
 
 Span attributes pass through the redaction boundary
-(:func:`~repro.obs.redaction.redact_attribute`) the moment they are set,
-and again at export; no sensor sample value or raw coordinate can reach a
-dumped trace.  Durations are measured twice: wall microseconds
+(:func:`~repro.obs.redaction.redact_attribute`) at every export surface
+(:meth:`Span.to_json`, the CLI trace render); no sensor sample value or
+raw coordinate can reach a dumped trace.  Setting an attribute is a plain
+dict write — redaction runs where data leaves the process, keeping the
+request hot path cheap.  Durations are measured twice: wall microseconds
 (``perf_counter``, the real compute cost) and simulated milliseconds (the
 :class:`~repro.net.faults.SimClock`, which backoff and outages advance).
 
@@ -24,7 +26,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.obs.redaction import redact_attribute, redact_attributes
+from repro.obs.redaction import redact_attributes
 
 #: Header key used to propagate trace context through Network requests.
 TRACEPARENT = "Traceparent"
@@ -71,12 +73,11 @@ class Span:
         self._finished = False
 
     def set_attribute(self, key: str, value: object) -> None:
-        """Attach one attribute; the redaction boundary applies here."""
-        self.attributes[str(key)] = redact_attribute(str(key), value)
+        """Attach one attribute (redaction applies at export, not here)."""
+        self.attributes[str(key)] = value
 
     def set_attributes(self, **attrs) -> None:
-        for key, value in attrs.items():
-            self.set_attribute(key, value)
+        self.attributes.update(attrs)  # kwargs keys are already strings
 
     def set_error(self, message: str) -> None:
         self.status = "error"
@@ -92,8 +93,9 @@ class Span:
             "StartSimMs": self.start_sim_ms,
             "DurationSimMs": self.duration_sim_ms,
             "DurationUs": round(self.duration_us, 3),
-            # Defense in depth: attributes were redacted on the way in;
-            # redact again on the way out so direct dict writes cannot leak.
+            # THE redaction boundary for spans: attributes are stored raw
+            # and scrubbed here, on the way out, so no write path (not
+            # even a direct dict write) can leak past an export.
             "Attributes": redact_attributes(self.attributes),
         }
 
@@ -118,6 +120,7 @@ class Tracer:
         self.max_spans = max_spans
         self.dropped_spans = 0
         self.finished: list[Span] = []
+        self._by_trace: dict[str, list[Span]] = {}
         self._stack: list[Span] = []
         self._next_trace = 0
         self._next_span = 0
@@ -152,16 +155,25 @@ class Tracer:
         """
         if not self.enabled:
             return _NOOP_SPAN
+        # Inlined id/clock helpers: this runs for every request, WAL
+        # append, ship, and rule evaluation in the deployment.
+        stack = self._stack
         if remote_parent is not None:
             trace_id, parent_id = remote_parent
-        elif self._stack:
-            trace_id, parent_id = self._stack[-1].trace_id, self._stack[-1].span_id
+        elif stack:
+            top = stack[-1]
+            trace_id, parent_id = top.trace_id, top.span_id
         else:
-            trace_id, parent_id = self._new_trace_id(), None
-        span = Span(self, trace_id, self._new_span_id(), parent_id, name, self._now_sim_ms())
-        for key, value in attrs.items():
-            span.set_attribute(key, value)
-        self._stack.append(span)
+            self._next_trace += 1
+            trace_id, parent_id = f"trace-{self._next_trace:06d}", None
+        self._next_span += 1
+        span = Span(
+            self, trace_id, f"span-{self._next_span:06d}", parent_id, name,
+            self.clock.now_ms() if self.clock is not None else 0,
+        )
+        if attrs:
+            span.attributes.update(attrs)
+        stack.append(span)
         return span
 
     def end_span(self, span: Span) -> None:
@@ -169,14 +181,20 @@ class Tracer:
             return
         span._finished = True
         span.duration_us = (time.perf_counter() - span._start_pc) * 1e6
-        span.duration_sim_ms = self._now_sim_ms() - span.start_sim_ms
-        # Pop the span (tolerate out-of-order exits from error paths).
-        if span in self._stack:
-            while self._stack and self._stack[-1] is not span:
-                self._stack.pop()
-            self._stack.pop()
+        now_ms = self.clock.now_ms() if self.clock is not None else 0
+        span.duration_sim_ms = now_ms - span.start_sim_ms
+        # Pop the span; well-nested exits hit the O(1) fast path, error
+        # paths that unwind out of order pay the scan.
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            while stack[-1] is not span:
+                stack.pop()
+            stack.pop()
         if len(self.finished) < self.max_spans:
             self.finished.append(span)
+            self._by_trace.setdefault(span.trace_id, []).append(span)
         else:
             self.dropped_spans += 1
 
@@ -204,19 +222,24 @@ class Tracer:
         if not headers:
             return None
         value = headers.get(TRACEPARENT)
-        if not value or "/" not in str(value):
+        if not value:
             return None
-        trace_id, _, span_id = str(value).partition("/")
-        return (trace_id, span_id) if trace_id and span_id else None
+        trace_id, sep, span_id = str(value).partition("/")
+        if not sep or not trace_id or not span_id:
+            return None
+        return (trace_id, span_id)
 
     # -- export ---------------------------------------------------------
 
     def traces(self) -> dict:
-        """Finished spans grouped by trace id, in finish order."""
-        grouped: dict[str, list] = {}
-        for span in self.finished:
-            grouped.setdefault(span.trace_id, []).append(span)
-        return grouped
+        """Finished spans grouped by trace id, in finish order.
+
+        The grouping is maintained incrementally as spans finish, so
+        per-trace lookups (the slow-query log renders one exemplar tree
+        per record) do not rescan the whole finished list.  Callers must
+        treat the mapping as read-only.
+        """
+        return self._by_trace
 
     def trace_tree(self, trace_id: str) -> list:
         """Depth-first rendering of one trace: [(depth, span), ...]."""
@@ -251,6 +274,7 @@ class Tracer:
 
     def reset(self) -> None:
         self.finished = []
+        self._by_trace = {}
         self.dropped_spans = 0
 
 

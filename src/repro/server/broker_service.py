@@ -34,6 +34,7 @@ from repro.net.client import HttpClient
 from repro.net.http import Request, Router
 from repro.net.resilience import RetryPolicy
 from repro.net.transport import Network
+from repro.obs.fleet import FleetAggregator
 from repro.util.idgen import DeterministicRng
 
 STORE_PRINCIPAL_PREFIX = "store:"
@@ -60,6 +61,9 @@ class BrokerService:
         self.store_keys: dict[str, str] = {}
         #: replicated-store failure detection and promotion (PR 6).
         self.failover = FailoverManager(self)
+        #: fleet-wide telemetry aggregation (PR 8): scrapes every paired
+        #: host's /api/metrics into versioned, tombstone-aware snapshots.
+        self.fleet = FleetAggregator(self)
         #: per-consumer saved contributor lists, keyed by list name.
         self.saved_lists: dict[str, dict] = {}
         self.router = Router()
@@ -204,10 +208,15 @@ class BrokerService:
         add("POST", "/api/replicas/status", self._h_replicas_status)
         add("POST", "/api/data", self._h_data_proxy)
         add("GET", "/api/metrics", self._h_metrics)
+        add("GET", "/api/fleet/metrics", self._h_fleet_metrics)
 
     def _h_metrics(self, request: Request) -> dict:
         """Telemetry scrape: the shared registry, labels redaction-checked."""
         return {"Host": self.host, "Metrics": self.network.obs.snapshot()}
+
+    def _h_fleet_metrics(self, request: Request) -> dict:
+        """Fleet telemetry: scrape every host now, serve the fresh snapshot."""
+        return self.fleet.scrape()
 
     def _h_register_consumer(self, request: Request) -> dict:
         name = str(request.body.get("Username", ""))
@@ -293,7 +302,7 @@ class BrokerService:
     def _h_replicas_status(self, request: Request) -> dict:
         """Replica-set topology: who is primary, at which epoch, who lags."""
         self._authenticate(request)
-        return {"Sets": self.failover.status()}
+        return {"Sets": self.failover.status(), "Events": list(self.failover.events)}
 
     def _h_sync(self, request: Request) -> dict:
         """Rule-sync push endpoint for remote data stores."""

@@ -68,6 +68,10 @@ class ReleaseEvent:
 
     ``trace_id`` ties the release to the request's trace tree (empty when
     tracing is disabled), so a guard report can name the exact request.
+    ``rules_version`` is the contributor's per-contributor sync version
+    the release was evaluated under — the fleet-wide monotonic counter the
+    privacy-SLO tracker compares against rule-mutation versions to decide
+    whether a release was stale (see :mod:`repro.obs.slo`).
     """
 
     endpoint: str
@@ -76,6 +80,7 @@ class ReleaseEvent:
     segments: tuple
     released: tuple
     trace_id: str = ""
+    rules_version: int = 0
 
 
 class DataStoreService:
@@ -124,6 +129,9 @@ class DataStoreService:
             host, merge_policy=merge_policy, directory=directory, obs=network.obs
         )
         self.rules = RuleStore()
+        # Stamp rule mutations with the deployment clock: the privacy-SLO
+        # tracker anchors revocation latency to these timestamps.
+        self.rules.set_clock(network.clock.now_ms)
         self.keys = ApiKeyRegistry(f"secret:{host}", rng.fork("keys"))
         self.accounts = AccountRegistry(rng.fork("accounts"))
         self.audit = AuditLog()
@@ -168,6 +176,9 @@ class DataStoreService:
             )
             self.recovery_report = self.durability.open()
             self.fail_closed = set(self.recovery_report.fail_closed)
+            for contributor in sorted(self.fail_closed):
+                # Start the fail-closed dwell clock for the SLO tracker.
+                network.obs.slo.fail_closed_entered(host, contributor)
         # Join the network only once recovery has succeeded: a failed
         # open() must leave no half-constructed host registered, or the
         # constructor retry dies on "host name already registered" instead
@@ -195,10 +206,22 @@ class DataStoreService:
         return self.keys.issue(BROKER_PRINCIPAL)
 
     def _on_rules_changed(self, snapshot) -> None:
+        contributor = snapshot.contributor
+        slo = self.network.obs.slo
         # An owner re-publishing rules lifts the post-recovery deny state.
-        self.fail_closed.discard(snapshot.contributor)
+        if contributor in self.fail_closed:
+            self.fail_closed.discard(contributor)
+            slo.fail_closed_cleared(self.host, contributor)
+        # Open a revocation-latency window: releases evaluated at versions
+        # below this mutation are stale until a fresh one settles it.
+        slo.rule_mutated(
+            contributor,
+            snapshot.version,
+            store=self.host,
+            at_ms=self.rules.mutated_at(contributor) or None,
+        )
         if self._broker_push is not None:
-            self._broker_push(self._profile_json(snapshot.contributor))
+            self._broker_push(self._profile_json(contributor))
 
     def _profile_json(self, contributor: str) -> dict:
         snapshot = self.rules.snapshot(contributor)
@@ -276,6 +299,7 @@ class DataStoreService:
                 self.rules.register(contributor)
                 self.rules.restore(contributor, [], int(version) + 1)
                 self.fail_closed.add(contributor)
+                self.network.obs.slo.fail_closed_entered(self.host, contributor)
                 fenced.append(contributor)
                 if self.durability is not None:
                     # Journal the deny itself (restore() fires no hooks):
@@ -466,6 +490,7 @@ class DataStoreService:
             segments=tuple(segments),
             released=tuple(released),
             trace_id=self._trace_id(),
+            rules_version=self.rules.version_of(contributor),
         )
         for guard in self.release_guards:
             guard(event)
@@ -510,13 +535,14 @@ class DataStoreService:
         if cache is None:
             return self._evaluate_release(endpoint, principal, contributor, query)
         key = self._cache_key(principal, contributor, query)
+        entry = cache.get(key)
         obs = self.network.obs
         if obs is not None and obs.enabled:
-            with obs.tracer.start_span("store.cache", store=self.host) as span:
-                entry = cache.get(key)
-                span.set_attributes(hit=entry is not None)
-        else:
-            entry = cache.get(key)
+            # The probe rides the enclosing request span as an attribute:
+            # the lookup is a dict hit, far below span granularity.
+            span = obs.tracer.current_span()
+            if span is not None:
+                span.set_attribute("cache_hit", entry is not None)
         if entry is None:
             entry = self._evaluate_release(endpoint, principal, contributor, query)
             cache.put(key, entry)
@@ -709,6 +735,8 @@ class DataStoreService:
         if contributor not in self.rules.contributors():
             raise NotFoundError(f"no such contributor here: {contributor!r}")
         query = DataQuery.from_json(request.body.get("Query", {}))
+        costs = self.network.obs.costs
+        token = costs.start(self.host)
         if principal == contributor:
             result = self.store.query(contributor, query)
             self.audit.record_access(
@@ -719,12 +747,23 @@ class DataStoreService:
                 segments_scanned=result.scanned_segments,
                 trace_id=self._trace_id(),
             )
+            costs.finish(
+                token,
+                endpoint="/api/query",
+                consumer=principal,
+                contributor=contributor,
+                segments_released=len(result.segments),
+                released_bytes=sum(s.storage_bytes() for s in result.segments),
+            )
             return {
                 "Raw": True,
                 "Segments": [s.to_json() for s in result.segments],
                 "Scanned": result.scanned_segments,
             }
         entry = self._release_for("/api/query", principal, contributor, query)
+        self.network.obs.slo.release_observed(
+            contributor, self.rules.version_of(contributor), store=self.host
+        )
         self.audit.record_access(
             principal=principal,
             contributor=contributor,
@@ -734,11 +773,28 @@ class DataStoreService:
             released=entry.released,
             trace_id=self._trace_id(),
         )
+        costs.finish(
+            token,
+            endpoint="/api/query",
+            consumer=principal,
+            contributor=contributor,
+            segments_released=len(entry.released),
+            released_bytes=self._released_bytes(entry.released),
+        )
         return {
             "Raw": False,
             "Released": list(entry.payload),
             "Scanned": entry.scanned,
         }
+
+    @staticmethod
+    def _released_bytes(released) -> int:
+        """Approximate wire size of the released pieces (cost attribution)."""
+        total = 0
+        for item in released:
+            segment = getattr(item, "segment", None)
+            total += segment.storage_bytes() if segment is not None else 64
+        return total
 
     def _h_rules_list(self, request: Request) -> dict:
         contributor = str(request.body.get("Contributor", ""))
@@ -836,6 +892,8 @@ class DataStoreService:
             raise NotFoundError(f"no such contributor here: {contributor!r}")
         query = DataQuery.from_json(request.body.get("Query", {}))
         spec = AggregateSpec.from_json(request.body.get("Aggregate", {}))
+        costs = self.network.obs.costs
+        token = costs.start(self.host)
         if principal == contributor:
             result = self.store.query(contributor, query)
             rows = aggregate_segments(result.segments, spec)
@@ -844,6 +902,9 @@ class DataStoreService:
             scanned = result.scanned_segments
         else:
             entry = self._release_for("/api/aggregate", principal, contributor, query)
+            self.network.obs.slo.release_observed(
+                contributor, self.rules.version_of(contributor), store=self.host
+            )
             rows = aggregate_released(entry.released, spec)
             raw = False
             released = entry.released
@@ -856,6 +917,14 @@ class DataStoreService:
             segments_scanned=scanned,
             released=released,
             trace_id=self._trace_id(),
+        )
+        costs.finish(
+            token,
+            endpoint="/api/aggregate",
+            consumer=principal,
+            contributor=contributor,
+            segments_released=len(released),
+            released_bytes=self._released_bytes(released),
         )
         return {"Rows": [r.to_json() for r in rows]}
 

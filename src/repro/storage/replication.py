@@ -327,6 +327,27 @@ class WalShipper:
     # ------------------------------------------------------------------
 
     def _ship_to(self, link: ReplicaLink) -> bool:
+        """Ship pending frames to one replica inside a ``replication.ship`` span.
+
+        The span rides the deployment's shared tracer stack, so a ship
+        triggered by an upload's :meth:`after_write` barrier nests under
+        that upload's server span — and :class:`~repro.net.client.HttpClient`
+        injects the ``Traceparent`` header on the POST, making the
+        replica's ``net.request``/``replication.apply`` spans children of
+        the same trace.  One upload, one trace tree, primary → replica.
+        """
+        if not link.resync and (not self._buffer or self._buffer[-1].lsn <= link.acked_lsn):
+            # Nothing to ship and nothing to replay: a heartbeat-driven
+            # pump on an idle link.  Skip the span — tracing a no-op every
+            # tick would charge the workload for telemetry about nothing.
+            return True
+        tracer = self.service.network.obs.tracer
+        with tracer.start_span(
+            "replication.ship", store=self.service.host, replica=link.host
+        ) as span:
+            return self._ship_frames(link, span)
+
+    def _ship_frames(self, link: ReplicaLink, span) -> bool:
         if link.resync:
             # A resync replays the whole generation from its start (the
             # applier resets continuity), plus a snapshot bootstrap when
@@ -337,7 +358,9 @@ class WalShipper:
             pending = list(self._buffer)
         else:
             pending = [bf for bf in self._buffer if bf.lsn > link.acked_lsn]
+        span.set_attributes(frames=len(pending), resync=link.resync)
         if not pending and not link.resync:
+            span.set_attribute("outcome", "noop")
             return True
         body = {
             "Primary": self.service.host,
@@ -356,6 +379,7 @@ class WalShipper:
             reply = link.client.post(f"https://{link.host}/api/replicate/append", body)
         except ConflictError as exc:
             # The replica follows a newer epoch: we are a fenced zombie.
+            span.set_attribute("outcome", "fenced")
             link.last_error = str(exc)
             self.fenced = True
             if self._c_fenced is not None:
@@ -363,6 +387,7 @@ class WalShipper:
             self.service.demote()
             return False
         except (TransportError, ServiceError) as exc:
+            span.set_attribute("outcome", "unreachable")
             link.alive = False
             link.fails += 1
             link.last_error = str(exc)
@@ -384,10 +409,12 @@ class WalShipper:
         if rejected:
             # Continuity mismatch: adopt the replica's truth and re-ship
             # with resync semantics on the next pump.
+            span.set_attribute("outcome", "rejected")
             link.acked_lsn = applied
             link.resync = True
             link.last_error = str(rejected)
             return False
+        span.set_attribute("outcome", "ok")
         link.acked_lsn = max(link.acked_lsn, applied)
         link.resync = False
         if self._c_ships is not None:
@@ -523,7 +550,26 @@ class ReplicaApplier:
         sender learns it was fenced.  Continuity mismatches are answered
         with ``Rejected`` + the applied LSN instead of an error, so the
         shipper can resynchronize without guessing.
+
+        Runs inside a ``replication.apply`` span.  The serving
+        ``net.request`` span already adopted the shipper's injected
+        ``Traceparent``, so this span lands in the *primary's* trace tree:
+        the upload that journaled these frames owns the whole path.
         """
+        tracer = self.service.network.obs.tracer
+        with tracer.start_span(
+            "replication.apply",
+            store=self.service.host,
+            frames=len(body.get("Frames", ())),
+        ) as span:
+            reply = self._apply_batch(body)
+            span.set_attributes(
+                applied_lsn=self.applied_lsn,
+                outcome="rejected" if reply.get("Rejected") else "ok",
+            )
+            return reply
+
+    def _apply_batch(self, body: dict) -> dict:
         service = self.service
         epoch = int(body.get("Epoch", 0))
         if epoch < service.epoch:

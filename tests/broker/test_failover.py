@@ -181,7 +181,10 @@ class TestRevocationFencing:
         # The machine comes back with its old (epoch-1) state and rejoins.
         system.network.register_host("alice-store", old_primary.router)
         report = system.broker.failover.rejoin("alice-store", old_primary)
-        assert report == {"Rejoined": "alice-store", "Epoch": 2, "Set": "alice-store"}
+        assert report["Rejoined"] == "alice-store"
+        assert report["Epoch"] == 2
+        assert report["Set"] == "alice-store"
+        assert report["TraceId"]  # the rejoin audit record is traceable
         assert old_primary.role == ROLE_REPLICA
         assert not old_primary.is_primary
         # New writes at the promoted primary now replicate to it.

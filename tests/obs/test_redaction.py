@@ -115,3 +115,86 @@ class TestMetricLabels:
         dump = json.dumps(obs.metrics.snapshot())
         assert str(UCLA_LAT) not in dump
         assert str(SAMPLE_VALUE) not in dump
+
+
+class TestFleetSnapshotNeverLeaks:
+    """Adversarial coverage for the new fleet/SLO/cost export surfaces."""
+
+    def test_scraped_series_with_hostile_labels_are_sanitized(self):
+        from repro.obs.fleet import owned_metrics
+
+        # A compromised host hands the broker a scrape whose labels try to
+        # smuggle a coordinate and a context label past the boundary.
+        hostile = {
+            "Counters": {
+                "requests_total": [
+                    {"Labels": {"store": "evil-store", "lat": str(UCLA_LAT),
+                                "context_label": "Stressed"},
+                     "Value": 3},
+                ],
+            },
+            "Gauges": {},
+            "Histograms": {},
+        }
+        dump = json.dumps(owned_metrics(hostile, "evil-store"))
+        assert str(UCLA_LAT) not in dump
+        assert "Stressed" not in dump
+        assert "evil-store" in dump  # host names remain allowed
+
+    def test_end_to_end_fleet_snapshot_has_no_sample_data(self, system):
+        from tests.conftest import make_segment
+
+        values = np.full((16, 1), SAMPLE_VALUE)
+        alice = system.add_contributor("alice")
+        alice.upload_segments([make_segment(n=16, values=values)])
+        alice.flush()
+        from repro.datastore.query import DataQuery
+        from repro.rules.model import ALLOW, Rule
+
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        bob = system.add_consumer("bob")
+        bob.add_contributors(["alice"])
+        bob.fetch("alice", DataQuery())
+        snapshot = system.broker.fleet.scrape()
+        dump = json.dumps(snapshot)
+        assert str(SAMPLE_VALUE) not in dump  # no sample values
+        assert str(UCLA_LAT) not in dump  # no coordinates
+        assert str(UCLA_LON) not in dump
+        assert "NotStressed" not in dump  # no context labels
+
+    def test_slo_report_carries_no_payload_shapes(self):
+        obs = Observability()
+        slo = obs.slo
+        slo.rule_mutated("alice", 2, store="alice-store")
+        slo.release_observed("alice", 1, store="alice-store")
+        slo.release_observed("alice", 2, store="alice-store")
+        slo.fail_closed_entered("alice-store", "alice")
+        dump = json.dumps(slo.report())
+        assert str(SAMPLE_VALUE) not in dump
+        assert str(UCLA_LAT) not in dump
+
+    def test_cost_record_export_redacts_hostile_fields(self):
+        from repro.obs.costs import CostRecord
+
+        record = CostRecord(
+            trace_id="trace-000001",
+            store="alice-store",
+            endpoint="/api/query",
+            consumer=str(UCLA_LAT),  # numeric-string laundering attempt
+            contributor="alice",
+        )
+        exported = record.to_json()
+        assert exported["Consumer"] == "[redacted]"
+        assert exported["Store"] == "alice-store"
+
+    def test_slow_query_trace_trees_are_redacted_at_export(self, system):
+        obs = system.obs
+        log = obs.costs
+        with obs.tracer.start_span("evil") as span:
+            token = log.start("alice-store")
+            span.set_attribute("waveform", np.full(8, SAMPLE_VALUE))
+            span.set_attribute("lat", UCLA_LAT)
+            log.finish(token, endpoint="/api/query")
+        dump = json.dumps(log.slow_queries())
+        assert str(SAMPLE_VALUE) not in dump
+        assert str(UCLA_LAT) not in dump

@@ -1,0 +1,155 @@
+"""Privacy SLO tracker: revocation latency, dwell, detection, burn rate."""
+
+import pytest
+
+from repro.net.faults import SimClock
+from repro.obs import Observability
+from repro.obs.slo import SloThresholds, SloTracker
+
+
+@pytest.fixture()
+def tracked():
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    return clock, obs.slo, obs
+
+
+class TestRevocationLatency:
+    def test_instant_revocation_settles_at_zero(self, tracked):
+        clock, slo, obs = tracked
+        slo.rule_mutated("alice", 2, store="s")
+        clock.advance(5_000)
+        slo.release_observed("alice", 2, store="s")
+        hist = obs.metrics.histogram("slo_revocation_latency_ms")
+        assert hist.count == 1
+        assert hist.max == 0  # no stale release was ever served
+
+    def test_stale_releases_extend_the_measured_latency(self, tracked):
+        clock, slo, obs = tracked
+        slo.rule_mutated("alice", 3, store="s")
+        clock.advance(1_000)
+        slo.release_observed("alice", 2, store="s")  # stale
+        clock.advance(2_000)
+        slo.release_observed("alice", 2, store="s")  # still stale
+        clock.advance(4_000)
+        slo.release_observed("alice", 3, store="s")  # settles
+        hist = obs.metrics.histogram("slo_revocation_latency_ms")
+        assert hist.count == 1
+        # latency = mutation -> LAST stale release (3000ms), not settlement.
+        assert hist.max == 3_000
+        assert obs.metrics.counter_value("slo_stale_releases_total") == 2
+
+    def test_release_without_open_revocation_is_ignored(self, tracked):
+        _, slo, obs = tracked
+        slo.release_observed("alice", 7, store="s")
+        assert obs.metrics.histogram("slo_revocation_latency_ms").count == 0
+
+    def test_breach_counted_past_threshold(self, tracked):
+        clock, slo, obs = tracked
+        slo.thresholds = SloThresholds(revocation_latency_ms=1_000)
+        slo.rule_mutated("alice", 2, store="s")
+        clock.advance(5_000)
+        slo.release_observed("alice", 1, store="s")  # stale at +5s
+        slo.release_observed("alice", 2, store="s")
+        assert obs.metrics.counter_value("slo_revocation_breaches_total") == 1
+        summary = slo.report()["RevocationLatencyMs"]
+        assert summary["Breaches"] == 1
+        assert summary["Status"] == "burning"
+
+    def test_remutation_replaces_the_open_revocation(self, tracked):
+        clock, slo, obs = tracked
+        slo.rule_mutated("alice", 2, store="s")
+        clock.advance(1_000)
+        slo.rule_mutated("alice", 3, store="s")
+        slo.release_observed("alice", 2, store="s")  # stale vs v3
+        clock.advance(500)
+        slo.release_observed("alice", 3, store="s")
+        hist = obs.metrics.histogram("slo_revocation_latency_ms")
+        assert hist.count == 1
+        assert hist.max == 0  # measured against the v3 mutation at t=1000
+
+
+class TestFailClosedDwell:
+    def test_dwell_measured_between_enter_and_clear(self, tracked):
+        clock, slo, obs = tracked
+        slo.fail_closed_entered("s", "alice")
+        clock.advance(30_000)
+        slo.fail_closed_cleared("s", "alice")
+        hist = obs.metrics.histogram("slo_fail_closed_dwell_ms")
+        assert hist.count == 1
+        assert hist.max == 30_000
+
+    def test_reentry_keeps_the_first_start(self, tracked):
+        clock, slo, obs = tracked
+        slo.fail_closed_entered("s", "alice")
+        clock.advance(10_000)
+        slo.fail_closed_entered("s", "alice")  # idempotent re-enter
+        clock.advance(10_000)
+        slo.fail_closed_cleared("s", "alice")
+        assert obs.metrics.histogram("slo_fail_closed_dwell_ms").max == 20_000
+
+    def test_clear_without_enter_is_a_noop(self, tracked):
+        _, slo, obs = tracked
+        slo.fail_closed_cleared("s", "alice")
+        assert obs.metrics.histogram("slo_fail_closed_dwell_ms").count == 0
+
+    def test_open_dwells_visible_in_report(self, tracked):
+        clock, slo, _ = tracked
+        slo.fail_closed_entered("s", "alice")
+        clock.advance(7_000)
+        report = slo.report()
+        assert report["OpenFailClosed"] == [
+            {"Store": "s", "Contributor": "alice", "DwellMs": 7_000}
+        ]
+
+
+class TestFailoverDetection:
+    def test_detection_spans_first_miss_to_promotion(self, tracked):
+        clock, slo, obs = tracked
+        slo.primary_missed("set-a")
+        clock.advance(2_000)
+        slo.primary_missed("set-a")  # second miss keeps the first timestamp
+        clock.advance(2_000)
+        assert slo.failover_completed("set-a") == 4_000
+        assert obs.metrics.histogram("slo_failover_detection_ms").count == 1
+
+    def test_alive_probe_clears_the_miss_window(self, tracked):
+        clock, slo, _ = tracked
+        slo.primary_missed("set-a")
+        slo.primary_alive("set-a")
+        clock.advance(2_000)
+        assert slo.failover_completed("set-a") is None
+
+
+class TestReportShape:
+    def test_report_sections_present(self, tracked):
+        _, slo, _ = tracked
+        report = slo.report()
+        for key in ("Thresholds", "RevocationLatencyMs", "FailClosedDwellMs",
+                    "FailoverDetectionMs", "ReplicationLagFrames",
+                    "StaleReleases", "OpenRevocations", "OpenFailClosed"):
+            assert key in report, key
+
+    def test_burn_rate_within_budget_is_ok(self, tracked):
+        clock, slo, _ = tracked
+        slo.thresholds = SloThresholds(revocation_latency_ms=10_000, budget=0.5)
+        for i in range(4):
+            slo.rule_mutated(f"c{i}", 2, store="s")
+            slo.release_observed(f"c{i}", 2, store="s")
+        summary = slo.report()["RevocationLatencyMs"]
+        assert summary["Count"] == 4
+        assert summary["Status"] == "ok"
+
+
+class TestDisabledHub:
+    def test_everything_noops_when_disabled(self):
+        clock = SimClock()
+        obs = Observability(clock=clock, enabled=False)
+        slo = obs.slo
+        slo.rule_mutated("alice", 2, store="s")
+        slo.release_observed("alice", 1, store="s")
+        slo.fail_closed_entered("s", "alice")
+        slo.fail_closed_cleared("s", "alice")
+        slo.primary_missed("set-a")
+        assert slo.failover_completed("set-a") is None
+        assert obs.metrics.counter_value("slo_rule_mutations_total") == 0
