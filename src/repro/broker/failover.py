@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.auth.accounts import ROLE_CONSUMER
-from repro.exceptions import SensorSafeError, TransportError
+from repro.exceptions import OverloadedError, SensorSafeError, TransportError
 from repro.net.client import HttpClient
 
 #: Consecutive missed health probes before a primary is declared dead.
@@ -165,6 +165,14 @@ class FailoverManager:
         key = self.broker.store_keys.get(host)
         try:
             return self._probe.with_key(key).post(f"https://{host}/api/health", {})
+        except OverloadedError:
+            # Explicit backpressure is an *answer*: the host is alive and
+            # shedding by design.  Overload must never read as death —
+            # promoting away from a busy primary would turn every brownout
+            # into a failover storm.  (Health probes are control-class and
+            # rarely shed; metrics scrapes are lowest priority and the
+            # fleet aggregator tombstones those on its own.)
+            return {"Host": host, "Overloaded": True}
         except (TransportError, SensorSafeError):
             # Unreachable, erroring, or re-keyed after a restart: all
             # count as a miss — a primary we cannot authoritatively probe

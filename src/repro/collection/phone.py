@@ -25,7 +25,7 @@ from typing import Iterable, Optional
 
 from repro.context.annotate import ContextAnnotator
 from repro.datastore.wavesegment import segment_from_packet
-from repro.exceptions import ServiceError, TransportError
+from repro.exceptions import OverloadedError, ServiceError, TransportError
 from repro.net.client import HttpClient
 from repro.rules.engine import RuleEngine
 from repro.rules.model import Rule
@@ -72,6 +72,8 @@ class CollectionStats:
     packets_recovered: int = 0
     #: packets dropped on the floor (non-resilient agents only)
     packets_lost: int = 0
+    #: uploads deferred because the store asked for backoff (Retry-After)
+    upload_backoffs: int = 0
 
 
 @dataclass(frozen=True)
@@ -127,6 +129,10 @@ class SmartphoneAgent:
         else:
             self._c_dropped = None
         self._flush_pending = False
+        #: Simulated-clock timestamp before which the agent will not send:
+        #: set from the store's Retry-After hint on a typed 503 shed, so a
+        #: fleet of phones drains an overloaded store instead of hammering it.
+        self._backoff_until_ms = 0
         self._exact_engine: Optional[RuleEngine] = None
         self._optimistic_engine: Optional[RuleEngine] = None
         self._consumers: tuple = ()
@@ -302,6 +308,15 @@ class SmartphoneAgent:
         the store recovers.  Non-resilient agents count the failed batch
         as lost and move on.
         """
+        if self._backing_off():
+            # The store asked for breathing room; park everything rather
+            # than contributing to the very overload it is shedding.
+            if self.config.resilient:
+                self.stats.upload_backoffs += 1
+                self._buffer(list(packets))
+            else:
+                self.stats.packets_lost += len(packets)
+            return
         recovering = len(self._offline_queue)
         pending = self._offline_queue + list(packets)
         self._offline_queue = []
@@ -322,6 +337,15 @@ class SmartphoneAgent:
             self._flush_pending = True
         self._try_flush()
 
+    #: Backoff applied when an overloaded store supplies no Retry-After hint.
+    _DEFAULT_BACKOFF_MS = 1_000
+
+    def _backing_off(self) -> bool:
+        """Is the agent inside a Retry-After window from the store?"""
+        if self._backoff_until_ms <= 0 or self.client is None:
+            return False
+        return self.client.network.clock.now_ms() < self._backoff_until_ms
+
     def _post_chunk(self, chunk: list) -> bool:
         try:
             self.client.post(
@@ -331,6 +355,13 @@ class SmartphoneAgent:
                     "Packets": [p.to_json() for p in chunk],
                 },
             )
+        except OverloadedError as exc:
+            # A typed shed is an explicit answer: honor its Retry-After
+            # hint and stop sending until the window passes.
+            self.stats.upload_failures += 1
+            hint = max(exc.retry_after_ms, self._DEFAULT_BACKOFF_MS)
+            self._backoff_until_ms = self.client.network.clock.now_ms() + hint
+            return False
         except (TransportError, ServiceError):
             self.stats.upload_failures += 1
             return False
@@ -380,7 +411,11 @@ class SmartphoneAgent:
             if not self._offline_queue and not self._flush_pending:
                 break
             if round_no:
-                self.client.network.clock.sleep(round_delay_ms)
+                delay = round_delay_ms
+                if self._backoff_until_ms > 0:
+                    clock = self.client.network.clock
+                    delay = max(delay, self._backoff_until_ms - clock.now_ms())
+                self.client.network.clock.sleep(delay)
             self.upload([])
         return len(self._offline_queue)
 

@@ -37,9 +37,15 @@ class SensorSafeSystem:
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         telemetry: bool = True,
+        overload: str = "observe",
     ):
         self.seed = seed
         self.eager_sync = eager_sync
+        #: admission-control mode for every host this system creates:
+        #: ``"off"`` (no gate), ``"observe"`` (account, never shed — the
+        #: default, so functional tests see no behavior change), or
+        #: ``"enforce"`` (shed with typed 503/504s under overload).
+        self.overload = overload
         self.clock = SimClock()
         #: ``telemetry=False`` builds the deployment with observability
         #: disabled end to end — no metrics, no spans, no SLO tracking,
@@ -53,7 +59,7 @@ class SensorSafeSystem:
         #: default retry policy handed to every client this system creates;
         #: on a fault-free network it never fires, so resilience is free.
         self.retry = retry if retry is not None else RetryPolicy()
-        self.broker = BrokerService(self.network, "broker", seed=seed)
+        self.broker = BrokerService(self.network, "broker", seed=seed, overload=overload)
         self.stores: dict[str, DataStoreService] = {}
         self.contributors: dict[str, Contributor] = {}
         self.consumers: dict[str, Consumer] = {}
@@ -91,6 +97,7 @@ class SensorSafeSystem:
             directory=directory,
             seed=self.seed,
             enforce_closure=enforce_closure,
+            overload=self.overload,
         )
         self.stores[host] = store
         self.broker.attach_store(store, eager_sync=self.eager_sync)
@@ -132,6 +139,7 @@ class SensorSafeSystem:
             durable=True,
             wal_sync=wal_sync,
             storage_faults=storage_faults,
+            overload=self.overload,
         )
         self.stores[host] = primary
         self.broker.attach_store(primary, eager_sync=self.eager_sync)
@@ -147,6 +155,7 @@ class SensorSafeSystem:
                 seed=self.seed,
                 durable=True,
                 wal_sync=wal_sync,
+                overload=self.overload,
             )
             self.stores[replica_host] = replica
             replicas.append(replica)

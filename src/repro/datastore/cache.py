@@ -165,6 +165,15 @@ class ReleaseCache:
     # Lookup / insert
     # ------------------------------------------------------------------
 
+    def contains(self, key: tuple) -> bool:
+        """Non-mutating membership probe: no LRU touch, no hit/miss count.
+
+        Used by admission control's brownout ladder to classify an
+        arriving query as cached vs cold *before* admitting it — the
+        probe must not distort the cache metrics the C11 benchmark reads.
+        """
+        return key in self._entries
+
     def get(self, key: tuple) -> Optional[CacheEntry]:
         """Return the cached entry for ``key`` (marking it recently used)."""
         entry = self._entries.get(key)

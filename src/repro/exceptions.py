@@ -92,6 +92,15 @@ class ServiceError(SensorSafeError):
         if status is not None:
             self.status = status
 
+    def body_fields(self) -> dict:
+        """Extra JSON fields the transport adds to the error response body.
+
+        Subclasses override to carry structured hints across the wire
+        (e.g. :class:`OverloadedError`'s ``RetryAfterMs``); keys must not
+        collide with ``Error``/``ErrorKind``.
+        """
+        return {}
+
 
 class AuthenticationError(ServiceError):
     """Missing or invalid API key / login credentials."""
@@ -161,6 +170,48 @@ class DeadlineExceededError(TransportError):
     :class:`NetworkUnavailableError`: an enclosing retry loop must not
     resurrect a call whose budget is spent.
     """
+
+
+class OverloadedError(ServiceError):
+    """The host shed this request to protect itself (admission control).
+
+    The *fail-closed* overload outcome: an explicit, typed 503 emitted by
+    :class:`~repro.net.overload.AdmissionController` before any rule
+    evaluation ran — a loaded store degrades by refusing work cleanly,
+    never by hurrying or truncating a release.  Carries a ``Retry-After``
+    hint (``retry_after_ms``) that rides the response body as
+    ``RetryAfterMs`` and is honored by the client's retry backoff and the
+    phone's offline-queue drain.
+
+    Deliberately distinct from a generic 500/503 for the circuit breaker:
+    backpressure from a *live* host must not trip the breaker (the host
+    answered; it is busy, not broken).
+    """
+
+    status = 503
+
+    def __init__(self, message: str = "", *, status: int | None = None,
+                 retry_after_ms: int = 0):
+        super().__init__(message, status=status)
+        self.retry_after_ms = max(0, int(retry_after_ms))
+
+    def body_fields(self) -> dict:
+        return {"RetryAfterMs": self.retry_after_ms}
+
+
+class DeadlineExpiredError(ServiceError):
+    """The request's propagated deadline expired before it could be served.
+
+    The server-side sibling of :class:`DeadlineExceededError`: admission
+    control read the ``X-Deadline-Ms`` header (remaining budget stamped by
+    :class:`~repro.net.client.HttpClient`) and found the caller's budget
+    smaller than the current queue wait — the caller would have given up
+    before the answer arrived, so no capacity is burned on rule
+    evaluation.  A typed 504: retrying cannot help (the budget only
+    shrinks), so the client surfaces it without further attempts.
+    """
+
+    status = 504
 
 
 class ReplicationError(ServiceError):

@@ -24,15 +24,17 @@ from repro.exceptions import (
     CircuitOpenError,
     ConflictError,
     DeadlineExceededError,
+    DeadlineExpiredError,
     NetworkUnavailableError,
     NotFoundError,
     NotPrimaryError,
+    OverloadedError,
     ReplicationError,
     ServiceError,
     StaleEpochError,
 )
 from repro.net.http import Response
-from repro.net.resilience import CircuitBreaker, RetryPolicy
+from repro.net.resilience import CircuitBreaker, RetryBudget, RetryPolicy
 from repro.net.transport import Network
 
 _STATUS_ERRORS = {
@@ -50,7 +52,18 @@ _KIND_ERRORS = {
     "NotPrimaryError": NotPrimaryError,
     "StaleEpochError": StaleEpochError,
     "ReplicationError": ReplicationError,
+    "OverloadedError": OverloadedError,
+    "DeadlineExpiredError": DeadlineExpiredError,
 }
+
+#: Error kinds that are *backpressure* from a live host (admission-control
+#: sheds): the breaker must not count them as failures, or brownout causes
+#: breaker trips and traffic oscillation.
+_BACKPRESSURE_KINDS = frozenset({"OverloadedError", "DeadlineExpiredError"})
+
+
+def _error_kind(response: Response) -> str:
+    return str(response.body.get("ErrorKind", ""))
 
 
 class HttpClient:
@@ -65,6 +78,7 @@ class HttpClient:
         retry: Optional[RetryPolicy] = None,
         breakers: Optional[dict] = None,
         deadline_ms: Optional[int] = None,
+        retry_budget: Optional[RetryBudget] = None,
     ):
         self.network = network
         self.name = name
@@ -77,6 +91,10 @@ class HttpClient:
         #: per-host circuit breakers, shared across with_key() copies so
         #: circuit state follows the principal, not the key in hand.
         self.breakers: dict[str, CircuitBreaker] = breakers if breakers is not None else {}
+        #: optional retry token bucket (see resilience.RetryBudget); like
+        #: the breakers, shared across with_key() copies.  ``None`` keeps
+        #: the pre-existing behavior: max_attempts is the only retry cap.
+        self.retry_budget = retry_budget
 
     def with_key(self, api_key: str) -> "HttpClient":
         """A copy of this client authenticating with a different key."""
@@ -87,6 +105,7 @@ class HttpClient:
             retry=self.retry,
             breakers=self.breakers,
             deadline_ms=self.deadline_ms,
+            retry_budget=self.retry_budget,
         )
 
     def post(
@@ -144,9 +163,25 @@ class HttpClient:
             breaker = self.breakers[host] = CircuitBreaker(on_state_change=observe)
         return breaker
 
-    def _request(self, method: str, url: str, body: Optional[dict]) -> Response:
-        """One network delivery, carrying the active trace context."""
+    def _request(
+        self,
+        method: str,
+        url: str,
+        body: Optional[dict],
+        deadline_at: Optional[int] = None,
+    ) -> Response:
+        """One network delivery, carrying the active trace context.
+
+        When the call has a deadline, the *remaining* budget at send time
+        is stamped into ``X-Deadline-Ms`` so servers can reject requests
+        whose caller will have given up before the answer arrives (the
+        admission controller's typed 504) instead of burning capacity on
+        them.
+        """
         headers = self.network.obs.tracer.inject({})
+        if deadline_at is not None:
+            remaining = deadline_at - self.network.clock.now_ms()
+            headers["X-Deadline-Ms"] = str(max(0, int(remaining)))
         return self.network.request(
             method, url, body, client=self.name, headers=headers
         )
@@ -187,15 +222,30 @@ class HttpClient:
             if policy is None:
                 if out_of_budget():
                     raise budget_spent()
-                response = self._request(method, url, body)
+                response = self._request(method, url, body, deadline_at)
                 span.set_attribute("status", response.status)
                 return response
             breaker = self._breaker_for(host)
+            budget = self.retry_budget
             last_error: Optional[NetworkUnavailableError] = None
             last_response: Optional[Response] = None
+            retry_after_ms: Optional[float] = None
             for attempt in range(policy.max_attempts):
                 if attempt:
+                    if budget is not None and not budget.take():
+                        # Retry budget exhausted: surface the last outcome
+                        # instead of adding to a storm.  (~10% of successes
+                        # earn tokens back — see resilience.RetryBudget.)
+                        obs.metrics.counter(
+                            "retry_budget_exhausted_total", host=host
+                        ).inc()
+                        break
                     delay = policy.delay_ms(attempt, key=f"{self.name}|{host}{path}")
+                    if retry_after_ms is not None:
+                        # An overloaded host told us when to come back;
+                        # honoring the hint beats hammering it sooner.
+                        delay = max(delay, retry_after_ms)
+                        retry_after_ms = None
                     if out_of_budget(delay):
                         raise budget_spent()
                     obs.metrics.counter("client_retry_attempts_total", host=host).inc()
@@ -208,22 +258,43 @@ class HttpClient:
                         f"circuit open for {host!r}; call shed without sending"
                     )
                 try:
-                    response = self._request(method, url, body)
+                    response = self._request(method, url, body, deadline_at)
                 except NetworkUnavailableError as exc:
                     breaker.record_failure(clock.now_ms())
                     last_error, last_response = exc, None
                     continue
-                if response.ok or not policy.should_retry_response(response):
-                    # Delivered — success, or a definitive (4xx) answer that a
-                    # resend could never change.  Only 5xx count against the
-                    # breaker's failure streak.
+                kind = _error_kind(response)
+                if (
+                    response.ok
+                    or kind == "DeadlineExpiredError"
+                    or not policy.should_retry_response(response)
+                ):
+                    # Delivered — success, or a definitive answer a resend
+                    # could never change: a 4xx, or the server's typed 504
+                    # (our own budget expired in its queue; retrying only
+                    # shrinks it further).  Only *unexplained* 5xx count
+                    # against the breaker's failure streak — an explicit
+                    # shed is backpressure from a live host.
                     if response.ok:
                         breaker.record_success()
+                        if budget is not None:
+                            budget.deposit()
+                    elif kind in _BACKPRESSURE_KINDS:
+                        breaker.record_backpressure()
                     elif response.status >= 500:
                         breaker.record_failure(clock.now_ms())
                     span.set_attributes(status=response.status, attempts=attempt + 1)
                     return response
-                breaker.record_failure(clock.now_ms())
+                if kind in _BACKPRESSURE_KINDS:
+                    breaker.record_backpressure()
+                    hint = response.body.get("RetryAfterMs")
+                    if hint is not None:
+                        try:
+                            retry_after_ms = float(hint)
+                        except (TypeError, ValueError):
+                            retry_after_ms = None
+                else:
+                    breaker.record_failure(clock.now_ms())
                 last_error, last_response = None, response
             span.set_attribute("attempts", policy.max_attempts)
             if last_response is not None:
@@ -237,7 +308,15 @@ class HttpClient:
         if response.ok:
             return response.body
         error = response.body.get("Error", f"status {response.status}")
-        exc_type = _KIND_ERRORS.get(str(response.body.get("ErrorKind", ""))) or (
+        exc_type = _KIND_ERRORS.get(_error_kind(response)) or (
             _STATUS_ERRORS.get(response.status, ServiceError)
         )
+        if exc_type is OverloadedError:
+            # Reconstruct the Retry-After hint so callers (the phone's
+            # offline-queue drain) can honor it without parsing bodies.
+            raise OverloadedError(
+                error,
+                status=response.status,
+                retry_after_ms=int(response.body.get("RetryAfterMs", 0) or 0),
+            )
         raise exc_type(error, status=response.status)

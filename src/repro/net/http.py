@@ -63,6 +63,13 @@ class Router:
 
     def __init__(self) -> None:
         self._routes: list[tuple[str, list, Callable]] = []
+        #: Admission gate (see :mod:`repro.net.overload`): called with the
+        #: request before the handler runs; may raise a
+        #: :class:`~repro.exceptions.ServiceError` to shed the request
+        #: (mapped to its status like any handler error).  Returns an
+        #: opaque ticket handed to ``gate_done`` with the final response.
+        self.gate: Optional[Callable[[Request], object]] = None
+        self.gate_done: Optional[Callable[[object, "Response"], None]] = None
 
     def route(self, method: str, pattern: str) -> Callable:
         """Decorator: ``@router.route("POST", "/api/query")``."""
@@ -125,21 +132,42 @@ class Router:
             return json_response(
                 {"Error": f"no route for {request.method} {request.path}"}, status=404
             )
+        ticket = None
         try:
+            if self.gate is not None:
+                # Admission control runs before the handler: a shed (or a
+                # deadline reject) costs no rule evaluation.  A shed raise
+                # leaves ticket None, so gate_done never fires for it.
+                ticket = self.gate(request)
             result = handler(request, **params)
         except ServiceError as exc:
             # ErrorKind lets clients react to the *specific* failure — a
             # NotPrimaryError must trigger re-resolution at the broker,
-            # which a status code alone (409) cannot express.
-            return json_response(
-                {"Error": str(exc), "ErrorKind": type(exc).__name__},
+            # which a status code alone (409) cannot express.  body_fields
+            # carries structured hints (OverloadedError's RetryAfterMs).
+            response = json_response(
+                {"Error": str(exc), "ErrorKind": type(exc).__name__,
+                 **exc.body_fields()},
                 status=exc.status,
             )
+            self._finish(ticket, response)
+            return response
         except SensorSafeError as exc:
             # Domain errors raised below the service layer are bad requests.
-            return json_response({"Error": str(exc)}, status=400)
+            response = json_response({"Error": str(exc)}, status=400)
+            self._finish(ticket, response)
+            return response
         if isinstance(result, Response):
-            return result
-        if isinstance(result, dict):
-            return json_response(result)
-        raise TypeError(f"handler returned {type(result).__name__}, expected Response or dict")
+            response = result
+        elif isinstance(result, dict):
+            response = json_response(result)
+        else:
+            raise TypeError(
+                f"handler returned {type(result).__name__}, expected Response or dict"
+            )
+        self._finish(ticket, response)
+        return response
+
+    def _finish(self, ticket, response: Response) -> None:
+        if ticket is not None and self.gate_done is not None:
+            self.gate_done(ticket, response)

@@ -1,0 +1,559 @@
+"""Server-side overload control: admission, adaptive concurrency, brownout.
+
+PR 1's resilience layer protects *clients* (retries, breakers); this
+module protects *servers* from the load those very retries generate — the
+classic metastable retry-storm setup.  Overload here is a privacy
+property, not just an availability one: a loaded store must degrade
+**fail-closed**, shedding work with an explicit typed 503
+(:class:`~repro.exceptions.OverloadedError`) before any rule evaluation
+runs — never a hurried or partial release.
+
+Three cooperating pieces, wired into a service's
+:class:`~repro.net.http.Router` via :meth:`AdmissionController.attach`:
+
+* **Priority classes** — every route maps to one of six classes, shed in
+  reverse priority order: control-plane rule mutations > replication
+  frames > uploads > queries > aggregates > metrics scrapes.  Each class
+  has a *queue budget* (how much backlog it tolerates before shedding)
+  and a *limit fraction* (how much of the adaptive concurrency limit it
+  may consume), which together implement brownout: as backlog grows,
+  scrapes go dark first, then aggregates, then cold (cache-miss)
+  queries — while cached releases keep serving and uploads and rule
+  mutations are protected longest.
+
+* **Virtual backlog** — the simulated network dispatches synchronously,
+  so server work is modeled as a serial queue: each admitted request
+  extends ``busy_until_ms`` by its class's service cost (simulated ms),
+  and the queue wait seen at arrival is ``busy_until - now``.  The
+  controller never advances the shared :class:`~repro.net.faults.SimClock`
+  — offered load is whatever the workload drives between clock ticks,
+  which is exactly what lets a benchmark offer 10× capacity.  Shedding is
+  cheap by construction: a rejected request adds no work.
+
+* **LIFO-with-deadline rejection** — clients stamp their remaining
+  budget into the ``X-Deadline-Ms`` header; a request whose budget is
+  smaller than the current queue wait is rejected with a typed 504
+  (:class:`~repro.exceptions.DeadlineExpiredError`) *before* touching
+  the rule engine.  In a synchronous simulation this arrival-time check
+  is equivalent to LIFO service discarding expired work at dequeue: work
+  whose caller already gave up is never performed.
+
+The :class:`AdaptiveConcurrencyLimiter` tracks capacity gradient-style
+(AIMD on observed latency vs a moving minimum) so the admission limit
+follows the machine instead of a hand-tuned constant.
+
+Modes: ``"observe"`` (the default everywhere) accounts and reports
+would-shed decisions but admits everything — existing workloads see zero
+behavior change; ``"enforce"`` sheds; ``"off"`` skips accounting too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import DeadlineExpiredError, OverloadedError
+from repro.net.http import Request, Response, Router
+
+MODE_OFF = "off"
+MODE_OBSERVE = "observe"
+MODE_ENFORCE = "enforce"
+MODES = (MODE_OFF, MODE_OBSERVE, MODE_ENFORCE)
+
+#: Priority classes, highest priority (shed last) first.
+CLASS_CONTROL = "control"
+CLASS_REPLICATION = "replication"
+CLASS_UPLOAD = "upload"
+CLASS_QUERY = "query"
+CLASS_AGGREGATE = "aggregate"
+CLASS_SCRAPE = "scrape"
+
+#: Shed-order reference (documentation + brownout level computation):
+#: index 0 sheds first under pressure, the last entry is protected longest.
+BROWNOUT_ORDER = (
+    CLASS_SCRAPE,
+    CLASS_AGGREGATE,
+    CLASS_QUERY,
+    CLASS_UPLOAD,
+    CLASS_REPLICATION,
+    CLASS_CONTROL,
+)
+
+#: Data-plane classes counted by the goodput SLO.  Scrapes are excluded:
+#: shedding telemetry reads under pressure is the design, not lost goodput.
+GOODPUT_CLASSES = (CLASS_UPLOAD, CLASS_QUERY, CLASS_AGGREGATE, CLASS_REPLICATION)
+
+#: Route -> class for :class:`~repro.server.datastore_service.DataStoreService`.
+STORE_ROUTE_CLASSES = {
+    "POST /api/register": CLASS_CONTROL,
+    "POST /api/rules/list": CLASS_CONTROL,
+    "POST /api/rules/add": CLASS_CONTROL,
+    "POST /api/rules/remove": CLASS_CONTROL,
+    "POST /api/rules/replace": CLASS_CONTROL,
+    "POST /api/rules/download": CLASS_CONTROL,
+    "POST /api/places/set": CLASS_CONTROL,
+    "POST /api/places/list": CLASS_CONTROL,
+    "POST /api/profile": CLASS_CONTROL,
+    "POST /api/membership/set": CLASS_CONTROL,
+    "POST /api/recovery": CLASS_CONTROL,
+    "POST /api/health": CLASS_CONTROL,
+    "POST /api/promote": CLASS_CONTROL,
+    "POST /api/demote": CLASS_CONTROL,
+    "POST /api/replicate/append": CLASS_REPLICATION,
+    "POST /api/replicate/status": CLASS_REPLICATION,
+    "POST /api/upload": CLASS_UPLOAD,
+    "POST /api/upload_packets": CLASS_UPLOAD,
+    "POST /api/flush": CLASS_UPLOAD,
+    "POST /api/delete": CLASS_UPLOAD,
+    "POST /api/query": CLASS_QUERY,
+    "POST /api/audit/list": CLASS_QUERY,
+    "POST /api/audit/summary": CLASS_QUERY,
+    "POST /api/aggregate": CLASS_AGGREGATE,
+    "POST /api/stats": CLASS_SCRAPE,
+    "GET /api/metrics": CLASS_SCRAPE,
+}
+
+#: Route -> class for :class:`~repro.server.broker_service.BrokerService`.
+BROKER_ROUTE_CLASSES = {
+    "POST /api/register_consumer": CLASS_CONTROL,
+    "POST /api/contributors/list": CLASS_CONTROL,
+    "POST /api/contributors/add": CLASS_CONTROL,
+    "POST /api/keys": CLASS_CONTROL,
+    "POST /api/lists/save": CLASS_CONTROL,
+    "POST /api/lists/get": CLASS_CONTROL,
+    "POST /api/studies/create": CLASS_CONTROL,
+    "POST /api/studies/join": CLASS_CONTROL,
+    "POST /api/sync": CLASS_REPLICATION,
+    "POST /api/replicas/status": CLASS_CONTROL,
+    "POST /api/search": CLASS_QUERY,
+    "POST /api/data": CLASS_QUERY,
+    "GET /api/metrics": CLASS_SCRAPE,
+    "GET /api/fleet/metrics": CLASS_SCRAPE,
+}
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Knobs of one host's admission controller.
+
+    ``service_ms`` is the virtual serial-work cost one admitted request of
+    each class adds to the backlog; ``queue_budget_ms`` is how much
+    backlog a class tolerates at arrival before it sheds — the brownout
+    ladder *is* this table (scrape's budget < aggregate's < cold query's
+    < …).  ``limit_fraction`` caps how much of the adaptive concurrency
+    limit each class may fill, so low-priority floods cannot starve
+    control-plane work even before the queue budgets bite.
+    """
+
+    mode: str = MODE_OBSERVE
+    service_ms: dict = field(default_factory=lambda: {
+        CLASS_CONTROL: 2.0,
+        CLASS_REPLICATION: 2.0,
+        CLASS_UPLOAD: 4.0,
+        CLASS_QUERY: 5.0,
+        CLASS_AGGREGATE: 8.0,
+        CLASS_SCRAPE: 1.0,
+    })
+    #: Virtual cost of a query that will be served from the release cache
+    #: (brownout keeps serving these after cold queries shed).
+    cached_query_ms: float = 1.0
+    queue_budget_ms: dict = field(default_factory=lambda: {
+        CLASS_CONTROL: 2_000.0,
+        CLASS_REPLICATION: 1_500.0,
+        CLASS_UPLOAD: 1_000.0,
+        CLASS_QUERY: 400.0,
+        CLASS_AGGREGATE: 200.0,
+        CLASS_SCRAPE: 100.0,
+    })
+    #: Backlog a *cached* query tolerates (between cold queries and uploads).
+    cached_query_budget_ms: float = 750.0
+    limit_fraction: dict = field(default_factory=lambda: {
+        CLASS_CONTROL: 1.0,
+        CLASS_REPLICATION: 0.9,
+        CLASS_UPLOAD: 0.8,
+        CLASS_QUERY: 0.6,
+        CLASS_AGGREGATE: 0.4,
+        CLASS_SCRAPE: 0.2,
+    })
+    #: Floor on the Retry-After hint attached to sheds.
+    min_retry_after_ms: int = 250
+    #: Cap on the pending-entry ledger: observe-mode workloads that never
+    #: advance the clock must not grow unbounded accounting state.
+    max_pending: int = 4096
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"unknown overload mode {self.mode!r}")
+
+    def service_cost(self, cls: str, cached: bool) -> float:
+        if cached and cls == CLASS_QUERY:
+            return self.cached_query_ms
+        return self.service_ms.get(cls, self.service_ms[CLASS_QUERY])
+
+    def queue_budget(self, cls: str, cached: bool) -> float:
+        if cached and cls == CLASS_QUERY:
+            return self.cached_query_budget_ms
+        return self.queue_budget_ms.get(cls, self.queue_budget_ms[CLASS_QUERY])
+
+
+class AdaptiveConcurrencyLimiter:
+    """Gradient-style AIMD concurrency limit for one host.
+
+    Tracks a moving minimum of observed request latency (queue wait +
+    service) over a sliding sample window; latencies within ``tolerance``
+    of that minimum grow the limit additively (+1), latencies beyond it
+    shrink it multiplicatively (×``decrease``).  The moving minimum is
+    re-seeded every ``window`` samples so a long-gone congestion episode
+    cannot pin the baseline forever.
+
+    In the virtual-backlog model, "in flight" is the whole pending queue,
+    so the limit is an adaptive *queue-depth* cap in request slots.  Its
+    bounds sit above the per-class queue budgets at baseline — static
+    budgets are the first line of brownout — and multiplicative decrease
+    is rate-limited to once per ``cooldown_ms`` of simulated time, so the
+    limit tightens under *sustained* congestion (the gradient signal)
+    rather than collapsing inside a single instantaneous burst.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_limit: int = 64,
+        max_limit: int = 4096,
+        initial: int = 512,
+        tolerance: float = 2.0,
+        decrease: float = 0.9,
+        window: int = 500,
+        cooldown_ms: float = 100.0,
+    ):
+        self.min_limit = float(min_limit)
+        self.max_limit = float(max_limit)
+        self.limit = float(initial)
+        self.tolerance = tolerance
+        self.decrease = decrease
+        self.window = int(window)
+        self.cooldown_ms = float(cooldown_ms)
+        self._min_rtt = float("inf")
+        self._since_reset = 0
+        self._last_decrease_ms: Optional[float] = None
+
+    def observe(self, rtt_ms: float, now_ms: Optional[float] = None) -> None:
+        """Feed one admitted request's latency; adapt the limit.
+
+        ``now_ms`` (the simulated clock) arms the decrease cooldown;
+        without it every congested sample decays the limit (the direct
+        unit-test path).
+        """
+        self._since_reset += 1
+        if self._since_reset > self.window:
+            # Re-seed the baseline from current conditions.
+            self._min_rtt = rtt_ms
+            self._since_reset = 1
+        elif rtt_ms < self._min_rtt:
+            self._min_rtt = rtt_ms
+        if rtt_ms <= max(self._min_rtt, 1e-9) * self.tolerance:
+            self.limit = min(self.max_limit, self.limit + 1.0)
+            return
+        if now_ms is not None and self._last_decrease_ms is not None:
+            if now_ms - self._last_decrease_ms < self.cooldown_ms:
+                return  # one multiplicative decrease per cooldown window
+        self._last_decrease_ms = now_ms
+        self.limit = max(self.min_limit, self.limit * self.decrease)
+
+    @property
+    def min_rtt_ms(self) -> float:
+        """Current moving-minimum latency (inf before the first sample)."""
+        return self._min_rtt
+
+
+class AdmissionController:
+    """Admission control + brownout for one host's router.
+
+    Construct with the host's route->class table (and, for stores, a
+    ``cache_probe`` that predicts whether a query would be served from
+    the release cache) and :meth:`attach` it to the service's router: the
+    gate then runs before every handler and the completion hook after.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        network,
+        *,
+        mode: str = MODE_OBSERVE,
+        config: Optional[OverloadConfig] = None,
+        classes: Optional[dict] = None,
+        default_class: str = CLASS_QUERY,
+        cache_probe: Optional[Callable[[Request], bool]] = None,
+        limiter: Optional[AdaptiveConcurrencyLimiter] = None,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"unknown overload mode {mode!r}")
+        self.host = host
+        self.network = network
+        self.mode = mode
+        self.config = config or OverloadConfig(mode=mode)
+        self.classes = dict(classes or {})
+        self.default_class = default_class
+        self.cache_probe = cache_probe
+        self.limiter = limiter or AdaptiveConcurrencyLimiter()
+        self._clock = network.clock
+        #: end of the virtual serial work queue, in simulated ms.
+        self.busy_until_ms = 0.0
+        #: (virtual finish ms, class) of admitted-but-unfinished requests.
+        self._pending: deque = deque()
+        #: benchmark/test probes: the last admitted request's virtual
+        #: queue wait and total latency (safe: dispatch is synchronous).
+        self.last_queue_ms = 0.0
+        self.last_rtt_ms = 0.0
+        obs = network.obs
+        self.obs = obs if obs is not None and obs.enabled else None
+        self._c_requests: dict = {}
+        self._c_served: dict = {}
+        self._c_shed: dict = {}
+        self._c_would_shed: dict = {}
+        self._h_queue: dict = {}
+        if self.obs is not None:
+            m = self.obs.metrics
+            m.gauge(
+                "admission_queue_depth",
+                callback=lambda: self.inflight(),
+                host=host,
+            )
+            m.gauge(
+                "admission_queue_wait_ms",
+                callback=lambda: self.queue_ms(),
+                host=host,
+            )
+            m.gauge(
+                "concurrency_limit",
+                callback=lambda: self.limiter.limit,
+                host=host,
+            )
+            m.gauge(
+                "admission_brownout_level",
+                callback=lambda: self.brownout_level(),
+                host=host,
+            )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, router: Router) -> None:
+        """Install this controller as the router's admission gate."""
+        router.gate = self.gate
+        router.gate_done = self.gate_done
+
+    def classify(self, method: str, path: str) -> str:
+        """The priority class of one request (exact-route table lookup)."""
+        return self.classes.get(f"{method} {path}", self.default_class)
+
+    # ------------------------------------------------------------------
+    # State probes
+    # ------------------------------------------------------------------
+
+    def queue_ms(self, now_ms: Optional[float] = None) -> float:
+        """Current virtual backlog: the wait an arriving request sees."""
+        now = self._clock.now_ms() if now_ms is None else now_ms
+        return max(0.0, self.busy_until_ms - now)
+
+    def inflight(self, now_ms: Optional[float] = None) -> int:
+        """Admitted requests whose virtual finish time has not passed."""
+        now = self._clock.now_ms() if now_ms is None else now_ms
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            pending.popleft()
+        return len(pending)
+
+    def brownout_level(self) -> int:
+        """How deep the brownout is: the count of classes currently shedding.
+
+        0 means everything is admitted; 1 means scrapes shed; 2 adds
+        aggregates; 3 adds cold queries; and so on up the priority ladder.
+        Derived purely from the current backlog vs the queue budgets, so
+        the gauge is meaningful in observe mode too.
+        """
+        backlog = self.queue_ms()
+        level = 0
+        for cls in BROWNOUT_ORDER:
+            if backlog > self.config.queue_budget(cls, cached=False):
+                level += 1
+            else:
+                break
+        return level
+
+    # ------------------------------------------------------------------
+    # Metric binding (lazy per class; labels via **kwargs because
+    # ``class`` is a Python keyword)
+    # ------------------------------------------------------------------
+
+    def _requests_ctr(self, cls: str):
+        ctr = self._c_requests.get(cls)
+        if ctr is None and self.obs is not None:
+            ctr = self._c_requests[cls] = self.obs.metrics.counter(
+                "admission_requests_total", **{"host": self.host, "class": cls}
+            )
+        return ctr
+
+    def _served_ctr(self, cls: str):
+        ctr = self._c_served.get(cls)
+        if ctr is None and self.obs is not None:
+            ctr = self._c_served[cls] = self.obs.metrics.counter(
+                "admission_served_total", **{"host": self.host, "class": cls}
+            )
+        return ctr
+
+    def _shed_ctr(self, cls: str, reason: str):
+        ctr = self._c_shed.get((cls, reason))
+        if ctr is None and self.obs is not None:
+            ctr = self._c_shed[(cls, reason)] = self.obs.metrics.counter(
+                "admission_shed_total",
+                **{"host": self.host, "class": cls, "reason": reason},
+            )
+        return ctr
+
+    def _would_shed_ctr(self, cls: str, reason: str):
+        ctr = self._c_would_shed.get((cls, reason))
+        if ctr is None and self.obs is not None:
+            ctr = self._c_would_shed[(cls, reason)] = self.obs.metrics.counter(
+                "admission_would_shed_total",
+                **{"host": self.host, "class": cls, "reason": reason},
+            )
+        return ctr
+
+    def _queue_hist(self, cls: str):
+        hist = self._h_queue.get(cls)
+        if hist is None and self.obs is not None:
+            hist = self._h_queue[cls] = self.obs.metrics.histogram(
+                "admission_queue_ms", **{"host": self.host, "class": cls}
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _deadline_remaining(request: Request) -> Optional[float]:
+        raw = request.headers.get("X-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            return None
+
+    def _retry_after(self, queue_ms: float, budget: float) -> int:
+        """How long until the backlog could drain under this class's budget."""
+        return int(max(self.config.min_retry_after_ms, queue_ms - budget))
+
+    def gate(self, request: Request):
+        """Admission decision for one request; raises on shed (enforce).
+
+        Returns an opaque ticket handed back to :meth:`gate_done`, or
+        ``None`` when the controller is off.
+        """
+        if self.mode == MODE_OFF:
+            return None
+        cfg = self.config
+        now = self._clock.now_ms()
+        cls = self.classify(request.method, request.path)
+        cached = bool(
+            cls == CLASS_QUERY
+            and self.cache_probe is not None
+            and self.cache_probe(request)
+        )
+        queue_ms = self.queue_ms(now)
+        ctr = self._requests_ctr(cls)
+        if ctr is not None:
+            ctr.inc()
+
+        shed: Optional[tuple] = None  # (reason, exception)
+        remaining = self._deadline_remaining(request)
+        budget = cfg.queue_budget(cls, cached)
+        if remaining is not None and remaining <= queue_ms:
+            # The caller's budget dies in our queue: reject before the
+            # rule engine sees it (LIFO-with-deadline equivalent).
+            shed = (
+                "deadline",
+                DeadlineExpiredError(
+                    f"{self.host!r} queue wait {queue_ms:.0f}ms exceeds the "
+                    f"caller's remaining deadline of {remaining:.0f}ms"
+                ),
+            )
+        elif queue_ms > budget:
+            shed = (
+                "queue",
+                OverloadedError(
+                    f"{self.host!r} is overloaded: {queue_ms:.0f}ms of backlog "
+                    f"exceeds the {budget:.0f}ms budget of class {cls!r}",
+                    retry_after_ms=self._retry_after(queue_ms, budget),
+                ),
+            )
+        elif self.inflight(now) >= self.limiter.limit * cfg.limit_fraction.get(cls, 1.0):
+            shed = (
+                "limit",
+                OverloadedError(
+                    f"{self.host!r} is at its adaptive concurrency limit "
+                    f"({self.limiter.limit:.0f}) for class {cls!r}",
+                    retry_after_ms=self._retry_after(queue_ms, 0.0),
+                ),
+            )
+
+        if shed is not None:
+            reason, exc = shed
+            if self.mode == MODE_ENFORCE:
+                ctr = self._shed_ctr(cls, reason)
+                if ctr is not None:
+                    ctr.inc()
+                raise exc
+            # Observe mode: record what enforcement *would* have shed —
+            # the runbook's dry-run signal — then admit anyway.
+            ctr = self._would_shed_ctr(cls, reason)
+            if ctr is not None:
+                ctr.inc()
+
+        # Admitted: extend the virtual backlog by this request's cost.
+        service = cfg.service_cost(cls, cached)
+        start = max(now, self.busy_until_ms)
+        self.busy_until_ms = start + service
+        if len(self._pending) >= cfg.max_pending:
+            self._pending.popleft()
+        self._pending.append((self.busy_until_ms, cls))
+        self.last_queue_ms = queue_ms
+        self.last_rtt_ms = queue_ms + service
+        hist = self._queue_hist(cls)
+        if hist is not None:
+            hist.observe(queue_ms)
+        self.limiter.observe(self.last_rtt_ms, now)
+        return cls
+
+    def gate_done(self, ticket, response: Response) -> None:
+        """Completion hook: count served (2xx) responses per class."""
+        if ticket is None:
+            return
+        if response.ok:
+            ctr = self._served_ctr(ticket)
+            if ctr is not None:
+                ctr.inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        """Operator view of this controller (JSON-serializable)."""
+        return {
+            "Host": self.host,
+            "Mode": self.mode,
+            "QueueMs": round(self.queue_ms(), 3),
+            "Inflight": self.inflight(),
+            "ConcurrencyLimit": round(self.limiter.limit, 2),
+            "MinRttMs": (
+                None if self.limiter.min_rtt_ms == float("inf")
+                else round(self.limiter.min_rtt_ms, 3)
+            ),
+            "BrownoutLevel": self.brownout_level(),
+        }

@@ -73,6 +73,44 @@ class RetryPolicy:
 NO_RETRY = RetryPolicy(max_attempts=1)
 
 
+class RetryBudget:
+    """Token bucket that keeps retries from amplifying an outage.
+
+    Successful calls *earn* fractional tokens (``earn_ratio`` per
+    success, ~10%); each retry *spends* one whole token.  During an
+    outage the bucket drains after roughly ``capacity`` retries and stays
+    empty until real successes refill it — so a fleet of clients adds at
+    most ~``earn_ratio`` extra load on a struggling host instead of
+    multiplying every failure by ``max_attempts``.
+
+    Shared across :meth:`~repro.net.client.HttpClient.with_key` copies
+    (like the breaker map): the budget belongs to the principal, not the
+    key in hand.  State is two floats; the simulated network is
+    synchronous, so no locking.
+    """
+
+    def __init__(self, capacity: float = 10.0, earn_ratio: float = 0.1):
+        self.capacity = float(capacity)
+        self.earn_ratio = float(earn_ratio)
+        self.tokens = float(capacity)  # start full: cold-start retries allowed
+        #: lifetime counts, for benchmark reporting
+        self.spent = 0
+        self.exhausted = 0
+
+    def deposit(self) -> None:
+        """A call succeeded: earn a fractional retry token."""
+        self.tokens = min(self.capacity, self.tokens + self.earn_ratio)
+
+    def take(self) -> bool:
+        """Spend one token for a retry; False when the budget is exhausted."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.exhausted += 1
+        return False
+
+
 class CircuitBreaker:
     """Failure-counting breaker for one host, on a simulated clock.
 
@@ -122,6 +160,21 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._transition(CLOSED)
+        self.failures = 0
+
+    def record_backpressure(self) -> None:
+        """An explicit overload shed answered: the host is alive, just busy.
+
+        Counting a typed 503 (:class:`~repro.exceptions.OverloadedError`)
+        as a *failure* makes brownout trip breakers, which sheds all
+        traffic, which ends the brownout, which closes the breaker, which
+        restores the flood — a traffic oscillation.  Backpressure instead
+        clears the streak, and a half-open probe that gets backpressure
+        *closes* the circuit: the host answered, which is exactly what
+        the probe was asking.
+        """
+        if self.state != CLOSED:
+            self._transition(CLOSED)
         self.failures = 0
 
     def record_failure(self, now_ms: int) -> None:

@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 from typing import Optional
 
-from repro.exceptions import SensorSafeError
+from repro.exceptions import OverloadedError, SensorSafeError
 from repro.net.client import HttpClient
 from repro.obs.redaction import redact_attributes
 
@@ -190,6 +190,18 @@ class FleetAggregator:
             for host in targets:
                 try:
                     scraped = self._scrape_host(host)
+                except OverloadedError:
+                    # An admission shed is an *answer*: the host is alive
+                    # and browning out by design (scrapes go dark first).
+                    # Serve its last good section flagged Overloaded —
+                    # never "down", never a scrape error.
+                    last = self._seen.get(host)
+                    sections[host] = {
+                        **(last or {"Metrics": {}}),
+                        "Reachable": True,
+                        "Overloaded": True,
+                    }
+                    continue
                 except SensorSafeError as exc:
                     unreachable += 1
                     obs.metrics.counter("fleet_scrape_errors_total", host=host).inc()
@@ -273,6 +285,7 @@ def render_fleet(snapshot: dict) -> str:
     for host in sorted(hosts):
         section = hosts[host]
         state = ("tombstone" if section.get("Tombstoned")
+                 else "busy" if section.get("Overloaded")
                  else "up" if section.get("Reachable") else "down")
         lines.append(
             f"{host:<18} {section.get('Role', '?'):<8} "
@@ -303,6 +316,14 @@ def render_fleet(snapshot: dict) -> str:
             f"  {'ReplicationLagFrames':<22} worst={lag.get('Worst', 0)} "
             f"threshold={lag.get('Threshold', 0)} "
             f"breaching={lag.get('Breaching', 0)} {lag.get('Status', 'ok')}"
+        )
+        goodput = slo.get("Goodput", {})
+        lines.append(
+            f"  {'Goodput':<22} served={_fmt_count(goodput.get('Served', 0))} "
+            f"shed={_fmt_count(goodput.get('Shed', 0))} "
+            f"ratio={goodput.get('Goodput', 1.0):.4f} "
+            f"floor={goodput.get('Threshold', 0)} "
+            f"burn={goodput.get('BurnRate', 0)} {goodput.get('Status', 'ok')}"
         )
         open_rev = slo.get("OpenRevocations", [])
         if open_rev:

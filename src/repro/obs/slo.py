@@ -56,6 +56,10 @@ class SloThresholds:
     replication_lag_frames: int = 64
     #: Max simulated ms from first missed heartbeat to promotion.
     failover_detection_ms: int = 10_000
+    #: Min fraction of data-plane requests (uploads, queries, aggregates,
+    #: replication — scrapes excluded by design) that must be *served*
+    #: rather than shed by admission control; the goodput SLO's floor.
+    goodput_min: float = 0.8
     #: Error budget: fraction of observations allowed past threshold.
     budget: float = 0.01
 
@@ -247,6 +251,44 @@ class SloTracker:
             "Status": "burning" if breaching else "ok",
         }
 
+    def _goodput(self) -> dict:
+        """Admission-control goodput over the data-plane classes.
+
+        Computed at report time from the ``admission_*`` counters (same
+        idiom as :meth:`_replication_lag`): goodput = served / (served +
+        shed), where both sides count only the data-plane classes —
+        shedding metrics scrapes under pressure is the brownout design,
+        not lost goodput.  The burn rate is the shed fraction against the
+        budget the ``goodput_min`` floor leaves (e.g. floor 0.8 ⇒ 20% of
+        data-plane requests may shed before the SLO burns).
+        """
+        # Local import: obs must stay importable without the net layer.
+        from repro.net.overload import GOODPUT_CLASSES
+
+        m = self._obs.metrics
+        served = 0
+        shed = 0
+        shed_by_class = {}
+        for cls in GOODPUT_CLASSES:
+            served += m.sum_counter("admission_served_total", **{"class": cls})
+            cls_shed = m.sum_counter("admission_shed_total", **{"class": cls})
+            shed += cls_shed
+            if cls_shed:
+                shed_by_class[cls] = cls_shed
+        total = served + shed
+        goodput = (served / total) if total else 1.0
+        allowed = max(1e-9, 1.0 - self.thresholds.goodput_min)
+        burn = ((shed / total) / allowed) if total else 0.0
+        return {
+            "Served": served,
+            "Shed": shed,
+            "ShedByClass": shed_by_class,
+            "Goodput": round(goodput, 6),
+            "Threshold": self.thresholds.goodput_min,
+            "BurnRate": round(burn, 4),
+            "Status": "burning" if burn > 1.0 else "ok",
+        }
+
     def report(self, at_ms: Optional[int] = None) -> dict:
         """The SLO section of the fleet snapshot (JSON-serializable)."""
         now = self._now(at_ms)
@@ -262,6 +304,7 @@ class SloTracker:
                 "slo_failover_detection_ms", "slo_failover_detection_breaches_total",
                 self.thresholds.failover_detection_ms),
             "ReplicationLagFrames": self._replication_lag(),
+            "Goodput": self._goodput(),
             "StaleReleases": self._obs.metrics.counter_value("slo_stale_releases_total"),
             "OpenRevocations": [
                 {"Contributor": c, "Store": rev.store, "SinceVersion": rev.version,

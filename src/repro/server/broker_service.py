@@ -32,6 +32,11 @@ from repro.exceptions import (
 )
 from repro.net.client import HttpClient
 from repro.net.http import Request, Router
+from repro.net.overload import (
+    BROKER_ROUTE_CLASSES,
+    AdmissionController,
+    OverloadConfig,
+)
 from repro.net.resilience import RetryPolicy
 from repro.net.transport import Network
 from repro.obs.fleet import FleetAggregator
@@ -43,7 +48,15 @@ STORE_PRINCIPAL_PREFIX = "store:"
 class BrokerService:
     """The broker mounted on the simulated network."""
 
-    def __init__(self, network: Network, host: str = "broker", *, seed: int = 0):
+    def __init__(
+        self,
+        network: Network,
+        host: str = "broker",
+        *,
+        seed: int = 0,
+        overload: str = "observe",
+        overload_config: "OverloadConfig | None" = None,
+    ):
         self.host = host
         self.network = network
         rng = DeterministicRng(seed).fork(f"broker:{host}")
@@ -68,6 +81,19 @@ class BrokerService:
         self.saved_lists: dict[str, dict] = {}
         self.router = Router()
         self._mount_routes()
+        #: Overload control (PR 9): same contract as the stores' —
+        #: "observe" accounts without shedding, "enforce" sheds typed
+        #: 503/504s, "off" disables the gate entirely.
+        self.admission: "AdmissionController | None" = None
+        if overload != "off":
+            self.admission = AdmissionController(
+                host,
+                network,
+                mode=overload,
+                config=overload_config,
+                classes=BROKER_ROUTE_CLASSES,
+            )
+            self.admission.attach(self.router)
         network.register_host(host, self.router)
 
     # ------------------------------------------------------------------

@@ -35,8 +35,14 @@ from repro.exceptions import (
     BadRequestError,
     NotFoundError,
     NotPrimaryError,
+    SensorSafeError,
 )
 from repro.net.http import Request, Router
+from repro.net.overload import (
+    STORE_ROUTE_CLASSES,
+    AdmissionController,
+    OverloadConfig,
+)
 from repro.net.transport import Network
 from repro.rules.compiler import CompiledRuleCache
 from repro.rules.engine import RuleEngine
@@ -103,6 +109,8 @@ class DataStoreService:
         cache_max_bytes: int = 32 << 20,
         role: str = ROLE_PRIMARY,
         engine: str = "interpreted",
+        overload: str = "observe",
+        overload_config: Optional[OverloadConfig] = None,
     ):
         if engine not in ("interpreted", "compiled"):
             raise ValueError(f"unknown engine mode {engine!r}")
@@ -168,6 +176,21 @@ class DataStoreService:
         self.recovery_report = None
         self.router = Router()
         self._mount_routes()
+        #: Overload control (PR 9): admission + brownout on every route.
+        #: "observe" (the default) accounts and reports would-shed
+        #: decisions without shedding; "enforce" sheds with typed 503/504s
+        #: *before* rule evaluation; "off" disables even the accounting.
+        self.admission: Optional[AdmissionController] = None
+        if overload != "off":
+            self.admission = AdmissionController(
+                host,
+                network,
+                mode=overload,
+                config=overload_config,
+                classes=STORE_ROUTE_CLASSES,
+                cache_probe=self._cache_would_hit,
+            )
+            self.admission.attach(self.router)
         if durable:
             from repro.storage.durability import Durability
 
@@ -517,6 +540,28 @@ class DataStoreService:
             self.store.content_fingerprint(contributor),
             query_shape(query),
         )
+
+    def _cache_would_hit(self, request: Request) -> bool:
+        """Would this query be served from the release cache?
+
+        The admission controller's brownout probe: under pressure, cold
+        (cache-miss) queries shed while cached releases keep serving.
+        Best-effort and strictly non-mutating — any auth or parse problem
+        classifies as cold, and the real handler raises the proper error
+        after admission.  Owner raw reads never touch the cache.
+        """
+        cache = self.release_cache
+        if cache is None or len(cache) == 0:
+            return False
+        try:
+            principal = self.keys.authenticate(request.api_key)
+            contributor = str(request.body.get("Contributor", ""))
+            if not contributor or principal == contributor:
+                return False
+            query = DataQuery.from_json(request.body.get("Query", {}))
+            return cache.contains(self._cache_key(principal, contributor, query))
+        except SensorSafeError:
+            return False
 
     def _release_for(
         self, endpoint: str, principal: str, contributor: str, query: DataQuery

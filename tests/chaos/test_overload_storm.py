@@ -1,0 +1,141 @@
+"""Chaos suite: overload storms × network faults × failover (PR 9).
+
+Composes the PR 9 admission controller (enforce mode) with the PR 1
+network fault plan and the PR 6 broker failover over a live replicated
+deployment.  The properties under test:
+
+* **graceful degradation** — under a storm a retrying client sees
+  latency (honored Retry-After), not errors, and the breaker never
+  oscillates on typed sheds;
+* **privacy under pressure** — every shed is a clean typed 503/504
+  carrying no released data, and post-storm releases still pass the
+  conformance oracle;
+* **failure detection survives brownout** — an overloaded primary is
+  never failed over, but a *dead* one is promoted within the usual
+  detection bound even while the fleet is shedding.
+"""
+
+import pytest
+
+from tests.conftest import MONDAY, make_segment
+from repro.conformance.generators import Trial
+from repro.conformance.invariants import check_release
+from repro.core.system import SensorSafeSystem
+from repro.exceptions import OverloadedError
+from repro.net.faults import FaultPlan
+from repro.net.resilience import NO_RETRY
+from repro.rules.model import ALLOW, Rule
+
+ALLOW_BOB = Rule(consumers=("bob",), action=ALLOW)
+HOUR = 3_600_000
+
+
+def build(tmp_path, *, retry=None, n_replicas=1, seed=11):
+    system = SensorSafeSystem(seed=seed, overload="enforce", retry=retry)
+    primary = system.create_replicated_store(
+        "alice-store", directory=str(tmp_path), n_replicas=n_replicas
+    )
+    alice = system.add_contributor("alice", store=primary)
+    bob = system.add_consumer("bob")
+    bob.add_contributors(["alice"])
+    alice.add_rule(ALLOW_BOB)
+    alice.upload_segments([make_segment()])
+    alice.flush()
+    system.clock.advance(60_000)  # the setup backlog drains before the storm
+    return system, alice, bob
+
+
+def storm(system, host, n=200, path="/api/upload"):
+    """Raw admitted-but-unauthenticated requests: pure virtual backlog."""
+    for _ in range(n):
+        system.network.request("POST", f"https://{host}{path}", {})
+
+
+def oracle_check(pieces, label):
+    seg = make_segment()
+    trial = Trial(seed=f"storm-{label}", rules=[ALLOW_BOB], segments=[seg])
+    return check_release(trial, seg, [p for p in pieces if p.segment is not None])
+
+
+class TestStormWithNetworkFaults:
+    def test_retrying_client_rides_out_the_storm(self, tmp_path):
+        system, alice, bob = build(tmp_path)  # default RetryPolicy
+        storm(system, "alice-store")  # ~800ms of backlog: queries shed
+        plan = FaultPlan(seed=11)
+        plan.add_flaky("alice-store", fail_first=1)
+        system.install_faults(plan)
+        t0 = system.clock.now_ms()
+        pieces = bob.fetch("alice")
+        # Attempt 1 was dropped by the flaky network, attempt 2 shed with
+        # a typed 503, and the client honored the Retry-After hint on the
+        # simulated clock until the backlog drained and a retry landed.
+        assert len(pieces) > 0
+        assert system.clock.now_ms() > t0
+        metrics = system.obs.metrics
+        assert metrics.sum_counter(
+            "admission_shed_total", host="alice-store"
+        ) >= 1
+        # Typed sheds are backpressure, not failure: no breaker flapping.
+        breaker = system.consumers["bob"].client.breakers.get("alice-store")
+        assert breaker is None or breaker.times_opened == 0
+        assert oracle_check(pieces, "faults") == []
+        # Uploads kept landing throughout (protected class + retries
+        # through the flaky network).
+        alice.upload_segments([make_segment(start_ms=MONDAY + HOUR)])
+
+    def test_sheds_carry_no_released_data(self, tmp_path):
+        system, _, bob = build(tmp_path, retry=NO_RETRY)
+        key = bob.refresh_keys()["alice-store"]
+        storm(system, "alice-store")
+        response = system.network.request(
+            "POST",
+            "https://alice-store/api/query",
+            {"ApiKey": key, "Contributor": "alice", "Query": {}},
+        )
+        assert response.status == 503
+        assert response.body["ErrorKind"] == "OverloadedError"
+        assert "Released" not in response.body
+        assert "Segments" not in response.body
+
+
+class TestFailoverMidStorm:
+    def test_dead_primary_promoted_while_fleet_sheds(self, tmp_path):
+        system, _, bob = build(tmp_path, retry=NO_RETRY)
+        manager = system.broker.failover
+        storm(system, "alice-store")
+        # Mid-storm: queries shed, but the health probe reads the typed
+        # 503 as *alive* — no spurious promotion.
+        with pytest.raises(OverloadedError):
+            bob.fetch("alice")
+        report = manager.heartbeat()["alice-store"]
+        assert report["FailedOver"] is None
+        assert report["Health"]["alice-store"]["Missed"] == 0
+        # Now the primary actually dies mid-storm.  Detection is the
+        # usual miss_threshold rounds — brownout does not slow it down.
+        system.network.unregister_host("alice-store")
+        result = None
+        for _ in range(manager.miss_threshold):
+            result = manager.heartbeat()["alice-store"]["FailedOver"]
+        assert result is not None
+        assert result["Promoted"] == "alice-store-r1"
+        # The replica never saw the storm: releases flow immediately and
+        # still conform to the oracle.
+        pieces = bob.fetch("alice")
+        assert len(pieces) > 0
+        assert oracle_check(pieces, "failover") == []
+
+    def test_promoted_replica_enforces_admission_too(self, tmp_path):
+        system, _, bob = build(tmp_path, retry=NO_RETRY)
+        manager = system.broker.failover
+        system.network.unregister_host("alice-store")
+        for _ in range(manager.miss_threshold):
+            manager.heartbeat()
+        assert system.broker.registry.get("alice").host == "alice-store-r1"
+        # The promoted store inherits enforce mode: a storm against it
+        # sheds queries with the same typed, privacy-clean 503.
+        storm(system, "alice-store-r1")
+        with pytest.raises(OverloadedError) as excinfo:
+            bob.fetch("alice")
+        assert excinfo.value.retry_after_ms >= 250
+        system.clock.advance(60_000)
+        assert len(bob.fetch("alice")) > 0  # the storm drains, service returns

@@ -102,3 +102,59 @@ class TestOfflineQueue:
         system.clock.advance(10_000)
         assert phone.drain_offline() == 0
         assert len(alice.view_data()) > 0  # flush finally finalized segments
+
+
+class TestRetryAfterBackoff:
+    """The agent honors typed-503 Retry-After hints from a shedding store."""
+
+    def build_enforcing(self):
+        system = SensorSafeSystem(seed=11, overload="enforce", retry=NO_RETRY)
+        alice = system.add_contributor("alice")
+        alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+        phone = alice.phone(PhoneConfig(upload_batch_packets=10))
+        system.clock.advance(60_000)  # setup backlog drains before the test
+        return system, alice, phone
+
+    def overload_store(self, system, n=300):
+        # n uploads x 4ms = past the upload-class queue budget (1000ms),
+        # so the store sheds further uploads with a typed 503.
+        for _ in range(n):
+            system.network.request("POST", "https://alice-store/api/upload", {})
+
+    def test_shed_upload_buffers_and_arms_backoff(self):
+        system, _, phone = self.build_enforcing()
+        self.overload_store(system)
+        phone.upload(make_packets(10))
+        assert phone.stats.packets_delivered == 0
+        assert phone.stats.upload_failures == 1
+        assert phone.offline_backlog == 10
+        # Inside the Retry-After window the agent does not even dial out.
+        before = system.network.metrics_of("alice-store").requests_in
+        phone.upload(make_packets(5))
+        assert phone.stats.upload_backoffs == 1
+        assert system.network.metrics_of("alice-store").requests_in == before
+        assert phone.offline_backlog == 15
+
+    def test_drain_waits_out_the_window_then_delivers(self):
+        system, alice, phone = self.build_enforcing()
+        self.overload_store(system)
+        phone.upload(make_packets(10))
+        assert phone.offline_backlog == 10
+        # drain_offline sleeps past the Retry-After window on the simulated
+        # clock; the backlog drains and redelivery succeeds.
+        assert phone.drain_offline() == 0
+        assert phone.stats.packets_delivered == 10
+        assert phone.stats.packets_recovered == 10
+        assert phone.stats.packets_lost == 0
+        assert len(alice.view_data()) > 0
+
+    def test_backoff_window_expires_naturally(self):
+        system, _, phone = self.build_enforcing()
+        self.overload_store(system)
+        phone.upload(make_packets(10))
+        # Once simulated time passes the hint, uploads flow again without
+        # an explicit drain call.
+        system.clock.advance(60_000)
+        phone.upload(make_packets(5))
+        assert phone.stats.packets_delivered == 15  # backlog + new batch
+        assert phone.offline_backlog == 0

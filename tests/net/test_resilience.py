@@ -6,12 +6,13 @@ from repro.exceptions import (
     BadRequestError,
     CircuitOpenError,
     NetworkUnavailableError,
+    OverloadedError,
     ServiceError,
 )
 from repro.net.client import HttpClient
 from repro.net.faults import FaultPlan, SimClock
 from repro.net.http import Router, json_response
-from repro.net.resilience import NO_RETRY, CircuitBreaker, RetryPolicy
+from repro.net.resilience import NO_RETRY, CircuitBreaker, RetryBudget, RetryPolicy
 from repro.net.transport import Network
 
 
@@ -117,6 +118,73 @@ class TestClientRetries:
         assert other.breakers is client.breakers
 
 
+class TestRetryBudget:
+    def test_starts_full_and_spends_whole_tokens(self):
+        budget = RetryBudget(capacity=2)
+        assert budget.take()
+        assert budget.take()
+        assert not budget.take()
+        assert budget.spent == 2
+        assert budget.exhausted == 1
+
+    def test_successes_earn_fractional_tokens(self):
+        budget = RetryBudget(capacity=2, earn_ratio=0.1)
+        budget.take()
+        budget.take()
+        for _ in range(9):
+            budget.deposit()
+        assert not budget.take()  # ~0.9 tokens: still short of a whole one
+        budget.deposit()
+        budget.deposit()  # two more: comfortably past 1.0 despite fp error
+        assert budget.take()
+
+    def test_deposit_caps_at_capacity(self):
+        budget = RetryBudget(capacity=1, earn_ratio=0.5)
+        for _ in range(10):
+            budget.deposit()
+        assert budget.tokens == 1.0
+
+    def test_exhausted_budget_stops_client_retries(self):
+        plan = FaultPlan()
+        plan.add_drop("store")
+        network, _ = make_network(plan)
+        budget = RetryBudget(capacity=1)
+        client = HttpClient(
+            network, retry=RetryPolicy(max_attempts=5, jitter=0),
+            retry_budget=budget,
+        )
+        with pytest.raises(NetworkUnavailableError):
+            client.post("https://store/api/echo")
+        # Attempt 1 + one budgeted retry; attempts 3-5 never happened.
+        assert budget.spent == 1
+        assert budget.exhausted == 1
+        assert network.obs.metrics.counter_value(
+            "retry_budget_exhausted_total", host="store"
+        ) == 1
+        assert network.obs.metrics.counter_value(
+            "client_retry_attempts_total", host="store"
+        ) == 1
+
+    def test_budget_shared_across_with_key_copies(self):
+        network, _ = make_network()
+        budget = RetryBudget()
+        client = HttpClient(network, retry=RetryPolicy(), retry_budget=budget)
+        assert client.with_key("k").retry_budget is budget
+
+    def test_successful_calls_refill_the_budget(self):
+        plan = FaultPlan()
+        plan.add_flaky("store", fail_first=1)
+        network, _ = make_network(plan)
+        budget = RetryBudget(capacity=5)
+        client = HttpClient(
+            network, retry=RetryPolicy(max_attempts=3, jitter=0),
+            retry_budget=budget,
+        )
+        client.post("https://store/api/echo")  # one retry spent, then success
+        assert budget.spent == 1
+        assert budget.tokens == pytest.approx(4.1)
+
+
 class TestCircuitBreaker:
     def test_opens_after_threshold(self):
         breaker = CircuitBreaker(failure_threshold=3, reset_timeout_ms=1_000)
@@ -166,6 +234,49 @@ class TestCircuitBreaker:
         with pytest.raises(CircuitOpenError):
             client.post("https://store/api/echo")
         assert plan.rules[0].hits == requests_before  # shed without sending
+
+    def test_backpressure_clears_streak_without_opening(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0)
+        breaker.record_backpressure()
+        breaker.record_failure(0)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_backpressure_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_ms=1_000)
+        breaker.record_failure(0)
+        assert breaker.allow(1_000)  # half-open probe
+        breaker.record_backpressure()  # the probe got a typed 503: host lives
+        assert breaker.state == "closed"
+        assert breaker.allow(1_001)
+
+    def test_overload_sheds_never_trip_the_breaker(self):
+        """Regression: brownout 503s tripping breakers caused traffic
+        oscillation (shed -> trip -> drain -> close -> flood -> shed)."""
+        network = Network()
+        router = Router()
+
+        def overloaded(req):
+            raise OverloadedError("busy", retry_after_ms=300)
+
+        router.add("POST", "/api/echo", overloaded)
+        router.add(
+            "POST", "/api/broken",
+            lambda req: json_response({"Error": "boom"}, status=503),
+        )
+        network.register_host("store", router)
+        client = HttpClient(network, retry=RetryPolicy(max_attempts=2, jitter=0))
+        breaker = client.breakers["store"] = CircuitBreaker(failure_threshold=3)
+        for _ in range(20):
+            with pytest.raises(OverloadedError):
+                client.post("https://store/api/echo")
+        assert breaker.state == "closed"  # backpressure, not failure
+        assert breaker.times_opened == 0
+        # An *unexplained* 503 still counts against the breaker.
+        for _ in range(2):
+            with pytest.raises((ServiceError, CircuitOpenError)):
+                client.post("https://store/api/broken")
+        assert breaker.state == "open"
 
     def test_client_recovers_after_reset_timeout(self):
         clock = SimClock()

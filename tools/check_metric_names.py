@@ -50,6 +50,19 @@ _HISTOGRAM_UNITS = ("_us", "_ms", "_seconds", "_bytes", "_frames", "_count")
 _BAD_UNIT_SUFFIXES = ("_sec", "_secs", "_millis", "_msec", "_usec", "_kb", "_mb")
 #: Keyword arguments on instrument factories that are not metric labels.
 _NON_LABEL_KWARGS = {"callback", "buckets"}
+#: Metric families the overload-control subsystem must export: dashboards
+#: and the C16 benchmark key on these, so a rename (or an accidental
+#: deletion) of any of them is a gate failure, not a silent drift.
+_REQUIRED_NAMES = (
+    "admission_requests_total",
+    "admission_served_total",
+    "admission_shed_total",
+    "admission_would_shed_total",
+    "admission_queue_depth",
+    "admission_queue_ms",
+    "concurrency_limit",
+    "retry_budget_exhausted_total",
+)
 
 
 def iter_source_files(root: str):
@@ -136,14 +149,23 @@ def main(argv=None) -> int:
 
     failures = []
     seen = 0
+    names_seen = set()
     for path in iter_source_files(SRC_ROOT):
         rel = os.path.relpath(path, REPO_ROOT)
         for lineno, kind, name, problems in scan_file(path):
             seen += 1
+            names_seen.add(name)
             if options.list:
                 print(f"{rel}:{lineno}: {kind} {name}")
             for problem in problems:
                 failures.append(f"{rel}:{lineno}: {problem}")
+
+    for required in _REQUIRED_NAMES:
+        if required not in names_seen:
+            failures.append(
+                f"required metric {required!r} is not created anywhere "
+                "under src/repro/ (renamed or deleted?)"
+            )
 
     if failures:
         print(f"{len(failures)} metric-naming violation(s):", file=sys.stderr)
