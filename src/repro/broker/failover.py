@@ -335,7 +335,10 @@ class FailoverManager:
         group.missed[promoted] = 0
         group.failovers += 1
         self._rewire(group)
-        moved = self.broker.registry.repoint_host(old_primary, promoted)
+        # Through the directory, not the raw registry: a failover is a
+        # route change, and every route change bumps the routing epoch so
+        # clients' cached (host, epoch) pairs date themselves.
+        moved = self.broker.directory.repoint(old_primary, promoted)
         # Converge the mirror with the promoted store: fencing denies
         # carry bumped versions and must win; force-pull makes the store
         # the authority exactly as restart reconciliation does.

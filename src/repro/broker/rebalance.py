@@ -1,0 +1,260 @@
+"""Online shard split/migration: the broker-driven rebalance coordinator.
+
+A migration moves a contributor range from one shard to another while
+both keep serving, with the WAL as the transfer log.  The phase machine
+(documented with a diagram in ``docs/ARCHITECTURE.md``):
+
+1. **bootstrap** — ``/api/migrate/export`` (FromLsn 0) snapshots the
+   moving contributors' durable state, WAL-shaped;
+   ``/api/migrate/install`` replays it through the destination's
+   recovery path and re-journals it there.
+2. **catch-up** — bounded rounds of filtered WAL-tail export/install
+   drain writes that raced the bootstrap, until a round comes back
+   empty (or the bound trips — the fence drains the rest).
+3. **fence** — ``/api/migrate/fence`` marks the range ``moved_out`` on
+   the source: from that instant every request naming a moved
+   contributor bounces with :class:`~repro.exceptions.NotPrimaryError`
+   (the old shard self-demotes for exactly that range), and the fence
+   response pins the source's final LSN.
+4. **drain** — one last export from the pre-fence cursor provably
+   captures every write that committed before the fence: zero
+   committed-write loss across the cutover.
+5. **verify (fail-closed)** — ``/api/migrate/complete`` checks the
+   destination's installed rule versions against the broker mirror;
+   any contributor whose rule state isn't verifiably current is denied
+   by default until their owner re-publishes (the promotion fence from
+   :mod:`repro.broker.failover`).  A migration may deny; it must never
+   widen access.
+6. **cutover** — :meth:`~repro.broker.directory.ShardDirectory.move`
+   repoints the moved range in ONE routing-epoch bump, the mirror
+   force-pulls from the destination, and escrowed consumers are
+   re-registered there.  Contributor phones re-key lazily via the
+   existing :meth:`~repro.core.system.SensorSafeSystem
+   .repoint_contributor` runbook step.
+
+Order matters: the fence precedes the cutover, so there is no instant
+at which both shards would accept writes for the same contributor — the
+window shows up as one fenced retry on the client, not as divergence.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import (
+    BadRequestError,
+    SensorSafeError,
+    ServiceError,
+    TransportError,
+)
+
+#: Catch-up export/install rounds before fencing; each round shrinks the
+#: remaining delta, and the post-fence drain is what guarantees zero
+#: loss, so the bound trades fence-window length against pre-fence work.
+DEFAULT_CATCHUP_ROUNDS = 3
+
+
+class ShardRebalancer:
+    """Drives contributor-range migrations between the broker's shards."""
+
+    def __init__(self, broker, *, catchup_rounds: int = DEFAULT_CATCHUP_ROUNDS):
+        self.broker = broker
+        self.catchup_rounds = max(0, int(catchup_rounds))
+        #: Trace-stamped migration audit records, newest last (same shape
+        #: as failover events; surfaced in the fleet snapshot).
+        self.events: list = []
+        self.active = 0
+        obs = broker.network.obs
+        self.obs = obs if obs is not None and obs.enabled else None
+        if self.obs is not None:
+            m = self.obs.metrics
+            self._c_migrations = m.counter("migrations_total")
+            self._c_shipped = m.counter("migration_records_shipped_total")
+            self._c_failclosed = m.counter("migration_failclosed_total")
+            self._h_duration = m.histogram("migration_ms")
+            m.gauge("migration_active", callback=lambda: self.active)
+        else:
+            self._c_migrations = None
+            self._c_shipped = None
+            self._c_failclosed = None
+            self._h_duration = None
+
+    # ------------------------------------------------------------------
+    # Store RPC plumbing
+    # ------------------------------------------------------------------
+
+    def _store_call(self, host: str, path: str, body: dict) -> dict:
+        key = self.broker.store_keys.get(host)
+        if key is None:
+            raise ServiceError(f"no broker key for store host {host!r}", status=404)
+        return self.broker.client.with_key(key).post(f"https://{host}{path}", body)
+
+    def _export(self, source: str, contributors: list, from_lsn: int) -> dict:
+        return self._store_call(
+            source,
+            "/api/migrate/export",
+            {"Contributors": contributors, "FromLsn": int(from_lsn)},
+        )
+
+    def _install(self, dest: str, records: list) -> dict:
+        result = self._store_call(dest, "/api/migrate/install", {"Records": records})
+        if self._c_shipped is not None and records:
+            self._c_shipped.inc(len(records))
+        return result
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+
+    def migrate(self, contributors, dest_host: str) -> dict:
+        """Move a contributor range to ``dest_host`` (phases 1–6 above)."""
+        tracer = self.broker.network.obs.tracer
+        with tracer.start_span("shard.migrate", dest=dest_host) as span:
+            return self._migrate(contributors, dest_host, span)
+
+    def _migrate(self, contributors, dest_host: str, span) -> dict:
+        names = sorted(set(str(c) for c in contributors))
+        if not names:
+            return {"Moved": 0, "Source": None, "Dest": dest_host,
+                    "FailClosed": [], "RecordsShipped": 0}
+        sources = {self.broker.registry.get(name).host for name in names}
+        if len(sources) != 1:
+            raise BadRequestError(
+                f"one source shard per migration, got {sorted(sources)}"
+            )
+        source = sources.pop()
+        if source == dest_host:
+            return {"Moved": 0, "Source": source, "Dest": dest_host,
+                    "FailClosed": [], "RecordsShipped": 0}
+        clock = self.broker.network.clock
+        started_ms = clock.now_ms()
+        self.active += 1
+        try:
+            # Phase 1: snapshot bootstrap.  The export pins LastLsn before
+            # reading state, so the first catch-up covers racing writes.
+            export = self._export(source, names, 0)
+            cursor = int(export.get("LastLsn", 0))
+            shipped = len(export.get("Records", []))
+            self._install(dest_host, export.get("Records", []))
+            # Phase 2: bounded catch-up.  A non-durable source has no WAL
+            # to tail — its "delta" is a fresh snapshot, which idempotent
+            # records make safe; one round of that is enough pre-fence.
+            for _ in range(self.catchup_rounds):
+                delta = self._export(source, names, max(cursor, 1))
+                records = delta.get("Records", [])
+                cursor = max(cursor, int(delta.get("LastLsn", 0)))
+                if records:
+                    shipped += len(records)
+                    self._install(dest_host, records)
+                if not records or delta.get("Base") == "snapshot":
+                    break
+            # Phase 3: fence the source — the moved range now answers 409.
+            fence = self._store_call(
+                source,
+                "/api/migrate/fence",
+                {"Contributors": names, "Dest": dest_host},
+            )
+            final_lsn = int(fence.get("LastLsn", 0))
+            # Phase 4: final drain — everything committed before the fence.
+            if final_lsn > cursor or cursor == 0:
+                drain = self._export(source, names, max(cursor, 1))
+                records = drain.get("Records", [])
+                if records:
+                    shipped += len(records)
+                    self._install(dest_host, records)
+            # Phase 5: fail-closed verification against the broker mirror.
+            versions = {
+                name: self.broker.registry.get(name).rules_version
+                for name in names
+            }
+            complete = self._store_call(
+                dest_host, "/api/migrate/complete", {"RuleVersions": versions}
+            )
+            fail_closed = sorted(complete.get("FailClosed", []))
+            # Phase 6: cutover — one routing-epoch bump repoints the range.
+            moved = self.broker.directory.move(names, dest_host)
+            epoch = self.broker.directory.routing_epoch
+            self._converge_mirror(names, dest_host)
+            reregistered = self.broker.failover._reregister_consumers(
+                source, dest_host
+            )
+        finally:
+            self.active -= 1
+        duration_ms = clock.now_ms() - started_ms
+        if self._c_migrations is not None:
+            self._c_migrations.inc()
+            if fail_closed:
+                self._c_failclosed.inc(len(fail_closed))
+            self._h_duration.observe(duration_ms)
+        span.set_attributes(source=source, moved=moved, epoch=epoch)
+        report = {
+            "Moved": moved,
+            "Source": source,
+            "Dest": dest_host,
+            "RoutingEpoch": epoch,
+            "RecordsShipped": shipped,
+            "FailClosed": fail_closed,
+            "ConsumersReRegistered": reregistered,
+            "DurationMs": duration_ms,
+            "TraceId": span.trace_id,
+        }
+        self.events.append({
+            "Event": "migrate",
+            "Source": source,
+            "Dest": dest_host,
+            "Contributors": len(names),
+            "Moved": moved,
+            "RecordsShipped": shipped,
+            "FailClosed": fail_closed,
+            "RoutingEpoch": epoch,
+            "AtMs": int(clock.now_ms()),
+            "DurationMs": duration_ms,
+            "TraceId": span.trace_id,
+        })
+        return report
+
+    def _converge_mirror(self, names: list, dest_host: str) -> None:
+        """Force-pull the moved range from the destination (store is
+        authority — fail-closed denies there carry bumped versions and
+        must win over the mirror, exactly as restart reconciliation)."""
+        key = self.broker.store_keys.get(dest_host)
+        if key is None:
+            return
+        for name in names:
+            try:
+                self.broker.sync.pull(self.broker.client, name, key, force=True)
+            except (TransportError, SensorSafeError):
+                self.broker.sync._stale.add(name)
+
+    # ------------------------------------------------------------------
+    # Split
+    # ------------------------------------------------------------------
+
+    def split_shard(self, source_host: str, dest_host: str) -> dict:
+        """Split one shard: ring-add the destination, move its range.
+
+        The destination joins the ring *first*, so contributors who
+        register mid-split already land there; the migration then moves
+        exactly the existing contributors whose ring placement is the new
+        shard.  Requires the destination store to be broker-attached.
+        """
+        if dest_host not in self.broker.store_keys:
+            raise ServiceError(
+                f"destination {dest_host!r} is not broker-attached", status=404
+            )
+        directory = self.broker.directory
+        if dest_host not in directory.ring:
+            directory.add_shard(dest_host)
+        plan = directory.plan_split(source_host, dest_host)
+        report = self.migrate(plan, dest_host)
+        report["Planned"] = len(plan)
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        return {
+            "Active": self.active,
+            "Migrations": sum(1 for e in self.events if e["Event"] == "migrate"),
+            "Events": list(self.events[-20:]),
+        }

@@ -55,6 +55,9 @@ class SyncStats:
     recovered: int = 0
     #: failed pulls per store host, across the manager's lifetime.
     host_failures: dict = field(default_factory=dict)
+    #: wall-clock ms the most recent pull round spent per store host —
+    #: the per-host timing breakdown that shows which shard stalls a pull.
+    host_pull_ms: dict = field(default_factory=dict)
 
 
 class SyncManager:
@@ -139,50 +142,96 @@ class SyncManager:
         )
         return self.apply_profile(body, via_pull=True, force=force)
 
-    def pull_all(self, client: HttpClient, store_keys: dict) -> int:
+    def pull_all(
+        self,
+        client: HttpClient,
+        store_keys: dict,
+        *,
+        deadline_ms: int = 10_000,
+    ) -> int:
         """Pull every registered contributor; returns profiles applied.
 
-        Degrades gracefully under faults: a store that fails one pull is
-        skipped for the rest of the round (its other contributors are
-        marked stale rather than hammered), per-host failures are counted
-        in :attr:`SyncStats.host_failures`, and contributors left stale by
-        an earlier round are retried — and counted as recovered — once
-        their store answers again.
+        Fans out *per shard*: contributors are grouped by store host and
+        each host answers one bulk ``/api/profiles`` request under a
+        ``deadline_ms`` budget, so a slow or dead shard costs the round
+        one bounded request instead of stalling it host-by-host (the
+        pre-sharding behavior pulled one profile at a time and a single
+        slow host serialized everything behind it).
+
+        Per-shard partial-failure accounting: a shard that fails its bulk
+        pull is charged one failure, its remaining contributors are
+        counted ``skipped_broken_host`` and marked stale rather than
+        hammered, and every *other* shard still pulls.  Contributors left
+        stale by an earlier round are retried — and counted as recovered —
+        once their shard answers again.  Per-host wall time lands in
+        :attr:`SyncStats.host_pull_ms` and the ``sync_host_pull_ms``
+        histogram.
         """
-        applied = 0
-        broken_hosts: set[str] = set()
+        import time
+
+        by_host: dict[str, list] = {}
         for name in self.registry.names():
-            record = self.registry.get(name)
-            key = store_keys.get(record.host)
+            by_host.setdefault(self.registry.get(name).host, []).append(name)
+        applied = 0
+        for host in sorted(by_host):
+            names = by_host[host]
+            key = store_keys.get(host)
             if key is None:
-                self.stats.skipped_no_key += 1
+                self.stats.skipped_no_key += len(names)
                 if self._c_pulls is not None:
-                    self._c_skipped.inc()
+                    self._c_skipped.inc(len(names))
                 continue
-            if record.host in broken_hosts:
-                self.stats.skipped_broken_host += 1
-                self._stale.add(name)
-                if self._c_pulls is not None:
-                    self._c_skipped.inc()
-                continue
+            started = time.perf_counter()
             try:
-                fresh = self.pull(client, name, key)
-            except (TransportError, ServiceError):
-                self.stats.pull_failures += 1
-                self.stats.host_failures[record.host] = (
-                    self.stats.host_failures.get(record.host, 0) + 1
+                body = client.with_key(key).post(
+                    f"https://{host}/api/profiles",
+                    {"Contributors": names},
+                    deadline_ms=deadline_ms,
                 )
-                broken_hosts.add(record.host)
-                self._stale.add(name)
+            except (TransportError, ServiceError):
+                self._observe_host_ms(host, started)
+                # One charged failure for the shard; the rest of its
+                # contributors are skipped, all of them go stale.
+                self.stats.pull_failures += 1
+                self.stats.host_failures[host] = (
+                    self.stats.host_failures.get(host, 0) + 1
+                )
+                self.stats.skipped_broken_host += len(names) - 1
+                self._stale.update(names)
                 if self._c_pulls is not None:
                     self._c_failures.inc()
+                    if len(names) > 1:
+                        self._c_skipped.inc(len(names) - 1)
                 continue
-            if name in self._stale:
-                self._stale.discard(name)
-                self.stats.recovered += 1
-            if fresh:
-                applied += 1
+            self._observe_host_ms(host, started)
+            missing = set(str(m) for m in body.get("Missing", []))
+            for profile in body.get("Profiles", []):
+                name = str(profile.get("Contributor", ""))
+                fresh = self.apply_profile(profile, via_pull=True)
+                if name in self._stale:
+                    self._stale.discard(name)
+                    self.stats.recovered += 1
+                if fresh:
+                    applied += 1
+            for name in names:
+                if name in missing:
+                    # Unknown (or migrated away) at the shard we asked:
+                    # stale until the directory repoints and re-pulls.
+                    self.stats.pull_failures += 1
+                    self._stale.add(name)
+                    if self._c_pulls is not None:
+                        self._c_failures.inc()
         return applied
+
+    def _observe_host_ms(self, host: str, started: float) -> None:
+        import time
+
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        self.stats.host_pull_ms[host] = elapsed_ms
+        if self.obs is not None:
+            self.obs.metrics.histogram("sync_host_pull_ms", store=host).observe(
+                elapsed_ms
+            )
 
     def reconcile_host(self, client: HttpClient, host: str, store_keys: dict) -> dict:
         """Re-pull every contributor of one store after it restarts.

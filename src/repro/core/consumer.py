@@ -26,7 +26,18 @@ class Consumer:
         self.broker_host = broker_host
         self.client = client
         self._key_ring: dict = {}
-        self._hosts: dict = {}  # contributor -> store host
+        self._hosts: dict = {}  # contributor -> store host (route cache)
+        #: Highest broker routing epoch this client has observed.  Purely
+        #: informational on the client: correctness comes from the fence
+        #: (a stale cached host answers 409 and we re-resolve), not from
+        #: comparing epochs — the epoch lets tests and operators assert
+        #: convergence ("the client caught up to the cutover's epoch").
+        self._route_epoch = 0
+
+    def _obs(self):
+        network = getattr(self.client, "network", None)
+        obs = getattr(network, "obs", None)
+        return obs if obs is not None and obs.enabled else None
 
     def _broker(self, path: str) -> str:
         return f"https://{self.broker_host}{path}"
@@ -86,11 +97,42 @@ class Consumer:
     # Data access (direct to stores)
     # ------------------------------------------------------------------
 
-    def _store_client(self, contributor: str) -> tuple:
+    def resolve(self, contributor: str, *, force: bool = False):
+        """The contributor's store host: route-cache hit or one lookup.
+
+        A hit costs the broker nothing — which is the point of the
+        directory design: at fleet scale the broker answers one ``/api/
+        route`` per (consumer, contributor) pair per topology change, not
+        one per query.  ``force=True`` drops the cached route first (the
+        fenced-retry path).  Returns ``None`` for unknown contributors.
+        """
+        from repro.exceptions import NotFoundError
+
+        if force:
+            self._hosts.pop(contributor, None)
         host = self._hosts.get(contributor)
-        if host is None:
-            self.list_contributors()
-            host = self._hosts.get(contributor)
+        obs = self._obs()
+        if host is not None:
+            if obs is not None:
+                obs.metrics.counter("route_cache_hits_total").inc()
+            return host
+        try:
+            body = self.client.post(
+                self._broker("/api/route"), {"Contributor": contributor}
+            )
+        except NotFoundError:
+            return None
+        host = str(body["Host"])
+        self._hosts[contributor] = host
+        self._route_epoch = max(
+            self._route_epoch, int(body.get("RoutingEpoch", 0))
+        )
+        if obs is not None:
+            obs.metrics.counter("route_cache_misses_total").inc()
+        return host
+
+    def _store_client(self, contributor: str) -> tuple:
+        host = self.resolve(contributor)
         key = self._key_ring.get(host) if host else None
         if key is None:
             self.refresh_keys()
@@ -101,11 +143,12 @@ class Consumer:
         """POST to a contributor's store, re-resolving once on failover.
 
         A store that answers :class:`~repro.exceptions.NotPrimaryError`
-        was demoted — the broker has (or will have) promoted a replica
-        and re-pointed the directory.  An unreachable host may be a dead
-        primary mid-failover.  Either way the cure is the same: forget
-        the cached host, re-ask the broker, refresh the key ring, and
-        retry exactly once against the new primary.
+        was demoted — or the contributor migrated to another shard and
+        the old shard fenced the request.  An unreachable host may be a
+        dead primary mid-failover.  Either way the cure is the same:
+        forget the cached route, re-resolve at the broker directory,
+        refresh the key ring, and retry exactly once against the new
+        host.  One fenced retry, then the client has converged.
         """
         from repro.exceptions import AuthorizationError, NotPrimaryError, TransportError
 
@@ -118,8 +161,7 @@ class Consumer:
         try:
             return self.client.with_key(key).post(f"https://{host}{path}", dict(body))
         except (NotPrimaryError, TransportError):
-            self._hosts.pop(contributor, None)
-            self.list_contributors()
+            self.resolve(contributor, force=True)
             self.refresh_keys()
             new_host, new_key = self._store_client(contributor)
             if new_host is None or new_key is None or (new_host, new_key) == (host, key):

@@ -80,6 +80,8 @@ class SensorSafeSystem:
         merge_policy: Optional[MergePolicy] = None,
         directory: Optional[str] = None,
         enforce_closure: bool = True,
+        durable: bool = False,
+        wal_sync: str = "group",
     ) -> DataStoreService:
         """Create a remote data store and pair it with the broker.
 
@@ -97,11 +99,84 @@ class SensorSafeSystem:
             directory=directory,
             seed=self.seed,
             enforce_closure=enforce_closure,
+            durable=durable,
+            wal_sync=wal_sync,
             overload=self.overload,
         )
         self.stores[host] = store
         self.broker.attach_store(store, eager_sync=self.eager_sync)
         return store
+
+    def create_shard_fleet(
+        self,
+        n_shards: int,
+        *,
+        prefix: str = "shard",
+        institution: str = "self-hosted",
+        directory: Optional[str] = None,
+        durable: bool = False,
+        wal_sync: str = "group",
+    ) -> list:
+        """Create N store shards and put them on the broker's hash ring.
+
+        Once a fleet exists, :meth:`add_contributor` places new
+        contributors on shards by consistent hashing instead of creating
+        one personal store per contributor — the smart-city topology the
+        C14 benchmark measures.  With ``durable=True`` each shard gets a
+        WAL under ``directory/<host>`` (required for WAL-based shard
+        migration; non-durable shards migrate by full snapshot).
+        Returns the shard services, hosts ``{prefix}-1 … -N``.
+        """
+        import os
+
+        shards = []
+        for i in range(1, max(1, int(n_shards)) + 1):
+            host = f"{prefix}-{i}"
+            shards.append(
+                self.create_store(
+                    host,
+                    institution=institution,
+                    directory=(
+                        os.path.join(directory, host) if directory else None
+                    ),
+                    durable=durable and directory is not None,
+                    wal_sync=wal_sync,
+                )
+            )
+            self.broker.directory.add_shard(host)
+        return shards
+
+    def split_shard(
+        self,
+        source_host: str,
+        dest_host: str,
+        *,
+        institution: str = "self-hosted",
+        directory: Optional[str] = None,
+        durable: bool = False,
+        wal_sync: str = "group",
+    ) -> dict:
+        """Split one shard online: create/ring-add ``dest_host``, migrate.
+
+        The destination joins the ring first (new registrations land
+        there immediately); the migration then moves exactly the
+        contributors whose ring placement is the new shard — bootstrap,
+        WAL catch-up, fence, drain, fail-closed verify, cutover (see
+        :mod:`repro.broker.rebalance`).  Returns the migration report.
+        """
+        import os
+
+        if dest_host not in self.stores:
+            self.create_store(
+                dest_host,
+                institution=institution,
+                directory=(
+                    os.path.join(directory, dest_host) if directory else None
+                ),
+                durable=durable and directory is not None,
+                wal_sync=wal_sync,
+            )
+        return self.broker.rebalancer.split_shard(source_host, dest_host)
 
     def create_replicated_store(
         self,
@@ -174,10 +249,16 @@ class SensorSafeSystem:
         """Register a data contributor; creates a personal store if needed.
 
         Registration at the store automatically registers the contributor
-        on the broker too, as the paper prescribes.
+        on the broker too, as the paper prescribes.  When a shard fleet
+        exists (:meth:`create_shard_fleet`) and no explicit store is
+        given, the contributor is *placed* on a shard by consistent
+        hashing instead of getting a personal store.
         """
         if name in self.contributors:
             raise ConflictError(f"contributor already exists: {name!r}")
+        if store is None:
+            placed = self.broker.directory.place(name)
+            store = self.stores.get(placed) if placed else None
         if store is None:
             store = self.create_store(f"{name}-store")
         api_key = store.register_contributor(name, password)

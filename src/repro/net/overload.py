@@ -95,6 +95,11 @@ STORE_ROUTE_CLASSES = {
     "POST /api/places/set": CLASS_CONTROL,
     "POST /api/places/list": CLASS_CONTROL,
     "POST /api/profile": CLASS_CONTROL,
+    "POST /api/profiles": CLASS_CONTROL,
+    "POST /api/migrate/export": CLASS_REPLICATION,
+    "POST /api/migrate/install": CLASS_REPLICATION,
+    "POST /api/migrate/fence": CLASS_CONTROL,
+    "POST /api/migrate/complete": CLASS_CONTROL,
     "POST /api/membership/set": CLASS_CONTROL,
     "POST /api/recovery": CLASS_CONTROL,
     "POST /api/health": CLASS_CONTROL,
@@ -126,6 +131,8 @@ BROKER_ROUTE_CLASSES = {
     "POST /api/studies/join": CLASS_CONTROL,
     "POST /api/sync": CLASS_REPLICATION,
     "POST /api/replicas/status": CLASS_CONTROL,
+    "POST /api/route": CLASS_CONTROL,
+    "POST /api/shards/status": CLASS_CONTROL,
     "POST /api/search": CLASS_QUERY,
     "POST /api/data": CLASS_QUERY,
     "GET /api/metrics": CLASS_SCRAPE,

@@ -236,9 +236,28 @@ class FleetAggregator:
             "Slo": obs.slo.report(at_ms=now),
             "SlowQueries": obs.costs.slow_queries(limit=10),
             "FailoverEvents": [dict(e) for e in self.broker.failover.events],
+            "Shards": self._shard_section(),
         }
         self.last_snapshot = snapshot
         return snapshot
+
+    def _shard_section(self) -> dict:
+        """Routing-table + rebalance summary for the fleet snapshot.
+
+        Tolerates a broker without the directory wiring (older drills)
+        by returning an empty section rather than failing the scrape.
+        """
+        directory = getattr(self.broker, "directory", None)
+        rebalancer = getattr(self.broker, "rebalancer", None)
+        if directory is None:
+            return {}
+        return {
+            "Directory": directory.status(),
+            "MigrationEvents": (
+                [dict(e) for e in rebalancer.events] if rebalancer else []
+            ),
+            "ActiveMigrations": rebalancer.active if rebalancer else 0,
+        }
 
     def maybe_scrape(self) -> Optional[dict]:
         """Scrape iff the configured interval elapsed (heartbeat-driven).
@@ -361,6 +380,27 @@ def render_fleet(snapshot: dict) -> str:
                 f"  {event.get('Event', '?'):<10} set={event.get('Set', '?')} "
                 f"host={event.get('Host', '?')} epoch={event.get('Epoch', 0)} "
                 f"at={event.get('AtMs', 0)}ms trace={event.get('TraceId', '')}"
+            )
+    shards = snapshot.get("Shards", {})
+    directory = shards.get("Directory", {})
+    if directory.get("Shards"):
+        lines += [
+            "",
+            f"shards (routing epoch {directory.get('Epoch', 0)}, "
+            f"{directory.get('Contributors', 0)} contributors, "
+            f"{directory.get('OffRing', 0)} off-ring, "
+            f"{shards.get('ActiveMigrations', 0)} migrating):",
+        ]
+        for host, count in sorted(directory["Shards"].items()):
+            lines.append(f"  {host:<18} {_fmt_count(count):>8} contributors")
+        for event in shards.get("MigrationEvents", []):
+            lines.append(
+                f"  migrate {event.get('Source', '?')} -> {event.get('Dest', '?')} "
+                f"moved={event.get('Moved', 0)} "
+                f"records={event.get('RecordsShipped', 0)} "
+                f"fail_closed={len(event.get('FailClosed', []))} "
+                f"epoch={event.get('RoutingEpoch', 0)} "
+                f"trace={event.get('TraceId', '')}"
             )
     return "\n".join(lines)
 

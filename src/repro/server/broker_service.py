@@ -21,7 +21,9 @@ import time
 
 from repro.auth.accounts import AccountRegistry, ROLE_CONSUMER
 from repro.auth.apikeys import ApiKeyRegistry, KeyEscrow
+from repro.broker.directory import ShardDirectory
 from repro.broker.failover import FailoverManager
+from repro.broker.rebalance import ShardRebalancer
 from repro.broker.registry import ContributorRegistry, StudyRegistry
 from repro.broker.search import ContributorSearch, SearchCriteria
 from repro.broker.sync import SyncManager
@@ -62,6 +64,10 @@ class BrokerService:
         rng = DeterministicRng(seed).fork(f"broker:{host}")
         self.registry = ContributorRegistry()
         self.studies = StudyRegistry()
+        #: The versioned routing table (PR 10): consistent-hash placement
+        #: plus a monotonic routing_epoch that every route change bumps,
+        #: so stale client route caches are unreachable by construction.
+        self.directory = ShardDirectory(self.registry, obs=network.obs)
         self.sync = SyncManager(self.registry, obs=network.obs)
         self.search = ContributorSearch(self.registry, membership=self._membership)
         self.keys = ApiKeyRegistry(f"secret:{host}", rng.fork("keys"))
@@ -74,6 +80,8 @@ class BrokerService:
         self.store_keys: dict[str, str] = {}
         #: replicated-store failure detection and promotion (PR 6).
         self.failover = FailoverManager(self)
+        #: online shard split/migration coordinator (PR 10).
+        self.rebalancer = ShardRebalancer(self)
         #: fleet-wide telemetry aggregation (PR 8): scrapes every paired
         #: host's /api/metrics into versioned, tombstone-aware snapshots.
         self.fleet = FleetAggregator(self)
@@ -132,9 +140,16 @@ class BrokerService:
         """
         return self.registry.register(name, host, institution)
 
-    def pull_profiles(self) -> int:
-        """Periodic-pull sync across every known store."""
-        return self.sync.pull_all(self.client, self.store_keys)
+    def pull_profiles(self, *, deadline_ms: int = 10_000) -> int:
+        """Periodic-pull sync across every known store.
+
+        ``deadline_ms`` bounds each shard's bulk pull so one slow host
+        costs the round a bounded wait, not a stall (see
+        :meth:`SyncManager.pull_all`).
+        """
+        return self.sync.pull_all(
+            self.client, self.store_keys, deadline_ms=deadline_ms
+        )
 
     def reconcile_store(self, store_service) -> dict:
         """Converge with a store that restarted (crash recovery).
@@ -226,6 +241,8 @@ class BrokerService:
         add("POST", "/api/contributors/add", self._h_contributors_add)
         add("POST", "/api/keys", self._h_keys)
         add("POST", "/api/search", self._h_search)
+        add("POST", "/api/route", self._h_route)
+        add("POST", "/api/shards/status", self._h_shards_status)
         add("POST", "/api/lists/save", self._h_lists_save)
         add("POST", "/api/lists/get", self._h_lists_get)
         add("POST", "/api/studies/create", self._h_studies_create)
@@ -286,13 +303,44 @@ class BrokerService:
         obs = self.network.obs
         started = time.perf_counter()
         with obs.tracer.start_span("broker.search", consumer=consumer) as span:
-            matches = self.search.search(criteria)
-            span.set_attribute("matches", len(matches))
+            matches, shard_stats = self.search.search_sharded(criteria)
+            span.set_attributes(
+                matches=len(matches), shards=len(shard_stats)
+            )
         obs.metrics.histogram("broker_search_us").observe(
             (time.perf_counter() - started) * 1e6
         )
         obs.metrics.counter("broker_searches_total").inc()
-        return {"Matches": [{"Contributor": r.name, "Host": r.host} for r in matches]}
+        errors = sum(s["Errors"] for s in shard_stats.values())
+        if errors:
+            obs.metrics.counter("search_shard_errors_total").inc(errors)
+        return {
+            "Matches": [{"Contributor": r.name, "Host": r.host} for r in matches],
+            "RoutingEpoch": self.directory.routing_epoch,
+            "Shards": shard_stats,
+        }
+
+    def _h_route(self, request: Request) -> dict:
+        """Directory lookup: authoritative (host, epoch) for one contributor.
+
+        The client caches the pair and talks to the store directly; when
+        a route goes stale the old shard answers 409 and the client
+        re-resolves here — one bounded retry, never a silent wrong read.
+        """
+        self._authenticate(request)
+        contributor = str(request.body.get("Contributor", ""))
+        if not contributor:
+            raise BadRequestError("route lookup needs a Contributor")
+        host, epoch = self.directory.route(contributor)
+        return {"Contributor": contributor, "Host": host, "RoutingEpoch": epoch}
+
+    def _h_shards_status(self, request: Request) -> dict:
+        """Shard topology + rebalance history, for operators and the CLI."""
+        self._authenticate(request)
+        return {
+            "Directory": self.directory.status(),
+            "Rebalancer": self.rebalancer.status(),
+        }
 
     def _h_lists_save(self, request: Request) -> dict:
         consumer = self._require_consumer(request)

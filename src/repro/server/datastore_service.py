@@ -155,6 +155,14 @@ class DataStoreService:
         #: Contributors whose persisted rules could not be trusted after a
         #: restart: they are deny-by-default until rules are re-published.
         self.fail_closed: set = set()
+        #: Contributors migrated off this store -> destination host.  Any
+        #: request naming them is fenced with :class:`NotPrimaryError` so a
+        #: client's stale route cache self-identifies on first use (same
+        #: 409-then-re-resolve contract as demotion).  In-memory only: a
+        #: restarted source forgets the fence, but by then the broker
+        #: directory already points at the destination, so fresh resolves
+        #: never reach it (documented in docs/OPERATIONS.md).
+        self.moved_out: dict[str, str] = {}
         #: Versioned rule-decision cache for the consumer-query hot path
         #: (``None`` disables it).  Created *before* durability opens so
         #: recovery's wholesale invalidation has a target; a zero capacity
@@ -312,29 +320,7 @@ class DataStoreService:
         """
         self.epoch = max(self.epoch, int(epoch))
         self.role = ROLE_PRIMARY
-        fenced = []
-        for contributor, version in sorted((rule_versions or {}).items()):
-            if self.rules.version_of(contributor) < int(version):
-                # Same shape as recovery's fail-closed sweep: an empty
-                # rule set (default deny) with a version *above* the
-                # broker's, so the deny state wins the next sync instead
-                # of the broker's stale-but-newer-looking mirror.
-                self.rules.register(contributor)
-                self.rules.restore(contributor, [], int(version) + 1)
-                self.fail_closed.add(contributor)
-                self.network.obs.slo.fail_closed_entered(self.host, contributor)
-                fenced.append(contributor)
-                if self.durability is not None:
-                    # Journal the deny itself (restore() fires no hooks):
-                    # a crash right after promotion must recover to deny,
-                    # not to the stale rules this fencing rejected.
-                    from repro.storage.recovery import OP_RULES
-
-                    self.durability._append(
-                        OP_RULES,
-                        self.rules.snapshot(contributor).to_json(),
-                        control=True,
-                    )
+        fenced = self._fence_rule_versions(rule_versions)
         if self.replication is not None:
             # Our stream is the authoritative one now; stop honoring any
             # fencing verdict aimed at the *old* primary's stream.
@@ -350,6 +336,38 @@ class DataStoreService:
             "AppliedLsn": self._applier.applied_lsn if self._applier else 0,
         }
 
+    def _fence_rule_versions(self, rule_versions: Optional[dict]) -> list:
+        """Deny-by-default any contributor whose rules lag the broker mirror.
+
+        The shared handover fence (promotion *and* migration cutover): for
+        each contributor whose applied rule version is older than what the
+        broker last saw — or entirely unknown here — install an empty rule
+        set (default deny) at a version *above* the broker's, so the deny
+        state wins the next sync instead of the broker's stale-but-newer-
+        looking mirror.  Same shape as recovery's fail-closed sweep.  A
+        handover may deny; it must never widen access.
+        """
+        fenced = []
+        for contributor, version in sorted((rule_versions or {}).items()):
+            if self.rules.version_of(contributor) < int(version):
+                self.rules.register(contributor)
+                self.rules.restore(contributor, [], int(version) + 1)
+                self.fail_closed.add(contributor)
+                self.network.obs.slo.fail_closed_entered(self.host, contributor)
+                fenced.append(contributor)
+                if self.durability is not None:
+                    # Journal the deny itself (restore() fires no hooks):
+                    # a crash right after the handover must recover to
+                    # deny, not to the stale rules this fencing rejected.
+                    from repro.storage.recovery import OP_RULES
+
+                    self.durability._append(
+                        OP_RULES,
+                        self.rules.snapshot(contributor).to_json(),
+                        control=True,
+                    )
+        return fenced
+
     def demote(self, epoch: Optional[int] = None) -> dict:
         """Step down to replica (fenced, or administratively demoted)."""
         self.role = ROLE_REPLICA
@@ -362,6 +380,21 @@ class DataStoreService:
             raise NotPrimaryError(
                 f"store {self.host!r} is a replica (epoch {self.epoch}); "
                 "re-resolve the contributor's primary at the broker"
+            )
+
+    def _require_resident(self, contributor: str) -> None:
+        """Fence requests for a contributor migrated off this store.
+
+        Raises the same :class:`NotPrimaryError` (409) as a demoted
+        primary, so the client's existing one-fenced-retry path handles
+        both: drop the cached route, re-resolve at the broker directory,
+        retry once against the destination.
+        """
+        dest = self.moved_out.get(contributor)
+        if dest is not None:
+            raise NotPrimaryError(
+                f"contributor {contributor!r} migrated off {self.host!r} "
+                f"(now at {dest!r}); re-resolve at the broker directory"
             )
 
     def _require_primary_peer(self, request: Request) -> None:
@@ -633,6 +666,11 @@ class DataStoreService:
         add("POST", "/api/places/set", self._h_places_set)
         add("POST", "/api/places/list", self._h_places_list)
         add("POST", "/api/profile", self._h_profile)
+        add("POST", "/api/profiles", self._h_profiles)
+        add("POST", "/api/migrate/export", self._h_migrate_export)
+        add("POST", "/api/migrate/install", self._h_migrate_install)
+        add("POST", "/api/migrate/fence", self._h_migrate_fence)
+        add("POST", "/api/migrate/complete", self._h_migrate_complete)
         add("POST", "/api/membership/set", self._h_membership_set)
         add("POST", "/api/stats", self._h_stats)
         add("POST", "/api/audit/list", self._h_audit_list)
@@ -693,6 +731,146 @@ class DataStoreService:
         epoch = request.body.get("Epoch")
         return self.demote(int(epoch) if epoch is not None else None)
 
+    # ------------------------------------------------------------------
+    # Shard migration (broker-driven; see repro.broker.rebalance)
+    # ------------------------------------------------------------------
+
+    def _h_migrate_export(self, request: Request) -> dict:
+        """Broker-only: export migration records for a contributor range.
+
+        With ``FromLsn`` 0 this is the snapshot bootstrap (full durable
+        state of the moving contributors, WAL-shaped); above 0 it is a
+        catch-up round (the filtered WAL tail).  ``Base`` says which the
+        response actually is: a catch-up that cannot prove WAL coverage —
+        non-durable source, or a checkpoint truncated past ``FromLsn`` —
+        degrades to a fresh snapshot, which idempotent records make safe.
+        ``LastLsn`` is captured *before* the export so the next round
+        covers anything racing it.
+        """
+        from repro.storage.migration import migration_records, wal_records_since
+
+        self._require_broker(request)
+        contributors = [str(c) for c in request.body.get("Contributors", [])]
+        from_lsn = int(request.body.get("FromLsn", 0))
+        records, last_lsn, complete = [], 0, False
+        if from_lsn > 0:
+            records, last_lsn, complete = wal_records_since(
+                self, from_lsn, contributors
+            )
+        if from_lsn == 0 or not complete:
+            if self.durability is not None and self.durability.wal is not None:
+                self.durability.wal.commit()
+                last_lsn = self.durability.wal.last_lsn
+            records = migration_records(self, contributors)
+            base = "snapshot"
+        else:
+            base = "wal"
+        return {
+            "Host": self.host,
+            "Records": [[op, data] for op, data in records],
+            "LastLsn": last_lsn,
+            "Base": base,
+        }
+
+    def _h_migrate_install(self, request: Request) -> dict:
+        """Broker-only: install exported records on this (destination) store.
+
+        Records flow through the recovery apply path and are re-journaled
+        into this store's own WAL; the replication barrier then ships them
+        to any replicas, so the migrated range is as durable here as
+        natively written data.
+        """
+        from repro.storage.migration import install_records
+
+        self._require_broker(request)
+        self._require_writable()
+        result = install_records(self, request.body.get("Records", []))
+        self._wal_commit()
+        self._replication_barrier()
+        return {"Host": self.host, **result}
+
+    def _h_migrate_fence(self, request: Request) -> dict:
+        """Broker-only: stop serving the moving contributors (cutover fence).
+
+        After this returns, every request naming a fenced contributor gets
+        :class:`NotPrimaryError` — the old shard self-demotes for exactly
+        the moved range.  The response carries the fence-time ``LastLsn``
+        so the coordinator's final catch-up round provably drains every
+        write that committed before the fence: zero committed-write loss.
+        """
+        self._require_broker(request)
+        dest = str(request.body.get("Dest", ""))
+        contributors = [str(c) for c in request.body.get("Contributors", [])]
+        if not dest or not contributors:
+            raise BadRequestError("fence needs Dest and Contributors")
+        for contributor in contributors:
+            self.moved_out[contributor] = dest
+        # Fenced contributors' cached decisions are unreachable (the fence
+        # fires before cache lookup), but drop them anyway: their memory
+        # now belongs to contributors still resident here.
+        if self.release_cache is not None:
+            self.release_cache.invalidate_all("migration")
+        if self.compiled_rules is not None:
+            self.compiled_rules.invalidate_all("migration")
+        last_lsn = 0
+        if self.durability is not None and self.durability.wal is not None:
+            self.durability.wal.commit()
+            last_lsn = self.durability.wal.last_lsn
+        return {
+            "Host": self.host,
+            "Fenced": sorted(contributors),
+            "LastLsn": last_lsn,
+        }
+
+    def _h_migrate_complete(self, request: Request) -> dict:
+        """Broker-only: destination-side cutover verification, fail-closed.
+
+        ``RuleVersions`` is the broker's mirror for the moved range; any
+        contributor whose installed rules can't be verified against it is
+        denied by default (:meth:`_fence_rule_versions` — the promotion
+        fence) until their owner re-publishes.  A migration may deny; it
+        must never widen access.
+        """
+        self._require_broker(request)
+        self._require_writable()
+        fenced = self._fence_rule_versions(
+            dict(request.body.get("RuleVersions", {}))
+        )
+        if fenced:
+            if self.release_cache is not None:
+                self.release_cache.invalidate_all("migration")
+            if self.compiled_rules is not None:
+                self.compiled_rules.invalidate_all("migration")
+        self._replication_barrier()
+        return {
+            "Host": self.host,
+            "FailClosed": fenced,
+            "RuleVersions": {
+                str(name): self.rules.version_of(str(name))
+                for name in request.body.get("RuleVersions", {})
+            },
+        }
+
+    def _h_profiles(self, request: Request) -> dict:
+        """Broker-only: bulk profile pull for one sync round.
+
+        One request per store instead of one per contributor — the fan-out
+        unit of :meth:`repro.broker.sync.SyncManager.pull_all`.  Unknown
+        and migrated-away contributors are listed in ``Missing`` rather
+        than failing the batch; the broker marks them stale and re-resolves.
+        """
+        self._require_broker(request)
+        names = [str(c) for c in request.body.get("Contributors", [])]
+        if not names:
+            names = sorted(self.rules.contributors())
+        profiles, missing = [], []
+        for name in names:
+            if name in self.moved_out or name not in self.rules.contributors():
+                missing.append(name)
+            else:
+                profiles.append(self._profile_json(name))
+        return {"Host": self.host, "Profiles": profiles, "Missing": missing}
+
     def _h_recovery(self, request: Request) -> dict:
         """What the last restart found on disk, and who is denied for it."""
         self._authenticate(request)
@@ -732,6 +910,7 @@ class DataStoreService:
         self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         segments = request.body.get("Segments", [])
         stored = 0
         duplicates = 0
@@ -749,6 +928,7 @@ class DataStoreService:
         self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         packets = request.body.get("Packets", [])
         stored = 0
         for obj in packets:
@@ -761,6 +941,7 @@ class DataStoreService:
         self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         finalized = len(self.store.flush())
         self._wal_commit()
         self._replication_barrier()
@@ -777,6 +958,7 @@ class DataStoreService:
         contributor = str(request.body.get("Contributor", ""))
         if not contributor:
             raise BadRequestError("query needs a Contributor")
+        self._require_resident(contributor)
         if contributor not in self.rules.contributors():
             raise NotFoundError(f"no such contributor here: {contributor!r}")
         query = DataQuery.from_json(request.body.get("Query", {}))
@@ -844,6 +1026,7 @@ class DataStoreService:
     def _h_rules_list(self, request: Request) -> dict:
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         snapshot = self.rules.snapshot(contributor)
         return {"Version": snapshot.version, "Rules": rules_to_json(snapshot.rules)}
 
@@ -851,6 +1034,7 @@ class DataStoreService:
         self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         rule = rule_from_json(request.body.get("Rule", {}))
         self.rules.add(contributor, rule)
         self._replication_barrier()
@@ -860,6 +1044,7 @@ class DataStoreService:
         self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         rule_id = str(request.body.get("RuleId", ""))
         self.rules.remove(contributor, rule_id)
         self._replication_barrier()
@@ -869,6 +1054,7 @@ class DataStoreService:
         self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         rules = rules_from_json(request.body.get("Rules", []))
         self.rules.replace_all(contributor, rules)
         self._replication_barrier()
@@ -878,6 +1064,7 @@ class DataStoreService:
         """The phone downloads its owner's rules for rule-aware collection."""
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         snapshot = self.rules.snapshot(contributor)
         return {
             "Version": snapshot.version,
@@ -889,6 +1076,7 @@ class DataStoreService:
         self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         places = {}
         for obj in request.body.get("Places", []):
             place = LabeledPlace.from_json(obj)
@@ -900,12 +1088,14 @@ class DataStoreService:
     def _h_places_list(self, request: Request) -> dict:
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         return {"Places": [p.to_json() for p in self.places.get(contributor, {}).values()]}
 
     def _h_profile(self, request: Request) -> dict:
         """Broker-only: rules + places snapshot for contributor search."""
         self._require_broker(request)
         contributor = str(request.body.get("Contributor", ""))
+        self._require_resident(contributor)
         if contributor not in self.rules.contributors():
             raise NotFoundError(f"no such contributor here: {contributor!r}")
         return self._profile_json(contributor)
@@ -933,6 +1123,7 @@ class DataStoreService:
         self._require_writable()  # replicas serve no reads either
         principal = self._authenticate(request)
         contributor = str(request.body.get("Contributor", ""))
+        self._require_resident(contributor)
         if contributor not in self.rules.contributors():
             raise NotFoundError(f"no such contributor here: {contributor!r}")
         query = DataQuery.from_json(request.body.get("Query", {}))
@@ -983,6 +1174,7 @@ class DataStoreService:
         self._require_writable()
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         query = DataQuery.from_json(request.body.get("Query", {}))
         removed = self.store.delete(contributor, query)
         self._wal_commit()
@@ -1001,6 +1193,7 @@ class DataStoreService:
         """The owner's access trail: who queried what, what left the store."""
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         limit = request.body.get("Limit")
         records = self.audit.trail_of(
             contributor, limit=int(limit) if limit is not None else None
@@ -1011,6 +1204,7 @@ class DataStoreService:
         """Per-consumer aggregate of accesses and samples taken."""
         contributor = str(request.body.get("Contributor", ""))
         self._require_contributor(request, contributor)
+        self._require_resident(contributor)
         return {"Summary": self.audit.summary(contributor)}
 
     def _h_stats(self, request: Request) -> dict:

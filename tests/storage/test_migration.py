@@ -1,0 +1,127 @@
+"""Tests for the WAL-as-transfer-log migration primitives."""
+
+import pytest
+
+from repro.core import SensorSafeSystem
+from repro.rules.model import ALLOW, Rule
+from repro.storage.migration import (
+    install_records,
+    migration_records,
+    wal_records_since,
+)
+from tests.conftest import make_segment
+
+
+@pytest.fixture()
+def shard_system(tmp_path):
+    """Two durable shards, two contributors pinned to shard-1."""
+    system = SensorSafeSystem(seed=7)
+    shards = system.create_shard_fleet(2, directory=str(tmp_path), durable=True)
+    alice = system.add_contributor("alice", store=shards[0])
+    ben = system.add_contributor("ben", store=shards[0])
+    alice.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    ben.add_rule(Rule(consumers=("bob",), action=ALLOW))
+    alice.upload_segments([make_segment(contributor="alice")])
+    ben.upload_segments([make_segment(contributor="ben")])
+    alice.flush()
+    ben.flush()
+    return system, shards
+
+
+class TestMigrationRecords:
+    def test_snapshot_is_filtered_to_the_moving_range(self, shard_system):
+        _, shards = shard_system
+        records = migration_records(shards[0], ["alice"])
+        ops = [op for op, _ in records]
+        assert "role" in ops and "segment" in ops and "rules" in ops
+        for op, data in records:
+            owner = data.get("Contributor") or data.get("Principal")
+            assert owner == "alice", (op, data)
+
+    def test_wal_tail_filters_and_reports_completeness(self, shard_system):
+        _, shards = shard_system
+        source = shards[0]
+        source.durability.wal.commit()
+        cursor = source.durability.wal.last_lsn
+        seg = make_segment(contributor="alice", start_ms=1_300_000_000_000)
+        source.store.add_segment(seg)
+        source.store.flush()
+        source.durability.commit()
+        records, last_lsn, complete = wal_records_since(source, cursor, ["alice"])
+        assert complete
+        assert last_lsn > cursor
+        assert all(op == "segment" for op, _ in records)
+        assert all(data["Contributor"] == "alice" for _, data in records)
+        # Ben's writes in the same window never appear in alice's delta.
+        records_ben, _, _ = wal_records_since(source, cursor, ["ben"])
+        assert records_ben == []
+
+    def test_checkpoint_truncation_degrades_to_snapshot(self, shard_system):
+        _, shards = shard_system
+        source = shards[0]
+        source.durability.wal.commit()
+        cursor = source.durability.wal.last_lsn
+        assert cursor > 0
+        source.checkpoint()
+        seg = make_segment(contributor="alice", start_ms=1_300_000_100_000)
+        source.store.add_segment(seg)
+        source.store.flush()
+        source.durability.commit()
+        # The checkpoint reset the WAL; the tail cannot prove coverage
+        # back to the pre-checkpoint cursor.
+        _, _, complete = wal_records_since(source, 1, ["alice"])
+        assert not complete
+
+    def test_non_durable_store_has_no_wal_to_tail(self):
+        system = SensorSafeSystem(seed=7)
+        store = system.create_store("plain-store")
+        records, last_lsn, complete = wal_records_since(store, 1, ["alice"])
+        assert (records, last_lsn, complete) == ([], 0, False)
+
+
+class TestInstallRecords:
+    def test_roundtrip_installs_state_on_the_destination(self, shard_system):
+        _, shards = shard_system
+        source, dest = shards
+        records = migration_records(source, ["alice"])
+        result = install_records(dest, records)
+        assert result["Installed"] == len(records)
+        assert result["RuleVersions"]["alice"] == source.rules.version_of("alice")
+        assert "alice" in dest.store.contributors()
+        assert len(dest.store.segments_of("alice")) == len(
+            source.store.segments_of("alice")
+        )
+        assert dest.places.get("alice") is not None
+        # Installed records were re-journaled: a dest restart replays them.
+        assert dest.durability.wal.last_lsn > 0
+
+    def test_install_is_idempotent(self, shard_system):
+        _, shards = shard_system
+        source, dest = shards
+        records = migration_records(source, ["alice"])
+        install_records(dest, records)
+        before = len(dest.store.segments_of("alice"))
+        version = dest.rules.version_of("alice")
+        install_records(dest, records)
+        assert len(dest.store.segments_of("alice")) == before
+        assert dest.rules.version_of("alice") == version
+
+    def test_cutover_fences_unverifiable_rules(self, shard_system):
+        _, shards = shard_system
+        source, dest = shards
+        # Ship everything EXCEPT the rules snapshot: the destination's
+        # rule state is then unverifiable against the broker mirror.
+        records = [
+            (op, data)
+            for op, data in migration_records(source, ["alice"])
+            if op != "rules"
+        ]
+        install_records(dest, records)
+        fenced = dest._fence_rule_versions(
+            {"alice": source.rules.version_of("alice")}
+        )
+        assert fenced == ["alice"]
+        assert "alice" in dest.fail_closed
+        # Default deny at a version above the mirror: the deny wins sync.
+        assert dest.rules.version_of("alice") > source.rules.version_of("alice")
+        assert dest.rules.rules_of("alice") == ()

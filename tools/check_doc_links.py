@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Doc-reference lint: every path the docs point at must exist.
+
+Docs rot silently: a module gets renamed, a doc keeps pointing at the
+old path, and the first person to notice is a reader three PRs later.
+This gate walks the operator-facing markdown — ``docs/*.md``,
+``README.md``, ``EXPERIMENTS.md`` — and checks three kinds of
+references against the working tree:
+
+* **relative markdown links** ``[text](path)`` — the target file must
+  exist (anchors ``#...`` are stripped; external ``http(s)://``,
+  ``mailto:`` and pure-anchor links are ignored);
+* **backticked repo paths** — any `` `...` `` span that *looks like* a
+  repo path (``src/repro/...``, ``docs/...``, ``tests/...``,
+  ``benchmarks/...``, ``tools/...``, ``examples/...``) must resolve to
+  a real file or directory;
+* **dotted module references** — `` `repro.x.y` `` spans must map to
+  ``src/repro/x/y.py`` (or a package directory); a short attribute tail
+  is tolerated, so ``repro.broker.sync.SyncManager`` resolves via
+  ``repro.broker.sync``, but an unresolved *module* segment fails.
+
+Fenced code blocks are skipped except for their repo-path-shaped
+tokens — command examples like ``python tools/check_doc_links.py``
+should break the build when the tool moves.
+
+Usage::
+
+    python tools/check_doc_links.py          # gate (exit 1 on failure)
+    python tools/check_doc_links.py --list   # print every reference seen
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The operator-facing docs under the gate.
+DOC_GLOBS = ("README.md", "EXPERIMENTS.md", os.path.join("docs", "*.md"))
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+#: Top-level directories a backticked span may refer into.
+PATH_ROOTS = ("src", "docs", "tests", "benchmarks", "tools", "examples")
+#: `repro.x.y` (optionally with an attribute tail) inside backticks.
+DOTTED = re.compile(r"^(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)$")
+#: Paths documented as intentionally untracked (created at runtime).
+RUNTIME_PATHS = {"artifacts", os.path.join("artifacts", "obs-metrics-snapshot.json")}
+
+
+def doc_files() -> list:
+    import glob
+
+    out = []
+    for pattern in DOC_GLOBS:
+        out.extend(sorted(glob.glob(os.path.join(REPO_ROOT, pattern))))
+    return out
+
+
+def _exists(path: str) -> bool:
+    return os.path.exists(os.path.join(REPO_ROOT, path))
+
+
+def _looks_like_repo_path(token: str) -> bool:
+    if "/" not in token or token.startswith(("http://", "https://", "/")):
+        return False
+    head = token.split("/", 1)[0]
+    return head in PATH_ROOTS
+
+
+def _check_repo_path(token: str) -> bool:
+    """A backticked repo path resolves, modulo globs and trailing junk."""
+    token = token.rstrip("/").rstrip(":")
+    if token in RUNTIME_PATHS:
+        return True
+    if "*" in token:
+        import glob
+
+        return bool(glob.glob(os.path.join(REPO_ROOT, token)))
+    # `path --flags` / `path arg` spans: the path is the first word.
+    token = token.split()[0]
+    return _exists(token)
+
+
+def _check_dotted(module: str) -> bool:
+    """`repro.x.y[.Attr]` must map to a file/package under ``src/``.
+
+    Segments are consumed left-to-right while they resolve as package
+    directories or ``.py`` modules.  A leftover tail is tolerated only
+    as an attribute: anything hanging off a resolved *module file*
+    (``repro.obs.report.render_metrics``), or a single ClassLike name
+    hanging off a package (``repro.obs.Observability``, a re-export).
+    A lowercase segment that fails to resolve against a package is a
+    missing module, not an attribute — that is the rot being policed.
+    """
+    parts = module.split(".")
+    resolved = 0
+    is_module_file = False
+    base = os.path.join(REPO_ROOT, "src")
+    for part in parts:
+        candidate = os.path.join(base, part)
+        if os.path.isdir(candidate):
+            base = candidate
+            resolved += 1
+        elif os.path.exists(candidate + ".py"):
+            resolved += 1
+            is_module_file = True
+            break
+        else:
+            break
+    if resolved == 0:
+        return False
+    tail = parts[resolved:]
+    if not tail:
+        return True
+    if is_module_file:
+        return len(tail) <= 2  # module attribute (+ nested attribute)
+    return len(tail) == 1 and tail[0][0].isupper()  # package re-export
+
+
+def check_file(path: str, *, list_refs: bool = False) -> list:
+    rel = os.path.relpath(path, REPO_ROOT)
+    failures = []
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        refs = []
+        if not in_fence:
+            for match in MD_LINK.finditer(line):
+                target = match.group(1).split("#", 1)[0]
+                if not target or "://" in target or target.startswith("mailto:"):
+                    continue
+                refs.append(("link", target, _exists(target)))
+            for match in BACKTICK.finditer(line):
+                token = match.group(1)
+                dotted = DOTTED.match(token)
+                if dotted:
+                    refs.append(("module", token, _check_dotted(dotted.group(1))))
+                elif _looks_like_repo_path(token):
+                    refs.append(("path", token, _check_repo_path(token)))
+        else:
+            # Inside fences only police repo-path-shaped tokens (commands).
+            for token in re.findall(r"[\w./*-]+", line):
+                if _looks_like_repo_path(token):
+                    refs.append(("path", token, _check_repo_path(token)))
+        for kind, token, ok in refs:
+            if list_refs:
+                print(f"{rel}:{lineno}: {kind:6s} {token} {'ok' if ok else 'MISSING'}")
+            if not ok:
+                failures.append(f"{rel}:{lineno}: broken {kind} reference: {token!r}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--list", action="store_true", help="print every reference checked"
+    )
+    args = parser.parse_args(argv)
+    failures = []
+    files = doc_files()
+    for path in files:
+        failures.extend(check_file(path, list_refs=args.list))
+    if failures:
+        print(f"doc-link lint: {len(failures)} broken reference(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"doc-link lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
